@@ -1,0 +1,88 @@
+//! Algorithm benchmarks: cost of each of the six §6 algorithms, the
+//! fractional Basic Algorithm, and the §4.2 sized-job algorithm, plus the
+//! `c` ablation (DESIGN.md §6 item 2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ring_sched::arbitrary::{run_arbitrary, ArbitraryConfig};
+use ring_sched::fractional::{run_fractional, FractionalConfig};
+use ring_sched::unit::{run_unit, UnitConfig};
+use ring_sim::Instance;
+use std::hint::black_box;
+
+fn six_algorithms(c: &mut Criterion) {
+    let inst = Instance::concentrated(256, 0, 10_000);
+    let mut group = c.benchmark_group("algorithms/six");
+    for (name, cfg) in UnitConfig::all_six() {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| run_unit(black_box(&inst), cfg).unwrap().makespan)
+        });
+    }
+    group.finish();
+}
+
+fn fractional_vs_integral(c: &mut Criterion) {
+    let inst = Instance::concentrated(256, 0, 10_000);
+    let mut group = c.benchmark_group("algorithms/fractional_vs_integral");
+    group.bench_function("fractional", |b| {
+        b.iter(|| run_fractional(black_box(&inst), &FractionalConfig::default()).makespan)
+    });
+    group.bench_function("integral_c1", |b| {
+        b.iter(|| {
+            run_unit(black_box(&inst), &UnitConfig::c1())
+                .unwrap()
+                .makespan
+        })
+    });
+    group.finish();
+}
+
+fn c_constant_ablation(c: &mut Criterion) {
+    // The drop-off constant changes how far buckets travel, hence the
+    // simulation cost. The paper fixes c = 1.77; the sweep shows the cost
+    // (and quality, printed by the ablation binary) trade-off.
+    let inst = Instance::concentrated(512, 0, 20_000);
+    let mut group = c.benchmark_group("algorithms/c_sweep");
+    for &cc in &[0.9f64, 1.4, 1.77, 2.5] {
+        group.bench_with_input(BenchmarkId::from_parameter(cc), &cc, |b, &cc| {
+            b.iter(|| {
+                run_unit(black_box(&inst), &UnitConfig::c1().with_c(cc))
+                    .unwrap()
+                    .makespan
+            })
+        });
+    }
+    group.finish();
+}
+
+fn sized_jobs(c: &mut Criterion) {
+    let inst = ring_workloads::sized::batch_on_one(128, 0, 500, 1, 20, 42);
+    let mut group = c.benchmark_group("algorithms/sized");
+    group.bench_function("arbitrary_uni", |b| {
+        b.iter(|| {
+            run_arbitrary(black_box(&inst), &ArbitraryConfig::default())
+                .unwrap()
+                .makespan
+        })
+    });
+    group.bench_function("arbitrary_bi", |b| {
+        b.iter(|| {
+            run_arbitrary(
+                black_box(&inst),
+                &ArbitraryConfig {
+                    bidirectional: true,
+                    ..ArbitraryConfig::default()
+                },
+            )
+            .unwrap()
+            .makespan
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = six_algorithms, fractional_vs_integral, c_constant_ablation, sized_jobs
+}
+criterion_main!(benches);

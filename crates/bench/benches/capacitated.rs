@@ -1,0 +1,51 @@
+//! §7 benchmarks: the Figure 1 capacitated algorithm and its exact-optimum
+//! harness (Theorem 3 regeneration cost).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ring_sched::capacitated::run_capacitated;
+use ring_sim::{Instance, TraceLevel};
+use std::hint::black_box;
+
+fn capacitated_algorithm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("capacitated/algorithm");
+    for &m in &[16usize, 64, 256] {
+        let inst = Instance::concentrated(m, 0, (m as u64) * 20);
+        group.bench_with_input(BenchmarkId::from_parameter(m), &inst, |b, inst| {
+            b.iter(|| {
+                run_capacitated(black_box(inst), TraceLevel::Off)
+                    .unwrap()
+                    .makespan
+            })
+        });
+    }
+    group.finish();
+}
+
+fn capacitated_vs_uncapacitated_policy_cost(c: &mut Criterion) {
+    // Same instance, both link models: how much the reactive §7 policy
+    // costs relative to the bucket algorithm in simulation time.
+    let inst = Instance::concentrated(128, 0, 2_560);
+    let mut group = c.benchmark_group("capacitated/vs_bucket");
+    group.bench_function("figure1_policy", |b| {
+        b.iter(|| {
+            run_capacitated(black_box(&inst), TraceLevel::Off)
+                .unwrap()
+                .makespan
+        })
+    });
+    group.bench_function("bucket_c1", |b| {
+        b.iter(|| {
+            ring_sched::unit::run_unit(black_box(&inst), &ring_sched::unit::UnitConfig::c1())
+                .unwrap()
+                .makespan
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = capacitated_algorithm, capacitated_vs_uncapacitated_policy_cost
+}
+criterion_main!(benches);

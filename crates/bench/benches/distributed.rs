@@ -1,0 +1,40 @@
+//! Executor ablation (DESIGN.md §6 item 1): the sequential engine vs the
+//! thread-per-processor executor on identical policies. The threaded
+//! executor pays barrier + channel costs per simulated step; this bench
+//! quantifies that price.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ring_net::run_unit_threaded;
+use ring_sched::unit::{run_unit, UnitConfig};
+use ring_sim::Instance;
+use std::hint::black_box;
+
+fn sequential_vs_threaded(c: &mut Criterion) {
+    let mut group = c.benchmark_group("executor");
+    group.sample_size(10);
+    for &m in &[8usize, 32] {
+        let inst = Instance::concentrated(m, 0, (m as u64) * 25);
+        group.bench_with_input(BenchmarkId::new("sequential", m), &inst, |b, inst| {
+            b.iter(|| {
+                run_unit(black_box(inst), &UnitConfig::c1())
+                    .unwrap()
+                    .makespan
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("threaded", m), &inst, |b, inst| {
+            b.iter(|| {
+                run_unit_threaded(black_box(inst), &UnitConfig::c1())
+                    .unwrap()
+                    .makespan
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = sequential_vs_threaded
+}
+criterion_main!(benches);

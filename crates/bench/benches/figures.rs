@@ -1,0 +1,53 @@
+//! One bench target per paper figure (Figures 2–7): the time to rerun that
+//! figure's algorithm over a representative slice of the Table 1 catalog.
+//!
+//! The *results* behind each figure (histograms, worst cases) are produced
+//! by `cargo run --release -p ring-experiments --bin figures` and recorded
+//! in EXPERIMENTS.md; these benches track the cost of regeneration so
+//! performance regressions in the algorithms or the harness are caught.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ring_sched::unit::{run_unit, UnitConfig};
+use ring_workloads::catalog;
+use std::hint::black_box;
+
+fn figure_regeneration(c: &mut Criterion) {
+    // Representative slice: every m ≤ 100 case (34 of 51). The m = 1000
+    // cases dominate wall time and add nothing to regression tracking.
+    let cases: Vec<_> = catalog()
+        .into_iter()
+        .filter(|case| case.instance.num_processors() <= 100)
+        .collect();
+
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(8));
+    for (name, cfg) in UnitConfig::all_six() {
+        let fig = ring_experiments::figures::figure_number(name);
+        group.bench_with_input(
+            BenchmarkId::new(format!("figure{fig}"), name),
+            &cfg,
+            |b, cfg| {
+                b.iter(|| {
+                    let mut total = 0u64;
+                    for case in &cases {
+                        total += run_unit(black_box(&case.instance), cfg).unwrap().makespan;
+                    }
+                    total
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn table1_catalog_generation(c: &mut Criterion) {
+    c.bench_function("figures/table1_catalog", |b| b.iter(|| catalog().len()));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = figure_regeneration, table1_catalog_generation
+}
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! §8 exploration benchmarks: the two-phase torus algorithm and the
+//! metric-staircase exact solver on the torus.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ring_mesh::{run_mesh, MeshConfig, MeshInstance};
+use std::hint::black_box;
+
+fn mesh_algorithm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mesh/algorithm");
+    for &side in &[8usize, 16, 32] {
+        let inst = MeshInstance::concentrated(side, side, 0, (side * side * 16) as u64);
+        group.bench_with_input(BenchmarkId::from_parameter(side), &inst, |b, inst| {
+            b.iter(|| run_mesh(black_box(inst), &MeshConfig::default()).makespan)
+        });
+    }
+    group.finish();
+}
+
+fn mesh_exact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mesh/exact_optimum");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(8));
+    for &side in &[8usize, 16] {
+        let inst = MeshInstance::concentrated(side, side, 0, (side * side * 4) as u64);
+        group.bench_with_input(BenchmarkId::from_parameter(side), &inst, |b, inst| {
+            b.iter(|| ring_mesh::optimum_torus(black_box(inst), None, &Default::default()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = mesh_algorithm, mesh_exact
+}
+criterion_main!(benches);

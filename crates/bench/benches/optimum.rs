@@ -1,0 +1,66 @@
+//! Exact-optimum solver benchmarks: the cost of the binary-search +
+//! max-flow method (our substitution for the paper's unpublished `m²`-space
+//! DP, §6.2) as instances grow.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ring_opt::exact::{optimum_capacitated, optimum_uncapacitated, SolverBudget};
+use ring_opt::{lemma1_lower_bound, staircase};
+use ring_sim::Instance;
+use std::hint::black_box;
+
+fn staircase_feasibility(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimum/staircase_feasibility");
+    group.sample_size(10);
+    for &m in &[50usize, 200, 400] {
+        let inst = Instance::concentrated(m, 0, (m as u64).pow(2) / 4);
+        let t = ring_opt::uncapacitated_lower_bound(&inst);
+        group.bench_with_input(BenchmarkId::from_parameter(m), &inst, |b, inst| {
+            b.iter(|| staircase::feasible(black_box(inst), black_box(t)))
+        });
+    }
+    group.finish();
+}
+
+fn exact_uncapacitated(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimum/exact_uncapacitated");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(8));
+    for &m in &[50usize, 200] {
+        let inst = ring_workloads::random::uniform(m, 100, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(m), &inst, |b, inst| {
+            b.iter(|| optimum_uncapacitated(black_box(inst), None, &SolverBudget::default()))
+        });
+    }
+    group.finish();
+}
+
+fn exact_capacitated(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimum/exact_capacitated");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(8));
+    for &m in &[16usize, 48] {
+        let inst = Instance::concentrated(m, 0, (m as u64) * 8);
+        group.bench_with_input(BenchmarkId::from_parameter(m), &inst, |b, inst| {
+            b.iter(|| optimum_capacitated(black_box(inst), None, &SolverBudget::default()))
+        });
+    }
+    group.finish();
+}
+
+fn lemma1_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimum/lemma1_scan");
+    for &m in &[100usize, 1000] {
+        let inst = ring_workloads::random::uniform(m, 500, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(m), &inst, |b, inst| {
+            b.iter(|| lemma1_lower_bound(black_box(inst)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = staircase_feasibility, exact_uncapacitated, exact_capacitated, lemma1_scan
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Substrate benchmarks: raw throughput of the synchronous ring engine.
+//!
+//! Measures simulated runs per second for the analyzed algorithm (C1) as
+//! the ring grows — the cost of the simulation substrate itself,
+//! independent of any experiment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ring_sched::unit::{run_unit, UnitConfig};
+use ring_sim::Instance;
+use std::hint::black_box;
+
+fn engine_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/steps");
+    for &m in &[16usize, 64, 256, 1024] {
+        let inst = Instance::concentrated(m, 0, (m as u64) * 16);
+        // Node-steps executed ≈ m × makespan; report per-element throughput
+        // against the ring size so larger rings are comparable.
+        group.throughput(Throughput::Elements(m as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(m), &inst, |b, inst| {
+            b.iter(|| {
+                run_unit(black_box(inst), &UnitConfig::c1())
+                    .unwrap()
+                    .makespan
+            })
+        });
+    }
+    group.finish();
+}
+
+fn engine_tracing_overhead(c: &mut Criterion) {
+    let inst = Instance::concentrated(128, 0, 2_000);
+    let mut group = c.benchmark_group("engine/tracing");
+    group.bench_function("off", |b| {
+        b.iter(|| {
+            run_unit(black_box(&inst), &UnitConfig::c1())
+                .unwrap()
+                .makespan
+        })
+    });
+    group.bench_function("full", |b| {
+        b.iter(|| {
+            run_unit(black_box(&inst), &UnitConfig::c1().with_trace())
+                .unwrap()
+                .makespan
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = engine_throughput, engine_tracing_overhead
+}
+criterion_main!(benches);

@@ -1,0 +1,1 @@
+//! Shared fixtures for the Criterion benchmark suite (see `benches/`).

@@ -1,0 +1,390 @@
+//! `ringsched` — command-line front end for the ring scheduling library.
+//!
+//! ```text
+//! ringsched catalog                               list the 51 Table 1 cases
+//! ringsched run --alg c1 --workload concentrated --m 64 --n 4096
+//! ringsched run --alg a2 --case II-m100-r500 --threaded
+//! ringsched capacitated --m 16 --n 400
+//! ringsched optimum --workload concentrated --m 64 --n 4096
+//! ringsched lower-bound-demo --w 20000 --z 100 --m 2048
+//! ringsched mesh --rows 16 --cols 16 --n 4096
+//! ringsched optimal-schedule --m 8 --n 16
+//! ringsched save --workload uniform --m 100 --n 500 --out inst.txt
+//! ringsched run --instance inst.txt --alg a2
+//! ```
+
+use ring_opt::exact::{optimum_capacitated, optimum_uncapacitated, OptResult, SolverBudget};
+use ring_opt::{capacitated_lower_bound, uncapacitated_lower_bound};
+use ring_sched::capacitated::run_capacitated;
+use ring_sched::unit::{run_unit, UnitConfig};
+use ring_sim::{Instance, TraceLevel};
+use ring_workloads::{catalog, random, section5::Section5, structured};
+use std::collections::HashMap;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ringsched <command> [options]\n\
+         \n\
+         commands:\n\
+         \x20 catalog                         list the 51 Table 1 cases\n\
+         \x20 run                             run a unit-job algorithm\n\
+         \x20   --alg a1|b1|c1|a2|b2|c2       algorithm (default c1)\n\
+         \x20   --case <id>                   a catalog case id, or:\n\
+         \x20   --workload concentrated|region|uniform  (default concentrated)\n\
+         \x20   --m <ring size> --n <jobs> [--seed <s>] [--c <const>]\n\
+         \x20   --threaded                    one OS thread per processor\n\
+         \x20 capacitated                     run the \u{a7}7 algorithm\n\
+         \x20   --m <ring size> --n <jobs> | --case <id>\n\
+         \x20 optimum                         exact optimum + lower bounds\n\
+         \x20   --workload ... --m --n | --case <id> [--capacitated]\n\
+         \x20 lower-bound-demo                \u{a7}5 two-instance construction\n\
+         \x20   --w <jobs per heap> --z <half gap> --m <ring size>\n\
+         \x20 mesh                            \u{a7}8 open problem: 2D torus scheduling\n\
+         \x20   --rows <r> --cols <c> --n <jobs>\n\
+         \x20 save                            write a generated instance to a file\n\
+         \x20   --workload ... --m --n --out <path>\n\
+         \x20 optimal-schedule                print an exact optimal schedule\n\
+         \x20   --workload ... --m --n | --case <id> | --instance <path>\n\
+         \n\
+         `run`, `capacitated`, and `optimum` also accept --instance <path>\n\
+         to load an instance written by `save`."
+    );
+    exit(2)
+}
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if let Some(key) = a.strip_prefix("--") {
+            let val = args.get(i + 1);
+            if val.map_or(true, |v| v.starts_with("--")) {
+                flags.insert(key.to_string(), "true".to_string());
+            } else {
+                flags.insert(key.to_string(), val.unwrap().clone());
+                i += 1;
+            }
+        } else {
+            eprintln!("unexpected argument: {a}");
+            usage();
+        }
+        i += 1;
+    }
+    flags
+}
+
+fn get_u64(flags: &HashMap<String, String>, key: &str, default: u64) -> u64 {
+    flags
+        .get(key)
+        .map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("--{key} must be a number, got {v}");
+                usage()
+            })
+        })
+        .unwrap_or(default)
+}
+
+fn build_instance(flags: &HashMap<String, String>) -> Instance {
+    if let Some(path) = flags.get("instance") {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            exit(2)
+        });
+        return ring_workloads::io::read_instance(&text).unwrap_or_else(|e| {
+            eprintln!("cannot parse {path}: {e}");
+            exit(2)
+        });
+    }
+    if let Some(id) = flags.get("case") {
+        return catalog()
+            .into_iter()
+            .find(|c| &c.id == id)
+            .unwrap_or_else(|| {
+                eprintln!("unknown case id {id} (see `ringsched catalog`)");
+                exit(2)
+            })
+            .instance;
+    }
+    let m = get_u64(flags, "m", 64) as usize;
+    let n = get_u64(flags, "n", 1024);
+    let seed = get_u64(flags, "seed", 1994);
+    match flags
+        .get("workload")
+        .map(String::as_str)
+        .unwrap_or("concentrated")
+    {
+        "concentrated" => structured::concentrated_node(m, n),
+        "region" => structured::concentrated_region(m, n / structured::region_width(m) as u64),
+        "uniform" => random::uniform(m, n.max(1), seed),
+        other => {
+            eprintln!("unknown workload {other}");
+            usage()
+        }
+    }
+}
+
+fn alg_config(flags: &HashMap<String, String>) -> UnitConfig {
+    let mut cfg = match flags
+        .get("alg")
+        .map(|s| s.to_lowercase())
+        .as_deref()
+        .unwrap_or("c1")
+    {
+        "a1" => UnitConfig::a1(),
+        "b1" => UnitConfig::b1(),
+        "c1" => UnitConfig::c1(),
+        "a2" => UnitConfig::a2(),
+        "b2" => UnitConfig::b2(),
+        "c2" => UnitConfig::c2(),
+        other => {
+            eprintln!("unknown algorithm {other}");
+            usage()
+        }
+    };
+    if let Some(c) = flags.get("c") {
+        cfg = cfg.with_c(c.parse().unwrap_or_else(|_| {
+            eprintln!("--c must be a number");
+            usage()
+        }));
+    }
+    cfg
+}
+
+fn cmd_catalog() {
+    for case in catalog() {
+        println!(
+            "{:<22} m={:<5} n={:<9} {}",
+            case.id,
+            case.instance.num_processors(),
+            case.instance.total_work(),
+            case.description
+        );
+    }
+}
+
+fn cmd_run(flags: &HashMap<String, String>) {
+    let inst = build_instance(flags);
+    let cfg = alg_config(flags);
+    let lb = uncapacitated_lower_bound(&inst);
+    println!(
+        "instance: m={} n={} | algorithm {}",
+        inst.num_processors(),
+        inst.total_work(),
+        cfg.name()
+    );
+    if flags.contains_key("threaded") {
+        let run = ring_net::run_unit_threaded(&inst, &cfg).unwrap_or_else(|e| {
+            eprintln!("run failed: {e}");
+            exit(1)
+        });
+        println!("threaded executor: {} threads", inst.num_processors());
+        println!(
+            "makespan: {} (lower bound {lb}, ratio <= {:.3})",
+            run.makespan,
+            run.makespan as f64 / lb.max(1) as f64
+        );
+        println!("messages sent: {}", run.messages_sent);
+    } else {
+        let run = run_unit(&inst, &cfg).unwrap_or_else(|e| {
+            eprintln!("run failed: {e}");
+            exit(1)
+        });
+        println!(
+            "makespan: {} (lower bound {lb}, ratio <= {:.3})",
+            run.makespan,
+            run.makespan as f64 / lb.max(1) as f64
+        );
+        println!(
+            "bucket travel max: {} hops; wrapped: {}; messages: {}; job-hops: {}",
+            run.max_bucket_travel,
+            run.wrapped,
+            run.report.metrics.messages_sent,
+            run.report.metrics.job_hops
+        );
+        let opt = optimum_uncapacitated(&inst, Some(run.makespan), &SolverBudget::default());
+        match opt {
+            OptResult::Exact(v) => println!(
+                "exact optimum: {v}; approximation factor {:.3}",
+                run.makespan as f64 / v.max(1) as f64
+            ),
+            OptResult::LowerBoundOnly(v) => println!(
+                "instance too large for exact solve; factor vs lower bound {v}: {:.3}",
+                run.makespan as f64 / v.max(1) as f64
+            ),
+        }
+    }
+}
+
+fn cmd_capacitated(flags: &HashMap<String, String>) {
+    let inst = build_instance(flags);
+    let lb = capacitated_lower_bound(&inst);
+    if flags.contains_key("threaded") {
+        let run = ring_net::run_capacitated_threaded(&inst).unwrap_or_else(|e| {
+            eprintln!("run failed: {e}");
+            exit(1)
+        });
+        println!("makespan: {} (lower bound {lb})", run.makespan);
+        return;
+    }
+    let run = run_capacitated(&inst, TraceLevel::Off).unwrap_or_else(|e| {
+        eprintln!("run failed: {e}");
+        exit(1)
+    });
+    println!("makespan: {} (lower bound {lb})", run.makespan);
+    println!(
+        "max load after first idle: {} (Lemma 11b: <= 3)",
+        run.max_load_after_low
+    );
+    match optimum_capacitated(&inst, Some(run.makespan), &SolverBudget::default()) {
+        OptResult::Exact(v) => println!(
+            "exact optimum: {v}; makespan <= 2L+2 = {}: {}",
+            2 * v + 2,
+            run.makespan <= 2 * v + 2
+        ),
+        OptResult::LowerBoundOnly(v) => {
+            println!("instance too large for exact solve; lower bound {v}")
+        }
+    }
+}
+
+fn cmd_optimum(flags: &HashMap<String, String>) {
+    let inst = build_instance(flags);
+    println!(
+        "m={} n={} lemma1 LB={} mean LB={}",
+        inst.num_processors(),
+        inst.total_work(),
+        ring_opt::lemma1_lower_bound(&inst),
+        ring_opt::mean_load_bound(&inst)
+    );
+    if flags.contains_key("capacitated") {
+        println!(
+            "lemma10/capacitated LB = {}",
+            capacitated_lower_bound(&inst)
+        );
+        match optimum_capacitated(&inst, None, &SolverBudget::default()) {
+            OptResult::Exact(v) => println!("exact capacitated optimum = {v}"),
+            OptResult::LowerBoundOnly(v) => println!("too large; lower bound = {v}"),
+        }
+    } else {
+        match optimum_uncapacitated(&inst, None, &SolverBudget::default()) {
+            OptResult::Exact(v) => println!("exact optimum = {v}"),
+            OptResult::LowerBoundOnly(v) => println!("too large; lower bound = {v}"),
+        }
+    }
+}
+
+fn cmd_lower_bound_demo(flags: &HashMap<String, String>) {
+    let w = get_u64(flags, "w", 20_000);
+    let z = get_u64(flags, "z", 100) as usize;
+    let m = get_u64(flags, "m", 2_048) as usize;
+    let s = Section5::new(w, z, m);
+    println!(
+        "Section 5 construction: W={w} per heap, gap 2z+1={} on an m={m} ring",
+        2 * z + 1
+    );
+    println!("optimum of J (single heap):  {}", s.optimum_j());
+    println!("optimum of I (two heaps):    {}", s.lemma8_optimum());
+    println!(
+        "For the first z = {z} steps no processor can distinguish I from J;\n\
+         committing to J's optimum forces extra work on I — Theorem 2 turns\n\
+         this into the 1.06 distributed lower bound."
+    );
+}
+
+fn cmd_mesh(flags: &HashMap<String, String>) {
+    use ring_mesh::{mesh_lower_bound, optimum_torus, run_mesh, MeshConfig, MeshInstance};
+    let rows = get_u64(flags, "rows", 16) as usize;
+    let cols = get_u64(flags, "cols", 16) as usize;
+    let n = get_u64(flags, "n", 4096);
+    let inst = MeshInstance::concentrated(rows, cols, 0, n);
+    let run = run_mesh(&inst, &MeshConfig::default());
+    let lb = mesh_lower_bound(&inst);
+    println!("{rows}x{cols} torus, {n} jobs on node 0");
+    println!("two-phase bucket makespan: {}", run.makespan);
+    println!("lower bound:               {lb}");
+    match optimum_torus(&inst, Some(run.makespan), &SolverBudget::default()) {
+        OptResult::Exact(v) => println!(
+            "exact optimum:             {v} (empirical factor {:.3})",
+            run.makespan as f64 / v.max(1) as f64
+        ),
+        OptResult::LowerBoundOnly(v) => {
+            println!(
+                "too large for exact solve; factor vs LB {v}: {:.3}",
+                run.makespan as f64 / v.max(1) as f64
+            )
+        }
+    }
+}
+
+fn cmd_optimal_schedule(flags: &HashMap<String, String>) {
+    use ring_opt::assignment::extract_assignment;
+    let inst = build_instance(flags);
+    let sched = match extract_assignment(&inst, None, &SolverBudget::default()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot extract a schedule: {e}");
+            exit(1)
+        }
+    };
+    println!(
+        "exact optimum {} on m={} (n={})",
+        sched.makespan,
+        inst.num_processors(),
+        inst.total_work()
+    );
+    println!(
+        "jobs moved: {} ({} job-hops of communication)",
+        sched.jobs_moved(),
+        sched.job_hops()
+    );
+    let mut moves = sched.moves.clone();
+    moves.sort_by_key(|mv| (mv.from, mv.to));
+    for mv in moves.iter().take(40) {
+        println!(
+            "  {:>4} jobs: {} -> {} (distance {})",
+            mv.count, mv.from, mv.to, mv.dist
+        );
+    }
+    if moves.len() > 40 {
+        println!("  ... and {} more moves", moves.len() - 40);
+    }
+    debug_assert_eq!(sched.verify(&inst), None);
+}
+
+fn cmd_save(flags: &HashMap<String, String>) {
+    let inst = build_instance(flags);
+    let Some(path) = flags.get("out") else {
+        eprintln!("save needs --out <path>");
+        exit(2)
+    };
+    let text = ring_workloads::io::write_instance(&inst);
+    std::fs::write(path, text).unwrap_or_else(|e| {
+        eprintln!("cannot write {path}: {e}");
+        exit(1)
+    });
+    println!(
+        "wrote m={} n={} instance to {path}",
+        inst.num_processors(),
+        inst.total_work()
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { usage() };
+    let flags = parse_flags(&args[1..]);
+    match cmd.as_str() {
+        "catalog" => cmd_catalog(),
+        "run" => cmd_run(&flags),
+        "capacitated" => cmd_capacitated(&flags),
+        "optimum" => cmd_optimum(&flags),
+        "lower-bound-demo" => cmd_lower_bound_demo(&flags),
+        "mesh" => cmd_mesh(&flags),
+        "save" => cmd_save(&flags),
+        "optimal-schedule" => cmd_optimal_schedule(&flags),
+        _ => usage(),
+    }
+}

@@ -1,0 +1,159 @@
+//! Design-choice ablations (DESIGN.md §6).
+//!
+//! The paper fixes the drop-off constant at `c = 1.77` (the minimizer of
+//! the *worst-case* bound) and observes empirically that bidirectional
+//! variants help somewhat and that variant A beats the analyzed variant C.
+//! These sweeps quantify both observations:
+//!
+//! * [`c_sweep`] — empirical makespans of the fractional Basic Algorithm
+//!   and of integral C1 as `c` varies, against the theoretical worst-case
+//!   curve `ρ(c) = 1 + c + 2/c + 1/c²`;
+//! * [`directionality_gain`] — the per-case ratio `X1 / X2` for each
+//!   variant (paper: better, "but nowhere close to a factor of 2").
+
+use crate::runner::{denominator, ExperimentConfig};
+use ring_sched::analysis::theory_factor;
+use ring_sched::fractional::{run_fractional, FractionalConfig};
+use ring_sched::unit::{run_unit, UnitConfig};
+use ring_sim::Instance;
+
+/// One row of the `c` sweep.
+#[derive(Debug, Clone)]
+pub struct CSweepRow {
+    /// The drop-off constant.
+    pub c: f64,
+    /// Theoretical worst-case factor `ρ(c)`.
+    pub theory: f64,
+    /// Mean empirical factor of the fractional algorithm over the probe
+    /// instances.
+    pub fractional_mean: f64,
+    /// Mean empirical factor of integral C1.
+    pub integral_mean: f64,
+}
+
+/// Probe instances for the sweep: shapes where the choice of `c` matters
+/// (concentrated piles of different magnitudes relative to the ring).
+pub fn probe_instances() -> Vec<Instance> {
+    vec![
+        Instance::concentrated(200, 0, 400),
+        Instance::concentrated(200, 0, 10_000),
+        Instance::from_loads({
+            let mut v = vec![0u64; 150];
+            v[0] = 2_000;
+            v[75] = 2_000;
+            v
+        }),
+        ring_workloads::adversary::instance(200, 30, 100),
+    ]
+}
+
+/// Sweeps `c` over `values` and reports mean empirical factors.
+pub fn c_sweep(values: &[f64], cfg: &ExperimentConfig) -> Vec<CSweepRow> {
+    let probes = probe_instances();
+    // Denominators are c-independent; compute them once.
+    let denoms: Vec<u64> = probes
+        .iter()
+        .map(|inst| {
+            let hint = run_unit(inst, &UnitConfig::c1()).unwrap().makespan;
+            denominator(inst, hint, cfg).0.max(1)
+        })
+        .collect();
+
+    values
+        .iter()
+        .map(|&c| {
+            let mut frac_sum = 0.0;
+            let mut int_sum = 0.0;
+            for (inst, &d) in probes.iter().zip(&denoms) {
+                let f = run_fractional(
+                    inst,
+                    &FractionalConfig {
+                        c,
+                        bidirectional: false,
+                    },
+                );
+                frac_sum += f.makespan / d as f64;
+                let i = run_unit(inst, &UnitConfig::c1().with_c(c)).unwrap();
+                int_sum += i.makespan as f64 / d as f64;
+            }
+            CSweepRow {
+                c,
+                theory: theory_factor(c),
+                fractional_mean: frac_sum / probes.len() as f64,
+                integral_mean: int_sum / probes.len() as f64,
+            }
+        })
+        .collect()
+}
+
+/// Mean and max ratio `uni / bi` of makespans per variant over a set of
+/// instances. Ratios near 1 mean bidirectionality did not help; the paper
+/// observed gains well below 2.
+#[derive(Debug, Clone)]
+pub struct DirectionalityRow {
+    /// Variant name (`A`, `B`, `C`).
+    pub variant: String,
+    /// Mean of `makespan(X1) / makespan(X2)`.
+    pub mean_ratio: f64,
+    /// Max of the same ratio.
+    pub max_ratio: f64,
+}
+
+/// Computes the uni/bi gains on the probe instances.
+pub fn directionality_gain() -> Vec<DirectionalityRow> {
+    let probes = probe_instances();
+    let pairs = [
+        ("A", UnitConfig::a1(), UnitConfig::a2()),
+        ("B", UnitConfig::b1(), UnitConfig::b2()),
+        ("C", UnitConfig::c1(), UnitConfig::c2()),
+    ];
+    pairs
+        .iter()
+        .map(|(name, uni, bi)| {
+            let mut ratios = Vec::with_capacity(probes.len());
+            for inst in &probes {
+                let u = run_unit(inst, uni).unwrap().makespan.max(1);
+                let b = run_unit(inst, bi).unwrap().makespan.max(1);
+                ratios.push(u as f64 / b as f64);
+            }
+            DirectionalityRow {
+                variant: name.to_string(),
+                mean_ratio: ratios.iter().sum::<f64>() / ratios.len() as f64,
+                max_ratio: ratios.iter().fold(0.0f64, |a, &b| a.max(b)),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theory_curve_minimized_near_1_77() {
+        let rows = c_sweep(&[1.0, 1.5, 1.77, 2.2, 3.0], &ExperimentConfig::fast());
+        let best = rows
+            .iter()
+            .min_by(|a, b| a.theory.partial_cmp(&b.theory).unwrap())
+            .unwrap();
+        assert!((best.c - 1.77).abs() < 1e-9);
+        // Empirical factors are far below the worst-case curve everywhere.
+        for r in &rows {
+            assert!(r.fractional_mean < r.theory, "c={}", r.c);
+            assert!(r.integral_mean >= 1.0 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn directionality_gain_is_bounded_by_two() {
+        for row in directionality_gain() {
+            assert!(
+                row.max_ratio < 2.5,
+                "{}: uni/bi ratio {} out of range",
+                row.variant,
+                row.max_ratio
+            );
+            assert!(row.mean_ratio > 0.4);
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! Design-choice ablations: the drop-off constant `c` and
+//! uni- vs bidirectional buckets.
+
+use ring_experiments::ablation::{c_sweep, directionality_gain};
+use ring_experiments::report::{render_c_sweep, render_directionality};
+use ring_experiments::runner::ExperimentConfig;
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    let cfg = if fast {
+        ExperimentConfig::fast()
+    } else {
+        ExperimentConfig::default()
+    };
+
+    println!("## Drop-off constant sweep (paper fixes c = 1.77)\n");
+    let cs: Vec<f64> = [0.8, 1.0, 1.2, 1.4, 1.6, 1.77, 2.0, 2.4, 2.8, 3.2].to_vec();
+    print!("{}", render_c_sweep(&c_sweep(&cs, &cfg)));
+
+    println!("\n## Uni- vs bidirectional (paper: gains well below 2x)\n");
+    print!("{}", render_directionality(&directionality_gain()));
+}

@@ -1,0 +1,33 @@
+//! Runs the §7 capacitated-ring experiment: Figure 1's algorithm against
+//! the Theorem 3 guarantee (`makespan ≤ 2L + 2`).
+
+use ring_experiments::capacitated::run_experiment;
+use ring_experiments::report::render_capacitated;
+use ring_opt::exact::SolverBudget;
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    let budget = if fast {
+        SolverBudget {
+            max_network_edges: 300_000,
+        }
+    } else {
+        SolverBudget::default()
+    };
+    let results = run_experiment(&budget);
+    print!("{}", render_capacitated(&results));
+    let exact = results.iter().filter(|r| r.exact).count();
+    let violations = results
+        .iter()
+        .filter(|r| r.exact && !r.within_theorem3)
+        .count();
+    println!(
+        "\n{} instances, {} exact optima, {} Theorem 3 violations (must be 0)",
+        results.len(),
+        exact,
+        violations
+    );
+    if violations > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,17 @@
+//! Communication-cost comparison across the six algorithms and the
+//! diffusion baseline.
+
+use ring_experiments::communication::{render, run_experiment};
+use ring_opt::exact::SolverBudget;
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    let budget = if fast {
+        SolverBudget {
+            max_network_edges: 300_000,
+        }
+    } else {
+        SolverBudget::default()
+    };
+    print!("{}", render(&run_experiment(&budget)));
+}

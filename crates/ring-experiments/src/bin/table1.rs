@@ -1,0 +1,25 @@
+//! Prints the 51-case catalog of Table 1 with per-case statistics and the
+//! closed-form lower bounds.
+
+use ring_opt::{lemma1_lower_bound, mean_load_bound};
+use ring_workloads::catalog;
+
+fn main() {
+    println!(
+        "{:<22} {:>5} {:>6} {:>12} {:>10} {:>10}  description",
+        "id", "part", "m", "total work", "lemma1 LB", "n/m LB"
+    );
+    for case in catalog() {
+        let inst = &case.instance;
+        println!(
+            "{:<22} {:>5} {:>6} {:>12} {:>10} {:>10}  {}",
+            case.id,
+            case.part.to_string(),
+            inst.num_processors(),
+            inst.total_work(),
+            lemma1_lower_bound(inst),
+            mean_load_bound(inst),
+            case.description
+        );
+    }
+}

@@ -1,0 +1,110 @@
+//! The §7 experiment: the capacitated-ring algorithm against the `2L + 2`
+//! guarantee of Theorem 3.
+//!
+//! The paper proves the bound but reports no capacitated simulations; this
+//! experiment closes the loop by running the Figure 1 algorithm on a family
+//! of instances and comparing against the exact capacitated optimum (via
+//! the time-expanded flow solver) where feasible, else the §7 lower bounds.
+
+use ring_opt::exact::{optimum_capacitated, OptResult, SolverBudget};
+use ring_sched::capacitated::run_capacitated;
+use ring_sim::{Instance, TraceLevel};
+use ring_workloads::{random, structured};
+
+/// One row of the capacitated experiment.
+#[derive(Debug, Clone)]
+pub struct CapacitatedResult {
+    /// Instance label.
+    pub label: String,
+    /// Algorithm makespan.
+    pub makespan: u64,
+    /// Denominator (exact optimum or lower bound).
+    pub denominator: u64,
+    /// Whether the denominator is exact.
+    pub exact: bool,
+    /// `makespan / denominator`.
+    pub factor: f64,
+    /// Whether `makespan <= 2·denominator + 2` (guaranteed when exact).
+    pub within_theorem3: bool,
+    /// Largest load seen on a processor after it first went (near-)idle —
+    /// Lemma 11b says ≤ 3.
+    pub max_load_after_low: u64,
+}
+
+/// The instance family for the experiment: concentrated piles, heavy
+/// regions, uniform random loads, and twin peaks, across ring sizes.
+pub fn workloads() -> Vec<(String, Instance)> {
+    let mut v: Vec<(String, Instance)> = Vec::new();
+    for &m in &[10usize, 50, 100] {
+        v.push((
+            format!("concentrated-m{m}"),
+            Instance::concentrated(m, 0, (m as u64) * 10),
+        ));
+        v.push((
+            format!("region-m{m}"),
+            structured::concentrated_region(m, 40),
+        ));
+        v.push((
+            format!("uniform-m{m}"),
+            random::uniform(m, 30, 1994 + m as u64),
+        ));
+        let mut twin = vec![0u64; m];
+        twin[0] = 15 * m as u64 / 2;
+        twin[m / 2] = 15 * m as u64 / 2;
+        v.push((format!("twin-m{m}"), Instance::from_loads(twin)));
+    }
+    v
+}
+
+/// Runs the experiment over [`workloads`].
+pub fn run_experiment(budget: &SolverBudget) -> Vec<CapacitatedResult> {
+    workloads()
+        .into_iter()
+        .map(|(label, inst)| {
+            let run = run_capacitated(&inst, TraceLevel::Off)
+                .unwrap_or_else(|e| panic!("capacitated run failed on {label}: {e}"));
+            let (denominator, exact) = match optimum_capacitated(&inst, Some(run.makespan), budget)
+            {
+                OptResult::Exact(v) => (v, true),
+                OptResult::LowerBoundOnly(v) => (v, false),
+            };
+            let d = denominator.max(1);
+            CapacitatedResult {
+                label,
+                makespan: run.makespan,
+                denominator: d,
+                exact,
+                factor: run.makespan as f64 / d as f64,
+                within_theorem3: run.makespan <= 2 * d + 2,
+                max_load_after_low: run.max_load_after_low,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_family_is_varied() {
+        let w = workloads();
+        assert!(w.len() >= 12);
+        assert!(w.iter().all(|(_, i)| i.total_work() > 0));
+    }
+
+    #[test]
+    fn theorem3_holds_on_exact_cases() {
+        let results = run_experiment(&SolverBudget::default());
+        let exact: Vec<_> = results.iter().filter(|r| r.exact).collect();
+        assert!(!exact.is_empty(), "no case solved exactly");
+        for r in exact {
+            assert!(
+                r.within_theorem3,
+                "{}: makespan {} > 2·{} + 2",
+                r.label, r.makespan, r.denominator
+            );
+            assert!(r.max_load_after_low <= 3, "{}: Lemma 11b violated", r.label);
+        }
+    }
+}

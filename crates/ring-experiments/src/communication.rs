@@ -1,0 +1,140 @@
+//! Communication-cost comparison — quantifying the paper's "low control
+//! overhead" claim.
+//!
+//! The paper argues its algorithms are practical because control traffic is
+//! tiny: each processor sends one bucket that makes one (bounded) pass.
+//! This experiment measures, per algorithm and per workload shape:
+//!
+//! * messages sent (control overhead),
+//! * job·hops moved (data movement),
+//! * makespan (what the movement buys),
+//!
+//! alongside the diffusion load-balancing baseline, and normalizes the
+//! data movement by the *optimal* schedule's movement (from
+//! [`ring_opt::assignment`]).
+
+use ring_opt::assignment::extract_assignment;
+use ring_opt::exact::SolverBudget;
+use ring_sched::baselines::run_diffusion;
+use ring_sched::unit::{run_unit, UnitConfig};
+use ring_sim::{Instance, TraceLevel};
+
+/// One measurement row.
+#[derive(Debug, Clone)]
+pub struct CommRow {
+    /// Workload label.
+    pub workload: String,
+    /// Algorithm name (`A1`…`C2`, `diffusion`).
+    pub algorithm: String,
+    /// Schedule length.
+    pub makespan: u64,
+    /// Messages sent in total.
+    pub messages: u64,
+    /// Job payload moved, in job·hops.
+    pub job_hops: u64,
+    /// Job·hops the *optimal* schedule moves (same for all algorithms on
+    /// one workload; 0 if the exact solve was out of budget).
+    pub optimal_job_hops: u64,
+}
+
+/// The workload shapes for the comparison.
+pub fn workloads() -> Vec<(String, Instance)> {
+    vec![
+        (
+            "concentrated m=256 n=8192".into(),
+            Instance::concentrated(256, 0, 8_192),
+        ),
+        ("twin m=256".into(), {
+            let mut v = vec![0u64; 256];
+            v[0] = 4_096;
+            v[128] = 4_096;
+            Instance::from_loads(v)
+        }),
+        (
+            "uniform m=256 0..=100".into(),
+            ring_workloads::random::uniform(256, 100, 1994),
+        ),
+        (
+            "adversary m=256 L=40".into(),
+            ring_workloads::adversary::instance(256, 40, 128),
+        ),
+    ]
+}
+
+/// Runs the comparison.
+pub fn run_experiment(budget: &SolverBudget) -> Vec<CommRow> {
+    let mut rows = Vec::new();
+    for (label, inst) in workloads() {
+        let optimal_job_hops = extract_assignment(&inst, None, budget)
+            .map(|a| a.job_hops())
+            .unwrap_or(0);
+        for (name, cfg) in UnitConfig::all_six() {
+            let run = run_unit(&inst, &cfg).expect("run succeeds");
+            rows.push(CommRow {
+                workload: label.clone(),
+                algorithm: name.to_string(),
+                makespan: run.makespan,
+                messages: run.report.metrics.messages_sent,
+                job_hops: run.report.metrics.job_hops,
+                optimal_job_hops,
+            });
+        }
+        let diff = run_diffusion(&inst, TraceLevel::Off).expect("diffusion succeeds");
+        rows.push(CommRow {
+            workload: label.clone(),
+            algorithm: "diffusion".into(),
+            makespan: diff.makespan,
+            messages: diff.metrics.messages_sent,
+            job_hops: diff.metrics.job_hops,
+            optimal_job_hops,
+        });
+    }
+    rows
+}
+
+/// Renders the rows as a markdown table.
+pub fn render(rows: &[CommRow]) -> String {
+    let mut s = String::new();
+    s.push_str("| workload | algorithm | makespan | messages | job·hops | vs optimal movement |\n");
+    s.push_str("|---|---|---|---|---|---|\n");
+    for r in rows {
+        let rel = if r.optimal_job_hops > 0 {
+            format!("{:.2}x", r.job_hops as f64 / r.optimal_job_hops as f64)
+        } else {
+            "—".into()
+        };
+        s.push_str(&format!(
+            "| {} | {} | {} | {} | {} | {} |\n",
+            r.workload, r.algorithm, r.makespan, r.messages, r.job_hops, rel
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_cover_all_algorithms_and_workloads() {
+        let rows = run_experiment(&SolverBudget {
+            max_network_edges: 100_000, // keep the test snappy: LB fallback
+        });
+        assert_eq!(rows.len(), workloads().len() * 7);
+        assert!(rows.iter().all(|r| r.makespan > 0));
+    }
+
+    #[test]
+    fn render_contains_headers() {
+        let rows = vec![CommRow {
+            workload: "w".into(),
+            algorithm: "C1".into(),
+            makespan: 10,
+            messages: 5,
+            job_hops: 20,
+            optimal_job_hops: 10,
+        }];
+        let s = render(&rows);
+        assert!(s.contains("| w | C1 | 10 | 5 | 20 | 2.00x |"));
+    }
+}

@@ -1,0 +1,179 @@
+//! Regenerates Figures 2–7: per-algorithm approximation-factor histograms
+//! over the 51-case catalog, plus the §6.2 headline statistics.
+
+use crate::histogram::Histogram;
+use crate::runner::{run_catalog_case, CaseResult, ExperimentConfig};
+use ring_sched::unit::UnitConfig;
+use ring_workloads::catalog;
+
+/// The report behind one figure (one algorithm over 51 cases).
+#[derive(Debug, Clone)]
+pub struct FigureReport {
+    /// Algorithm name (`A1` … `C2`).
+    pub algorithm: String,
+    /// Which paper figure this regenerates (2–7).
+    pub figure_number: u32,
+    /// Per-case results.
+    pub results: Vec<CaseResult>,
+}
+
+impl FigureReport {
+    /// The factor histogram in the paper's format.
+    pub fn histogram(&self) -> Histogram {
+        let factors: Vec<f64> = self.results.iter().map(|r| r.factor).collect();
+        Histogram::paper_style(&factors)
+    }
+
+    /// Worst factor over all cases (pessimistic: lower-bound denominators
+    /// included, as in the paper's reporting).
+    pub fn worst(&self) -> f64 {
+        self.results.iter().map(|r| r.factor).fold(0.0, f64::max)
+    }
+
+    /// Worst factor among cases whose optimum was computed exactly.
+    pub fn worst_exact(&self) -> Option<f64> {
+        self.results
+            .iter()
+            .filter(|r| r.exact)
+            .map(|r| r.factor)
+            .fold(None, |acc, f| Some(acc.map_or(f, |a: f64| a.max(f))))
+    }
+
+    /// Cases with factor ≤ 1.2 (the paper's "many of the experiments").
+    pub fn at_most_1_2(&self) -> u64 {
+        self.results
+            .iter()
+            .filter(|r| r.factor <= 1.2 + 1e-12)
+            .count() as u64
+    }
+
+    /// Number of cases solved with an exact optimum.
+    pub fn exact_count(&self) -> usize {
+        self.results.iter().filter(|r| r.exact).count()
+    }
+}
+
+/// The figure number each algorithm corresponds to.
+pub fn figure_number(algorithm: &str) -> u32 {
+    match algorithm {
+        "A1" => 2,
+        "B1" => 3,
+        "C1" => 4,
+        "A2" => 5,
+        "B2" => 6,
+        "C2" => 7,
+        _ => 0,
+    }
+}
+
+/// Runs the named algorithms (paper names, e.g. `["C1"]`; empty = all six)
+/// over the full catalog and returns one report per algorithm.
+///
+/// Cases are independent, so they are fanned out over `threads` worker
+/// threads (pass 1 for a deterministic single-threaded sweep; results are
+/// re-sorted into catalog order either way, so the reports are identical).
+pub fn run_figures_with_threads(
+    names: &[&str],
+    cfg: &ExperimentConfig,
+    threads: usize,
+) -> Vec<FigureReport> {
+    let all = UnitConfig::all_six();
+    let selected: Vec<(&'static str, UnitConfig)> = all
+        .iter()
+        .filter(|(n, _)| names.is_empty() || names.contains(n))
+        .copied()
+        .collect();
+    assert!(!selected.is_empty(), "no known algorithm selected");
+
+    let cases = catalog();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results_by_case: Vec<std::sync::Mutex<Vec<crate::runner::CaseResult>>> = (0..cases.len())
+        .map(|_| std::sync::Mutex::new(Vec::new()))
+        .collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads.max(1) {
+            scope.spawn(|| loop {
+                let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(case) = cases.get(idx) else { break };
+                eprintln!("[figures] running {} ...", case.id);
+                let results = run_catalog_case(case, &selected, cfg);
+                *results_by_case[idx].lock().expect("no poisoned locks") = results;
+            });
+        }
+    });
+
+    let mut per_alg: Vec<FigureReport> = selected
+        .iter()
+        .map(|(n, _)| FigureReport {
+            algorithm: n.to_string(),
+            figure_number: figure_number(n),
+            results: Vec::new(),
+        })
+        .collect();
+    for slot in results_by_case {
+        for r in slot.into_inner().expect("no poisoned locks") {
+            let f = per_alg
+                .iter_mut()
+                .find(|f| f.algorithm == r.algorithm)
+                .expect("algorithm slot exists");
+            f.results.push(r);
+        }
+    }
+    per_alg
+}
+
+/// [`run_figures_with_threads`] with one worker per available core.
+pub fn run_figures(names: &[&str], cfg: &ExperimentConfig) -> Vec<FigureReport> {
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    run_figures_with_threads(names, cfg, threads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_numbers_match_paper_layout() {
+        assert_eq!(figure_number("A1"), 2);
+        assert_eq!(figure_number("B1"), 3);
+        assert_eq!(figure_number("C1"), 4);
+        assert_eq!(figure_number("A2"), 5);
+        assert_eq!(figure_number("B2"), 6);
+        assert_eq!(figure_number("C2"), 7);
+    }
+
+    #[test]
+    fn fast_run_covers_all_51_cases() {
+        let reports = run_figures(&["C1"], &ExperimentConfig::fast());
+        assert_eq!(reports.len(), 1);
+        let r = &reports[0];
+        assert_eq!(r.results.len(), 51);
+        assert_eq!(r.histogram().total(), 51);
+        assert!(r.worst() >= 1.0);
+        // Theorem 1 (+ slack for lower-bound denominators is not claimed;
+        // only exact ones are guaranteed).
+        for cr in r.results.iter().filter(|c| c.exact) {
+            assert!(cr.makespan as f64 <= 4.22 * cr.denominator as f64 + 2.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no known algorithm")]
+    fn unknown_algorithm_rejected() {
+        let _ = run_figures(&["Z9"], &ExperimentConfig::fast());
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial() {
+        let cfg = ExperimentConfig::fast();
+        let serial = run_figures_with_threads(&["A2"], &cfg, 1);
+        let parallel = run_figures_with_threads(&["A2"], &cfg, 4);
+        assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial[0].results.iter().zip(&parallel[0].results) {
+            assert_eq!(a.case_id, b.case_id);
+            assert_eq!(a.makespan, b.makespan);
+            assert_eq!(a.denominator, b.denominator);
+        }
+    }
+}

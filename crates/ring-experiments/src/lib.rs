@@ -1,0 +1,43 @@
+//! # ring-experiments — regenerate every table and figure of the paper
+//!
+//! The paper's evaluation (§6) consists of:
+//!
+//! * **Table 1** — the 51-case workload catalog (see
+//!   [`mod@ring_workloads::catalog`]);
+//! * **Figures 2–7** — histograms of empirical approximation factors for
+//!   the six algorithms A1, B1, C1, A2, B2, C2 over those 51 cases;
+//! * headline statistics quoted in §6.2 (C1 worst case 3.09 / 2.57 on
+//!   known optima; A2 worst case 1.65; "many experiments ≤ 1.2"; B worst
+//!   of the six; bidirectional better but nowhere near 2×);
+//! * the §7 capacitated algorithm's `2L + 2` guarantee (Theorem 3).
+//!
+//! This crate reruns all of it:
+//!
+//! * [`runner`] — runs algorithms over the catalog and computes
+//!   approximation factors against exact optima (falling back to lower
+//!   bounds exactly as the paper did for instances whose optima "eluded"
+//!   the authors);
+//! * [`histogram`] — fixed-width factor histograms matching the figures;
+//! * [`figures`] — the per-algorithm figure reports (Figures 2–7);
+//! * [`capacitated`] — the §7 experiment;
+//! * [`ablation`] — sweeps of the drop-off constant `c` and
+//!   uni-vs-bidirectional comparisons (design-choice ablations);
+//! * [`report`] — markdown rendering for EXPERIMENTS.md.
+//!
+//! Binaries: `figures`, `table1`, `capacitated`, `ablation`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod capacitated;
+pub mod communication;
+pub mod figures;
+pub mod histogram;
+pub mod report;
+pub mod runner;
+pub mod stats;
+
+pub use figures::{run_figures, FigureReport};
+pub use histogram::Histogram;
+pub use runner::{run_catalog_case, CaseResult, ExperimentConfig};

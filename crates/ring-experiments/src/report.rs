@@ -1,0 +1,199 @@
+//! Markdown rendering of experiment results (feeds EXPERIMENTS.md).
+
+use crate::ablation::{CSweepRow, DirectionalityRow};
+use crate::capacitated::CapacitatedResult;
+use crate::figures::FigureReport;
+
+/// Paper-reported headline values for comparison (§6.2).
+pub mod paper {
+    /// Worst factor the authors saw for C1 overall (denominator sometimes a
+    /// lower bound).
+    pub const C1_WORST: f64 = 3.09;
+    /// Worst factor for C1 on instances with known exact optimum.
+    pub const C1_WORST_EXACT: f64 = 2.57;
+    /// Worst factor for A2 over all 51 cases.
+    pub const A2_WORST: f64 = 1.65;
+}
+
+/// Renders one figure report as a markdown section.
+pub fn render_figure(report: &FigureReport) -> String {
+    let h = report.histogram();
+    let mut s = String::new();
+    s.push_str(&format!(
+        "### Figure {}: algorithm {} over 51 cases\n\n",
+        report.figure_number, report.algorithm
+    ));
+    s.push_str("```text\n");
+    s.push_str(&h.render());
+    s.push_str("```\n\n");
+    s.push_str(&format!(
+        "- worst factor: **{:.3}** (over all cases; lower-bound denominators included)\n",
+        report.worst()
+    ));
+    if let Some(we) = report.worst_exact() {
+        s.push_str(&format!(
+            "- worst factor on exactly-solved cases: **{:.3}** ({} of 51 exact)\n",
+            we,
+            report.exact_count()
+        ));
+    }
+    s.push_str(&format!(
+        "- cases with factor ≤ 1.2: **{}** of {}\n\n",
+        report.at_most_1_2(),
+        report.results.len()
+    ));
+    s
+}
+
+/// Renders the cross-algorithm summary table plus paper comparisons.
+pub fn render_summary(reports: &[FigureReport]) -> String {
+    let mut s = String::new();
+    s.push_str("| algorithm | figure | worst | worst (exact opt) | ≤ 1.2 | exact denominators |\n");
+    s.push_str("|---|---|---|---|---|---|\n");
+    for r in reports {
+        s.push_str(&format!(
+            "| {} | {} | {:.3} | {} | {} | {}/{} |\n",
+            r.algorithm,
+            r.figure_number,
+            r.worst(),
+            r.worst_exact()
+                .map_or("—".to_string(), |w| format!("{w:.3}")),
+            r.at_most_1_2(),
+            r.exact_count(),
+            r.results.len()
+        ));
+    }
+    s.push('\n');
+
+    // Paper-vs-measured checkpoints where the paper quotes numbers.
+    if let Some(c1) = reports.iter().find(|r| r.algorithm == "C1") {
+        s.push_str(&format!(
+            "- C1 worst: paper ≤ {:.2} (≤ {:.2} on known optima) — measured {:.3}{}\n",
+            paper::C1_WORST,
+            paper::C1_WORST_EXACT,
+            c1.worst(),
+            c1.worst_exact()
+                .map_or(String::new(), |w| format!(" ({w:.3} on exact)")),
+        ));
+    }
+    if let Some(a2) = reports.iter().find(|r| r.algorithm == "A2") {
+        s.push_str(&format!(
+            "- A2 worst: paper ≤ {:.2} — measured {:.3}\n",
+            paper::A2_WORST,
+            a2.worst()
+        ));
+    }
+    s
+}
+
+/// Renders the capacitated experiment table.
+pub fn render_capacitated(results: &[CapacitatedResult]) -> String {
+    let mut s = String::new();
+    s.push_str(
+        "| instance | makespan | OPT (or LB) | exact | factor | ≤ 2L+2 | max load after idle |\n",
+    );
+    s.push_str("|---|---|---|---|---|---|---|\n");
+    for r in results {
+        s.push_str(&format!(
+            "| {} | {} | {} | {} | {:.3} | {} | {} |\n",
+            r.label,
+            r.makespan,
+            r.denominator,
+            if r.exact { "yes" } else { "LB" },
+            r.factor,
+            if r.within_theorem3 { "✓" } else { "✗" },
+            r.max_load_after_low
+        ));
+    }
+    s
+}
+
+/// Renders the `c` sweep.
+pub fn render_c_sweep(rows: &[CSweepRow]) -> String {
+    let mut s = String::new();
+    s.push_str("| c | worst-case ρ(c) | fractional (mean) | integral C1 (mean) |\n");
+    s.push_str("|---|---|---|---|\n");
+    for r in rows {
+        s.push_str(&format!(
+            "| {:.2} | {:.3} | {:.3} | {:.3} |\n",
+            r.c, r.theory, r.fractional_mean, r.integral_mean
+        ));
+    }
+    s
+}
+
+/// Renders the directionality comparison.
+pub fn render_directionality(rows: &[DirectionalityRow]) -> String {
+    let mut s = String::new();
+    s.push_str("| variant | mean uni/bi | max uni/bi |\n|---|---|---|\n");
+    for r in rows {
+        s.push_str(&format!(
+            "| {} | {:.3} | {:.3} |\n",
+            r.variant, r.mean_ratio, r.max_ratio
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::CaseResult;
+
+    fn fake_report() -> FigureReport {
+        FigureReport {
+            algorithm: "C1".to_string(),
+            figure_number: 4,
+            results: vec![
+                CaseResult {
+                    case_id: "x".into(),
+                    algorithm: "C1".into(),
+                    makespan: 11,
+                    denominator: 10,
+                    exact: true,
+                    factor: 1.1,
+                    wrapped: false,
+                },
+                CaseResult {
+                    case_id: "y".into(),
+                    algorithm: "C1".into(),
+                    makespan: 25,
+                    denominator: 10,
+                    exact: false,
+                    factor: 2.5,
+                    wrapped: true,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn figure_section_mentions_stats() {
+        let s = render_figure(&fake_report());
+        assert!(s.contains("Figure 4"));
+        assert!(s.contains("2.500"));
+        assert!(s.contains("1.100"));
+    }
+
+    #[test]
+    fn summary_includes_paper_comparison() {
+        let s = render_summary(&[fake_report()]);
+        assert!(s.contains("paper ≤ 3.09"));
+        assert!(s.contains("| C1 | 4 |"));
+    }
+
+    #[test]
+    fn capacitated_table_rows() {
+        let rows = vec![CapacitatedResult {
+            label: "t".into(),
+            makespan: 8,
+            denominator: 5,
+            exact: true,
+            factor: 1.6,
+            within_theorem3: true,
+            max_load_after_low: 3,
+        }];
+        let s = render_capacitated(&rows);
+        assert!(s.contains("| t | 8 | 5 | yes | 1.600 | ✓ | 3 |"));
+    }
+}

@@ -1,0 +1,155 @@
+//! Runs algorithms over catalog cases and computes approximation factors.
+//!
+//! Mirrors §6.2's methodology: the denominator of each factor is the exact
+//! optimum where the solver budget allows, otherwise the best closed-form
+//! lower bound (`max(Lemma 1, ceil(n/m))`) — and the result is flagged so
+//! reports can mark those factors as pessimistic, as the paper does.
+
+use ring_opt::exact::{optimum_uncapacitated, OptResult, SolverBudget};
+use ring_sched::unit::{run_unit, UnitConfig};
+use ring_sim::Instance;
+use ring_workloads::CatalogCase;
+
+/// Configuration for an experiment sweep.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExperimentConfig {
+    /// Budget for the exact-optimum solver; cases whose feasibility network
+    /// would exceed it fall back to lower bounds.
+    pub budget: SolverBudget,
+}
+
+impl ExperimentConfig {
+    /// A reduced-budget configuration for quick smoke runs: large cases use
+    /// lower bounds instead of exact optima.
+    pub fn fast() -> Self {
+        ExperimentConfig {
+            budget: SolverBudget {
+                max_network_edges: 300_000,
+            },
+        }
+    }
+}
+
+/// The outcome of one (algorithm, case) pair.
+#[derive(Debug, Clone)]
+pub struct CaseResult {
+    /// Catalog case id.
+    pub case_id: String,
+    /// Algorithm name (`A1` … `C2`).
+    pub algorithm: String,
+    /// The algorithm's schedule length.
+    pub makespan: u64,
+    /// The denominator used for the factor.
+    pub denominator: u64,
+    /// Whether the denominator is the exact optimum (vs. a lower bound).
+    pub exact: bool,
+    /// `makespan / denominator`.
+    pub factor: f64,
+    /// Whether the run used the Lemma 5 wrap-around path.
+    pub wrapped: bool,
+}
+
+/// Computes the denominator for an instance: the exact optimum if the
+/// budget allows, otherwise the best lower bound. `hint` should be an
+/// achievable makespan (used to cap the binary search).
+pub fn denominator(instance: &Instance, hint: u64, cfg: &ExperimentConfig) -> (u64, bool) {
+    match optimum_uncapacitated(instance, Some(hint), &cfg.budget) {
+        OptResult::Exact(v) => (v, true),
+        OptResult::LowerBoundOnly(v) => (v, false),
+    }
+}
+
+/// Runs every given algorithm on one catalog case, sharing a single
+/// denominator computation across them.
+pub fn run_catalog_case(
+    case: &CatalogCase,
+    algorithms: &[(&'static str, UnitConfig)],
+    cfg: &ExperimentConfig,
+) -> Vec<CaseResult> {
+    let runs: Vec<(&str, ring_sched::unit::UnitRun)> = algorithms
+        .iter()
+        .map(|(name, acfg)| {
+            let run = run_unit(&case.instance, acfg)
+                .unwrap_or_else(|e| panic!("{name} failed on {}: {e}", case.id));
+            (*name, run)
+        })
+        .collect();
+    let hint = runs.iter().map(|(_, r)| r.makespan).min().unwrap_or(1);
+    let (denom, exact) = denominator(&case.instance, hint, cfg);
+    runs.into_iter()
+        .map(|(name, run)| {
+            let d = denom.max(1);
+            CaseResult {
+                case_id: case.id.clone(),
+                algorithm: name.to_string(),
+                makespan: run.makespan,
+                denominator: d,
+                exact,
+                factor: run.makespan as f64 / d as f64,
+                wrapped: run.wrapped,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ring_workloads::{catalog, Part};
+
+    #[test]
+    fn factors_are_at_least_one_when_exact() {
+        let cases = catalog();
+        let small: Vec<_> = cases
+            .iter()
+            .filter(|c| c.instance.num_processors() == 10 && c.part == Part::Random)
+            .collect();
+        assert!(!small.is_empty());
+        let algs = [("C1", UnitConfig::c1()), ("A2", UnitConfig::a2())];
+        for case in small {
+            for r in run_catalog_case(case, &algs, &ExperimentConfig::default()) {
+                assert!(r.exact, "{} should be exactly solvable", r.case_id);
+                assert!(
+                    r.factor >= 1.0 - 1e-12,
+                    "{} {}: factor {} below 1",
+                    r.algorithm,
+                    r.case_id,
+                    r.factor
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fast_budget_falls_back_on_large_cases() {
+        let cases = catalog();
+        let big = cases
+            .iter()
+            .find(|c| c.id == "I-m1000-d2-huge")
+            .expect("case exists");
+        let algs = [("C1", UnitConfig::c1())];
+        let rs = run_catalog_case(big, &algs, &ExperimentConfig::fast());
+        assert_eq!(rs.len(), 1);
+        assert!(!rs[0].exact, "fast budget should skip the exact solve");
+        assert!(rs[0].factor >= 1.0);
+    }
+
+    #[test]
+    fn c1_within_theorem1_on_a_catalog_slice() {
+        let cases = catalog();
+        let algs = [("C1", UnitConfig::c1())];
+        for case in cases.iter().filter(|c| c.instance.num_processors() == 10) {
+            for r in run_catalog_case(case, &algs, &ExperimentConfig::default()) {
+                if r.exact {
+                    assert!(
+                        r.makespan as f64 <= 4.22 * r.denominator as f64 + 2.0,
+                        "{}: {} vs 4.22·{}",
+                        r.case_id,
+                        r.makespan,
+                        r.denominator
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,489 @@
+//! A dimension-by-dimension bucket algorithm for the torus — adapting the
+//! paper's approach as its §8 suggests.
+//!
+//! Intuition: a pile of `W` jobs optimally spreads over a radius-`Θ(W^{1/3})`
+//! diamond (the 2D ball absorbs `Θ(T³)` units in `T` steps). Split that
+//! spread by dimension:
+//!
+//! * **Row phase** — at `t = 0` every node packs its jobs into a bucket
+//!   travelling **East** around its row, topping each visited node up to
+//!   `c_row · (seen)^{2/3}`: a single row of the target diamond holds
+//!   `Θ(W^{2/3})` of the work.
+//! * **Column phase** — work accepted in the row phase is immediately
+//!   re-packed into buckets travelling **South** around the node's column
+//!   with the paper's own ring rule, `c_col · sqrt(seen)`: a row share of
+//!   `S` spreads over `Θ(sqrt(S))` column neighbors holding `Θ(sqrt(S))`
+//!   each — which is `Θ(W^{1/3})`, the per-processor optimum scale.
+//!
+//! A bucket that laps its row (column) switches to an even *spill* mode —
+//! dropping `ceil(remainder / length)` per node — which bounds travel and
+//! guarantees termination, mirroring the Lemma 5 wrap-around rule.
+//!
+//! This is exploratory: the paper leaves the mesh open and we claim no
+//! worst-case factor. The tests measure empirical factors against the
+//! exact optimum of [`crate::exact`]; on the shapes tried they stay below
+//! ~3.5 (see EXPERIMENTS.md).
+
+use crate::engine::{run_mesh_engine, Inbox4, MeshCtx, MeshNode, MeshReport, Outbox4};
+use crate::torus::{Dir4, MeshInstance};
+
+/// Tunable constants of the two phases.
+#[derive(Debug, Clone, Copy)]
+pub struct MeshConfig {
+    /// Row-phase drop-off constant (`target = c_row · seen^{2/3}`).
+    pub c_row: f64,
+    /// Column-phase drop-off constant (`target = c_col · sqrt(seen)`).
+    pub c_col: f64,
+    /// Split every emitted bucket in half, one half per direction (the
+    /// torus analog of the paper's "2" variants).
+    pub bidirectional: bool,
+}
+
+impl Default for MeshConfig {
+    fn default() -> Self {
+        // The paper's ring constant for the column phase; the row phase
+        // empirically prefers a smaller constant (it only needs to leave a
+        // row share behind, not finished work). Swept in the tests.
+        MeshConfig {
+            c_row: 1.0,
+            c_col: 1.77,
+            bidirectional: false,
+        }
+    }
+}
+
+impl MeshConfig {
+    /// The bidirectional (4-way) configuration.
+    pub fn bidirectional() -> Self {
+        MeshConfig {
+            bidirectional: true,
+            ..MeshConfig::default()
+        }
+    }
+}
+
+/// Which dimension a bucket is currently traversing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Row,
+    Col,
+}
+
+/// A travelling mesh bucket.
+#[derive(Debug, Clone)]
+pub struct MeshBucket {
+    phase: Phase,
+    /// Travel direction (East/West in the row phase, South/North in the
+    /// column phase).
+    dir: Dir4,
+    jobs: u64,
+    /// Work "originating" along the current path: row loads (row phase) or
+    /// row shares (column phase).
+    seen: u64,
+    /// Hops travelled in the current phase.
+    hops: u64,
+    /// Even-spill amount once the bucket has lapped its cycle (0 = normal).
+    spill: u64,
+}
+
+/// Per-node policy state.
+#[derive(Debug)]
+pub struct MeshSchedNode {
+    cfg: MeshConfig,
+    /// Originating work (what row buckets see when passing).
+    x: u64,
+    /// Row-phase work accepted here so far (this node's row share).
+    row_accepted: u64,
+    /// Column-phase work accepted here so far (will be processed here).
+    col_accepted: u64,
+    /// Unprocessed accepted work.
+    backlog: u64,
+    /// Row share waiting to be packed into a column bucket.
+    pending_col: u64,
+    /// Whether the initial row emission happened.
+    started: bool,
+}
+
+impl MeshSchedNode {
+    fn new(cfg: MeshConfig, x: u64) -> Self {
+        MeshSchedNode {
+            cfg,
+            x,
+            row_accepted: 0,
+            col_accepted: 0,
+            backlog: 0,
+            pending_col: 0,
+            started: false,
+        }
+    }
+
+    fn row_target(&self, seen: u64) -> u64 {
+        (self.cfg.c_row * (seen as f64).powf(2.0 / 3.0)).ceil() as u64
+    }
+
+    fn col_target(&self, seen: u64) -> u64 {
+        (self.cfg.c_col * (seen as f64).sqrt()).ceil() as u64
+    }
+
+    /// Accept row-phase work: it becomes this node's row share and queues
+    /// for the column phase.
+    fn accept_row(&mut self, q: u64) {
+        self.row_accepted += q;
+        self.pending_col += q;
+    }
+
+    /// Accept column-phase work: it will be processed here.
+    fn accept_col(&mut self, q: u64) {
+        self.col_accepted += q;
+        self.backlog += q;
+    }
+
+    /// Handle an arriving (or freshly emitted) row bucket.
+    fn drive_row(&mut self, mut b: MeshBucket, cols: usize, out: &mut Outbox4<MeshBucket>) {
+        debug_assert_eq!(b.phase, Phase::Row);
+        if b.spill > 0 {
+            let q = b.jobs.min(b.spill);
+            self.accept_row(q);
+            b.jobs -= q;
+        } else {
+            let target = self.row_target(b.seen);
+            let q = b.jobs.min(target.saturating_sub(self.row_accepted));
+            self.accept_row(q);
+            b.jobs -= q;
+            if b.hops + 1 >= cols as u64 && b.jobs > 0 {
+                // Lapped the row: spill the remainder evenly from here on.
+                b.spill = b.jobs.div_ceil(cols as u64).max(1);
+            }
+        }
+        if b.jobs > 0 {
+            b.hops += 1;
+            out.push(b.dir, b);
+        }
+    }
+
+    /// Handle an arriving (or freshly emitted) column bucket.
+    fn drive_col(&mut self, mut b: MeshBucket, rows: usize, out: &mut Outbox4<MeshBucket>) {
+        debug_assert_eq!(b.phase, Phase::Col);
+        if b.spill > 0 {
+            let q = b.jobs.min(b.spill);
+            self.accept_col(q);
+            b.jobs -= q;
+        } else {
+            let target = self.col_target(b.seen);
+            let q = b.jobs.min(target.saturating_sub(self.col_accepted));
+            self.accept_col(q);
+            b.jobs -= q;
+            if b.hops + 1 >= rows as u64 && b.jobs > 0 {
+                b.spill = b.jobs.div_ceil(rows as u64).max(1);
+            }
+        }
+        if b.jobs > 0 {
+            b.hops += 1;
+            out.push(b.dir, b);
+        }
+    }
+
+    /// Emits a freshly packed bucket, splitting in half per direction when
+    /// configured (and the cycle is long enough for both directions to be
+    /// distinct links).
+    fn emit(
+        &mut self,
+        phase: Phase,
+        jobs: u64,
+        seen: u64,
+        cycle_len: usize,
+        out: &mut Outbox4<MeshBucket>,
+    ) {
+        let (fwd, bwd) = match phase {
+            Phase::Row => (Dir4::East, Dir4::West),
+            Phase::Col => (Dir4::South, Dir4::North),
+        };
+        let drive = |me: &mut Self, b: MeshBucket, out: &mut Outbox4<MeshBucket>| match phase {
+            Phase::Row => me.drive_row(b, cycle_len, out),
+            Phase::Col => me.drive_col(b, cycle_len, out),
+        };
+        if self.cfg.bidirectional && cycle_len > 2 && jobs >= 2 {
+            let half = jobs / 2;
+            let fwd_bucket = MeshBucket {
+                phase,
+                dir: fwd,
+                jobs: jobs - half,
+                seen,
+                hops: 0,
+                spill: 0,
+            };
+            drive(self, fwd_bucket, out);
+            if half > 0 {
+                // The origin's share was already taken by the forward
+                // half's self-drop; send the backward half straight out.
+                let mut bwd_bucket = MeshBucket {
+                    phase,
+                    dir: bwd,
+                    jobs: half,
+                    seen,
+                    hops: 1,
+                    spill: 0,
+                };
+                bwd_bucket.hops = 1;
+                out.push(bwd, bwd_bucket);
+            }
+        } else {
+            let b = MeshBucket {
+                phase,
+                dir: fwd,
+                jobs,
+                seen,
+                hops: 0,
+                spill: 0,
+            };
+            drive(self, b, out);
+        }
+    }
+}
+
+impl MeshNode for MeshSchedNode {
+    type Msg = MeshBucket;
+
+    fn on_step(
+        &mut self,
+        ctx: &MeshCtx,
+        mut inbox: Inbox4<Self::Msg>,
+    ) -> (Outbox4<Self::Msg>, u64) {
+        let rows = ctx.topo.rows();
+        let cols = ctx.topo.cols();
+        let mut out = Outbox4::empty();
+
+        // Initial row emission.
+        if !self.started {
+            self.started = true;
+            if self.x > 0 {
+                if cols == 1 {
+                    // Degenerate: no row dimension; everything is this
+                    // node's row share.
+                    self.accept_row(self.x);
+                } else {
+                    self.emit(Phase::Row, self.x, self.x, cols, &mut out);
+                }
+            }
+        }
+
+        // Arriving buckets: row buckets arrive on the row links (West for
+        // eastbound, East for westbound), column buckets on the column
+        // links. The fixed drain order keeps runs deterministic.
+        for side in [Dir4::West, Dir4::East] {
+            for mut b in inbox.from(side) {
+                debug_assert_eq!(b.phase, Phase::Row);
+                if b.spill == 0 {
+                    b.seen += self.x;
+                }
+                self.drive_row(b, cols, &mut out);
+            }
+        }
+        for side in [Dir4::North, Dir4::South] {
+            for mut b in inbox.from(side) {
+                debug_assert_eq!(b.phase, Phase::Col);
+                if b.spill == 0 {
+                    b.seen += self.row_accepted;
+                }
+                self.drive_col(b, rows, &mut out);
+            }
+        }
+
+        // Pack any pending row share into a column bucket.
+        if self.pending_col > 0 {
+            let q = std::mem::take(&mut self.pending_col);
+            if rows == 1 {
+                self.accept_col(q);
+            } else {
+                let seen = self.row_accepted;
+                self.emit(Phase::Col, q, seen, rows, &mut out);
+            }
+        }
+
+        let work = if self.backlog > 0 {
+            self.backlog -= 1;
+            1
+        } else {
+            0
+        };
+        (out, work)
+    }
+}
+
+/// Outcome of a mesh run.
+#[derive(Debug, Clone)]
+pub struct MeshRun {
+    /// Schedule length.
+    pub makespan: u64,
+    /// Engine report.
+    pub report: MeshReport,
+}
+
+/// Runs the two-phase bucket algorithm on a torus instance.
+///
+/// ```
+/// use ring_mesh::{run_mesh, MeshConfig, MeshInstance};
+///
+/// let inst = MeshInstance::concentrated(8, 8, 0, 512);
+/// let run = run_mesh(&inst, &MeshConfig::default());
+/// assert_eq!(run.report.processed_per_node.iter().sum::<u64>(), 512);
+/// assert!(run.makespan < 512); // far better than staying local
+/// ```
+pub fn run_mesh(instance: &MeshInstance, cfg: &MeshConfig) -> MeshRun {
+    let topo = instance.topology();
+    let nodes: Vec<MeshSchedNode> = instance
+        .loads()
+        .iter()
+        .map(|&x| MeshSchedNode::new(*cfg, x))
+        .collect();
+    let report = run_mesh_engine(topo, nodes, instance.total_work());
+    MeshRun {
+        makespan: report.makespan,
+        report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::mesh_lower_bound;
+    use crate::exact::optimum_torus;
+    use ring_opt::exact::SolverBudget;
+
+    fn factor(inst: &MeshInstance) -> f64 {
+        let run = run_mesh(inst, &MeshConfig::default());
+        let opt = optimum_torus(inst, Some(run.makespan), &SolverBudget::default());
+        assert!(opt.is_exact(), "test instances must solve exactly");
+        run.makespan as f64 / opt.value().max(1) as f64
+    }
+
+    #[test]
+    fn empty_instance() {
+        let inst = MeshInstance::from_loads(3, 3, vec![0; 9]);
+        let run = run_mesh(&inst, &MeshConfig::default());
+        assert_eq!(run.makespan, 0);
+    }
+
+    #[test]
+    fn work_is_conserved() {
+        let inst = MeshInstance::from_loads(4, 5, (0..20).map(|i| (7 * i % 13) as u64).collect());
+        let run = run_mesh(&inst, &MeshConfig::default());
+        assert_eq!(
+            run.report.processed_per_node.iter().sum::<u64>(),
+            inst.total_work()
+        );
+    }
+
+    #[test]
+    fn concentrated_beats_staying_local_by_a_lot() {
+        let inst = MeshInstance::concentrated(16, 16, 0, 8_192);
+        let run = run_mesh(&inst, &MeshConfig::default());
+        // OPT is ~ (1.5 * 8192)^(1/3) ≈ 23; staying local costs 8192.
+        assert!(run.makespan < 200, "makespan {}", run.makespan);
+        assert!(run.makespan >= mesh_lower_bound(&inst));
+    }
+
+    #[test]
+    fn empirical_factors_are_small() {
+        let cases = vec![
+            MeshInstance::concentrated(12, 12, 0, 2_000),
+            MeshInstance::concentrated(8, 16, 40, 4_000),
+            MeshInstance::from_loads(8, 8, (0..64).map(|i| (i % 7) as u64).collect()),
+            {
+                let mut v = vec![0u64; 100];
+                v[0] = 800;
+                v[55] = 800;
+                MeshInstance::from_loads(10, 10, v)
+            },
+        ];
+        for inst in cases {
+            let f = factor(&inst);
+            assert!(f < 4.0, "mesh factor {f} out of expected range");
+        }
+    }
+
+    #[test]
+    fn degenerate_single_row_behaves_like_a_ring() {
+        let inst = MeshInstance::concentrated(1, 32, 0, 1_024);
+        let run = run_mesh(&inst, &MeshConfig::default());
+        assert_eq!(run.report.processed_per_node.iter().sum::<u64>(), 1_024);
+        // Should be far better than staying local (OPT = 32).
+        assert!(run.makespan < 300, "makespan {}", run.makespan);
+    }
+
+    #[test]
+    fn degenerate_single_column() {
+        let inst = MeshInstance::concentrated(32, 1, 0, 1_024);
+        let run = run_mesh(&inst, &MeshConfig::default());
+        assert_eq!(run.report.processed_per_node.iter().sum::<u64>(), 1_024);
+        assert!(run.makespan < 300, "makespan {}", run.makespan);
+    }
+
+    #[test]
+    fn uniform_load_stays_near_mean() {
+        let inst = MeshInstance::from_loads(8, 8, vec![6; 64]);
+        let run = run_mesh(&inst, &MeshConfig::default());
+        assert!(run.makespan >= 6);
+        assert!(run.makespan <= 14, "makespan {}", run.makespan);
+    }
+}
+
+#[cfg(test)]
+mod bidirectional_tests {
+    use super::*;
+    use crate::exact::optimum_torus;
+    use ring_opt::exact::SolverBudget;
+
+    #[test]
+    fn bidirectional_conserves_work() {
+        let inst = MeshInstance::from_loads(6, 7, (0..42).map(|i| (i * 11 % 17) as u64).collect());
+        let run = run_mesh(&inst, &MeshConfig::bidirectional());
+        assert_eq!(
+            run.report.processed_per_node.iter().sum::<u64>(),
+            inst.total_work()
+        );
+    }
+
+    #[test]
+    fn bidirectional_improves_concentrated_piles() {
+        let inst = MeshInstance::concentrated(16, 16, 0, 8_192);
+        let uni = run_mesh(&inst, &MeshConfig::default());
+        let bi = run_mesh(&inst, &MeshConfig::bidirectional());
+        assert!(
+            bi.makespan <= uni.makespan,
+            "bi {} > uni {}",
+            bi.makespan,
+            uni.makespan
+        );
+    }
+
+    #[test]
+    fn bidirectional_factors_stay_small() {
+        let cases = vec![
+            MeshInstance::concentrated(12, 12, 0, 2_000),
+            MeshInstance::concentrated(10, 14, 40, 4_000),
+        ];
+        for inst in cases {
+            let run = run_mesh(&inst, &MeshConfig::bidirectional());
+            let opt = optimum_torus(&inst, Some(run.makespan), &SolverBudget::default());
+            assert!(opt.is_exact());
+            let f = run.makespan as f64 / opt.value().max(1) as f64;
+            assert!(f < 3.5, "bidirectional mesh factor {f}");
+        }
+    }
+
+    #[test]
+    fn degenerate_dimensions_still_work() {
+        for inst in [
+            MeshInstance::concentrated(1, 16, 0, 256),
+            MeshInstance::concentrated(16, 1, 0, 256),
+            MeshInstance::concentrated(2, 2, 0, 64),
+        ] {
+            let run = run_mesh(&inst, &MeshConfig::bidirectional());
+            assert_eq!(
+                run.report.processed_per_node.iter().sum::<u64>(),
+                inst.total_work()
+            );
+        }
+    }
+}

@@ -1,0 +1,273 @@
+//! A 4-neighbor synchronous engine with the paper's machine model.
+//!
+//! Identical semantics to `ring_sim::Engine`, generalized to the torus:
+//! in each step a node receives the messages its four neighbors sent in
+//! the previous step, performs one step of its policy (processing at most
+//! one unit of work), and emits messages that arrive next step. Links are
+//! uncapacitated (the §2–§6 model; §7-style capacitated meshes are left
+//! out of scope).
+
+use crate::torus::{Dir4, TorusTopology};
+
+/// Messages produced by a node in one step, one queue per direction.
+#[derive(Debug)]
+pub struct Outbox4<M> {
+    queues: [Vec<M>; 4],
+}
+
+impl<M> Default for Outbox4<M> {
+    fn default() -> Self {
+        Outbox4 {
+            queues: [Vec::new(), Vec::new(), Vec::new(), Vec::new()],
+        }
+    }
+}
+
+impl<M> Outbox4<M> {
+    /// An empty outbox.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Queues a message in a direction.
+    pub fn push(&mut self, dir: Dir4, msg: M) {
+        self.queues[dir.index()].push(msg);
+    }
+
+    fn take(&mut self, dir: Dir4) -> Vec<M> {
+        std::mem::take(&mut self.queues[dir.index()])
+    }
+}
+
+/// Messages delivered to a node, by the direction they *arrive from*.
+#[derive(Debug)]
+pub struct Inbox4<M> {
+    queues: [Vec<M>; 4],
+}
+
+impl<M> Inbox4<M> {
+    /// The empty inbox every node sees at `t = 0`.
+    pub fn empty() -> Self {
+        Inbox4 {
+            queues: [Vec::new(), Vec::new(), Vec::new(), Vec::new()],
+        }
+    }
+
+    /// Drains the messages that arrived from the given side.
+    pub fn from(&mut self, dir: Dir4) -> Vec<M> {
+        std::mem::take(&mut self.queues[dir.index()])
+    }
+
+    /// Drains everything in a fixed (N, E, S, W) order.
+    pub fn drain_all(&mut self) -> Vec<M> {
+        let mut all = Vec::new();
+        for d in Dir4::ALL {
+            all.append(&mut self.queues[d.index()]);
+        }
+        all
+    }
+}
+
+/// Per-step context.
+#[derive(Debug, Clone, Copy)]
+pub struct MeshCtx {
+    /// This node's id.
+    pub id: usize,
+    /// Current step.
+    pub t: u64,
+    /// The torus.
+    pub topo: TorusTopology,
+}
+
+/// A policy running on one torus node.
+pub trait MeshNode {
+    /// Link message type.
+    type Msg;
+
+    /// One synchronous step; returns the outbox and the units of work
+    /// processed (at most 1).
+    fn on_step(&mut self, ctx: &MeshCtx, inbox: Inbox4<Self::Msg>) -> (Outbox4<Self::Msg>, u64);
+}
+
+/// Outcome of a mesh run.
+#[derive(Debug, Clone)]
+pub struct MeshReport {
+    /// Completion time of the last unit of work.
+    pub makespan: u64,
+    /// Steps simulated.
+    pub steps: u64,
+    /// Units processed per node.
+    pub processed_per_node: Vec<u64>,
+    /// Total messages sent.
+    pub messages_sent: u64,
+}
+
+/// Runs torus nodes to completion.
+///
+/// # Panics
+///
+/// Panics if a node processes more than one unit in a step or the step
+/// budget (`4·(n + m) + 64`) is exhausted — both indicate policy bugs.
+pub fn run_mesh_engine<N: MeshNode>(
+    topo: TorusTopology,
+    mut nodes: Vec<N>,
+    total_work: u64,
+) -> MeshReport {
+    assert_eq!(nodes.len(), topo.len(), "one node per processor");
+    let m = topo.len();
+    let mut processed_per_node = vec![0u64; m];
+    let mut messages_sent = 0u64;
+    if total_work == 0 {
+        return MeshReport {
+            makespan: 0,
+            steps: 0,
+            processed_per_node,
+            messages_sent,
+        };
+    }
+    let max_steps = 4 * (total_work + m as u64) + 64;
+
+    // inflight[node][from-direction-index]
+    let mut inflight: Vec<Inbox4<N::Msg>> = (0..m).map(|_| Inbox4::empty()).collect();
+    let mut next: Vec<Inbox4<N::Msg>> = (0..m).map(|_| Inbox4::empty()).collect();
+
+    let mut processed_total = 0u64;
+    let mut last_busy = 0u64;
+    let mut t = 0u64;
+    loop {
+        assert!(t < max_steps, "mesh policy failed to terminate (bug)");
+        for id in 0..m {
+            let inbox = std::mem::replace(&mut inflight[id], Inbox4::empty());
+            let ctx = MeshCtx { id, t, topo };
+            let (mut outbox, work) = nodes[id].on_step(&ctx, inbox);
+            assert!(work <= 1, "node {id} processed {work} units in step {t}");
+            if work > 0 {
+                processed_total += work;
+                processed_per_node[id] += work;
+                last_busy = t;
+            }
+            for dir in Dir4::ALL {
+                let msgs = outbox.take(dir);
+                if msgs.is_empty() {
+                    continue;
+                }
+                messages_sent += msgs.len() as u64;
+                let dest = topo.neighbor(id, dir);
+                next[dest].queues[dir.opposite().index()].extend(msgs);
+            }
+        }
+        std::mem::swap(&mut inflight, &mut next);
+        t += 1;
+        if processed_total >= total_work {
+            assert_eq!(processed_total, total_work, "work fabricated");
+            return MeshReport {
+                makespan: last_busy + 1,
+                steps: t,
+                processed_per_node,
+                messages_sent,
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Local {
+        remaining: u64,
+    }
+
+    impl MeshNode for Local {
+        type Msg = ();
+
+        fn on_step(&mut self, _ctx: &MeshCtx, _inbox: Inbox4<()>) -> (Outbox4<()>, u64) {
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                (Outbox4::empty(), 1)
+            } else {
+                (Outbox4::empty(), 0)
+            }
+        }
+    }
+
+    #[test]
+    fn local_grind_makespan_is_max_load() {
+        let topo = TorusTopology::new(2, 3);
+        let loads = [3u64, 0, 7, 1, 0, 2];
+        let nodes: Vec<Local> = loads.iter().map(|&x| Local { remaining: x }).collect();
+        let report = run_mesh_engine(topo, nodes, loads.iter().sum());
+        assert_eq!(report.makespan, 7);
+        assert_eq!(report.processed_per_node, loads);
+    }
+
+    /// A relay that forwards everything east; checks delivery directions.
+    struct EastRelay {
+        hold: u64,
+        sink: bool,
+    }
+
+    impl MeshNode for EastRelay {
+        type Msg = u64;
+
+        fn on_step(&mut self, _ctx: &MeshCtx, mut inbox: Inbox4<u64>) -> (Outbox4<u64>, u64) {
+            for v in inbox.from(crate::torus::Dir4::West) {
+                self.hold += v;
+            }
+            let mut out = Outbox4::empty();
+            let mut work = 0;
+            if self.sink {
+                if self.hold > 0 {
+                    self.hold -= 1;
+                    work = 1;
+                }
+            } else if self.hold > 0 {
+                out.push(crate::torus::Dir4::East, self.hold);
+                self.hold = 0;
+            }
+            (out, work)
+        }
+    }
+
+    #[test]
+    fn messages_travel_one_hop_per_step() {
+        // 1×4 torus: node 0 holds 3 jobs, node 2 is the sink two hops east.
+        let topo = TorusTopology::new(1, 4);
+        let nodes = vec![
+            EastRelay {
+                hold: 3,
+                sink: false,
+            },
+            EastRelay {
+                hold: 0,
+                sink: false,
+            },
+            EastRelay {
+                hold: 0,
+                sink: true,
+            },
+            EastRelay {
+                hold: 0,
+                sink: false,
+            },
+        ];
+        let report = run_mesh_engine(topo, nodes, 3);
+        // Jobs leave at t=0, reach node 1 at t=1, node 2 at t=2; processing
+        // 3 jobs takes steps 2, 3, 4 -> makespan 5.
+        assert_eq!(report.makespan, 5);
+        assert_eq!(report.processed_per_node[2], 3);
+    }
+
+    #[test]
+    fn empty_mesh() {
+        let topo = TorusTopology::new(2, 2);
+        let nodes = vec![
+            Local { remaining: 0 },
+            Local { remaining: 0 },
+            Local { remaining: 0 },
+            Local { remaining: 0 },
+        ];
+        let report = run_mesh_engine(topo, nodes, 0);
+        assert_eq!(report.makespan, 0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Exact optimum makespan on the torus.
+//!
+//! The distance-staircase feasibility argument (`ring_opt::staircase`) is
+//! purely metric, so binary search over it with the torus distance is an
+//! exact solver here too.
+
+use crate::bounds::mesh_lower_bound;
+use crate::torus::MeshInstance;
+use ring_opt::exact::{OptResult, SolverBudget};
+use ring_opt::staircase::metric_feasible;
+
+/// Exact optimum on the torus, or the lower bound if the feasibility
+/// network for the search range would exceed the budget.
+pub fn optimum_torus(
+    instance: &MeshInstance,
+    upper_hint: Option<u64>,
+    budget: &SolverBudget,
+) -> OptResult {
+    if instance.total_work() == 0 {
+        return OptResult::Exact(0);
+    }
+    let lb = mesh_lower_bound(instance);
+    let topo = instance.topology();
+    let m = topo.len() as u64;
+    let probe_t = upper_hint.unwrap_or(lb.saturating_mul(8).max(16));
+    // Size estimate mirrors the ring one: assignment edges + chains.
+    let dmax = probe_t.saturating_sub(1).min(topo.diameter() as u64);
+    let est = m * m + m * (dmax + 1);
+    if est > budget.max_network_edges {
+        return OptResult::LowerBoundOnly(lb);
+    }
+
+    let dist = |i: usize, j: usize| topo.distance(i, j);
+    let feasible = |t: u64| metric_feasible(instance.loads(), dist, topo.diameter(), t);
+
+    let mut hi = match upper_hint {
+        Some(h) if h >= lb => h,
+        _ => lb.max(1),
+    };
+    while !feasible(hi) {
+        hi = hi.saturating_mul(2).max(1);
+    }
+    let mut lo = lb;
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if feasible(mid) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    OptResult::Exact(lo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opt(inst: &MeshInstance) -> u64 {
+        optimum_torus(inst, None, &SolverBudget::default()).value()
+    }
+
+    #[test]
+    fn empty_instance() {
+        let inst = MeshInstance::from_loads(3, 3, vec![0; 9]);
+        assert_eq!(opt(&inst), 0);
+    }
+
+    #[test]
+    fn uniform_load_is_mean() {
+        let inst = MeshInstance::from_loads(4, 4, vec![3; 16]);
+        assert_eq!(opt(&inst), 3);
+    }
+
+    #[test]
+    fn small_concentrated_matches_hand_count() {
+        // 5 jobs at a node of 5×5: T=2 reaches the node (2 slots... the
+        // node itself processes 2; four distance-1 neighbors process 1
+        // each) -> capacity 6 >= 5; T=1 capacity 1. OPT = 2.
+        let inst = MeshInstance::concentrated(5, 5, 12, 5);
+        assert_eq!(opt(&inst), 2);
+    }
+
+    #[test]
+    fn optimum_at_least_lower_bound_and_at_most_staying_local() {
+        let cases = vec![
+            MeshInstance::concentrated(6, 6, 0, 200),
+            MeshInstance::from_loads(4, 4, (0..16).map(|i| (i % 5) as u64).collect()),
+            MeshInstance::from_loads(3, 5, vec![40, 0, 0, 0, 0, 0, 0, 9, 0, 0, 0, 0, 0, 0, 1]),
+        ];
+        for inst in cases {
+            let o = opt(&inst);
+            assert!(o >= mesh_lower_bound(&inst));
+            assert!(o <= inst.max_load());
+        }
+    }
+
+    #[test]
+    fn torus_beats_ring_on_the_same_work() {
+        // The 2D torus has more escape bandwidth: a concentrated pile's
+        // optimum is (much) smaller than on a ring with the same number
+        // of processors.
+        let n = 4_096u64;
+        let mesh = MeshInstance::concentrated(16, 16, 0, n);
+        let ring = ring_sim::Instance::concentrated(256, 0, n);
+        let mesh_opt = opt(&mesh);
+        let ring_opt = ring_opt::optimum_uncapacitated(&ring, None, &SolverBudget::default());
+        assert!(
+            mesh_opt < ring_opt.value(),
+            "mesh {} !< ring {}",
+            mesh_opt,
+            ring_opt.value()
+        );
+    }
+
+    #[test]
+    fn tiny_budget_falls_back() {
+        let inst = MeshInstance::concentrated(30, 30, 0, 100_000);
+        let r = optimum_torus(
+            &inst,
+            None,
+            &SolverBudget {
+                max_network_edges: 10,
+            },
+        );
+        assert!(!r.is_exact());
+        assert_eq!(r.value(), mesh_lower_bound(&inst));
+    }
+}

@@ -1,0 +1,45 @@
+//! # ring-mesh — the §8 open problem, explored
+//!
+//! The paper closes with: *"An interesting open problem is whether simple,
+//! small-constant approximation algorithms which require no centralized
+//! control exist for the other networks, such as the mesh … possibly by
+//! adapting the approach presented in this paper."*
+//!
+//! This crate adapts the approach to a 2D **torus** (the wrap-around
+//! mesh):
+//!
+//! * [`torus`] — the topology: distance is the sum of the two ring
+//!   distances (this is the job migration time, as in §2).
+//! * [`engine`] — a 4-neighbor synchronous engine with the same machine
+//!   model: receive, send, process one unit per step; messages arrive one
+//!   step later per hop.
+//! * [`algorithm`] — a dimension-by-dimension bucket scheme. A pile of
+//!   work `W` optimally spreads over a diamond of radius `≈ W^{1/3}`
+//!   (the 2D ball of radius `L` absorbs `Θ(L³)` units in `L` steps), so
+//!   row-phase buckets top processors up to `c·(seen)^{2/3}` — a row's
+//!   fair share — and each processor forwards its row share down its
+//!   column with the paper's own `c·sqrt(seen)` rule, leaving every
+//!   processor holding `Θ(W^{1/3})`.
+//! * [`bounds`] / [`exact`] — the Lemma 1 analog (ball windows) and the
+//!   **exact optimum**: the staircase feasibility argument of
+//!   `ring-opt::staircase` never uses ring structure, so binary search
+//!   over [`ring_opt::staircase::metric_feasible`] with the torus metric
+//!   is exact here too.
+//!
+//! No approximation proof is claimed (that is why it is an open problem);
+//! the tests and the experiment harness measure empirical factors against
+//! exact optima instead, in the spirit of the paper's §6.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algorithm;
+pub mod bounds;
+pub mod engine;
+pub mod exact;
+pub mod torus;
+
+pub use algorithm::{run_mesh, MeshConfig, MeshRun};
+pub use bounds::mesh_lower_bound;
+pub use exact::optimum_torus;
+pub use torus::{MeshInstance, TorusTopology};

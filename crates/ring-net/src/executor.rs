@@ -1,0 +1,341 @@
+//! The threaded synchronous executor.
+//!
+//! ## Round protocol
+//!
+//! Every thread executes the same loop:
+//!
+//! 1. **Receive** — except at `t = 0`, block on exactly one packet from
+//!    each neighbor (a packet is the `Vec` of messages that neighbor sent
+//!    last round; possibly empty). Because every thread sends exactly one
+//!    packet per neighbor per round, receives never block indefinitely and
+//!    rounds cannot interleave.
+//! 2. **Step** — run the policy's [`ring_sim::Node::on_step`].
+//! 3. **Send** — one packet to each neighbor (empty if the policy said
+//!    nothing), and fold `work_done` into a shared atomic counter.
+//! 4. **Barrier** — wait for all threads, then read the shared counters.
+//!    All threads observe the same state at the same round, so they agree
+//!    on when to stop (all work processed, a model violation was flagged,
+//!    or the step budget ran out).
+//!
+//! The barrier is the *global clock* the paper's synchronous model assumes;
+//! everything else — all scheduling state — is thread-local.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use ring_sim::{Inbox, LinkCapacity, Node, NodeCtx, Payload, RingTopology, SimError};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Barrier;
+
+/// Executor configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ThreadedConfig {
+    /// Link model to enforce.
+    pub link_capacity: LinkCapacity,
+    /// Step budget (defaults to `4·(n + m) + 64`).
+    pub max_steps: Option<u64>,
+}
+
+impl Default for ThreadedConfig {
+    fn default() -> Self {
+        ThreadedConfig {
+            link_capacity: LinkCapacity::Unbounded,
+            max_steps: None,
+        }
+    }
+}
+
+/// Outcome of a threaded run.
+#[derive(Debug, Clone)]
+pub struct ThreadedRun {
+    /// Schedule length (same definition as the sequential engine).
+    pub makespan: u64,
+    /// Rounds executed.
+    pub steps: u64,
+    /// Units processed by each node.
+    pub processed_per_node: Vec<u64>,
+    /// Total messages sent.
+    pub messages_sent: u64,
+}
+
+impl ThreadedRun {
+    /// Total units processed.
+    pub fn processed_total(&self) -> u64 {
+        self.processed_per_node.iter().sum()
+    }
+}
+
+/// Error flag values shared across threads.
+const FLAG_OK: u64 = 0;
+const FLAG_CAPACITY: u64 = 1;
+const FLAG_OVERWORK: u64 = 2;
+
+/// Runs `nodes` to completion, one thread per node.
+///
+/// # Panics
+///
+/// Panics if `nodes` is empty or a worker thread panics.
+pub fn run_threaded<N>(
+    nodes: Vec<N>,
+    total_work: u64,
+    config: &ThreadedConfig,
+) -> Result<ThreadedRun, SimError>
+where
+    N: Node + Send,
+    N::Msg: Send,
+{
+    assert!(!nodes.is_empty(), "need at least one node");
+    let m = nodes.len();
+    let topo = RingTopology::new(m);
+    let max_steps = config
+        .max_steps
+        .unwrap_or_else(|| 4 * (total_work + m as u64) + 64);
+
+    if total_work == 0 {
+        return Ok(ThreadedRun {
+            makespan: 0,
+            steps: 0,
+            processed_per_node: vec![0; m],
+            messages_sent: 0,
+        });
+    }
+
+    // Directed link channels. cw[i] carries packets i → i+1; ccw[i]
+    // carries packets i → i-1.
+    let mut cw_tx: Vec<Option<Sender<Vec<N::Msg>>>> = Vec::with_capacity(m);
+    let mut cw_rx: Vec<Option<Receiver<Vec<N::Msg>>>> = Vec::with_capacity(m);
+    let mut ccw_tx: Vec<Option<Sender<Vec<N::Msg>>>> = Vec::with_capacity(m);
+    let mut ccw_rx: Vec<Option<Receiver<Vec<N::Msg>>>> = Vec::with_capacity(m);
+    for _ in 0..m {
+        let (tx, rx) = unbounded();
+        cw_tx.push(Some(tx));
+        cw_rx.push(Some(rx));
+        let (tx, rx) = unbounded();
+        ccw_tx.push(Some(tx));
+        ccw_rx.push(Some(rx));
+    }
+
+    let barrier = Barrier::new(m);
+    let processed = AtomicU64::new(0);
+    let last_busy_plus1 = AtomicU64::new(0); // makespan candidate
+    let messages = AtomicU64::new(0);
+    let flag = AtomicU64::new(FLAG_OK);
+    let flag_detail = Mutex::new(None::<SimError>);
+    let per_node_processed = Mutex::new(vec![0u64; m]);
+    let steps_executed = AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        for (i, mut node) in nodes.into_iter().enumerate() {
+            // This node sends cw on its own cw channel and receives the cw
+            // packet of its ccw neighbor, and vice versa.
+            let my_cw_tx = cw_tx[i].take().expect("channel taken once");
+            let my_ccw_tx = ccw_tx[i].take().expect("channel taken once");
+            let from_left = cw_rx[topo.neighbor(i, ring_sim::Direction::Ccw)]
+                .take()
+                .expect("channel taken once");
+            let from_right = ccw_rx[topo.neighbor(i, ring_sim::Direction::Cw)]
+                .take()
+                .expect("channel taken once");
+            // Wait: cw_rx[j] is the *receiving* end of j's outgoing cw
+            // channel; the cw packet of my ccw neighbor is cw_rx[i-1].
+            // (The take above indexes by the neighbor, which is exactly
+            // that.)
+
+            let barrier = &barrier;
+            let processed = &processed;
+            let last_busy_plus1 = &last_busy_plus1;
+            let messages = &messages;
+            let flag = &flag;
+            let flag_detail = &flag_detail;
+            let per_node_processed = &per_node_processed;
+            let steps_executed = &steps_executed;
+            let link_capacity = config.link_capacity;
+
+            scope.spawn(move || {
+                let mut local_processed = 0u64;
+                let mut t = 0u64;
+                loop {
+                    let inbox = if t == 0 {
+                        Inbox::empty()
+                    } else {
+                        Inbox {
+                            from_ccw: from_left.recv().expect("neighbor sends every round"),
+                            from_cw: from_right.recv().expect("neighbor sends every round"),
+                        }
+                    };
+                    let ctx = NodeCtx { id: i, t, topo };
+                    let outcome = node.on_step(&ctx, inbox);
+
+                    if outcome.work_done > 1 {
+                        flag.store(FLAG_OVERWORK, Ordering::SeqCst);
+                        *flag_detail.lock() = Some(SimError::Overwork {
+                            node: i,
+                            step: t,
+                            units: outcome.work_done,
+                        });
+                    } else if outcome.work_done == 1 {
+                        local_processed += 1;
+                        processed.fetch_add(1, Ordering::SeqCst);
+                        last_busy_plus1.fetch_max(t + 1, Ordering::SeqCst);
+                    }
+
+                    for msgs in [&outcome.outbox.cw, &outcome.outbox.ccw] {
+                        if link_capacity == LinkCapacity::UnitJobs && !msgs.is_empty() {
+                            let payload: u64 = msgs.iter().map(Payload::job_units).sum();
+                            if payload > 1 || msgs.len() > 2 {
+                                flag.store(FLAG_CAPACITY, Ordering::SeqCst);
+                                *flag_detail.lock() = Some(SimError::LinkCapacityExceeded {
+                                    node: i,
+                                    step: t,
+                                    job_units: payload,
+                                    messages: msgs.len(),
+                                });
+                            }
+                        }
+                    }
+                    messages.fetch_add(
+                        (outcome.outbox.cw.len() + outcome.outbox.ccw.len()) as u64,
+                        Ordering::Relaxed,
+                    );
+                    // Send exactly one packet per neighbor per round.
+                    my_cw_tx
+                        .send(outcome.outbox.cw)
+                        .expect("receiver lives until the shared exit round");
+                    my_ccw_tx
+                        .send(outcome.outbox.ccw)
+                        .expect("receiver lives until the shared exit round");
+
+                    barrier.wait();
+                    steps_executed.fetch_max(t + 1, Ordering::Relaxed);
+                    let done = processed.load(Ordering::SeqCst) >= total_work;
+                    let flagged = flag.load(Ordering::SeqCst) != FLAG_OK;
+                    let out_of_budget = t + 1 >= max_steps;
+                    // Everyone evaluates the same predicate on the same
+                    // round, so all threads exit together. A second barrier
+                    // keeps a non-exiting thread from racing ahead and
+                    // blocking on a packet an exiting thread never sends.
+                    barrier.wait();
+                    if done || flagged || out_of_budget {
+                        break;
+                    }
+                    t += 1;
+                }
+                per_node_processed.lock()[i] = local_processed;
+            });
+        }
+    });
+
+    if let Some(err) = flag_detail.into_inner() {
+        return Err(err);
+    }
+    let processed_total = processed.load(Ordering::SeqCst);
+    if processed_total > total_work {
+        return Err(SimError::WorkMiscount {
+            processed: processed_total,
+            total: total_work,
+        });
+    }
+    if processed_total < total_work {
+        return Err(SimError::ExceededMaxSteps {
+            max_steps,
+            processed: processed_total,
+            total: total_work,
+        });
+    }
+    Ok(ThreadedRun {
+        makespan: last_busy_plus1.load(Ordering::SeqCst),
+        steps: steps_executed.load(Ordering::Relaxed),
+        processed_per_node: per_node_processed.into_inner(),
+        messages_sent: messages.load(Ordering::Relaxed),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ring_sim::{Outbox, StepOutcome};
+
+    /// Local-grind policy (no communication).
+    struct LocalOnly {
+        remaining: u64,
+    }
+
+    #[derive(Debug, Clone)]
+    enum NoMsg {}
+
+    impl Payload for NoMsg {
+        fn job_units(&self) -> u64 {
+            match *self {}
+        }
+    }
+
+    impl Node for LocalOnly {
+        type Msg = NoMsg;
+
+        fn on_step(&mut self, _ctx: &NodeCtx, _inbox: Inbox<NoMsg>) -> StepOutcome<NoMsg> {
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                StepOutcome {
+                    outbox: Outbox::empty(),
+                    work_done: 1,
+                }
+            } else {
+                StepOutcome::idle()
+            }
+        }
+
+        fn pending_work(&self) -> u64 {
+            self.remaining
+        }
+    }
+
+    #[test]
+    fn local_policy_matches_sequential_semantics() {
+        let nodes = vec![
+            LocalOnly { remaining: 5 },
+            LocalOnly { remaining: 2 },
+            LocalOnly { remaining: 0 },
+            LocalOnly { remaining: 9 },
+        ];
+        let run = run_threaded(nodes, 16, &ThreadedConfig::default()).unwrap();
+        assert_eq!(run.makespan, 9);
+        assert_eq!(run.processed_per_node, vec![5, 2, 0, 9]);
+    }
+
+    #[test]
+    fn empty_instance() {
+        let nodes = vec![LocalOnly { remaining: 0 }];
+        let run = run_threaded(nodes, 0, &ThreadedConfig::default()).unwrap();
+        assert_eq!(run.makespan, 0);
+    }
+
+    #[test]
+    fn budget_exceeded_reports_error() {
+        struct Lazy;
+        impl Node for Lazy {
+            type Msg = NoMsg;
+            fn on_step(&mut self, _c: &NodeCtx, _i: Inbox<NoMsg>) -> StepOutcome<NoMsg> {
+                StepOutcome::idle()
+            }
+            fn pending_work(&self) -> u64 {
+                1
+            }
+        }
+        let err = run_threaded(
+            vec![Lazy, Lazy],
+            5,
+            &ThreadedConfig {
+                max_steps: Some(10),
+                ..ThreadedConfig::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, SimError::ExceededMaxSteps { .. }));
+    }
+
+    #[test]
+    fn singleton_ring_self_loops() {
+        let nodes = vec![LocalOnly { remaining: 3 }];
+        let run = run_threaded(nodes, 3, &ThreadedConfig::default()).unwrap();
+        assert_eq!(run.makespan, 3);
+    }
+}

@@ -1,0 +1,61 @@
+//! # ring-net — a thread-per-processor executor for ring policies
+//!
+//! The sequential [`ring_sim::Engine`] *simulates* the distributed model.
+//! This crate *realizes* it: every processor is an OS thread, every link a
+//! pair of directed [`crossbeam`] channels, and the only global object is
+//! the synchronous round barrier the paper's model postulates (§2's common
+//! clock). No thread reads another's state — if a policy compiled against
+//! this executor terminates with the right answer, it demonstrably used
+//! only local information and neighbor messages, which is the paper's
+//! headline claim ("require no global control").
+//!
+//! The same [`ring_sim::Node`] policies run unchanged on both executors,
+//! and the integration tests assert the two produce identical schedules.
+//!
+//! ```
+//! use ring_sim::Instance;
+//! use ring_sched::unit::UnitConfig;
+//! use ring_net::run_unit_threaded;
+//!
+//! let inst = Instance::concentrated(8, 0, 64);
+//! let run = run_unit_threaded(&inst, &UnitConfig::c1()).unwrap();
+//! assert_eq!(run.processed_total(), 64);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod executor;
+
+pub use executor::{run_threaded, ThreadedConfig, ThreadedRun};
+
+use ring_sched::capacitated::build_capacitated_nodes;
+use ring_sched::unit::{build_unit_nodes, UnitConfig};
+use ring_sim::{Instance, LinkCapacity, SimError};
+
+/// Runs one of the six §6 unit-job algorithms with one thread per
+/// processor.
+pub fn run_unit_threaded(instance: &Instance, cfg: &UnitConfig) -> Result<ThreadedRun, SimError> {
+    let nodes = build_unit_nodes(instance, cfg);
+    run_threaded(
+        nodes,
+        instance.total_work(),
+        &ThreadedConfig {
+            link_capacity: LinkCapacity::Unbounded,
+            max_steps: cfg.max_steps,
+        },
+    )
+}
+
+/// Runs the §7 capacitated algorithm with one thread per processor.
+pub fn run_capacitated_threaded(instance: &Instance) -> Result<ThreadedRun, SimError> {
+    let nodes = build_capacitated_nodes(instance);
+    run_threaded(
+        nodes,
+        instance.total_work(),
+        &ThreadedConfig {
+            link_capacity: LinkCapacity::UnitJobs,
+            max_steps: Some(4 * (instance.total_work() + instance.num_processors() as u64) + 64),
+        },
+    )
+}

@@ -1,0 +1,93 @@
+//! Sequential engine ≡ threaded executor.
+//!
+//! The policies are deterministic and both executors implement the same
+//! synchronous model, so makespans and per-node work must agree exactly.
+//! Passing under the threaded executor also certifies the policies use
+//! only local state + neighbor messages (threads cannot see each other).
+
+use ring_net::{run_capacitated_threaded, run_unit_threaded};
+use ring_sched::capacitated::run_capacitated;
+use ring_sched::unit::{run_unit, UnitConfig};
+use ring_sim::{Instance, TraceLevel};
+
+fn cases() -> Vec<Instance> {
+    vec![
+        Instance::concentrated(16, 0, 120),
+        Instance::concentrated(9, 4, 300),
+        Instance::from_loads(vec![30, 0, 0, 12, 7, 0, 0, 0, 0, 44, 0, 3]),
+        Instance::from_loads(vec![5; 8]),
+        Instance::from_loads(vec![1000, 0, 0, 0]), // wrap-around path
+        Instance::from_loads(vec![17]),            // singleton ring
+    ]
+}
+
+#[test]
+fn unit_algorithms_agree_across_executors() {
+    for inst in cases() {
+        for (name, cfg) in UnitConfig::all_six() {
+            let seq = run_unit(&inst, &cfg).unwrap();
+            let thr = run_unit_threaded(&inst, &cfg).unwrap();
+            assert_eq!(
+                seq.makespan,
+                thr.makespan,
+                "{name} makespan differs on {:?}",
+                inst.loads()
+            );
+            assert_eq!(
+                seq.report.metrics.processed_per_node,
+                thr.processed_per_node,
+                "{name} work distribution differs on {:?}",
+                inst.loads()
+            );
+        }
+    }
+}
+
+#[test]
+fn capacitated_agrees_across_executors() {
+    for inst in cases() {
+        let seq = run_capacitated(&inst, TraceLevel::Off).unwrap();
+        let thr = run_capacitated_threaded(&inst).unwrap();
+        assert_eq!(seq.makespan, thr.makespan, "on {:?}", inst.loads());
+        assert_eq!(
+            seq.processed,
+            thr.processed_per_node,
+            "on {:?}",
+            inst.loads()
+        );
+    }
+}
+
+#[test]
+fn threaded_runs_scale_to_wider_rings() {
+    let inst = Instance::concentrated(64, 10, 2048);
+    let thr = run_unit_threaded(&inst, &UnitConfig::c2()).unwrap();
+    assert_eq!(thr.processed_total(), 2048);
+    let seq = run_unit(&inst, &UnitConfig::c2()).unwrap();
+    assert_eq!(seq.makespan, thr.makespan);
+}
+
+#[test]
+fn piggyback_capacitated_agrees_with_sequential_two_message_variant() {
+    use ring_net::{run_threaded, ThreadedConfig};
+    use ring_sched::capacitated::build_piggyback_nodes;
+    use ring_sim::LinkCapacity;
+
+    for inst in cases() {
+        let seq = run_capacitated(&inst, TraceLevel::Off).unwrap();
+        let nodes = build_piggyback_nodes(&inst);
+        let thr = run_threaded(
+            nodes,
+            inst.total_work(),
+            &ThreadedConfig {
+                link_capacity: LinkCapacity::UnitJobs,
+                max_steps: Some(4 * (inst.total_work() + inst.num_processors() as u64) + 64),
+            },
+        )
+        .unwrap();
+        // The single-message framing carries the same information, so the
+        // schedule is identical across variant *and* executor.
+        assert_eq!(seq.makespan, thr.makespan, "on {:?}", inst.loads());
+        assert_eq!(seq.processed, thr.processed_per_node);
+    }
+}

@@ -1,0 +1,322 @@
+//! Optimal *schedules*, not just optimal makespans.
+//!
+//! The binary-search solver in [`crate::exact`] answers "how long?"; this
+//! module also answers "who runs what, when": it reads the job movements
+//! off the max-flow solution of the staircase network and lays each
+//! processor's accepted jobs out on its timeline (earliest-arrival-first,
+//! which is optimal by the exchange argument behind the staircase
+//! feasibility test). The result is a concrete, independently verifiable
+//! witness of optimality — [`Assignment::verify`] rechecks every model
+//! constraint from scratch.
+
+use crate::exact::{optimum_uncapacitated, OptResult, SolverBudget};
+use crate::flow::{EdgeId, FlowNetwork, INF};
+use ring_sim::Instance;
+
+/// A bulk job movement: `count` unit jobs from `from` are processed at
+/// `to` (ring distance `dist`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Move {
+    /// Originating processor.
+    pub from: usize,
+    /// Processing processor.
+    pub to: usize,
+    /// Ring distance (= migration time).
+    pub dist: usize,
+    /// Number of jobs.
+    pub count: u64,
+}
+
+/// One contiguous block of a processor's timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Block {
+    /// Originating processor of the jobs in this block.
+    pub from: usize,
+    /// First step of the block.
+    pub start: u64,
+    /// Number of jobs (= steps) in the block.
+    pub count: u64,
+}
+
+/// An explicit optimal schedule.
+#[derive(Debug, Clone)]
+pub struct Assignment {
+    /// The makespan this schedule achieves (the exact optimum).
+    pub makespan: u64,
+    /// All non-local job movements (local processing is implicit).
+    pub moves: Vec<Move>,
+    /// Per-processor timelines: blocks in processing order.
+    pub timelines: Vec<Vec<Block>>,
+}
+
+/// Why [`extract_assignment`] could not produce a schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AssignmentError {
+    /// The instance exceeded the solver budget.
+    BudgetExceeded,
+}
+
+impl std::fmt::Display for AssignmentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AssignmentError::BudgetExceeded => {
+                write!(f, "instance exceeds the exact-solver budget")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AssignmentError {}
+
+/// Computes the exact optimum and an explicit schedule achieving it.
+///
+/// ```
+/// use ring_sim::Instance;
+/// use ring_opt::assignment::extract_assignment;
+/// use ring_opt::exact::SolverBudget;
+///
+/// let inst = Instance::concentrated(8, 0, 16);
+/// let sched = extract_assignment(&inst, None, &SolverBudget::default()).unwrap();
+/// assert_eq!(sched.makespan, 4);
+/// assert_eq!(sched.verify(&inst), None); // independently checked witness
+/// ```
+pub fn extract_assignment(
+    instance: &Instance,
+    upper_hint: Option<u64>,
+    budget: &SolverBudget,
+) -> Result<Assignment, AssignmentError> {
+    let t = match optimum_uncapacitated(instance, upper_hint, budget) {
+        OptResult::Exact(t) => t,
+        OptResult::LowerBoundOnly(_) => return Err(AssignmentError::BudgetExceeded),
+    };
+    let m = instance.num_processors();
+    if instance.total_work() == 0 {
+        return Ok(Assignment {
+            makespan: 0,
+            moves: Vec::new(),
+            timelines: vec![Vec::new(); m],
+        });
+    }
+
+    // Rebuild the staircase network at the optimum and keep the assignment
+    // edge handles (mirrors `staircase::feasible`; kept in sync by the
+    // round-trip tests below).
+    let topo = instance.topology();
+    let dmax = ((t - 1) as usize).min(topo.diameter());
+    let chain_base = 2 + m;
+    let chain_len = dmax + 1;
+    let mut g = FlowNetwork::new(chain_base + m * chain_len);
+    let chain = |j: usize, d: usize| chain_base + j * chain_len + d;
+    for j in 0..m {
+        g.add_edge(chain(j, 0), 1, t);
+        for d in 1..=dmax {
+            g.add_edge(chain(j, d), chain(j, d - 1), t - d as u64);
+        }
+    }
+    let mut assignment_edges: Vec<(usize, usize, usize, EdgeId)> = Vec::new();
+    for i in 0..m {
+        let x = instance.load(i);
+        if x == 0 {
+            continue;
+        }
+        g.add_edge(0, 2 + i, x);
+        for j in 0..m {
+            let d = topo.distance(i, j);
+            if d <= dmax {
+                let e = g.add_edge(2 + i, chain(j, d), INF);
+                assignment_edges.push((i, j, d, e));
+            }
+        }
+    }
+    let flow = g.max_flow(0, 1);
+    debug_assert_eq!(flow, instance.total_work(), "optimum must be feasible");
+
+    let mut moves = Vec::new();
+    let mut received: Vec<Vec<(usize, usize, u64)>> = vec![Vec::new(); m]; // (dist, from, count)
+    for (i, j, d, e) in assignment_edges {
+        let f = g.flow_on(e);
+        if f == 0 {
+            continue;
+        }
+        if i != j {
+            moves.push(Move {
+                from: i,
+                to: j,
+                dist: d,
+                count: f,
+            });
+        }
+        received[j].push((d, i, f));
+    }
+
+    // Earliest-arrival-first packing on each processor.
+    let mut timelines = Vec::with_capacity(m);
+    for groups in &mut received {
+        groups.sort_unstable();
+        let mut tl = Vec::with_capacity(groups.len());
+        let mut cursor = 0u64;
+        for &(d, from, count) in groups.iter() {
+            let start = cursor.max(d as u64);
+            tl.push(Block { from, start, count });
+            cursor = start + count;
+        }
+        timelines.push(tl);
+    }
+
+    Ok(Assignment {
+        makespan: t,
+        moves,
+        timelines,
+    })
+}
+
+impl Assignment {
+    /// Total jobs moved (sum of move counts).
+    pub fn jobs_moved(&self) -> u64 {
+        self.moves.iter().map(|mv| mv.count).sum()
+    }
+
+    /// Total communication volume (jobs × hops).
+    pub fn job_hops(&self) -> u64 {
+        self.moves.iter().map(|mv| mv.count * mv.dist as u64).sum()
+    }
+
+    /// Independently verifies the schedule against its instance:
+    ///
+    /// 1. every job is processed exactly once (per-origin conservation);
+    /// 2. no block starts before its jobs can have arrived (`start ≥ dist`);
+    /// 3. blocks on one processor do not overlap;
+    /// 4. everything finishes by `makespan`.
+    ///
+    /// Returns a description of the first violation, or `None`.
+    pub fn verify(&self, instance: &Instance) -> Option<String> {
+        let m = instance.num_processors();
+        let topo = instance.topology();
+        let mut processed_per_origin = vec![0u64; m];
+        for (j, tl) in self.timelines.iter().enumerate() {
+            let mut cursor = 0u64;
+            for b in tl {
+                if b.start < cursor {
+                    return Some(format!("processor {j}: overlapping blocks at {}", b.start));
+                }
+                let d = topo.distance(b.from, j) as u64;
+                if b.start < d {
+                    return Some(format!(
+                        "processor {j}: block from {} starts at {} before arrival {}",
+                        b.from, b.start, d
+                    ));
+                }
+                cursor = b.start + b.count;
+                if cursor > self.makespan {
+                    return Some(format!(
+                        "processor {j}: finishes at {cursor} past makespan {}",
+                        self.makespan
+                    ));
+                }
+                processed_per_origin[b.from] += b.count;
+            }
+        }
+        for (i, &p) in processed_per_origin.iter().enumerate() {
+            if p != instance.load(i) {
+                return Some(format!(
+                    "origin {i}: {p} jobs processed, {} expected",
+                    instance.load(i)
+                ));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assignment(inst: &Instance) -> Assignment {
+        extract_assignment(inst, None, &SolverBudget::default()).unwrap()
+    }
+
+    #[test]
+    fn empty_instance() {
+        let a = assignment(&Instance::empty(4));
+        assert_eq!(a.makespan, 0);
+        assert!(a.moves.is_empty());
+    }
+
+    #[test]
+    fn concentrated_schedule_verifies_and_is_tight() {
+        let inst = Instance::concentrated(8, 0, 16);
+        let a = assignment(&inst);
+        assert_eq!(a.makespan, 4);
+        assert_eq!(a.verify(&inst), None);
+        // Capacity at T = 4 is exactly 16, so every slot is used: jobs
+        // moved = 16 - (jobs processed at the origin) = 12.
+        assert_eq!(a.jobs_moved(), 12);
+    }
+
+    #[test]
+    fn local_instance_never_moves() {
+        let inst = Instance::from_loads(vec![5; 6]);
+        let a = assignment(&inst);
+        assert_eq!(a.makespan, 5);
+        assert_eq!(a.jobs_moved(), 0);
+        assert_eq!(a.verify(&inst), None);
+    }
+
+    #[test]
+    fn schedules_verify_on_assorted_instances() {
+        let cases = vec![
+            Instance::from_loads(vec![40, 0, 0, 7, 0, 0, 0, 13]),
+            Instance::from_loads(vec![100, 100, 0, 0, 0, 0, 0, 0, 0, 0]),
+            ring_sim_free::two_heap(64, 50, 5),
+            Instance::from_loads(vec![9]),
+        ];
+        for inst in cases {
+            let a = assignment(&inst);
+            assert_eq!(a.verify(&inst), None, "on {:?}", inst.loads());
+            // Makespan matches the value-only solver.
+            let opt = optimum_uncapacitated(&inst, None, &SolverBudget::default());
+            assert_eq!(OptResult::Exact(a.makespan), opt);
+        }
+    }
+
+    #[test]
+    fn verify_catches_a_tampered_schedule() {
+        let inst = Instance::concentrated(8, 0, 16);
+        let mut a = assignment(&inst);
+        // Claim a block starts before its jobs could arrive.
+        for tl in &mut a.timelines {
+            for b in tl.iter_mut() {
+                if b.from != 0 || b.start > 0 {
+                    b.start = 0;
+                }
+            }
+        }
+        assert!(a.verify(&inst).is_some());
+    }
+
+    #[test]
+    fn budget_exceeded_is_reported() {
+        let inst = Instance::concentrated(1000, 0, 100_000);
+        let err = extract_assignment(
+            &inst,
+            None,
+            &SolverBudget {
+                max_network_edges: 10,
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, AssignmentError::BudgetExceeded);
+    }
+
+    mod ring_sim_free {
+        use ring_sim::Instance;
+
+        pub fn two_heap(m: usize, w: u64, gap: usize) -> Instance {
+            let mut v = vec![0u64; m];
+            v[0] = w;
+            v[gap] = w;
+            Instance::from_loads(v)
+        }
+    }
+}

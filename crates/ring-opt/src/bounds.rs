@@ -1,0 +1,249 @@
+//! Closed-form lower bounds on the optimal makespan.
+//!
+//! * **Lemma 1** (uncapacitated): for any `k ≤ m` adjacent processors
+//!   holding total work `W`, any schedule has length at least the smallest
+//!   `L` with `k·L + L·(L−1) ≥ W`, i.e.
+//!   `L ≥ sqrt((k−1)²/4 + W) − (k−1)/2`.
+//! * **Mean load**: `ceil(n / m)` — every schedule must process `n` units on
+//!   `m` unit-speed processors.
+//! * **Lemma 10** (unit-capacity links, §7): `k` adjacent processors can
+//!   start with at most `(k+2)·L` work, because work leaves the group over
+//!   only two links at rate one each; hence `L ≥ ceil(W / (k+2))`.
+//!
+//! All bounds are exact integer computations (no floating point), so they
+//! are safe to use as certified denominators in approximation-factor
+//! reports.
+
+use ring_sim::{Instance, SizedInstance};
+
+/// Floor of the square root of a `u128`.
+pub(crate) fn isqrt(v: u128) -> u128 {
+    if v < 2 {
+        return v;
+    }
+    // Newton's method from a power-of-two overestimate; converges in a few
+    // iterations and is exact for integers.
+    let mut x = 1u128 << (v.ilog2() / 2 + 1);
+    loop {
+        let y = (x + v / x) / 2;
+        if y >= x {
+            return x;
+        }
+        x = y;
+    }
+}
+
+/// The Lemma 1 bound for a single window: the smallest `L ≥ 0` with
+/// `L² + (k−1)·L ≥ work`, for a window of `k` adjacent processors holding
+/// `work` total units.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn lemma1_window_bound(work: u64, k: usize) -> u64 {
+    assert!(k >= 1, "window must contain at least one processor");
+    if work == 0 {
+        return 0;
+    }
+    let w = work as u128;
+    let b = (k - 1) as u128;
+    // L = ceil((-b + sqrt(b² + 4w)) / 2); compute a floor candidate and fix up.
+    let disc = b * b + 4 * w;
+    let s = isqrt(disc);
+    let mut l = s.saturating_sub(b) / 2;
+    while l * l + b * l < w {
+        l += 1;
+    }
+    while l > 0 && (l - 1) * (l - 1) + b * (l - 1) >= w {
+        l -= 1;
+    }
+    l as u64
+}
+
+/// The full Lemma 1 lower bound: the maximum window bound over every
+/// clockwise window `(start, k)` with `1 ≤ k ≤ m`.
+///
+/// Runs in `O(m²)` time and `O(1)` extra space.
+pub fn lemma1_lower_bound(instance: &Instance) -> u64 {
+    let m = instance.num_processors();
+    let loads = instance.loads();
+    let mut best = 0u64;
+    for start in 0..m {
+        if loads[start] == 0 && m > 1 {
+            // A maximizing window never starts with an empty processor: the
+            // same work with smaller k gives a no-smaller bound.
+            continue;
+        }
+        let mut work = 0u64;
+        for k in 1..=m {
+            work += loads[(start + k - 1) % m];
+            // The bound can only beat `best` if work > best² + (k-1)·best.
+            let b = best as u128;
+            if (work as u128) > b * b + (k as u128 - 1) * b {
+                best = best.max(lemma1_window_bound(work, k));
+            }
+        }
+    }
+    best
+}
+
+/// The trivial mean-load bound `ceil(n / m)`.
+pub fn mean_load_bound(instance: &Instance) -> u64 {
+    let n = instance.total_work();
+    let m = instance.num_processors() as u64;
+    n.div_ceil(m)
+}
+
+/// Best closed-form lower bound for the uncapacitated model:
+/// `max(Lemma 1, ceil(n/m))`.
+pub fn uncapacitated_lower_bound(instance: &Instance) -> u64 {
+    lemma1_lower_bound(instance).max(mean_load_bound(instance))
+}
+
+/// Lower bound for arbitrary-sized jobs (§4.2): the work-based bound on the
+/// per-processor *work* vector, combined with `p_max` (a job must run
+/// entirely on one processor). The paper: "A lower bound for the arbitrary
+/// sized job problem is max{L, p_max}."
+pub fn sized_lower_bound(instance: &SizedInstance) -> u64 {
+    uncapacitated_lower_bound(&instance.to_work_instance()).max(instance.p_max())
+}
+
+/// The Lemma 10 window bound for unit-capacity links: max over windows of
+/// `ceil(W / (k + 2))`.
+pub fn lemma10_lower_bound(instance: &Instance) -> u64 {
+    let m = instance.num_processors();
+    let loads = instance.loads();
+    let mut best = 0u64;
+    for start in 0..m {
+        if loads[start] == 0 && m > 1 {
+            continue;
+        }
+        let mut work = 0u64;
+        for k in 1..=m {
+            work += loads[(start + k - 1) % m];
+            best = best.max(work.div_ceil(k as u64 + 2));
+        }
+    }
+    best
+}
+
+/// Best closed-form lower bound for the unit-capacity model: capacitated
+/// schedules are also valid uncapacitated schedules, so every uncapacitated
+/// bound applies, plus Lemma 10.
+pub fn capacitated_lower_bound(instance: &Instance) -> u64 {
+    uncapacitated_lower_bound(instance).max(lemma10_lower_bound(instance))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isqrt_exact_values() {
+        assert_eq!(isqrt(0), 0);
+        assert_eq!(isqrt(1), 1);
+        assert_eq!(isqrt(3), 1);
+        assert_eq!(isqrt(4), 2);
+        assert_eq!(isqrt(15), 3);
+        assert_eq!(isqrt(16), 4);
+        assert_eq!(isqrt(u128::from(u64::MAX)), (1u128 << 32) - 1);
+        // A large perfect square.
+        let r = 123_456_789_012u128;
+        assert_eq!(isqrt(r * r), r);
+        assert_eq!(isqrt(r * r - 1), r - 1);
+    }
+
+    #[test]
+    fn window_bound_single_processor_is_ceil_sqrt() {
+        // k = 1: smallest L with L² >= W.
+        assert_eq!(lemma1_window_bound(0, 1), 0);
+        assert_eq!(lemma1_window_bound(1, 1), 1);
+        assert_eq!(lemma1_window_bound(16, 1), 4);
+        assert_eq!(lemma1_window_bound(17, 1), 5);
+        assert_eq!(lemma1_window_bound(100, 1), 10);
+    }
+
+    #[test]
+    fn window_bound_matches_defining_inequality() {
+        for k in 1..20 {
+            for w in 0..500u64 {
+                let l = lemma1_window_bound(w, k);
+                let lk = l as u128;
+                let b = (k - 1) as u128;
+                assert!(lk * lk + b * lk >= w as u128, "w={w} k={k} l={l}");
+                if l > 0 {
+                    let lm = lk - 1;
+                    assert!(
+                        lm * lm + b * lm < w as u128,
+                        "w={w} k={k} l={l} not minimal"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lemma1_concentrated_is_sqrt() {
+        // 100 jobs on one node of a large ring: L = 10 from the k = 1 window.
+        let inst = Instance::concentrated(100, 7, 100);
+        assert_eq!(lemma1_lower_bound(&inst), 10);
+    }
+
+    #[test]
+    fn lemma1_wraps_around_the_ring() {
+        // Heavy work split across the 0/m boundary: the maximizing window
+        // wraps.
+        let mut loads = vec![0u64; 10];
+        loads[9] = 50;
+        loads[0] = 50;
+        let inst = Instance::from_loads(loads);
+        // window (9, 2): W=100, k=2 -> L² + L >= 100 -> L = 10.
+        assert_eq!(lemma1_lower_bound(&inst), 10);
+    }
+
+    #[test]
+    fn mean_load_rounds_up() {
+        let inst = Instance::from_loads(vec![3, 3, 1]);
+        assert_eq!(mean_load_bound(&inst), 3);
+        let inst = Instance::from_loads(vec![3, 3, 3]);
+        assert_eq!(mean_load_bound(&inst), 3);
+    }
+
+    #[test]
+    fn uniform_load_bound_is_mean() {
+        let inst = Instance::from_loads(vec![5; 8]);
+        assert_eq!(uncapacitated_lower_bound(&inst), 5);
+    }
+
+    #[test]
+    fn sized_bound_includes_pmax() {
+        let inst = SizedInstance::from_sizes(vec![vec![9], vec![], vec![], vec![]]);
+        // work bound: sqrt(9) = 3; p_max = 9 dominates.
+        assert_eq!(sized_lower_bound(&inst), 9);
+    }
+
+    #[test]
+    fn lemma10_two_adjacent_heavy() {
+        // Pair of adjacent processors with 40 jobs total: L >= ceil(40/4) = 10.
+        let mut loads = vec![0u64; 20];
+        loads[3] = 20;
+        loads[4] = 20;
+        let inst = Instance::from_loads(loads);
+        assert!(lemma10_lower_bound(&inst) >= 10);
+    }
+
+    #[test]
+    fn capacitated_bound_dominates_uncapacitated() {
+        let inst = Instance::concentrated(50, 0, 400);
+        assert!(capacitated_lower_bound(&inst) >= uncapacitated_lower_bound(&inst));
+        // single heavy node: escape rate 1 per side -> L >= ceil(400/3) = 134.
+        assert!(capacitated_lower_bound(&inst) >= 134);
+    }
+
+    #[test]
+    fn bounds_zero_for_empty_instance() {
+        let inst = Instance::empty(5);
+        assert_eq!(uncapacitated_lower_bound(&inst), 0);
+        assert_eq!(capacitated_lower_bound(&inst), 0);
+    }
+}

@@ -1,0 +1,235 @@
+//! Exact optimum makespan via binary search over feasibility tests.
+//!
+//! For each link model we binary-search the smallest feasible `T`:
+//!
+//! * uncapacitated — [`crate::staircase::feasible`];
+//! * unit-capacity — [`crate::timeexp::feasible`].
+//!
+//! The search is seeded from below by the closed-form lower bounds of
+//! [`crate::bounds`] and from above by a caller-provided hint (typically
+//! the makespan an algorithm just achieved) or, failing that, by doubling.
+//!
+//! Mirroring §6.2 of the paper — where "some instances' optimum schedule
+//! lengths still eluded us" and lower bounds were substituted — the solver
+//! takes a [`SolverBudget`]; when the feasibility network for the search
+//! range would exceed it, the solver returns
+//! [`OptResult::LowerBoundOnly`] instead of thrashing.
+
+use crate::bounds::{capacitated_lower_bound, uncapacitated_lower_bound};
+use crate::{staircase, timeexp};
+use ring_sim::Instance;
+
+/// Resource budget for the exact solvers.
+#[derive(Debug, Clone, Copy)]
+pub struct SolverBudget {
+    /// Maximum estimated directed-edge count of any single feasibility
+    /// network. Networks above this make the solver fall back to the lower
+    /// bound.
+    pub max_network_edges: u64,
+}
+
+impl Default for SolverBudget {
+    fn default() -> Self {
+        SolverBudget {
+            // ~tens of MB and a few seconds per query at worst.
+            max_network_edges: 30_000_000,
+        }
+    }
+}
+
+/// Outcome of an optimum query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OptResult {
+    /// The exact optimal makespan.
+    Exact(u64),
+    /// The instance exceeded the solver budget; this is only a lower bound
+    /// on the optimum (approximation factors computed against it are
+    /// pessimistic, as in the paper's §6.2).
+    LowerBoundOnly(u64),
+}
+
+impl OptResult {
+    /// The numeric value (exact optimum or lower bound).
+    pub fn value(&self) -> u64 {
+        match *self {
+            OptResult::Exact(v) | OptResult::LowerBoundOnly(v) => v,
+        }
+    }
+
+    /// True iff this is an exact optimum.
+    pub fn is_exact(&self) -> bool {
+        matches!(self, OptResult::Exact(_))
+    }
+}
+
+fn binary_search_optimum(
+    lower: u64,
+    upper_hint: Option<u64>,
+    mut feasible: impl FnMut(u64) -> bool,
+) -> u64 {
+    // Establish a feasible upper bound.
+    let mut hi = match upper_hint {
+        Some(h) if h >= lower => h,
+        _ => lower.max(1),
+    };
+    while !feasible(hi) {
+        hi = hi.saturating_mul(2).max(1);
+    }
+    let mut lo = lower; // invariant: everything < lo is infeasible … almost:
+                        // `lower` itself may be feasible, so search [lo, hi].
+    if lo == hi {
+        return lo;
+    }
+    // Invariant: hi feasible, lo-1 infeasible? `lower-1` is infeasible by
+    // the bound's validity; check lo itself first to keep the classic
+    // half-open invariant.
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if feasible(mid) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    lo
+}
+
+/// Exact optimal makespan on an uncapacitated ring, subject to the budget.
+///
+/// `upper_hint` should be a makespan known to be achievable (e.g. from a
+/// simulation run); it tightens the search and, importantly, bounds the
+/// largest network the solver must build.
+pub fn optimum_uncapacitated(
+    instance: &Instance,
+    upper_hint: Option<u64>,
+    budget: &SolverBudget,
+) -> OptResult {
+    let lb = uncapacitated_lower_bound(instance);
+    if instance.total_work() == 0 {
+        return OptResult::Exact(0);
+    }
+    // The largest network we could build during the search is at the upper
+    // end of the range.
+    let probe_t = upper_hint.unwrap_or(lb.saturating_mul(8).max(16));
+    if staircase::network_size_estimate(instance, probe_t) > budget.max_network_edges {
+        return OptResult::LowerBoundOnly(lb);
+    }
+    OptResult::Exact(binary_search_optimum(lb, upper_hint, |t| {
+        staircase::feasible(instance, t)
+    }))
+}
+
+/// Exact optimal makespan on a unit-capacity ring, subject to the budget.
+pub fn optimum_capacitated(
+    instance: &Instance,
+    upper_hint: Option<u64>,
+    budget: &SolverBudget,
+) -> OptResult {
+    let lb = capacitated_lower_bound(instance);
+    if instance.total_work() == 0 {
+        return OptResult::Exact(0);
+    }
+    let probe_t = upper_hint.unwrap_or(lb.saturating_mul(8).max(16));
+    if timeexp::network_size_estimate(instance, probe_t) > budget.max_network_edges {
+        return OptResult::LowerBoundOnly(lb);
+    }
+    OptResult::Exact(binary_search_optimum(lb, upper_hint, |t| {
+        timeexp::feasible(instance, t)
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opt_u(inst: &Instance) -> u64 {
+        optimum_uncapacitated(inst, None, &SolverBudget::default()).value()
+    }
+
+    fn opt_c(inst: &Instance) -> u64 {
+        optimum_capacitated(inst, None, &SolverBudget::default()).value()
+    }
+
+    #[test]
+    fn empty_instance() {
+        let inst = Instance::empty(5);
+        assert_eq!(
+            optimum_uncapacitated(&inst, None, &SolverBudget::default()),
+            OptResult::Exact(0)
+        );
+        assert_eq!(
+            optimum_capacitated(&inst, None, &SolverBudget::default()),
+            OptResult::Exact(0)
+        );
+    }
+
+    #[test]
+    fn concentrated_matches_closed_form() {
+        // For n jobs on one node of a big ring, OPT is the smallest T with
+        // T + 2·(T-1 + … + 1) = T² ≥ ... exactly: T + 2·Σ_{d=1}^{T-1}(T-d)
+        // = T + T(T-1) = T². So OPT = ceil(sqrt(n)).
+        for n in [1u64, 2, 3, 4, 5, 10, 16, 17, 50, 100, 101] {
+            let inst = Instance::concentrated(64, 3, n);
+            let expect = (n as f64).sqrt().ceil() as u64;
+            assert_eq!(opt_u(&inst), expect, "n={n}");
+        }
+    }
+
+    #[test]
+    fn upper_hint_does_not_change_answer() {
+        let inst = Instance::from_loads(vec![40, 0, 0, 7, 0, 0, 0, 13]);
+        let free = opt_u(&inst);
+        let hinted = optimum_uncapacitated(&inst, Some(free + 17), &SolverBudget::default());
+        assert_eq!(hinted, OptResult::Exact(free));
+        // A hint exactly equal to OPT also works.
+        let tight = optimum_uncapacitated(&inst, Some(free), &SolverBudget::default());
+        assert_eq!(tight, OptResult::Exact(free));
+    }
+
+    #[test]
+    fn capacitated_at_least_uncapacitated() {
+        let insts = [
+            Instance::from_loads(vec![30, 0, 0, 0, 0, 0]),
+            Instance::from_loads(vec![5, 5, 5, 5]),
+            Instance::from_loads(vec![17, 0, 9, 0, 4, 0, 0, 2]),
+        ];
+        for inst in &insts {
+            assert!(opt_c(inst) >= opt_u(inst));
+        }
+    }
+
+    #[test]
+    fn tiny_budget_falls_back_to_lower_bound() {
+        let inst = Instance::concentrated(1000, 0, 100_000);
+        let budget = SolverBudget {
+            max_network_edges: 10,
+        };
+        let r = optimum_uncapacitated(&inst, None, &budget);
+        assert!(!r.is_exact());
+        assert_eq!(r.value(), crate::bounds::uncapacitated_lower_bound(&inst));
+    }
+
+    #[test]
+    fn optimum_never_below_lower_bound() {
+        let insts = [
+            Instance::from_loads(vec![13, 2, 0, 44, 0, 0, 9, 1]),
+            Instance::from_loads(vec![100, 100, 0, 0, 0, 0, 0, 0, 0, 0]),
+        ];
+        for inst in &insts {
+            let lb = crate::bounds::uncapacitated_lower_bound(inst);
+            assert!(opt_u(inst) >= lb);
+            let clb = crate::bounds::capacitated_lower_bound(inst);
+            assert!(opt_c(inst) >= clb);
+        }
+    }
+
+    #[test]
+    fn section5_two_cluster_optimum() {
+        // Lemma 8 closed form, z = 2, heaps of 50 at distance 5.
+        let mut loads = vec![0u64; 64];
+        loads[10] = 50;
+        loads[15] = 50;
+        let inst = Instance::from_loads(loads);
+        assert_eq!(opt_u(&inst), 9);
+    }
+}

@@ -1,0 +1,347 @@
+//! A self-contained Dinic max-flow solver.
+//!
+//! Used by the feasibility tests in [`crate::staircase`] and
+//! [`crate::timeexp`]. Capacities are `u64`; the graph is stored as a flat
+//! edge array with per-node adjacency index lists (cache-friendly, no
+//! per-edge allocation).
+
+/// Sentinel for "no capacity limit" that still leaves headroom for sums.
+pub const INF: u64 = u64::MAX / 4;
+
+#[derive(Debug, Clone)]
+struct Edge {
+    to: u32,
+    cap: u64,
+}
+
+/// Opaque handle to an edge, returned by [`FlowNetwork::add_edge`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeId(u32);
+
+/// A flow network under construction / being solved.
+#[derive(Debug, Clone)]
+pub struct FlowNetwork {
+    adj: Vec<Vec<u32>>,
+    edges: Vec<Edge>,
+}
+
+impl FlowNetwork {
+    /// Creates a network with `n` nodes (0-based) and no edges.
+    pub fn new(n: usize) -> Self {
+        FlowNetwork {
+            adj: vec![Vec::new(); n],
+            edges: Vec::new(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of directed edges added (not counting residual twins).
+    pub fn num_edges(&self) -> usize {
+        self.edges.len() / 2
+    }
+
+    /// Adds a directed edge `u → v` with capacity `cap`, returning a handle
+    /// that can be passed to [`FlowNetwork::flow_on`] after a max-flow run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is out of range.
+    pub fn add_edge(&mut self, u: usize, v: usize, cap: u64) -> EdgeId {
+        assert!(
+            u < self.adj.len() && v < self.adj.len(),
+            "edge endpoint out of range"
+        );
+        let id = self.edges.len() as u32;
+        self.edges.push(Edge { to: v as u32, cap });
+        self.edges.push(Edge {
+            to: u as u32,
+            cap: 0,
+        });
+        self.adj[u].push(id);
+        self.adj[v].push(id + 1);
+        EdgeId(id)
+    }
+
+    /// Flow currently routed through an edge (the residual capacity
+    /// accumulated on its twin). Zero before any [`FlowNetwork::max_flow`]
+    /// call.
+    pub fn flow_on(&self, edge: EdgeId) -> u64 {
+        self.edges[(edge.0 ^ 1) as usize].cap
+    }
+
+    /// Computes the maximum `s → t` flow, consuming residual capacity in
+    /// place. Calling it twice continues from the previous residual state
+    /// (returning only the *additional* flow), so callers normally build a
+    /// fresh network per query.
+    pub fn max_flow(&mut self, s: usize, t: usize) -> u64 {
+        assert_ne!(s, t, "source and sink must differ");
+        let n = self.adj.len();
+        let mut level = vec![u32::MAX; n];
+        let mut it = vec![0usize; n];
+        let mut queue = Vec::with_capacity(n);
+        let mut total = 0u64;
+
+        loop {
+            // BFS: build level graph.
+            level.iter_mut().for_each(|l| *l = u32::MAX);
+            queue.clear();
+            level[s] = 0;
+            queue.push(s as u32);
+            let mut head = 0;
+            while head < queue.len() {
+                let u = queue[head] as usize;
+                head += 1;
+                for &eid in &self.adj[u] {
+                    let e = &self.edges[eid as usize];
+                    if e.cap > 0 && level[e.to as usize] == u32::MAX {
+                        level[e.to as usize] = level[u] + 1;
+                        queue.push(e.to);
+                    }
+                }
+            }
+            if level[t] == u32::MAX {
+                return total;
+            }
+            it.iter_mut().for_each(|i| *i = 0);
+            // DFS blocking flow (iterative to avoid deep recursion on long
+            // chain networks).
+            loop {
+                let pushed = self.dfs_push(s, t, INF, &level, &mut it);
+                if pushed == 0 {
+                    break;
+                }
+                total += pushed;
+            }
+        }
+    }
+
+    /// Iterative DFS augmentation along the level graph.
+    fn dfs_push(&mut self, s: usize, t: usize, limit: u64, level: &[u32], it: &mut [usize]) -> u64 {
+        // Explicit stack of (node, flow-limit-into-node, edge chosen to get here).
+        let mut path: Vec<u32> = Vec::new(); // edge ids along current path
+        let mut u = s;
+        loop {
+            if u == t {
+                // Found an augmenting path; bottleneck it.
+                let mut bottleneck = limit;
+                for &eid in &path {
+                    bottleneck = bottleneck.min(self.edges[eid as usize].cap);
+                }
+                for &eid in &path {
+                    self.edges[eid as usize].cap -= bottleneck;
+                    self.edges[(eid ^ 1) as usize].cap += bottleneck;
+                }
+                return bottleneck;
+            }
+            let mut advanced = false;
+            while it[u] < self.adj[u].len() {
+                let eid = self.adj[u][it[u]];
+                let e = &self.edges[eid as usize];
+                let v = e.to as usize;
+                if e.cap > 0 && level[v] == level[u] + 1 {
+                    path.push(eid);
+                    u = v;
+                    advanced = true;
+                    break;
+                }
+                it[u] += 1;
+            }
+            if advanced {
+                continue;
+            }
+            // Dead end: retreat.
+            if u == s {
+                return 0;
+            }
+            let eid = path.pop().expect("non-source dead end has a parent edge");
+            let parent = self.edges[(eid ^ 1) as usize].to as usize;
+            it[parent] += 1;
+            u = parent;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_edge() {
+        let mut g = FlowNetwork::new(2);
+        g.add_edge(0, 1, 7);
+        assert_eq!(g.max_flow(0, 1), 7);
+    }
+
+    #[test]
+    fn classic_diamond() {
+        // s=0, t=3; two paths of capacity 10 and 5 sharing nothing.
+        let mut g = FlowNetwork::new(4);
+        g.add_edge(0, 1, 10);
+        g.add_edge(1, 3, 10);
+        g.add_edge(0, 2, 5);
+        g.add_edge(2, 3, 5);
+        assert_eq!(g.max_flow(0, 3), 15);
+    }
+
+    #[test]
+    fn bottleneck_in_middle() {
+        let mut g = FlowNetwork::new(4);
+        g.add_edge(0, 1, 100);
+        g.add_edge(1, 2, 3);
+        g.add_edge(2, 3, 100);
+        assert_eq!(g.max_flow(0, 3), 3);
+    }
+
+    #[test]
+    fn requires_residual_edges() {
+        // The textbook example where a greedy forward-only algorithm gets
+        // stuck: flow must be rerouted through the residual edge.
+        let mut g = FlowNetwork::new(4);
+        g.add_edge(0, 1, 1);
+        g.add_edge(0, 2, 1);
+        g.add_edge(1, 2, 1);
+        g.add_edge(1, 3, 1);
+        g.add_edge(2, 3, 1);
+        assert_eq!(g.max_flow(0, 3), 2);
+    }
+
+    #[test]
+    fn disconnected_sink() {
+        let mut g = FlowNetwork::new(3);
+        g.add_edge(0, 1, 4);
+        assert_eq!(g.max_flow(0, 2), 0);
+    }
+
+    #[test]
+    fn parallel_edges_accumulate() {
+        let mut g = FlowNetwork::new(2);
+        g.add_edge(0, 1, 2);
+        g.add_edge(0, 1, 3);
+        assert_eq!(g.max_flow(0, 1), 5);
+    }
+
+    #[test]
+    fn long_chain() {
+        // Exercise the iterative DFS on a deep path.
+        let n = 10_000;
+        let mut g = FlowNetwork::new(n);
+        for i in 0..n - 1 {
+            g.add_edge(i, i + 1, 9);
+        }
+        assert_eq!(g.max_flow(0, n - 1), 9);
+    }
+
+    #[test]
+    fn bipartite_matching() {
+        // 3x3 bipartite with a perfect matching.
+        // nodes: 0 = s, 1..4 = left, 4..7 = right, 7 = t
+        let mut g = FlowNetwork::new(8);
+        for l in 1..4 {
+            g.add_edge(0, l, 1);
+        }
+        for r in 4..7 {
+            g.add_edge(r, 7, 1);
+        }
+        g.add_edge(1, 4, 1);
+        g.add_edge(1, 5, 1);
+        g.add_edge(2, 4, 1);
+        g.add_edge(3, 6, 1);
+        assert_eq!(g.max_flow(0, 7), 3);
+    }
+
+    #[test]
+    fn large_capacities_do_not_overflow() {
+        let mut g = FlowNetwork::new(3);
+        g.add_edge(0, 1, INF);
+        g.add_edge(1, 2, INF);
+        assert_eq!(g.max_flow(0, 2), INF);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Brute-force min-cut over all source/sink partitions of a small
+    /// graph — an independent oracle for max-flow correctness.
+    fn brute_force_min_cut(n: usize, edges: &[(usize, usize, u64)], s: usize, t: usize) -> u64 {
+        let mut best = u64::MAX;
+        // Each subset containing s but not t is a candidate cut.
+        for mask in 0u32..(1 << n) {
+            if mask & (1 << s) == 0 || mask & (1 << t) != 0 {
+                continue;
+            }
+            let mut cut = 0u64;
+            for &(u, v, c) in edges {
+                if mask & (1 << u) != 0 && mask & (1 << v) == 0 {
+                    cut = cut.saturating_add(c);
+                }
+            }
+            best = best.min(cut);
+        }
+        best
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// Max-flow equals the brute-forced min-cut on random small graphs.
+        #[test]
+        fn maxflow_equals_mincut(
+            n in 2usize..8,
+            raw in prop::collection::vec((0usize..8, 0usize..8, 0u64..50), 0..24),
+        ) {
+            let edges: Vec<(usize, usize, u64)> = raw
+                .into_iter()
+                .map(|(u, v, c)| (u % n, v % n, c))
+                .filter(|&(u, v, _)| u != v)
+                .collect();
+            let mut g = FlowNetwork::new(n);
+            for &(u, v, c) in &edges {
+                g.add_edge(u, v, c);
+            }
+            let flow = g.max_flow(0, n - 1);
+            let cut = brute_force_min_cut(n, &edges, 0, n - 1);
+            prop_assert_eq!(flow, cut);
+        }
+
+        /// Flow conservation: after max_flow, per-edge flows reported by
+        /// `flow_on` respect capacities and conserve at internal nodes.
+        #[test]
+        fn flow_decomposition_is_consistent(
+            n in 3usize..8,
+            raw in prop::collection::vec((0usize..8, 0usize..8, 1u64..40), 1..20),
+        ) {
+            let edges: Vec<(usize, usize, u64)> = raw
+                .into_iter()
+                .map(|(u, v, c)| (u % n, v % n, c))
+                .filter(|&(u, v, _)| u != v)
+                .collect();
+            let mut g = FlowNetwork::new(n);
+            let handles: Vec<(usize, usize, u64, EdgeId)> = edges
+                .iter()
+                .map(|&(u, v, c)| (u, v, c, g.add_edge(u, v, c)))
+                .collect();
+            let total = g.max_flow(0, n - 1);
+            let mut net = vec![0i128; n];
+            for &(u, v, c, id) in &handles {
+                let f = g.flow_on(id);
+                prop_assert!(f <= c, "flow {f} exceeds capacity {c}");
+                net[u] -= f as i128;
+                net[v] += f as i128;
+            }
+            prop_assert_eq!(net[0], -(total as i128));
+            prop_assert_eq!(net[n - 1], total as i128);
+            for (node, &b) in net.iter().enumerate() {
+                if node != 0 && node != n - 1 {
+                    prop_assert_eq!(b, 0, "conservation violated at {}", node);
+                }
+            }
+        }
+    }
+}

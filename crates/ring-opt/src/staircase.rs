@@ -1,0 +1,201 @@
+//! Feasibility of a target makespan on an **uncapacitated** ring.
+//!
+//! A schedule of length `T` exists iff the jobs can be assigned to
+//! processors such that each processor `j` can fit its assigned jobs into
+//! its `T` time slots, where a job originating at distance `d` from `j`
+//! only fits into slots `d, d+1, …, T-1` (it needs `d` steps to arrive).
+//! Because links are uncapacitated, *any* fractional split of job counts can
+//! move simultaneously, so per-processor slot feasibility is the only
+//! constraint. For a fixed set of jobs assigned to `j` with arrival
+//! distances `d_1, …`, all fit iff for every `d`:
+//!
+//! ```text
+//! #{jobs with distance ≥ d}  ≤  T − d
+//! ```
+//!
+//! (earliest-arrival-last is an exchange-argument-optimal packing).
+//!
+//! We encode this as a max-flow problem:
+//!
+//! * source → `src_i` with capacity `x_i` for each processor `i`;
+//! * `src_i` → `chain(j, d)` with unbounded capacity, where
+//!   `d = dist(i, j) ≤ T − 1`;
+//! * `chain(j, d)` → `chain(j, d−1)` with capacity `T − d` — the staircase:
+//!   all flow passing this edge represents jobs reaching `j` from distance
+//!   `≥ d`, of which at most `T − d` fit;
+//! * `chain(j, 0)` → sink with capacity `T`.
+//!
+//! `T` is feasible iff the max flow equals the total work `n`. All
+//! capacities are integral, so an integral optimal flow exists and the test
+//! is exact for unit jobs.
+
+use crate::flow::{FlowNetwork, INF};
+use ring_sim::Instance;
+
+/// Estimated number of directed edges the feasibility network for makespan
+/// `t` would contain. Used by the budgeted solver to refuse absurdly large
+/// queries before allocating.
+pub fn network_size_estimate(instance: &Instance, t: u64) -> u64 {
+    let m = instance.num_processors() as u64;
+    if t == 0 {
+        return m;
+    }
+    let reach = (2 * (t - 1) + 1).min(m); // processors within distance t-1
+    let sources = instance.loads().iter().filter(|&&x| x > 0).count() as u64;
+    let dmax = (t - 1).min(m / 2);
+    // source edges + assignment edges + chain edges
+    sources + sources * reach + m * (dmax + 1)
+}
+
+/// Returns true iff a schedule of length `t` exists for `instance` on an
+/// uncapacitated ring.
+pub fn feasible(instance: &Instance, t: u64) -> bool {
+    let topo = instance.topology();
+    metric_feasible(
+        instance.loads(),
+        |i, j| topo.distance(i, j),
+        topo.diameter(),
+        t,
+    )
+}
+
+/// The staircase feasibility test for **any** uncapacitated network, given
+/// its shortest-path metric. The argument in the module docs never uses
+/// ring structure — only that a job `d` hops away arrives after `d` steps
+/// and that links carry unlimited traffic — so the same test answers the
+/// §8 open problem's *optimum* for meshes, tori, or any other topology
+/// (`ring-mesh` uses it with the torus metric).
+///
+/// `diameter` must be an upper bound on `dist(i, j)` over all pairs.
+pub fn metric_feasible(
+    loads: &[u64],
+    dist: impl Fn(usize, usize) -> usize,
+    diameter: usize,
+    t: u64,
+) -> bool {
+    let n: u64 = loads.iter().sum();
+    if n == 0 {
+        return true;
+    }
+    if t == 0 {
+        return false;
+    }
+    let m = loads.len();
+    // Jobs further than t-1 hops from every processor they could use cannot
+    // be processed at all, but every processor can at least process its own
+    // jobs, so distance 0 always exists; cap chains at dmax.
+    let dmax = ((t - 1) as usize).min(diameter);
+
+    // Node layout: 0 = source, 1 = sink, 2..2+m = per-processor sources,
+    // then chains: chain(j, d) = chain_base + j*(dmax+1) + d.
+    let chain_base = 2 + m;
+    let chain_len = dmax + 1;
+    let num_nodes = chain_base + m * chain_len;
+    let mut g = FlowNetwork::new(num_nodes);
+    let src = 0usize;
+    let sink = 1usize;
+    let chain = |j: usize, d: usize| chain_base + j * chain_len + d;
+
+    for j in 0..m {
+        g.add_edge(chain(j, 0), sink, t);
+        for d in 1..=dmax {
+            g.add_edge(chain(j, d), chain(j, d - 1), t - d as u64);
+        }
+    }
+    for (i, &x) in loads.iter().enumerate() {
+        if x == 0 {
+            continue;
+        }
+        g.add_edge(src, 2 + i, x);
+        // Every destination within dmax hops.
+        for j in 0..m {
+            let d = dist(i, j);
+            if d <= dmax {
+                g.add_edge(2 + i, chain(j, d), INF);
+            }
+        }
+    }
+
+    g.max_flow(src, sink) == n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_instance_feasible_at_zero() {
+        let inst = Instance::empty(4);
+        assert!(feasible(&inst, 0));
+    }
+
+    #[test]
+    fn nonempty_instance_infeasible_at_zero() {
+        let inst = Instance::concentrated(4, 0, 1);
+        assert!(!feasible(&inst, 0));
+        assert!(feasible(&inst, 1));
+    }
+
+    #[test]
+    fn concentrated_16_on_8_ring() {
+        // Capacity within T=4: 4 + 2*3 + 2*2 + 2*1 = 16 exactly.
+        let inst = Instance::concentrated(8, 0, 16);
+        assert!(!feasible(&inst, 3));
+        assert!(feasible(&inst, 4));
+    }
+
+    #[test]
+    fn concentrated_17_needs_5() {
+        let inst = Instance::concentrated(8, 0, 17);
+        assert!(!feasible(&inst, 4));
+        assert!(feasible(&inst, 5));
+    }
+
+    #[test]
+    fn uniform_load_is_tight_at_mean() {
+        let inst = Instance::from_loads(vec![6; 5]);
+        assert!(!feasible(&inst, 5));
+        assert!(feasible(&inst, 6));
+    }
+
+    #[test]
+    fn two_cluster_instance_respects_interference() {
+        // Section 5 geometry: two heaps of W at distance 2z+1; between them
+        // the escape regions overlap, so the interval bound alone is not
+        // tight — the flow test must capture the interaction.
+        // W = 50 on processors 0 and 5 of a 100-ring (z = 2).
+        let mut loads = vec![0u64; 100];
+        loads[0] = 50;
+        loads[5] = 50;
+        let inst = Instance::from_loads(loads);
+        // Lemma 8: 2W = 2t² - (t-z)² + (t-z) with z=2 -> t=8 gives
+        // 2·64 - 36 + 6 = 98 < 100; t=9 gives 162 - 49 + 7 = 120 >= 100.
+        assert!(!feasible(&inst, 8));
+        assert!(feasible(&inst, 9));
+    }
+
+    #[test]
+    fn single_processor_ring() {
+        let inst = Instance::from_loads(vec![12]);
+        assert!(!feasible(&inst, 11));
+        assert!(feasible(&inst, 12));
+    }
+
+    #[test]
+    fn feasibility_is_monotone_in_t() {
+        let inst = Instance::from_loads(vec![9, 0, 0, 4, 0, 30, 0, 1]);
+        let mut was_feasible = false;
+        for t in 0..40 {
+            let f = feasible(&inst, t);
+            assert!(!was_feasible || f, "feasibility must be monotone (t={t})");
+            was_feasible = f;
+        }
+        assert!(was_feasible);
+    }
+
+    #[test]
+    fn size_estimate_grows_with_t() {
+        let inst = Instance::concentrated(100, 0, 1000);
+        assert!(network_size_estimate(&inst, 10) < network_size_estimate(&inst, 100));
+    }
+}

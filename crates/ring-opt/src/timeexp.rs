@@ -1,0 +1,157 @@
+//! Feasibility of a target makespan on a **unit-capacity** ring (§7 model).
+//!
+//! With capacitated links the spatial staircase argument of
+//! [`crate::staircase`] no longer applies (work leaves a region at rate at
+//! most one per link), so we test feasibility on the *time-expanded* graph:
+//!
+//! * a node `(p, t)` for every processor `p` and step `t ∈ 0..T`;
+//! * source → `(p, 0)` with capacity `x_p` (initial placement);
+//! * `(p, t) → (p, t+1)` with unbounded capacity (jobs may wait);
+//! * `(p, t) → (p±1, t+1)` with capacity 1 — one job per link direction per
+//!   step;
+//! * `(p, t)` → sink with capacity 1 — one unit processed per step.
+//!
+//! A schedule of length `T` exists iff the max flow equals `n`. Capacities
+//! are integral so the test is exact.
+//!
+//! Note on the capacity reading: the paper says "only one job and one
+//! message can be passed over a link in a single time step". We model one
+//! job per link *direction* per step (the more permissive reading). A more
+//! permissive optimum is never larger, so approximation factors computed
+//! against it are upper bounds on the true factors — the safe direction for
+//! an empirical evaluation.
+
+use crate::flow::{FlowNetwork, INF};
+use ring_sim::Instance;
+
+/// Estimated number of directed edges in the time-expanded network for
+/// makespan `t`.
+pub fn network_size_estimate(instance: &Instance, t: u64) -> u64 {
+    let m = instance.num_processors() as u64;
+    // hold + two moves + process per (p, t) node, plus m source edges.
+    4 * m * t + m
+}
+
+/// Returns true iff a schedule of length `t` exists for `instance` on a
+/// ring whose links carry at most one job per direction per step.
+pub fn feasible(instance: &Instance, t: u64) -> bool {
+    let n = instance.total_work();
+    if n == 0 {
+        return true;
+    }
+    if t == 0 {
+        return false;
+    }
+    let m = instance.num_processors();
+    let topo = instance.topology();
+    let steps = t as usize;
+
+    // Node layout: 0 = source, 1 = sink, (p, t) = 2 + t*m + p.
+    let node = |p: usize, tt: usize| 2 + tt * m + p;
+    let mut g = FlowNetwork::new(2 + steps * m);
+    let src = 0usize;
+    let sink = 1usize;
+
+    for p in 0..m {
+        let x = instance.load(p);
+        if x > 0 {
+            g.add_edge(src, node(p, 0), x);
+        }
+    }
+    for tt in 0..steps {
+        for p in 0..m {
+            g.add_edge(node(p, tt), sink, 1);
+            if tt + 1 < steps {
+                g.add_edge(node(p, tt), node(p, tt + 1), INF);
+                // m == 1 and m == 2 degenerate: avoid duplicate/looping
+                // move edges.
+                if m >= 2 {
+                    let cw = topo.neighbor(p, ring_sim::Direction::Cw);
+                    g.add_edge(node(p, tt), node(cw, tt + 1), 1);
+                }
+                if m >= 3 {
+                    let ccw = topo.neighbor(p, ring_sim::Direction::Ccw);
+                    g.add_edge(node(p, tt), node(ccw, tt + 1), 1);
+                }
+            }
+        }
+    }
+    g.max_flow(src, sink) == n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_cases() {
+        assert!(feasible(&Instance::empty(3), 0));
+        assert!(!feasible(&Instance::concentrated(3, 0, 1), 0));
+        assert!(feasible(&Instance::concentrated(3, 0, 1), 1));
+    }
+
+    #[test]
+    fn single_heavy_node_escape_rate() {
+        // 9 jobs on one node of a 9-ring. In T steps the node processes T
+        // and exports at most 2 per step, but exported jobs also need
+        // processing time. T=3: process 3, export ≤ 2+2 but the last-step
+        // exports can't be processed; neighbors can absorb at most
+        // (T-1)+(T-2)… For T=3: self 3, each neighbor receives at t=1,2 and
+        // can process 2 ... total 3 + 2 + 2 = 7 < 9. T=4: 4 + 3 + 3 + ...
+        // second-hop neighbors get jobs at t>=2: 4+3+3+2+2 = 14 >= 9.
+        let inst = Instance::concentrated(9, 0, 9);
+        assert!(!feasible(&inst, 3));
+        assert!(feasible(&inst, 4));
+    }
+
+    #[test]
+    fn capacitated_never_beats_uncapacitated() {
+        let inst = Instance::from_loads(vec![20, 0, 0, 0, 5, 0, 0, 3]);
+        for t in 0..30 {
+            if feasible(&inst, t) {
+                assert!(crate::staircase::feasible(&inst, t));
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_load_unaffected_by_capacity() {
+        let inst = Instance::from_loads(vec![4; 6]);
+        assert!(!feasible(&inst, 3));
+        assert!(feasible(&inst, 4));
+    }
+
+    #[test]
+    fn feasibility_is_monotone_in_t() {
+        let inst = Instance::from_loads(vec![12, 0, 3, 0, 0, 7]);
+        let mut was = false;
+        for t in 0..40 {
+            let f = feasible(&inst, t);
+            assert!(!was || f);
+            was = f;
+        }
+        assert!(was);
+    }
+
+    #[test]
+    fn two_processor_ring() {
+        // m = 2: the two processors are joined by two links; our builder
+        // adds only the cw move edge to avoid double-counting a single
+        // physical link pair.
+        let inst = Instance::from_loads(vec![6, 0]);
+        // T=4: self 4, export one per step t=0..2 arriving t=1..3, neighbor
+        // processes at most 3 -> 7 >= 6; T=3: 3 + 2 = 5 < 6.
+        assert!(!feasible(&inst, 3));
+        assert!(feasible(&inst, 4));
+    }
+
+    #[test]
+    fn lemma10_bound_is_respected() {
+        // Any feasible T must satisfy the Lemma 10 window bound.
+        let inst = Instance::from_loads(vec![30, 25, 0, 0, 0, 0, 0, 0, 0, 0]);
+        let lb = crate::bounds::capacitated_lower_bound(&inst);
+        for t in 0..lb {
+            assert!(!feasible(&inst, t), "t={t} below lower bound {lb}");
+        }
+    }
+}

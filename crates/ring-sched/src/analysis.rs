@@ -1,0 +1,132 @@
+//! The worst-case analysis constants of §3–§4.
+//!
+//! The Basic Algorithm tops processors up to `c·sqrt(work seen)`. Its
+//! bucket-emptying time is `α·L` with `α = 2/c + 1/c²` (Lemma 4), and the
+//! overall approximation factor is
+//!
+//! ```text
+//! ρ(c) = α + c·sqrt(1 + α) = 1 + c + 2/c + 1/c²
+//! ```
+//!
+//! The paper picks `c = 1.77`, giving `α ≈ 1.45` and `ρ ≈ 4.22`
+//! (Theorem 1). The integral algorithm keeps the factor with `+2` additive
+//! slack (Lemma 6, Corollary 1); arbitrary job sizes add one more factor
+//! unit (Lemma 7, Corollary 2: 5.22).
+
+/// The constant `c` chosen in the paper (§3, Theorem 1).
+pub const C_PAPER: f64 = 1.77;
+
+/// Worst-case approximation factor of the Basic/Integral algorithm with
+/// `c = 1.77` (Theorem 1, Corollary 1).
+pub const UNIT_BOUND: f64 = 4.22;
+
+/// Worst-case approximation factor of the arbitrary-size algorithm
+/// (Corollary 2).
+pub const SIZED_BOUND: f64 = 5.22;
+
+/// Worst-case factor of the capacitated-ring algorithm (§7, Theorem 3:
+/// schedules of length at most `2L + 2`).
+pub const CAPACITATED_BOUND: f64 = 2.0;
+
+/// The distributed lower bound (§5, Theorem 2): no distributed algorithm is
+/// a `ρ`-approximation for `ρ < 1.06`.
+pub const DISTRIBUTED_LOWER_BOUND: f64 = 1.06;
+
+/// Bucket travel coefficient `α(c) = 2/c + 1/c²` (equation (3)): a bucket
+/// empties within `α·L` hops on any instance with optimum `L`.
+///
+/// # Panics
+///
+/// Panics if `c <= 0`.
+pub fn alpha(c: f64) -> f64 {
+    assert!(c > 0.0, "the drop-off constant must be positive");
+    2.0 / c + 1.0 / (c * c)
+}
+
+/// Worst-case approximation factor `ρ(c) = 1 + c + 2/c + 1/c²` of the Basic
+/// Algorithm as a function of the drop-off constant.
+///
+/// # Panics
+///
+/// Panics if `c <= 0`.
+pub fn theory_factor(c: f64) -> f64 {
+    assert!(c > 0.0, "the drop-off constant must be positive");
+    1.0 + c + 2.0 / c + 1.0 / (c * c)
+}
+
+/// The wrap-around factor of Lemma 5: if a bucket laps the ring,
+/// the schedule is at most `(1 + 2α)·L`.
+pub fn wraparound_factor(c: f64) -> f64 {
+    1.0 + 2.0 * alpha(c)
+}
+
+/// The `c` minimizing [`theory_factor`], found by ternary search (the paper
+/// rounds it to 1.77).
+pub fn optimal_c() -> f64 {
+    let (mut lo, mut hi) = (0.5f64, 4.0f64);
+    for _ in 0..200 {
+        let m1 = lo + (hi - lo) / 3.0;
+        let m2 = hi - (hi - lo) / 3.0;
+        if theory_factor(m1) < theory_factor(m2) {
+            hi = m2;
+        } else {
+            lo = m1;
+        }
+    }
+    (lo + hi) / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alpha_at_paper_c() {
+        // §3: "Choosing c = 1.77 sets α = 1.45".
+        let a = alpha(C_PAPER);
+        assert!((a - 1.45).abs() < 0.01, "alpha(1.77) = {a}");
+    }
+
+    #[test]
+    fn factor_at_paper_c_is_4_22() {
+        let rho = theory_factor(C_PAPER);
+        assert!(rho <= UNIT_BOUND, "rho(1.77) = {rho}");
+        assert!(rho > 4.2);
+    }
+
+    #[test]
+    fn factor_identity() {
+        // ρ = α + c·sqrt(1+α) must equal 1 + c + 2/c + 1/c².
+        for &c in &[0.7, 1.0, 1.5, 1.77, 2.5, 3.3] {
+            let a = alpha(c);
+            let direct = a + c * (1.0 + a).sqrt();
+            assert!(
+                (direct - theory_factor(c)).abs() < 1e-9,
+                "identity fails at c={c}"
+            );
+        }
+    }
+
+    #[test]
+    fn optimal_c_is_near_paper_value() {
+        let c = optimal_c();
+        assert!((c - 1.77).abs() < 0.01, "optimal c = {c}");
+        // The optimum really is a minimum.
+        assert!(theory_factor(c) <= theory_factor(c - 0.05));
+        assert!(theory_factor(c) <= theory_factor(c + 0.05));
+    }
+
+    #[test]
+    fn wraparound_never_exceeds_main_bound_at_paper_c() {
+        // Lemma 5: 1 + 2α = 3.89 < 4.22 at c = 1.77.
+        let w = wraparound_factor(C_PAPER);
+        assert!((w - 3.89).abs() < 0.01, "1 + 2α = {w}");
+        assert!(w < theory_factor(C_PAPER));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn alpha_rejects_nonpositive_c() {
+        let _ = alpha(0.0);
+    }
+}

@@ -1,0 +1,239 @@
+//! Baseline policies the paper's algorithms are measured against.
+//!
+//! §2 stresses that ring scheduling is *not* load balancing: "just
+//! balancing the load may lead to an excessively long schedule, and a
+//! shorter one might be achieved by doing more of the work locally rather
+//! than spending the time to send it far away". These baselines make that
+//! claim measurable:
+//!
+//! * [`run_stay_local`] — no migration at all; makespan is the largest
+//!   initial pile. The right answer when communication dominates.
+//! * [`run_diffusion`] — classic neighborhood diffusion load balancing
+//!   (each step, send one job toward each strictly lighter neighbor, the
+//!   natural ring analog of first-order diffusion): drives loads toward
+//!   uniform regardless of whether the transported jobs will ever repay
+//!   their travel time.
+//!
+//! The experiments (and `examples/transaction_batches.rs`) show the bucket
+//! algorithms beating diffusion exactly where the paper predicts: work
+//! concentrated on a few processors of a large ring, where full balance is
+//! a waste.
+
+use ring_sim::{
+    Direction, Engine, EngineConfig, Inbox, Instance, Node, NodeCtx, Outbox, Payload, RunReport,
+    SimError, StepOutcome, TraceLevel,
+};
+
+/// Runs the no-migration baseline (schedule `S'` of Lemma 12). The
+/// makespan is exactly `max_i x_i`; returned as a run for uniform
+/// reporting.
+pub fn run_stay_local(instance: &Instance) -> u64 {
+    instance.max_load()
+}
+
+/// A diffusion message: some jobs plus the sender's current load (the
+/// load estimate drives the next step's decisions, as in the §7
+/// algorithm).
+#[derive(Debug, Clone, Copy)]
+pub struct DiffusionMsg {
+    jobs: u64,
+    load: u64,
+}
+
+impl Payload for DiffusionMsg {
+    fn job_units(&self) -> u64 {
+        self.jobs
+    }
+}
+
+/// Per-processor diffusion state.
+#[derive(Debug)]
+pub struct DiffusionNode {
+    jobs: u64,
+    left: Option<u64>,
+    right: Option<u64>,
+}
+
+impl Node for DiffusionNode {
+    type Msg = DiffusionMsg;
+
+    fn on_step(&mut self, _ctx: &NodeCtx, inbox: Inbox<DiffusionMsg>) -> StepOutcome<DiffusionMsg> {
+        for msg in &inbox.from_ccw {
+            self.jobs += msg.jobs;
+            self.left = Some(msg.load);
+        }
+        for msg in &inbox.from_cw {
+            self.jobs += msg.jobs;
+            self.right = Some(msg.load);
+        }
+
+        let mut work_done = 0;
+        if self.jobs > 0 {
+            self.jobs -= 1;
+            work_done = 1;
+        }
+
+        // First-order diffusion: send toward each neighbor whose last
+        // announced load is at least 2 below ours (the minimum gap at
+        // which moving a job cannot overshoot the balance point).
+        let mut send_cw = 0u64;
+        let mut send_ccw = 0u64;
+        if let Some(r) = self.right {
+            if self.jobs >= r + 2 {
+                send_cw = (self.jobs - r) / 2;
+            }
+        }
+        if let Some(l) = self.left {
+            if self.jobs.saturating_sub(send_cw) >= l + 2 {
+                send_ccw = (self.jobs - send_cw - l) / 2;
+            }
+        }
+        // Don't strip the processor below what it can chew on next step.
+        let sendable = self.jobs.saturating_sub(1);
+        send_cw = send_cw.min(sendable);
+        send_ccw = send_ccw.min(sendable.saturating_sub(send_cw));
+        self.jobs -= send_cw + send_ccw;
+
+        let mut outbox = Outbox::empty();
+        outbox.push(
+            Direction::Cw,
+            DiffusionMsg {
+                jobs: send_cw,
+                load: self.jobs,
+            },
+        );
+        outbox.push(
+            Direction::Ccw,
+            DiffusionMsg {
+                jobs: send_ccw,
+                load: self.jobs,
+            },
+        );
+        StepOutcome { outbox, work_done }
+    }
+
+    fn pending_work(&self) -> u64 {
+        self.jobs
+    }
+}
+
+/// Runs the diffusion load balancer to completion and returns its report.
+pub fn run_diffusion(instance: &Instance, trace: TraceLevel) -> Result<RunReport, SimError> {
+    let nodes: Vec<DiffusionNode> = instance
+        .loads()
+        .iter()
+        .map(|&x| DiffusionNode {
+            jobs: x,
+            left: None,
+            right: None,
+        })
+        .collect();
+    let cfg = EngineConfig {
+        trace,
+        ..EngineConfig::default()
+    };
+    Engine::new(nodes, instance.total_work(), cfg).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::unit::{run_unit, UnitConfig};
+
+    #[test]
+    fn stay_local_is_max_load() {
+        let inst = Instance::from_loads(vec![3, 9, 0, 4]);
+        assert_eq!(run_stay_local(&inst), 9);
+    }
+
+    #[test]
+    fn diffusion_conserves_work() {
+        let inst = Instance::from_loads(vec![100, 0, 0, 20, 0, 0, 0, 5]);
+        let report = run_diffusion(&inst, TraceLevel::Off).unwrap();
+        assert_eq!(report.metrics.total_processed(), 125);
+    }
+
+    #[test]
+    fn diffusion_beats_stay_local_on_imbalance() {
+        let inst = Instance::concentrated(16, 0, 320);
+        let report = run_diffusion(&inst, TraceLevel::Off).unwrap();
+        assert!(
+            report.makespan < 320,
+            "diffusion makespan {}",
+            report.makespan
+        );
+    }
+
+    #[test]
+    fn diffusion_is_no_op_on_balanced_load() {
+        let inst = Instance::from_loads(vec![8; 10]);
+        let report = run_diffusion(&inst, TraceLevel::Off).unwrap();
+        assert_eq!(report.makespan, 8);
+        assert_eq!(report.metrics.job_hops, 0);
+    }
+
+    #[test]
+    fn bucket_algorithm_beats_diffusion_on_large_ring() {
+        // The §2 claim: balancing toward uniformity overshoots when the
+        // pile is deep relative to the optimum. 65536 jobs on one node of
+        // a 1024-ring: OPT = 256, the uniform target is 64 per processor —
+        // reaching it means shipping jobs hundreds of hops, far beyond the
+        // sqrt-sized neighborhood the optimum uses.
+        let inst = Instance::concentrated(1024, 0, 65_536);
+        let diff = run_diffusion(&inst, TraceLevel::Off).unwrap();
+        let c1 = run_unit(&inst, &UnitConfig::c1()).unwrap();
+        let a2 = run_unit(&inst, &UnitConfig::a2()).unwrap();
+        assert!(
+            c1.makespan < diff.makespan,
+            "C1 {} !< diffusion {}",
+            c1.makespan,
+            diff.makespan
+        );
+        assert!(a2.makespan < diff.makespan);
+    }
+
+    #[test]
+    fn a2_beats_diffusion_across_shapes() {
+        // The best paper algorithm dominates the load-balancing baseline
+        // on every §6-style shape we tried.
+        let shapes = vec![
+            Instance::concentrated(512, 0, 4_096),
+            ring_workloads_free::twin(512, 2_048),
+            Instance::from_loads({
+                let mut v = vec![1u64; 512];
+                v[0] = 3_000;
+                v
+            }),
+        ];
+        for inst in shapes {
+            let diff = run_diffusion(&inst, TraceLevel::Off).unwrap();
+            let a2 = run_unit(&inst, &UnitConfig::a2()).unwrap();
+            assert!(
+                a2.makespan < diff.makespan,
+                "A2 {} !< diffusion {}",
+                a2.makespan,
+                diff.makespan
+            );
+        }
+    }
+
+    /// Tiny local helper to avoid a dev-dependency cycle with
+    /// `ring-workloads`.
+    mod ring_workloads_free {
+        use ring_sim::Instance;
+
+        pub fn twin(m: usize, w: u64) -> Instance {
+            let mut v = vec![0u64; m];
+            v[0] = w;
+            v[m / 2] = w;
+            Instance::from_loads(v)
+        }
+    }
+
+    #[test]
+    fn diffusion_trace_validates() {
+        let inst = Instance::from_loads(vec![40, 0, 0, 10]);
+        let report = run_diffusion(&inst, TraceLevel::Full).unwrap();
+        assert!(ring_sim::validate_run(&inst, &report).is_empty());
+    }
+}

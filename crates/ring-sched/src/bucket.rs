@@ -1,0 +1,417 @@
+//! The bucket message and the integral drop-off kernel (§3 + §4.1).
+//!
+//! The paper defines the integral algorithm as a *rounding* of the Basic
+//! Algorithm: each bucket carries, besides its whole jobs, the fractional
+//! shadow of what the Basic Algorithm would have done, and rounds against it
+//! under two cumulative constraints (§4.1):
+//!
+//! * **I1** — the total a bucket has dropped off through time `t` is at most
+//!   `ceil(D(t))`, where `D(t)` is the fractional cumulative drop;
+//! * **I2** — the total a processor has accepted through time `t` is at most
+//!   `1 + ceil(R(t))`, where `R(t)` is the fractional cumulative receipt.
+//!
+//! Lemma 6 shows this rounding costs at most +2 over the fractional
+//! schedule. The same kernel serves all three experimental variants (§6):
+//! the variant only changes the *target* the fractional shadow aims for.
+//!
+//! A bucket that has lapped the ring (`hops == m`) has seen all the work in
+//! the system and switches to the Lemma 5 *balancing* rule: top every
+//! processor up to the average load `ceil(n/m)`.
+
+use crate::{ceil_tol, EPS};
+use ring_sim::{Direction, Payload};
+
+/// A travelling bucket of unit jobs plus its fractional shadow.
+#[derive(Debug, Clone)]
+pub struct Bucket {
+    /// Processor the bucket started from.
+    pub origin: usize,
+    /// Travel direction (fixed for the bucket's lifetime).
+    pub dir: Direction,
+    /// Whole jobs still in the bucket.
+    pub jobs: u64,
+    /// Fractional-shadow content still in the bucket.
+    pub frac: f64,
+    /// Work that originated on the processors this bucket has visited
+    /// (the `x_i + … + x_j` of the variant-C target).
+    pub seen_work: u64,
+    /// Cumulative fractional drop `D(t)` (constraint I1).
+    pub dropped_frac: f64,
+    /// Cumulative integral drop (constraint I1).
+    pub dropped_int: u64,
+    /// Hops travelled so far.
+    pub hops: u64,
+    /// Variant B: best Lemma 1 lower bound over the prefix the bucket has
+    /// seen, `max_k sqrt(((k-1)/2)² + S_k) - (k-1)/2`.
+    pub best_lb: f64,
+    /// Whether the bucket has lapped the ring and switched to the Lemma 5
+    /// balancing rule.
+    pub balancing: bool,
+    /// Total work in the system; meaningful once `balancing` is set (the
+    /// lap made `seen_work` the global total).
+    pub total_work: u64,
+    /// Unconditional per-node drop amount, armed if the bucket completes a
+    /// *second* full lap without emptying. In the static setting the
+    /// Lemma 5 capacity argument empties every bucket within its balancing
+    /// lap, so this never fires; with dynamic arrivals (`crate::dynamic`)
+    /// later batches can saturate the average-load targets and this
+    /// guarantees termination.
+    pub spill: u64,
+}
+
+impl Bucket {
+    /// A fresh bucket holding all `x` jobs of processor `origin`.
+    pub fn new(origin: usize, dir: Direction, x: u64) -> Self {
+        Bucket {
+            origin,
+            dir,
+            jobs: x,
+            frac: x as f64,
+            seen_work: x,
+            dropped_frac: 0.0,
+            dropped_int: 0,
+            hops: 0,
+            best_lb: (x as f64).sqrt(),
+            balancing: false,
+            total_work: 0,
+            spill: 0,
+        }
+    }
+
+    /// True when the bucket carries neither whole jobs nor a meaningful
+    /// fractional shadow and can be retired.
+    pub fn is_spent(&self) -> bool {
+        self.jobs == 0 && self.frac < EPS
+    }
+
+    /// Records arrival at the next processor, whose originating work is
+    /// `x`: advances the hop count, accumulates `seen_work` and the
+    /// variant-B bound, and flips to balancing mode after a full lap of an
+    /// `m`-ring.
+    pub fn arrive(&mut self, x: u64, m: usize) {
+        self.hops += 1;
+        if self.balancing {
+            if self.spill == 0 && self.hops >= 2 * m as u64 {
+                // Second full lap without emptying: force an even spill.
+                self.spill = self.jobs.div_ceil(m as u64).max(1);
+            }
+            return;
+        }
+        if self.hops >= m as u64 {
+            // Back at the origin: `seen_work` now covers every processor.
+            self.balancing = true;
+            self.total_work = self.seen_work;
+        } else {
+            self.seen_work += x;
+            let k = (self.hops + 1) as f64; // processors seen, incl. origin
+            let s = self.seen_work as f64;
+            let lb = (((k - 1.0) / 2.0).powi(2) + s).sqrt() - (k - 1.0) / 2.0;
+            if lb > self.best_lb {
+                self.best_lb = lb;
+            }
+        }
+    }
+
+    /// Splits this bucket for the bidirectional variants: the receiver
+    /// keeps the clockwise half (rounding the odd job clockwise) and the
+    /// returned bucket carries the counterclockwise half. Both halves get
+    /// fresh drop ledgers (constraint I1 is per-bucket).
+    pub fn split_for_bidirectional(&mut self) -> Bucket {
+        debug_assert_eq!(self.hops, 0, "split only happens at the origin");
+        let ccw_jobs = self.jobs / 2;
+        let half_frac = self.frac / 2.0;
+        self.jobs -= ccw_jobs;
+        self.frac = half_frac;
+        Bucket {
+            origin: self.origin,
+            dir: Direction::Ccw,
+            jobs: ccw_jobs,
+            frac: half_frac,
+            seen_work: self.seen_work,
+            dropped_frac: 0.0,
+            dropped_int: 0,
+            hops: 0,
+            best_lb: self.best_lb,
+            balancing: false,
+            total_work: 0,
+            spill: 0,
+        }
+    }
+}
+
+impl Payload for Bucket {
+    fn job_units(&self) -> u64 {
+        self.jobs
+    }
+}
+
+/// Per-processor acceptance ledger: everything a processor must remember
+/// about past drops to run the algorithm (all local state).
+#[derive(Debug, Clone, Default)]
+pub struct Ledger {
+    /// Cumulative fractional receipt `R(t)` (constraint I2).
+    pub accepted_frac: f64,
+    /// Cumulative whole jobs accepted (constraint I2).
+    pub accepted_int: u64,
+    /// Variant A: fractional bucket content that has passed this processor
+    /// (including what each bucket carried on arrival).
+    pub passed_frac: f64,
+    /// Variant A: whole jobs that have passed (diagnostics).
+    pub passed_int: u64,
+}
+
+/// What one drop-off deposited.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DropOutcome {
+    /// Fractional shadow deposited.
+    pub frac: f64,
+    /// Whole jobs deposited.
+    pub int: u64,
+}
+
+/// One regular (non-balancing) drop-off: move the fractional shadow so the
+/// processor's *reference level* `current_frac` reaches `target_frac`, then
+/// round under I1/I2.
+///
+/// Variants B and C top up the processor's cumulative acceptance
+/// (`current_frac = ledger.accepted_frac`, the `a_j` of §3); variant A tops
+/// up the processor's *current unprocessed backlog* ("removes jobs from
+/// buckets so as to **have** the square root of the work that has passed
+/// by" — the processor keeps re-filling as it drains, which is the
+/// "slightly better local load balancing" the paper credits A with).
+pub fn drop_regular(
+    bucket: &mut Bucket,
+    ledger: &mut Ledger,
+    current_frac: f64,
+    target_frac: f64,
+) -> DropOutcome {
+    let d_frac = (target_frac - current_frac).clamp(0.0, bucket.frac);
+    let new_d = bucket.dropped_frac + d_frac;
+    let new_r = ledger.accepted_frac + d_frac;
+
+    let i1_room = ceil_tol(new_d).saturating_sub(bucket.dropped_int);
+    let i2_room = (1 + ceil_tol(new_r)).saturating_sub(ledger.accepted_int);
+    let d_int = bucket.jobs.min(i1_room).min(i2_room);
+
+    bucket.frac -= d_frac;
+    if bucket.frac < EPS {
+        bucket.frac = 0.0;
+    }
+    bucket.dropped_frac = new_d;
+    bucket.jobs -= d_int;
+    bucket.dropped_int += d_int;
+    ledger.accepted_frac = new_r;
+    ledger.accepted_int += d_int;
+    DropOutcome {
+        frac: d_frac,
+        int: d_int,
+    }
+}
+
+/// The Lemma 5 balancing drop: top the processor up to the average load.
+/// The rounding constraints are no longer needed — the bucket knows the
+/// exact global total, so it rounds directly against `ceil(n/m)`.
+pub fn drop_balancing(bucket: &mut Bucket, ledger: &mut Ledger, m: usize) -> DropOutcome {
+    debug_assert!(bucket.balancing);
+    let d_int = if bucket.spill > 0 {
+        // Forced even spill (second lap; see `Bucket::spill`).
+        bucket.jobs.min(bucket.spill)
+    } else {
+        let target_int = bucket.total_work.div_ceil(m as u64);
+        bucket
+            .jobs
+            .min(target_int.saturating_sub(ledger.accepted_int))
+    };
+    let target_frac = bucket.total_work as f64 / m as f64;
+    let d_frac = (target_frac - ledger.accepted_frac).clamp(0.0, bucket.frac);
+
+    bucket.jobs -= d_int;
+    bucket.dropped_int += d_int;
+    bucket.frac -= d_frac;
+    if bucket.frac < EPS {
+        bucket.frac = 0.0;
+    }
+    bucket.dropped_frac += d_frac;
+    ledger.accepted_int += d_int;
+    ledger.accepted_frac += d_frac;
+    DropOutcome {
+        frac: d_frac,
+        int: d_int,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_bucket_carries_everything() {
+        let b = Bucket::new(3, Direction::Cw, 25);
+        assert_eq!(b.jobs, 25);
+        assert_eq!(b.frac, 25.0);
+        assert_eq!(b.seen_work, 25);
+        assert!((b.best_lb - 5.0).abs() < 1e-12);
+        assert!(!b.is_spent());
+    }
+
+    #[test]
+    fn arrive_accumulates_seen_work_and_lb() {
+        let mut b = Bucket::new(0, Direction::Cw, 16);
+        b.arrive(9, 100);
+        assert_eq!(b.hops, 1);
+        assert_eq!(b.seen_work, 25);
+        // k=2, S=25: sqrt(0.25 + 25) - 0.5 ≈ 4.525 — next prefix bound.
+        // best stays 4 (sqrt 16)? No: sqrt(16) = 4 < 4.52, so it updates.
+        assert!(b.best_lb > 4.5 && b.best_lb < 4.6);
+    }
+
+    #[test]
+    fn lap_triggers_balancing() {
+        let mut b = Bucket::new(0, Direction::Cw, 10);
+        let m = 4;
+        b.arrive(1, m);
+        b.arrive(2, m);
+        b.arrive(3, m);
+        assert!(!b.balancing);
+        assert_eq!(b.seen_work, 16);
+        b.arrive(10, m); // back at origin: x not re-added
+        assert!(b.balancing);
+        assert_eq!(b.total_work, 16);
+        assert_eq!(b.seen_work, 16);
+    }
+
+    #[test]
+    fn regular_drop_respects_target() {
+        let mut b = Bucket::new(0, Direction::Cw, 100);
+        let mut l = Ledger::default();
+        let cur = l.accepted_frac;
+        let out = drop_regular(&mut b, &mut l, cur, 17.7);
+        assert!((out.frac - 17.7).abs() < 1e-9);
+        assert_eq!(out.int, 18); // ceil(17.7) with I2 slack 1+ceil(17.7)=19, I1 = 18
+        assert_eq!(b.jobs, 82);
+        assert_eq!(l.accepted_int, 18);
+    }
+
+    #[test]
+    fn drop_is_capped_by_bucket_content() {
+        let mut b = Bucket::new(0, Direction::Cw, 3);
+        let mut l = Ledger::default();
+        let cur = l.accepted_frac;
+        let out = drop_regular(&mut b, &mut l, cur, 50.0);
+        assert_eq!(out.int, 3);
+        assert!((out.frac - 3.0).abs() < 1e-12);
+        assert!(b.is_spent());
+    }
+
+    #[test]
+    fn i1_constraint_limits_cumulative_integral_drop() {
+        // Fractional drops of 0.4 each: after k drops, ceil(0.4k) whole
+        // jobs max may have been dropped.
+        let mut b = Bucket::new(0, Direction::Cw, 10);
+        let mut cumulative_int = 0u64;
+        for k in 1..=10 {
+            let mut fresh = Ledger::default();
+            // force a 0.4 fractional drop into a fresh ledger each time
+            let cur = fresh.accepted_frac;
+            let out = drop_regular(&mut b, &mut fresh, cur, 0.4);
+            cumulative_int += out.int;
+            let d = 0.4 * k as f64;
+            assert!(
+                cumulative_int <= (d - 1e-9).ceil() as u64 + 1,
+                "k={k} cumulative={cumulative_int}"
+            );
+            assert!(cumulative_int <= ceil_tol(b.dropped_frac));
+        }
+    }
+
+    #[test]
+    fn i2_constraint_limits_processor_acceptance() {
+        // Many buckets dropping tiny fractions on one ledger: accepted_int
+        // never exceeds 1 + ceil(R).
+        let mut l = Ledger::default();
+        for _ in 0..50 {
+            let mut b = Bucket::new(0, Direction::Cw, 5);
+            let cur = l.accepted_frac;
+            drop_regular(&mut b, &mut l, cur, cur + 0.3);
+            assert!(l.accepted_int <= 1 + ceil_tol(l.accepted_frac));
+        }
+    }
+
+    #[test]
+    fn zero_target_drops_nothing_fractional_but_i2_allows_one_job() {
+        let mut b = Bucket::new(0, Direction::Cw, 5);
+        let mut l = Ledger::default();
+        let cur = l.accepted_frac;
+        let out = drop_regular(&mut b, &mut l, cur, 0.0);
+        // d_frac = 0, so I1 room = ceil(0) = 0: nothing drops.
+        assert_eq!(out.int, 0);
+        assert_eq!(out.frac, 0.0);
+    }
+
+    #[test]
+    fn balancing_drop_targets_average() {
+        let mut b = Bucket::new(0, Direction::Cw, 10);
+        b.balancing = true;
+        b.total_work = 10;
+        let mut l = Ledger {
+            accepted_int: 1,
+            accepted_frac: 1.0,
+            ..Ledger::default()
+        };
+        let out = drop_balancing(&mut b, &mut l, 4); // target ceil(10/4) = 3
+        assert_eq!(out.int, 2);
+        assert_eq!(l.accepted_int, 3);
+    }
+
+    #[test]
+    fn split_conserves_jobs_and_shadow() {
+        let mut cw = Bucket::new(2, Direction::Cw, 11);
+        let ccw = cw.split_for_bidirectional();
+        assert_eq!(cw.jobs + ccw.jobs, 11);
+        assert_eq!(cw.jobs, 6); // odd job stays clockwise
+        assert_eq!(ccw.dir, Direction::Ccw);
+        assert!((cw.frac + ccw.frac - 11.0).abs() < 1e-12);
+        assert_eq!(ccw.origin, 2);
+    }
+
+    #[test]
+    fn payload_reports_whole_jobs() {
+        let b = Bucket::new(0, Direction::Cw, 7);
+        assert_eq!(b.job_units(), 7);
+    }
+}
+
+#[cfg(test)]
+mod spill_tests {
+    use super::*;
+
+    #[test]
+    fn second_lap_arms_the_spill() {
+        let m = 4;
+        let mut b = Bucket::new(0, Direction::Cw, 10);
+        for _ in 0..(2 * m - 1) {
+            b.arrive(0, m);
+        }
+        assert!(b.balancing);
+        assert_eq!(b.spill, 0, "first balancing lap must not spill");
+        b.arrive(0, m); // hop 2m
+        assert_eq!(b.spill, 10u64.div_ceil(4));
+    }
+
+    #[test]
+    fn spill_drops_regardless_of_saturated_ledger() {
+        let m = 4;
+        let mut b = Bucket::new(0, Direction::Cw, 7);
+        b.balancing = true;
+        b.total_work = 7;
+        b.spill = 2;
+        // Ledger already far above the average target.
+        let mut l = Ledger {
+            accepted_int: 100,
+            accepted_frac: 100.0,
+            ..Ledger::default()
+        };
+        let out = drop_balancing(&mut b, &mut l, m);
+        assert_eq!(out.int, 2, "spill must bypass the average-load target");
+    }
+}

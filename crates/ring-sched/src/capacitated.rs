@@ -1,0 +1,402 @@
+//! The capacitated-ring algorithm of §7 (Figure 1).
+//!
+//! Model: each link carries at most one job and one control message per
+//! step. Each control message is just the sender's unprocessed job count,
+//! so every processor knows its neighbors' loads *as of the previous step*.
+//!
+//! One step of processor `i` (Figure 1, verbatim):
+//!
+//! ```text
+//! receive messages from neighbors i-1 and i+1
+//! set left and right to the received counts
+//! if j_i != 0: process a job, j_i -= 1
+//! if j_i > 3 and right <= 1: pass a job to p_{i+1}, j_i -= 1
+//! if j_i > 3 and left  <= 1: pass a job to p_{i-1}, j_i -= 1
+//! tell neighbors that p_i has j_i jobs
+//! ```
+//!
+//! Theorem 3: the schedule produced is at most `2L + 2` where `L` is the
+//! optimal capacitated schedule length. The implementation also tracks the
+//! invariants used in the proof (Lemma 11: once a processor first drops to
+//! `j_i ≤ 1`, its load never exceeds 3 afterwards; Lemma 12: the maximum
+//! load decreases every step) so tests can check them directly.
+//!
+//! At `t = 0` no counts have been received yet; neighbors are treated as
+//! *unknown* and no jobs are passed (passing requires positive evidence
+//! that the neighbor is nearly idle).
+
+use ring_sim::{
+    Direction, Engine, EngineConfig, Inbox, Instance, LinkCapacity, Node, NodeCtx, Outbox, Payload,
+    RunReport, SimError, StepOutcome, TraceLevel,
+};
+
+/// A message on a capacitated link: either one job or a load announcement.
+///
+/// The paper notes its Figure 1 description "can send two messages over a
+/// link in one step; it is not hard to reduce this to one" — the
+/// single-message mode realizes that reduction by piggybacking the count
+/// on the job ([`CapMsg::JobWithCount`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CapMsg {
+    /// One unit job being migrated.
+    Job,
+    /// "I have this many unprocessed jobs" (sent every step).
+    Count(u64),
+    /// One job *and* the sender's count in a single message — the §7
+    /// "reduce to one message" remark realized.
+    JobWithCount(u64),
+}
+
+impl Payload for CapMsg {
+    fn job_units(&self) -> u64 {
+        match self {
+            CapMsg::Job | CapMsg::JobWithCount(_) => 1,
+            CapMsg::Count(_) => 0,
+        }
+    }
+}
+
+/// Per-processor state of the Figure 1 policy.
+#[derive(Debug)]
+pub struct CapacitatedNode {
+    /// Piggyback the count on outgoing jobs so each link carries at most
+    /// one message per direction per step.
+    piggyback: bool,
+    jobs: u64,
+    /// Neighbor loads as of the previous step (`None` until first heard).
+    left: Option<u64>,
+    right: Option<u64>,
+    /// Diagnostics for the Lemma 11 invariant: set once `jobs` first
+    /// reaches ≤ 1, after which load must stay ≤ 3.
+    reached_low: bool,
+    /// Highest load observed after `reached_low` (must stay ≤ 3).
+    pub max_load_after_low: u64,
+    /// Lemma 12 diagnostic: this node's load at the end of each step is
+    /// folded into the engine-level maximum by the test harness.
+    processed: u64,
+}
+
+impl CapacitatedNode {
+    fn new(x: u64) -> Self {
+        Self::with_mode(x, false)
+    }
+
+    fn with_mode(x: u64, piggyback: bool) -> Self {
+        CapacitatedNode {
+            piggyback,
+            jobs: x,
+            left: None,
+            right: None,
+            reached_low: x <= 1,
+            max_load_after_low: 0,
+            processed: 0,
+        }
+    }
+
+    /// Current unprocessed job count (for tests / the threaded executor).
+    pub fn jobs(&self) -> u64 {
+        self.jobs
+    }
+
+    /// Total jobs this node processed.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+}
+
+impl Node for CapacitatedNode {
+    type Msg = CapMsg;
+
+    fn on_step(&mut self, _ctx: &NodeCtx, inbox: Inbox<CapMsg>) -> StepOutcome<CapMsg> {
+        // Receive: jobs add to our pile; counts refresh neighbor estimates.
+        // from_ccw = sent by the left (counterclockwise) neighbor.
+        for msg in &inbox.from_ccw {
+            match msg {
+                CapMsg::Job => self.jobs += 1,
+                CapMsg::Count(c) => self.left = Some(*c),
+                CapMsg::JobWithCount(c) => {
+                    self.jobs += 1;
+                    self.left = Some(*c);
+                }
+            }
+        }
+        for msg in &inbox.from_cw {
+            match msg {
+                CapMsg::Job => self.jobs += 1,
+                CapMsg::Count(c) => self.right = Some(*c),
+                CapMsg::JobWithCount(c) => {
+                    self.jobs += 1;
+                    self.right = Some(*c);
+                }
+            }
+        }
+
+        let mut outbox = Outbox::empty();
+        let mut work_done = 0;
+        if self.jobs > 0 {
+            self.jobs -= 1;
+            self.processed += 1;
+            work_done = 1;
+        }
+        let mut passed_cw = false;
+        let mut passed_ccw = false;
+        if self.jobs > 3 && self.right.is_some_and(|r| r <= 1) {
+            passed_cw = true;
+            self.jobs -= 1;
+        }
+        if self.jobs > 3 && self.left.is_some_and(|l| l <= 1) {
+            passed_ccw = true;
+            self.jobs -= 1;
+        }
+        // Announce the post-step count; in piggyback mode the count rides
+        // along on the job so each link direction carries one message.
+        for (dir, passed) in [(Direction::Cw, passed_cw), (Direction::Ccw, passed_ccw)] {
+            match (passed, self.piggyback) {
+                (true, true) => outbox.push(dir, CapMsg::JobWithCount(self.jobs)),
+                (true, false) => {
+                    outbox.push(dir, CapMsg::Job);
+                    outbox.push(dir, CapMsg::Count(self.jobs));
+                }
+                (false, _) => outbox.push(dir, CapMsg::Count(self.jobs)),
+            }
+        }
+
+        // Invariant bookkeeping (Lemma 11b).
+        if self.jobs <= 1 {
+            self.reached_low = true;
+        }
+        if self.reached_low {
+            self.max_load_after_low = self.max_load_after_low.max(self.jobs);
+        }
+        StepOutcome { outbox, work_done }
+    }
+
+    fn pending_work(&self) -> u64 {
+        self.jobs
+    }
+}
+
+/// Outcome of a capacitated run.
+#[derive(Debug, Clone)]
+pub struct CapacitatedRun {
+    /// Schedule length.
+    pub makespan: u64,
+    /// Engine report.
+    pub report: RunReport,
+    /// Jobs each processor ended up processing.
+    pub processed: Vec<u64>,
+    /// Largest load any processor held after first dropping to ≤ 1
+    /// (Lemma 11b says this is at most 3).
+    pub max_load_after_low: u64,
+}
+
+/// Builds the per-processor policy nodes — used by [`run_capacitated`] and
+/// by alternative executors such as the threaded one in `ring-net`.
+pub fn build_capacitated_nodes(instance: &Instance) -> Vec<CapacitatedNode> {
+    instance
+        .loads()
+        .iter()
+        .map(|&x| CapacitatedNode::new(x))
+        .collect()
+}
+
+/// Builds nodes in single-message (piggyback) mode: at most one message
+/// per link direction per step.
+pub fn build_piggyback_nodes(instance: &Instance) -> Vec<CapacitatedNode> {
+    instance
+        .loads()
+        .iter()
+        .map(|&x| CapacitatedNode::with_mode(x, true))
+        .collect()
+}
+
+/// Runs the single-message variant of the Figure 1 algorithm. The schedule
+/// is step-for-step identical to [`run_capacitated`] (the information flow
+/// is the same; only the framing changes), which the tests assert.
+pub fn run_capacitated_piggyback(
+    instance: &Instance,
+    trace: TraceLevel,
+) -> Result<CapacitatedRun, SimError> {
+    let nodes = build_piggyback_nodes(instance);
+    let cfg = EngineConfig {
+        link_capacity: LinkCapacity::UnitJobs,
+        trace,
+        max_steps: Some(4 * (instance.total_work() + instance.num_processors() as u64) + 64),
+    };
+    let mut engine = Engine::new(nodes, instance.total_work(), cfg);
+    let report = engine.run()?;
+    let nodes = engine.into_nodes();
+    Ok(CapacitatedRun {
+        makespan: report.makespan,
+        processed: nodes.iter().map(|n| n.processed()).collect(),
+        max_load_after_low: nodes
+            .iter()
+            .map(|n| n.max_load_after_low)
+            .max()
+            .unwrap_or(0),
+        report,
+    })
+}
+
+/// Runs the Figure 1 algorithm under the unit-capacity link model.
+///
+/// ```
+/// use ring_sim::{Instance, TraceLevel};
+/// use ring_sched::capacitated::run_capacitated;
+///
+/// let inst = Instance::concentrated(8, 0, 40);
+/// let run = run_capacitated(&inst, TraceLevel::Off).unwrap();
+/// assert!(run.makespan < 40);             // beats staying local
+/// assert!(run.max_load_after_low <= 3);   // Lemma 11b
+/// ```
+pub fn run_capacitated(instance: &Instance, trace: TraceLevel) -> Result<CapacitatedRun, SimError> {
+    let nodes = build_capacitated_nodes(instance);
+    let cfg = EngineConfig {
+        link_capacity: LinkCapacity::UnitJobs,
+        trace,
+        // The schedule is at most 2L + 2 <= 2·max_load + 2, but a stuck run
+        // should fail fast: cap generously by total work.
+        max_steps: Some(4 * (instance.total_work() + instance.num_processors() as u64) + 64),
+    };
+    let mut engine = Engine::new(nodes, instance.total_work(), cfg);
+    let report = engine.run()?;
+    let nodes = engine.into_nodes();
+    Ok(CapacitatedRun {
+        makespan: report.makespan,
+        processed: nodes.iter().map(|n| n.processed()).collect(),
+        max_load_after_low: nodes
+            .iter()
+            .map(|n| n.max_load_after_low)
+            .max()
+            .unwrap_or(0),
+        report,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_instance() {
+        let run = run_capacitated(&Instance::empty(4), TraceLevel::Off).unwrap();
+        assert_eq!(run.makespan, 0);
+    }
+
+    #[test]
+    fn balanced_instance_never_passes() {
+        // All processors equally loaded: nobody's neighbor is near-idle
+        // until everyone is, so makespan equals the load exactly.
+        let inst = Instance::from_loads(vec![10; 6]);
+        let run = run_capacitated(&inst, TraceLevel::Off).unwrap();
+        assert_eq!(run.makespan, 10);
+        assert_eq!(run.report.metrics.job_hops, 0);
+    }
+
+    #[test]
+    fn passing_beats_staying_local() {
+        // One heavy processor: S' (never pass) costs 60; the algorithm must
+        // do strictly better by exporting to idle neighbors.
+        let inst = Instance::concentrated(8, 0, 60);
+        let run = run_capacitated(&inst, TraceLevel::Off).unwrap();
+        assert!(run.makespan < 60, "makespan {}", run.makespan);
+        assert!(run.report.metrics.job_hops > 0);
+    }
+
+    #[test]
+    fn lemma12_schedule_never_longer_than_no_passing() {
+        for loads in [
+            vec![60, 0, 0, 0, 0, 0, 0, 0],
+            vec![10, 30, 0, 5, 0, 0, 20, 0],
+            vec![7, 7, 7, 7],
+            vec![100, 1, 1, 1, 1, 1],
+        ] {
+            let max = *loads.iter().max().unwrap();
+            let inst = Instance::from_loads(loads);
+            let run = run_capacitated(&inst, TraceLevel::Off).unwrap();
+            assert!(
+                run.makespan <= max,
+                "makespan {} > no-passing bound {max}",
+                run.makespan
+            );
+        }
+    }
+
+    #[test]
+    fn lemma11b_load_after_idle_stays_small() {
+        let inst = Instance::from_loads(vec![50, 0, 0, 40, 0, 0, 0, 12, 0, 0]);
+        let run = run_capacitated(&inst, TraceLevel::Off).unwrap();
+        assert!(
+            run.max_load_after_low <= 3,
+            "load rose to {} after first idle",
+            run.max_load_after_low
+        );
+    }
+
+    #[test]
+    fn theorem3_on_small_instances() {
+        // makespan <= 2L + 2 with L the exact capacitated optimum.
+        for loads in [
+            vec![20, 0, 0, 0, 0, 0],
+            vec![9, 1, 0, 14, 0, 2],
+            vec![30, 30, 0, 0, 0, 0, 0, 0],
+        ] {
+            let inst = Instance::from_loads(loads);
+            let run = run_capacitated(&inst, TraceLevel::Off).unwrap();
+            let opt = ring_opt::optimum_capacitated(&inst, Some(run.makespan), &Default::default());
+            assert!(opt.is_exact());
+            assert!(
+                run.makespan <= 2 * opt.value() + 2,
+                "makespan {} vs 2·{}+2",
+                run.makespan,
+                opt.value()
+            );
+        }
+    }
+
+    #[test]
+    fn work_is_conserved() {
+        let inst = Instance::from_loads(vec![13, 0, 44, 2, 0, 0, 9]);
+        let run = run_capacitated(&inst, TraceLevel::Off).unwrap();
+        let total: u64 = run.processed.iter().sum();
+        assert_eq!(total, 68);
+    }
+
+    #[test]
+    fn piggyback_mode_is_equivalent_and_sends_fewer_messages() {
+        for loads in [
+            vec![60, 0, 0, 0, 0, 0, 0, 0],
+            vec![10, 30, 0, 5, 0, 0, 20, 0],
+            vec![100, 1, 1, 1, 1, 1],
+        ] {
+            let inst = Instance::from_loads(loads);
+            let two = run_capacitated(&inst, TraceLevel::Off).unwrap();
+            let one = run_capacitated_piggyback(&inst, TraceLevel::Off).unwrap();
+            assert_eq!(two.makespan, one.makespan);
+            assert_eq!(two.processed, one.processed);
+            assert!(one.report.metrics.messages_sent <= two.report.metrics.messages_sent);
+        }
+    }
+
+    #[test]
+    fn piggyback_sends_at_most_one_message_per_link_direction() {
+        // messages per step <= 2m (one per direction per node).
+        let inst = Instance::concentrated(10, 0, 120);
+        let run = run_capacitated_piggyback(&inst, TraceLevel::Off).unwrap();
+        let steps = run.report.metrics.steps;
+        assert!(
+            run.report.metrics.messages_sent <= steps * 2 * 10,
+            "messages {} over {steps} steps",
+            run.report.metrics.messages_sent
+        );
+    }
+
+    #[test]
+    fn respects_link_capacity_by_construction() {
+        // The engine enforces UnitJobs capacity; a successful run proves the
+        // policy never exceeded one job + one count per link direction.
+        let inst = Instance::concentrated(12, 4, 200);
+        let run = run_capacitated(&inst, TraceLevel::Off).unwrap();
+        assert_eq!(run.processed.iter().sum::<u64>(), 200);
+    }
+}

@@ -1,0 +1,362 @@
+//! Online (dynamic) job arrivals — an extension beyond the paper's static
+//! model.
+//!
+//! The paper schedules jobs that are all present at time 0 and cites
+//! Awerbuch–Kutten–Peleg's *dynamic* distributed scheduling as the general
+//! (but loosely-bounded) alternative. This module extends the bucket
+//! algorithms to arrivals over time in the most natural way: whenever a
+//! batch of new jobs appears at a processor, the processor packs the batch
+//! into a fresh bucket — self-drop, optional bidirectional split, dispatch —
+//! exactly as it does with its initial load at `t = 0`. All bookkeeping
+//! (targets, I1/I2 rounding, Lemma 5 balancing) is shared with the static
+//! algorithm; a processor's "originating work" `x_i` grows as arrivals
+//! land, which is what travelling buckets see.
+//!
+//! No approximation proof from the paper carries over verbatim (the static
+//! adversary argument does not model release times), so this module also
+//! supplies honest *dynamic lower bounds* to measure against:
+//!
+//! * any job arriving at time `r` finishes no earlier than `r + 1`;
+//! * ignoring release times can only help, so every static bound on the
+//!   aggregated instance applies;
+//! * more sharply, for every time `r`: `r` plus the static bound of the
+//!   work arriving *at or after* `r` (that work cannot start before `r`).
+
+use crate::unit::{UnitConfig, UnitNode};
+use ring_sim::{
+    Engine, EngineConfig, Inbox, Instance, Node, NodeCtx, RunReport, SimError, StepOutcome,
+};
+
+/// A batch of unit jobs arriving at a processor at a point in time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Arrival {
+    /// Step at which the batch becomes available.
+    pub time: u64,
+    /// Processor it lands on.
+    pub processor: usize,
+    /// Number of unit jobs.
+    pub count: u64,
+}
+
+/// A dynamic instance: a ring size plus a list of arrivals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DynamicInstance {
+    m: usize,
+    arrivals: Vec<Arrival>,
+}
+
+impl DynamicInstance {
+    /// Builds a dynamic instance. Arrivals are sorted by time internally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0` or any arrival names a processor `>= m`.
+    pub fn new(m: usize, mut arrivals: Vec<Arrival>) -> Self {
+        assert!(m > 0, "need at least one processor");
+        assert!(
+            arrivals.iter().all(|a| a.processor < m),
+            "arrival processor out of range"
+        );
+        arrivals.sort_by_key(|a| a.time);
+        DynamicInstance { m, arrivals }
+    }
+
+    /// A static instance viewed as a dynamic one (all arrivals at `t = 0`).
+    pub fn from_static(instance: &Instance) -> Self {
+        let arrivals = instance
+            .loads()
+            .iter()
+            .enumerate()
+            .filter(|(_, &x)| x > 0)
+            .map(|(p, &x)| Arrival {
+                time: 0,
+                processor: p,
+                count: x,
+            })
+            .collect();
+        DynamicInstance::new(instance.num_processors(), arrivals)
+    }
+
+    /// Ring size.
+    pub fn num_processors(&self) -> usize {
+        self.m
+    }
+
+    /// Total number of jobs over all arrivals.
+    pub fn total_work(&self) -> u64 {
+        self.arrivals.iter().map(|a| a.count).sum()
+    }
+
+    /// Latest arrival time (0 for an empty instance).
+    pub fn last_arrival(&self) -> u64 {
+        self.arrivals.iter().map(|a| a.time).max().unwrap_or(0)
+    }
+
+    /// The arrivals, sorted by time.
+    pub fn arrivals(&self) -> &[Arrival] {
+        &self.arrivals
+    }
+
+    /// Aggregates all arrivals into one static instance (release times
+    /// dropped).
+    pub fn aggregate(&self) -> Instance {
+        let mut loads = vec![0u64; self.m];
+        for a in &self.arrivals {
+            loads[a.processor] += a.count;
+        }
+        Instance::from_loads(loads)
+    }
+
+    /// The dynamic lower bound: for every release time `r`, `r` plus the
+    /// static lower bound of everything arriving at or after `r`
+    /// (including `r = 0`, the full aggregate bound).
+    pub fn lower_bound(&self) -> u64 {
+        let mut best = self.arrivals.iter().map(|a| a.time + 1).max().unwrap_or(0);
+        let mut release_times: Vec<u64> = self.arrivals.iter().map(|a| a.time).collect();
+        release_times.dedup();
+        for &r in &release_times {
+            let mut loads = vec![0u64; self.m];
+            for a in self.arrivals.iter().filter(|a| a.time >= r) {
+                loads[a.processor] += a.count;
+            }
+            let rest = Instance::from_loads(loads);
+            best = best.max(r + ring_opt_free::uncapacitated_lower_bound(&rest));
+        }
+        best
+    }
+}
+
+/// A local re-implementation of the closed-form bounds so `ring-sched`
+/// does not depend on `ring-opt` (which depends back on `ring-sim` only;
+/// the dependency direction is kept acyclic). The formulas are one-liners;
+/// the authoritative, heavily-tested versions live in `ring-opt` and the
+/// two are cross-checked in the integration tests.
+mod ring_opt_free {
+    use ring_sim::Instance;
+
+    pub fn uncapacitated_lower_bound(inst: &Instance) -> u64 {
+        let m = inst.num_processors();
+        let loads = inst.loads();
+        let n: u64 = loads.iter().sum();
+        let mut best = n.div_ceil(m as u64);
+        for start in 0..m {
+            if loads[start] == 0 && m > 1 {
+                continue;
+            }
+            let mut work: u64 = 0;
+            for k in 1..=m {
+                work += loads[(start + k - 1) % m];
+                // smallest L with L^2 + (k-1)L >= work
+                let b = (k - 1) as f64 / 2.0;
+                let l = ((b * b + work as f64).sqrt() - b).ceil() as u64;
+                let mut l = l.saturating_sub(1);
+                while (l as u128) * (l as u128) + (k as u128 - 1) * (l as u128) < work as u128 {
+                    l += 1;
+                }
+                best = best.max(l);
+            }
+        }
+        best
+    }
+}
+
+/// The dynamic policy: a static [`UnitNode`] plus this node's arrival
+/// schedule.
+pub struct DynamicNode {
+    inner: UnitNode,
+    /// This node's arrivals, sorted by time, consumed front to back.
+    pending: std::collections::VecDeque<Arrival>,
+}
+
+impl Node for DynamicNode {
+    type Msg = crate::bucket::Bucket;
+
+    fn on_step(&mut self, ctx: &NodeCtx, inbox: Inbox<Self::Msg>) -> StepOutcome<Self::Msg> {
+        let m = ctx.topo.len();
+        let mut outbox = ring_sim::Outbox::empty();
+        // New batches first: they are visible to this step's processing.
+        while self.pending.front().is_some_and(|a| a.time <= ctx.t) {
+            let a = self.pending.pop_front().expect("front checked");
+            self.inner.emit_bucket(ctx.id, m, a.count, &mut outbox);
+        }
+        for bucket in inbox.from_ccw.into_iter().chain(inbox.from_cw) {
+            self.inner.receive_bucket(bucket, &mut outbox, m);
+        }
+        let work_done = self.inner.process_tick();
+        StepOutcome { outbox, work_done }
+    }
+
+    fn pending_work(&self) -> u64 {
+        self.inner.pending_work() + self.pending.iter().map(|a| a.count).sum::<u64>()
+    }
+}
+
+/// Outcome of a dynamic run.
+#[derive(Debug, Clone)]
+pub struct DynamicRun {
+    /// Completion time of the last job.
+    pub makespan: u64,
+    /// Engine report.
+    pub report: RunReport,
+    /// The dynamic lower bound of the instance (for factor reporting).
+    pub lower_bound: u64,
+}
+
+/// Runs a unit-job bucket algorithm on a dynamic instance.
+pub fn run_dynamic(instance: &DynamicInstance, cfg: &UnitConfig) -> Result<DynamicRun, SimError> {
+    let empty = Instance::empty(instance.num_processors());
+    let mut nodes: Vec<DynamicNode> = crate::unit::build_unit_nodes(&empty, cfg)
+        .into_iter()
+        .map(|inner| DynamicNode {
+            inner,
+            pending: std::collections::VecDeque::new(),
+        })
+        .collect();
+    for &a in instance.arrivals() {
+        nodes[a.processor].pending.push_back(a);
+    }
+    for node in &mut nodes {
+        node.pending.make_contiguous().sort_by_key(|a| a.time);
+    }
+    let n = instance.total_work();
+    let engine_cfg = EngineConfig {
+        max_steps: Some(4 * (n + instance.num_processors() as u64) + instance.last_arrival() + 64),
+        trace: cfg.trace,
+        ..EngineConfig::default()
+    };
+    let mut engine = Engine::new(nodes, n, engine_cfg);
+    let report = engine.run()?;
+    Ok(DynamicRun {
+        makespan: report.makespan,
+        lower_bound: instance.lower_bound(),
+        report,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_equivalence() {
+        // A dynamic instance with everything at t = 0 behaves exactly like
+        // the static algorithm.
+        let inst = Instance::from_loads(vec![50, 0, 0, 12, 0, 0, 7, 0]);
+        let dynamic = DynamicInstance::from_static(&inst);
+        for (name, cfg) in UnitConfig::all_six() {
+            let stat = crate::unit::run_unit(&inst, &cfg).unwrap();
+            let dyn_run = run_dynamic(&dynamic, &cfg).unwrap();
+            assert_eq!(stat.makespan, dyn_run.makespan, "{name}");
+        }
+    }
+
+    #[test]
+    fn empty_dynamic_instance() {
+        let d = DynamicInstance::new(4, vec![]);
+        let run = run_dynamic(&d, &UnitConfig::c1()).unwrap();
+        assert_eq!(run.makespan, 0);
+        assert_eq!(run.lower_bound, 0);
+    }
+
+    #[test]
+    fn late_arrivals_extend_the_schedule() {
+        let d = DynamicInstance::new(
+            8,
+            vec![Arrival {
+                time: 100,
+                processor: 3,
+                count: 16,
+            }],
+        );
+        let run = run_dynamic(&d, &UnitConfig::c1()).unwrap();
+        assert!(run.makespan > 100, "makespan {}", run.makespan);
+        // OPT for 16-on-one-node is 4 (sqrt), released at 100.
+        assert!(run.lower_bound >= 104);
+        assert!(run.makespan >= run.lower_bound);
+    }
+
+    #[test]
+    fn staggered_bursts_conserve_work() {
+        let d = DynamicInstance::new(
+            16,
+            vec![
+                Arrival {
+                    time: 0,
+                    processor: 0,
+                    count: 100,
+                },
+                Arrival {
+                    time: 10,
+                    processor: 8,
+                    count: 50,
+                },
+                Arrival {
+                    time: 25,
+                    processor: 0,
+                    count: 30,
+                },
+                Arrival {
+                    time: 25,
+                    processor: 4,
+                    count: 30,
+                },
+            ],
+        );
+        let run = run_dynamic(&d, &UnitConfig::c1()).unwrap();
+        assert_eq!(run.report.metrics.total_processed(), 210);
+        assert!(run.makespan >= run.lower_bound);
+    }
+
+    #[test]
+    fn dynamic_lower_bound_accounts_for_tails() {
+        // A big burst released late dominates the aggregate bound.
+        let d = DynamicInstance::new(
+            64,
+            vec![
+                Arrival {
+                    time: 0,
+                    processor: 0,
+                    count: 10,
+                },
+                Arrival {
+                    time: 1000,
+                    processor: 32,
+                    count: 400,
+                },
+            ],
+        );
+        // sqrt(400) = 20 => bound >= 1020.
+        assert!(d.lower_bound() >= 1020, "lb {}", d.lower_bound());
+    }
+
+    #[test]
+    fn local_bound_matches_ring_opt() {
+        for inst in [
+            Instance::from_loads(vec![100, 0, 0, 0, 7]),
+            Instance::from_loads(vec![3; 9]),
+            Instance::from_loads(vec![0, 50, 0, 50, 0, 0, 0, 0, 0, 0, 0, 0]),
+        ] {
+            assert_eq!(
+                super::ring_opt_free::uncapacitated_lower_bound(&inst),
+                ring_opt::uncapacitated_lower_bound(&inst)
+            );
+        }
+    }
+
+    #[test]
+    fn dynamic_factor_reasonable_on_bursty_traffic() {
+        let d = DynamicInstance::new(
+            32,
+            (0..10)
+                .map(|k| Arrival {
+                    time: 20 * k,
+                    processor: ((7 * k) % 32) as usize,
+                    count: 60,
+                })
+                .collect(),
+        );
+        let run = run_dynamic(&d, &UnitConfig::a2()).unwrap();
+        let factor = run.makespan as f64 / run.lower_bound as f64;
+        assert!(factor < 4.0, "dynamic factor {factor}");
+    }
+}

@@ -1,0 +1,80 @@
+//! # ring-sched — the distributed ring scheduling algorithms of SPAA 1994
+//!
+//! This crate implements every algorithm from *"Job Scheduling in Rings"*
+//! (Fizzano, Karger, Stein, Wein):
+//!
+//! | Module | Paper section | Algorithm |
+//! |---|---|---|
+//! | [`fractional`] | §3 | the Basic (splittable-work) Algorithm, 4.22-approx |
+//! | [`mod@unit`] | §4.1, §6 | the Integral Algorithm (variant **C**) plus the experimental variants **A** and **B**, each uni- (`A1`,`B1`,`C1`) or bidirectional (`A2`,`B2`,`C2`) |
+//! | [`arbitrary`] | §4.2 | arbitrary job sizes with `p_max` slack, 5.22-approx |
+//! | [`scaled`] | §4.3 | uniform processor speed `s` and link transit `τ` reductions |
+//! | [`capacitated`] | §7 | the unit-capacity-link threshold algorithm (Figure 1), 2-approx |
+//! | [`analysis`] | §3 | the constants: `c = 1.77`, `α = 2/c + 1/c²`, the 4.22/5.22 bounds |
+//!
+//! All of the discrete algorithms are implemented as [`ring_sim::Node`]
+//! policies: local state plus neighbor messages only, no global control —
+//! exactly the property the paper advertises. They can be run on the
+//! sequential [`ring_sim::Engine`] (fast, deterministic) or on the
+//! thread-per-processor executor in `ring-net` (demonstrably distributed).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use ring_sim::Instance;
+//! use ring_sched::unit::{run_unit, UnitConfig};
+//!
+//! // 100 jobs dropped on one processor of a 32-processor ring.
+//! let inst = Instance::concentrated(32, 0, 100);
+//! let run = run_unit(&inst, &UnitConfig::c1()).unwrap();
+//! // OPT is 10 (= sqrt(100)); C1 is guaranteed within 4.22x + 2.
+//! assert!(run.makespan <= (4.22f64 * 10.0).ceil() as u64 + 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod arbitrary;
+pub mod baselines;
+pub mod bucket;
+pub mod capacitated;
+pub mod dynamic;
+pub mod fractional;
+pub mod scaled;
+pub mod unit;
+
+pub use analysis::{alpha, optimal_c, theory_factor, C_PAPER, SIZED_BOUND, UNIT_BOUND};
+pub use unit::{run_unit, Directionality, UnitConfig, UnitRun, Variant};
+
+/// Numeric tolerance for the fractional bookkeeping that shadows the
+/// integral algorithms (see [`bucket`]).
+pub(crate) const EPS: f64 = 1e-9;
+
+/// Ceiling with a small tolerance so that accumulated floating-point noise
+/// like `4.999999999` rounds to `5` rather than `5.0 + ε → 6`.
+pub(crate) fn ceil_tol(x: f64) -> u64 {
+    debug_assert!(x > -1.0, "ceil_tol expects (near-)non-negative input");
+    let c = (x - EPS).ceil();
+    if c <= 0.0 {
+        0
+    } else {
+        c as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ceil_tol_handles_float_noise() {
+        assert_eq!(ceil_tol(0.0), 0);
+        assert_eq!(ceil_tol(1e-12), 0);
+        assert_eq!(ceil_tol(0.5), 1);
+        assert_eq!(ceil_tol(4.999999999), 5);
+        assert_eq!(ceil_tol(5.0), 5);
+        assert_eq!(ceil_tol(5.000000001), 5);
+        assert_eq!(ceil_tol(5.1), 6);
+    }
+}

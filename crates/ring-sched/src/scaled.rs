@@ -1,0 +1,238 @@
+//! Uniform processor speed and link transit time (§4.3).
+//!
+//! The paper reduces both generalizations to the unit model:
+//!
+//! * processors of speed `s` — divide every processing time by `s` and run
+//!   the unit-speed algorithm (Corollary 2 carries over);
+//! * links of transit time `τ` — rescale time so a hop takes one step,
+//!   which makes processors `τ×` faster per step; run the algorithm, then
+//!   multiply the resulting schedule length by `τ`.
+//!
+//! Combined: an instance in the `(speed s, transit τ)` model maps to a unit
+//! instance with processing times `p / (s·τ)`, and a unit-model makespan of
+//! `M` maps back to `τ·M` original time units.
+//!
+//! We keep all arithmetic integral: the division must be exact. When it is
+//! not, [`lift`] scales every job size by a constant first (which scales
+//! the optimal makespan by the same constant and changes nothing about the
+//! problem's structure), making the division exact by construction.
+
+use crate::arbitrary::{run_arbitrary, ArbitraryConfig, ArbitraryRun};
+use ring_sim::{SimError, SizedInstance};
+
+/// Errors from the model reductions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScaleError {
+    /// `speed` or `transit` was zero.
+    ZeroParameter,
+    /// Some job size is not divisible by `speed · transit`; call
+    /// [`lift`]`(inst, speed · transit)` first.
+    NotDivisible {
+        /// The offending job size.
+        size: u64,
+        /// The required divisor.
+        divisor: u64,
+    },
+}
+
+impl std::fmt::Display for ScaleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScaleError::ZeroParameter => write!(f, "speed and transit must be at least 1"),
+            ScaleError::NotDivisible { size, divisor } => write!(
+                f,
+                "job size {size} is not divisible by speed·transit = {divisor}; \
+                 lift the instance first"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ScaleError {}
+
+/// Multiplies every job size by `k` (an equivalence that scales the optimal
+/// makespan by exactly `k` in the unit model).
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn lift(instance: &SizedInstance, k: u64) -> SizedInstance {
+    assert!(k >= 1, "lift factor must be at least 1");
+    let sizes = (0..instance.num_processors())
+        .map(|i| instance.jobs_at(i).iter().map(|j| j.size * k).collect())
+        .collect();
+    SizedInstance::from_sizes(sizes)
+}
+
+/// Converts an instance in the `(speed, transit)` model to the equivalent
+/// unit-model instance (processing times `p / (speed·transit)`).
+pub fn to_unit_model(
+    instance: &SizedInstance,
+    speed: u64,
+    transit: u64,
+) -> Result<SizedInstance, ScaleError> {
+    if speed == 0 || transit == 0 {
+        return Err(ScaleError::ZeroParameter);
+    }
+    let divisor = speed * transit;
+    let mut sizes = Vec::with_capacity(instance.num_processors());
+    for i in 0..instance.num_processors() {
+        let mut here = Vec::with_capacity(instance.jobs_at(i).len());
+        for j in instance.jobs_at(i) {
+            if j.size % divisor != 0 {
+                return Err(ScaleError::NotDivisible {
+                    size: j.size,
+                    divisor,
+                });
+            }
+            here.push(j.size / divisor);
+        }
+        sizes.push(here);
+    }
+    Ok(SizedInstance::from_sizes(sizes))
+}
+
+/// Maps a unit-model makespan back to original time units.
+pub fn from_unit_makespan(unit_makespan: u64, transit: u64) -> u64 {
+    unit_makespan * transit
+}
+
+/// Outcome of a scaled run.
+#[derive(Debug, Clone)]
+pub struct ScaledRun {
+    /// Schedule length in *original* time units.
+    pub makespan: u64,
+    /// The underlying unit-model run.
+    pub unit_run: ArbitraryRun,
+}
+
+/// Errors from [`run_scaled`].
+#[derive(Debug)]
+pub enum ScaledRunError {
+    /// Reduction failed.
+    Scale(ScaleError),
+    /// Simulation failed.
+    Sim(SimError),
+}
+
+impl std::fmt::Display for ScaledRunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScaledRunError::Scale(e) => write!(f, "{e}"),
+            ScaledRunError::Sim(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ScaledRunError {}
+
+/// Runs the arbitrary-size algorithm on a `(speed, transit)` instance by
+/// reduction to the unit model (§4.3).
+pub fn run_scaled(
+    instance: &SizedInstance,
+    speed: u64,
+    transit: u64,
+    cfg: &ArbitraryConfig,
+) -> Result<ScaledRun, ScaledRunError> {
+    let unit = to_unit_model(instance, speed, transit).map_err(ScaledRunError::Scale)?;
+    let unit_run = run_arbitrary(&unit, cfg).map_err(ScaledRunError::Sim)?;
+    Ok(ScaledRun {
+        makespan: from_unit_makespan(unit_run.makespan, transit),
+        unit_run,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inst(sizes: Vec<Vec<u64>>) -> SizedInstance {
+        SizedInstance::from_sizes(sizes)
+    }
+
+    #[test]
+    fn lift_scales_sizes() {
+        let i = inst(vec![vec![2, 3], vec![5]]);
+        let l = lift(&i, 4);
+        assert_eq!(l.work_vector(), vec![20, 20]);
+        assert_eq!(l.p_max(), 20);
+    }
+
+    #[test]
+    fn to_unit_model_divides_exactly() {
+        let i = inst(vec![vec![6, 12], vec![18]]);
+        let u = to_unit_model(&i, 2, 3).unwrap();
+        assert_eq!(u.work_vector(), vec![1 + 2, 3]);
+    }
+
+    #[test]
+    fn to_unit_model_rejects_indivisible() {
+        let i = inst(vec![vec![5]]);
+        let err = to_unit_model(&i, 2, 1).unwrap_err();
+        assert_eq!(
+            err,
+            ScaleError::NotDivisible {
+                size: 5,
+                divisor: 2
+            }
+        );
+    }
+
+    #[test]
+    fn zero_parameters_rejected() {
+        let i = inst(vec![vec![4]]);
+        assert_eq!(
+            to_unit_model(&i, 0, 1).unwrap_err(),
+            ScaleError::ZeroParameter
+        );
+        assert_eq!(
+            to_unit_model(&i, 1, 0).unwrap_err(),
+            ScaleError::ZeroParameter
+        );
+    }
+
+    #[test]
+    fn speed_s_divides_makespan_roughly_by_s() {
+        // One heavy pile; speed 4 processors finish ~4x faster.
+        let mut sizes = vec![vec![]; 16];
+        sizes[0] = vec![16; 25]; // 400 units of work
+        let slow = inst(sizes);
+        let cfg = ArbitraryConfig::default();
+        let unit = run_arbitrary(&slow, &cfg).unwrap();
+        let fast = run_scaled(&slow, 4, 1, &cfg).unwrap();
+        // Processing shrinks 4x but communication hops do not, so the
+        // speedup is between 1x and 4x, strictly better than no speedup.
+        assert!(
+            fast.makespan < unit.makespan,
+            "{} vs {}",
+            fast.makespan,
+            unit.makespan
+        );
+        assert!(
+            fast.makespan >= unit.makespan / 4,
+            "{} vs {}",
+            fast.makespan,
+            unit.makespan
+        );
+    }
+
+    #[test]
+    fn transit_tau_multiplies_makespan_back() {
+        let mut sizes = vec![vec![]; 8];
+        sizes[2] = vec![6; 10];
+        let i = inst(sizes);
+        let cfg = ArbitraryConfig::default();
+        let run = run_scaled(&i, 1, 2, &cfg).unwrap();
+        // Unit model has sizes 3; makespan maps back as 2x the unit one.
+        assert_eq!(run.makespan, 2 * run.unit_run.makespan);
+        assert!(run.makespan > 0);
+    }
+
+    #[test]
+    fn lift_then_scale_roundtrips() {
+        let i = inst(vec![vec![5, 7], vec![1]]);
+        let lifted = lift(&i, 6);
+        let u = to_unit_model(&lifted, 2, 3).unwrap();
+        assert_eq!(u.work_vector(), i.work_vector());
+    }
+}

@@ -1,0 +1,81 @@
+//! Simulation error types.
+
+/// Errors produced by the [`crate::Engine`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The simulation did not finish within the configured step budget.
+    /// Usually indicates a livelocked or non-terminating policy.
+    ExceededMaxSteps {
+        /// The configured step budget.
+        max_steps: u64,
+        /// Work processed when the budget ran out.
+        processed: u64,
+        /// Total work in the instance.
+        total: u64,
+    },
+    /// A node tried to process more than one unit of work in a single step,
+    /// violating the machine model of §2.
+    Overwork {
+        /// Offending processor.
+        node: usize,
+        /// Step at which it happened.
+        step: u64,
+        /// Units the node claimed to process.
+        units: u64,
+    },
+    /// A node sent more job payload over a link than the link capacity
+    /// allows (§7 model).
+    LinkCapacityExceeded {
+        /// Sending processor.
+        node: usize,
+        /// Step at which it happened.
+        step: u64,
+        /// Job units the node tried to send over one link in one step.
+        job_units: u64,
+        /// Number of messages the node tried to send over one link.
+        messages: usize,
+    },
+    /// The run processed more work than the instance contains — a policy
+    /// fabricated work out of thin air.
+    WorkMiscount {
+        /// Work processed.
+        processed: u64,
+        /// Total work in the instance.
+        total: u64,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::ExceededMaxSteps {
+                max_steps,
+                processed,
+                total,
+            } => write!(
+                f,
+                "simulation exceeded {max_steps} steps ({processed}/{total} units processed)"
+            ),
+            SimError::Overwork { node, step, units } => write!(
+                f,
+                "processor {node} processed {units} units in step {step} (limit is 1)"
+            ),
+            SimError::LinkCapacityExceeded {
+                node,
+                step,
+                job_units,
+                messages,
+            } => write!(
+                f,
+                "processor {node} exceeded link capacity in step {step}: \
+                 {job_units} job units / {messages} messages on one link"
+            ),
+            SimError::WorkMiscount { processed, total } => write!(
+                f,
+                "run processed {processed} units but the instance only contains {total}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}

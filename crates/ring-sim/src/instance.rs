@@ -1,0 +1,315 @@
+//! Problem instances: initial job placements on the ring.
+//!
+//! Two instance kinds mirror the paper:
+//!
+//! * [`Instance`] — unit-sized jobs (§2–§3, §6, §7): processor `i` starts
+//!   with `x_i` identical jobs, so a `Vec<u64>` of counts suffices.
+//! * [`SizedInstance`] — arbitrary-sized jobs (§4.2): processor `i` starts
+//!   with jobs `J_{i,1}, …, J_{i,n(i)}` of processing times `p_{i,j}`.
+
+use crate::topology::RingTopology;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a job, unique within an instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct JobId(pub u64);
+
+impl std::fmt::Display for JobId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "J{}", self.0)
+    }
+}
+
+/// A job with an arbitrary integral processing time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Job {
+    /// Unique identifier.
+    pub id: JobId,
+    /// Processor on which the job was resident at time 0.
+    pub origin: usize,
+    /// Processing time `p_{i,j} >= 1`.
+    pub size: u64,
+}
+
+/// A unit-job instance: `x_i` unit jobs start on processor `i` at time 0.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Instance {
+    loads: Vec<u64>,
+}
+
+impl Instance {
+    /// Builds an instance from the per-processor initial load vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loads` is empty.
+    pub fn from_loads(loads: Vec<u64>) -> Self {
+        assert!(
+            !loads.is_empty(),
+            "an instance needs at least one processor"
+        );
+        Instance { loads }
+    }
+
+    /// An instance of `m` empty processors.
+    pub fn empty(m: usize) -> Self {
+        Instance::from_loads(vec![0; m])
+    }
+
+    /// Builds an instance with all `n` jobs on a single processor `at` of an
+    /// `m`-ring — the paper's "concentrated on one node" distribution.
+    pub fn concentrated(m: usize, at: usize, n: u64) -> Self {
+        let mut loads = vec![0; m];
+        loads[at] = n;
+        Instance::from_loads(loads)
+    }
+
+    /// Number of processors `m`.
+    #[inline]
+    pub fn num_processors(&self) -> usize {
+        self.loads.len()
+    }
+
+    /// The topology this instance lives on.
+    #[inline]
+    pub fn topology(&self) -> RingTopology {
+        RingTopology::new(self.loads.len())
+    }
+
+    /// Initial load `x_i` of processor `i`.
+    #[inline]
+    pub fn load(&self, i: usize) -> u64 {
+        self.loads[i]
+    }
+
+    /// The full initial load vector.
+    #[inline]
+    pub fn loads(&self) -> &[u64] {
+        &self.loads
+    }
+
+    /// Total work `n = Σ x_i`.
+    pub fn total_work(&self) -> u64 {
+        self.loads.iter().sum()
+    }
+
+    /// The largest initial per-processor load.
+    pub fn max_load(&self) -> u64 {
+        self.loads.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Sum of the loads of the `k` processors of the clockwise arc starting
+    /// at `start` — the quantity `x_i + … + x_{i+k-1}` of Lemma 1.
+    ///
+    /// `k` is clamped to `m` (an arc cannot contain a processor twice).
+    pub fn arc_work(&self, start: usize, k: usize) -> u64 {
+        let m = self.num_processors();
+        let k = k.min(m);
+        self.topology().arc(start, k).map(|p| self.loads[p]).sum()
+    }
+
+    /// Expands the instance into explicit unit jobs (used by validators and
+    /// by the sized-job algorithms when fed a unit instance).
+    pub fn to_sized(&self) -> SizedInstance {
+        let mut jobs: Vec<Vec<Job>> = Vec::with_capacity(self.loads.len());
+        let mut next = 0u64;
+        for (i, &x) in self.loads.iter().enumerate() {
+            let mut here = Vec::with_capacity(x as usize);
+            for _ in 0..x {
+                here.push(Job {
+                    id: JobId(next),
+                    origin: i,
+                    size: 1,
+                });
+                next += 1;
+            }
+            jobs.push(here);
+        }
+        SizedInstance { jobs }
+    }
+}
+
+/// An arbitrary-job-size instance (§4.2).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SizedInstance {
+    jobs: Vec<Vec<Job>>,
+}
+
+impl SizedInstance {
+    /// Builds an instance from per-processor job size lists. Jobs are
+    /// assigned fresh sequential [`JobId`]s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sizes` is empty or any job size is zero.
+    pub fn from_sizes(sizes: Vec<Vec<u64>>) -> Self {
+        assert!(
+            !sizes.is_empty(),
+            "an instance needs at least one processor"
+        );
+        let mut next = 0u64;
+        let jobs = sizes
+            .into_iter()
+            .enumerate()
+            .map(|(i, here)| {
+                here.into_iter()
+                    .map(|size| {
+                        assert!(size >= 1, "job sizes must be at least 1");
+                        let j = Job {
+                            id: JobId(next),
+                            origin: i,
+                            size,
+                        };
+                        next += 1;
+                        j
+                    })
+                    .collect()
+            })
+            .collect();
+        SizedInstance { jobs }
+    }
+
+    /// Number of processors `m`.
+    #[inline]
+    pub fn num_processors(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// The topology this instance lives on.
+    #[inline]
+    pub fn topology(&self) -> RingTopology {
+        RingTopology::new(self.jobs.len())
+    }
+
+    /// The jobs initially resident on processor `i`.
+    #[inline]
+    pub fn jobs_at(&self, i: usize) -> &[Job] {
+        &self.jobs[i]
+    }
+
+    /// Iterator over all jobs in the instance.
+    pub fn all_jobs(&self) -> impl Iterator<Item = &Job> {
+        self.jobs.iter().flatten()
+    }
+
+    /// Number of jobs in the instance.
+    pub fn num_jobs(&self) -> usize {
+        self.jobs.iter().map(Vec::len).sum()
+    }
+
+    /// Initial *work* `x_i` of processor `i`: the sum of its job sizes
+    /// (the paper redefines `x_i` this way in §4.2).
+    pub fn work_at(&self, i: usize) -> u64 {
+        self.jobs[i].iter().map(|j| j.size).sum()
+    }
+
+    /// The per-processor initial work vector.
+    pub fn work_vector(&self) -> Vec<u64> {
+        (0..self.num_processors())
+            .map(|i| self.work_at(i))
+            .collect()
+    }
+
+    /// Total work `n = Σ x_i`.
+    pub fn total_work(&self) -> u64 {
+        self.all_jobs().map(|j| j.size).sum()
+    }
+
+    /// The maximum job size `p_max`, or 0 for an empty instance.
+    pub fn p_max(&self) -> u64 {
+        self.all_jobs().map(|j| j.size).max().unwrap_or(0)
+    }
+
+    /// Sum of work on the `k`-processor clockwise arc starting at `start`.
+    pub fn arc_work(&self, start: usize, k: usize) -> u64 {
+        let m = self.num_processors();
+        let k = k.min(m);
+        self.topology().arc(start, k).map(|p| self.work_at(p)).sum()
+    }
+
+    /// Collapses to a unit instance of per-processor *work* (loses job
+    /// boundaries); useful for computing work-based lower bounds, which the
+    /// paper notes remain valid for sized jobs ("the lower bound holds even
+    /// if … the jobs are of different sizes").
+    pub fn to_work_instance(&self) -> Instance {
+        Instance::from_loads(self.work_vector())
+    }
+}
+
+impl From<&Instance> for SizedInstance {
+    fn from(inst: &Instance) -> Self {
+        inst.to_sized()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_instance_basics() {
+        let inst = Instance::from_loads(vec![3, 0, 2, 7]);
+        assert_eq!(inst.num_processors(), 4);
+        assert_eq!(inst.total_work(), 12);
+        assert_eq!(inst.max_load(), 7);
+        assert_eq!(inst.load(2), 2);
+    }
+
+    #[test]
+    fn arc_work_wraps() {
+        let inst = Instance::from_loads(vec![1, 2, 4, 8]);
+        assert_eq!(inst.arc_work(3, 2), 8 + 1);
+        assert_eq!(inst.arc_work(0, 4), 15);
+        // k beyond m clamps to the whole ring.
+        assert_eq!(inst.arc_work(2, 9), 15);
+    }
+
+    #[test]
+    fn concentrated_constructor() {
+        let inst = Instance::concentrated(10, 3, 100);
+        assert_eq!(inst.load(3), 100);
+        assert_eq!(inst.total_work(), 100);
+        assert_eq!(inst.loads().iter().filter(|&&x| x > 0).count(), 1);
+    }
+
+    #[test]
+    fn to_sized_expands_unit_jobs() {
+        let inst = Instance::from_loads(vec![2, 0, 1]);
+        let sized = inst.to_sized();
+        assert_eq!(sized.num_jobs(), 3);
+        assert_eq!(sized.total_work(), 3);
+        assert_eq!(sized.p_max(), 1);
+        assert_eq!(sized.jobs_at(0).len(), 2);
+        assert_eq!(sized.jobs_at(1).len(), 0);
+        assert_eq!(sized.jobs_at(2)[0].origin, 2);
+        // ids unique
+        let mut ids: Vec<u64> = sized.all_jobs().map(|j| j.id.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 3);
+    }
+
+    #[test]
+    fn sized_instance_work_accounting() {
+        let inst = SizedInstance::from_sizes(vec![vec![5, 1], vec![], vec![2]]);
+        assert_eq!(inst.num_jobs(), 3);
+        assert_eq!(inst.work_at(0), 6);
+        assert_eq!(inst.work_at(1), 0);
+        assert_eq!(inst.total_work(), 8);
+        assert_eq!(inst.p_max(), 5);
+        assert_eq!(inst.work_vector(), vec![6, 0, 2]);
+        assert_eq!(inst.to_work_instance().loads(), &[6, 0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_size_job_rejected() {
+        let _ = SizedInstance::from_sizes(vec![vec![0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one processor")]
+    fn empty_instance_rejected() {
+        let _ = Instance::from_loads(vec![]);
+    }
+}

@@ -1,0 +1,81 @@
+//! Aggregate run metrics collected by the engine on every run, regardless of
+//! trace level.
+
+use serde::{Deserialize, Serialize};
+
+/// Aggregate counters for one simulation run.
+///
+/// These are cheap to maintain (O(1) per message / per step), so the engine
+/// always collects them; detailed per-event data lives in
+/// [`crate::trace::Trace`] and is opt-in.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Total number of messages sent over all links and steps.
+    pub messages_sent: u64,
+    /// Total job-units × hops moved. One job travelling `d` hops contributes
+    /// `d` (this is the total communication volume of the schedule).
+    pub job_hops: u64,
+    /// Units of work processed by each node.
+    pub processed_per_node: Vec<u64>,
+    /// Number of steps in which each node processed work.
+    pub busy_steps_per_node: Vec<u64>,
+    /// The largest total job payload in flight at the end of any step.
+    pub peak_inflight_jobs: u64,
+    /// Last step index in which any node processed work (`None` if the
+    /// instance was empty).
+    pub last_busy_step: Option<u64>,
+    /// Number of steps actually simulated.
+    pub steps: u64,
+}
+
+impl Metrics {
+    pub(crate) fn new(m: usize) -> Self {
+        Metrics {
+            processed_per_node: vec![0; m],
+            busy_steps_per_node: vec![0; m],
+            ..Metrics::default()
+        }
+    }
+
+    /// Total units of work processed across all nodes.
+    pub fn total_processed(&self) -> u64 {
+        self.processed_per_node.iter().sum()
+    }
+
+    /// Mean node utilization over the makespan: busy steps / (m × makespan).
+    /// Returns 1.0 for an empty run (vacuously fully utilized).
+    pub fn utilization(&self) -> f64 {
+        let makespan = match self.last_busy_step {
+            Some(t) => t + 1,
+            None => return 1.0,
+        };
+        let busy: u64 = self.busy_steps_per_node.iter().sum();
+        busy as f64 / (makespan as f64 * self.processed_per_node.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_of_empty_run_is_one() {
+        let m = Metrics::new(4);
+        assert_eq!(m.utilization(), 1.0);
+    }
+
+    #[test]
+    fn utilization_counts_busy_fraction() {
+        let mut m = Metrics::new(2);
+        m.last_busy_step = Some(3); // makespan 4, capacity 8 busy-steps
+        m.busy_steps_per_node = vec![4, 2];
+        assert!((m.utilization() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_processed_sums_nodes() {
+        let mut m = Metrics::new(3);
+        m.processed_per_node = vec![1, 2, 3];
+        assert_eq!(m.total_processed(), 6);
+    }
+}

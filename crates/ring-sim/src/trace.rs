@@ -1,0 +1,137 @@
+//! Optional per-event traces of a simulation run.
+//!
+//! Full traces grow with (steps × messages), so they are opt-in via
+//! [`TraceLevel`]; large experiment sweeps run with [`TraceLevel::Off`] and
+//! rely on [`crate::Metrics`] plus the engine's built-in conservation checks.
+
+use serde::{Deserialize, Serialize};
+
+use crate::topology::Direction;
+
+/// How much event detail the engine records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum TraceLevel {
+    /// Record nothing (metrics only).
+    #[default]
+    Off,
+    /// Record every processing and send event.
+    Full,
+}
+
+/// One recorded simulation event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Event {
+    /// `node` processed `units` units of work during step `t`.
+    Processed {
+        /// Step index.
+        t: u64,
+        /// Processor index.
+        node: usize,
+        /// Units processed (0 or 1 in the paper's model; the engine enforces
+        /// ≤ 1 but records the claimed value).
+        units: u64,
+    },
+    /// `node` sent a message carrying `job_units` of job payload in
+    /// direction `dir` during step `t` (delivered at `t + 1`).
+    Sent {
+        /// Step index.
+        t: u64,
+        /// Sending processor.
+        node: usize,
+        /// Travel direction.
+        dir: Direction,
+        /// Job payload carried.
+        job_units: u64,
+    },
+}
+
+/// An ordered log of [`Event`]s for one run.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    events: Vec<Event>,
+    level: TraceLevel,
+}
+
+impl Trace {
+    pub(crate) fn new(level: TraceLevel) -> Self {
+        Trace {
+            events: Vec::new(),
+            level,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn record(&mut self, ev: Event) {
+        if matches!(self.level, TraceLevel::Full) {
+            self.events.push(ev);
+        }
+    }
+
+    /// The level this trace was recorded at.
+    pub fn level(&self) -> TraceLevel {
+        self.level
+    }
+
+    /// All recorded events, in engine order (grouped by step, then by node).
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Events of a particular step.
+    pub fn step_events(&self, t: u64) -> impl Iterator<Item = &Event> {
+        self.events.iter().filter(move |e| match e {
+            Event::Processed { t: et, .. } | Event::Sent { t: et, .. } => *et == t,
+        })
+    }
+
+    /// Total units processed according to the trace.
+    pub fn total_processed(&self) -> u64 {
+        self.events
+            .iter()
+            .map(|e| match e {
+                Event::Processed { units, .. } => *units,
+                _ => 0,
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_trace_records_nothing() {
+        let mut tr = Trace::new(TraceLevel::Off);
+        tr.record(Event::Processed {
+            t: 0,
+            node: 0,
+            units: 1,
+        });
+        assert!(tr.events().is_empty());
+    }
+
+    #[test]
+    fn full_trace_records_and_filters_by_step() {
+        let mut tr = Trace::new(TraceLevel::Full);
+        tr.record(Event::Processed {
+            t: 0,
+            node: 0,
+            units: 1,
+        });
+        tr.record(Event::Sent {
+            t: 1,
+            node: 0,
+            dir: Direction::Cw,
+            job_units: 3,
+        });
+        tr.record(Event::Processed {
+            t: 1,
+            node: 1,
+            units: 1,
+        });
+        assert_eq!(tr.events().len(), 3);
+        assert_eq!(tr.step_events(1).count(), 2);
+        assert_eq!(tr.total_processed(), 2);
+    }
+}

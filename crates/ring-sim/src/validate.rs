@@ -1,0 +1,291 @@
+//! Independent validation of a recorded run.
+//!
+//! The engine already enforces the machine model online; this module
+//! re-derives the key invariants *from the recorded trace alone*, so that a
+//! bug in a policy (or in the engine's own accounting) that fabricates,
+//! duplicates, or teleports work is caught by an independent code path.
+//!
+//! Checks performed (require [`crate::TraceLevel::Full`]):
+//!
+//! 1. **Unit speed** — no node processes more than one unit in any step.
+//! 2. **Conservation / causality** — replaying sends, deliveries (one step
+//!    later), and processing from the trace, no node's resident work ever
+//!    goes negative. A negative balance means a node processed or forwarded
+//!    work before it could have physically arrived.
+//! 3. **Completion** — total processed equals the instance's total work.
+//! 4. **Makespan consistency** — the reported makespan is one past the last
+//!    processing event.
+
+use crate::engine::RunReport;
+use crate::instance::Instance;
+use crate::topology::{Direction, RingTopology};
+use crate::trace::{Event, TraceLevel};
+
+/// A violation of the machine model found in a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// The trace was not recorded at full detail, so it cannot be validated.
+    TraceUnavailable,
+    /// A node processed more than one unit in one step.
+    Overwork {
+        /// Offending node.
+        node: usize,
+        /// Step index.
+        step: u64,
+        /// Units processed in that step.
+        units: u64,
+    },
+    /// A node's replayed resident work went negative: it used work it could
+    /// not yet have had.
+    NegativeBalance {
+        /// Offending node.
+        node: usize,
+        /// Step index at which the balance went negative.
+        step: u64,
+        /// The (negative) balance, as processed+sent minus initial+received.
+        deficit: i128,
+    },
+    /// Total processed work differs from the instance total.
+    TotalMismatch {
+        /// Processed according to the trace.
+        processed: u64,
+        /// Instance total.
+        expected: u64,
+    },
+    /// Reported makespan disagrees with the last processing event.
+    MakespanMismatch {
+        /// Makespan in the report.
+        reported: u64,
+        /// Makespan derived from the trace.
+        derived: u64,
+    },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::TraceUnavailable => {
+                write!(f, "run was not recorded with TraceLevel::Full")
+            }
+            Violation::Overwork { node, step, units } => {
+                write!(f, "node {node} processed {units} units in step {step}")
+            }
+            Violation::NegativeBalance {
+                node,
+                step,
+                deficit,
+            } => write!(
+                f,
+                "node {node} work balance went negative ({deficit}) at step {step}"
+            ),
+            Violation::TotalMismatch {
+                processed,
+                expected,
+            } => {
+                write!(f, "processed {processed} units, instance has {expected}")
+            }
+            Violation::MakespanMismatch { reported, derived } => {
+                write!(f, "reported makespan {reported}, trace says {derived}")
+            }
+        }
+    }
+}
+
+/// Validates a recorded run against its instance. Returns all violations
+/// found (empty = valid).
+pub fn validate_run(instance: &Instance, report: &RunReport) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    if !matches!(report.trace.level(), TraceLevel::Full) {
+        return vec![Violation::TraceUnavailable];
+    }
+    let m = instance.num_processors();
+    let topo = RingTopology::new(m);
+
+    // Replay. balance[i] = resident work currently at node i.
+    let mut balance: Vec<i128> = instance.loads().iter().map(|&x| x as i128).collect();
+    // Deliveries scheduled for the next step: (node, amount).
+    let mut arriving_now: Vec<i128> = vec![0; m];
+    let mut arriving_next: Vec<i128> = vec![0; m];
+
+    let mut processed_total: u64 = 0;
+    let mut last_busy: Option<u64> = None;
+    let mut current_step: Option<u64> = None;
+    let mut processed_in_step: Vec<u64> = vec![0; m];
+
+    let advance_to = |step: u64,
+                      current_step: &mut Option<u64>,
+                      balance: &mut Vec<i128>,
+                      arriving_now: &mut Vec<i128>,
+                      arriving_next: &mut Vec<i128>,
+                      processed_in_step: &mut Vec<u64>| {
+        // Move time forward to `step`, delivering queued messages at each tick.
+        while current_step.map_or(true, |c| c < step) {
+            let next = current_step.map_or(0, |c| c + 1);
+            if current_step.is_some() {
+                // Deliveries sent in the step we are leaving arrive now.
+                std::mem::swap(arriving_now, arriving_next);
+                for (i, b) in balance.iter_mut().enumerate() {
+                    *b += arriving_now[i];
+                    arriving_now[i] = 0;
+                }
+            }
+            processed_in_step.iter_mut().for_each(|c| *c = 0);
+            *current_step = Some(next);
+        }
+    };
+
+    for ev in report.trace.events() {
+        let t = match ev {
+            Event::Processed { t, .. } | Event::Sent { t, .. } => *t,
+        };
+        advance_to(
+            t,
+            &mut current_step,
+            &mut balance,
+            &mut arriving_now,
+            &mut arriving_next,
+            &mut processed_in_step,
+        );
+        match *ev {
+            Event::Processed { t, node, units } => {
+                processed_in_step[node] += units;
+                if processed_in_step[node] > 1 {
+                    violations.push(Violation::Overwork {
+                        node,
+                        step: t,
+                        units: processed_in_step[node],
+                    });
+                }
+                balance[node] -= units as i128;
+                processed_total += units;
+                last_busy = Some(t);
+                if balance[node] < 0 {
+                    violations.push(Violation::NegativeBalance {
+                        node,
+                        step: t,
+                        deficit: balance[node],
+                    });
+                }
+            }
+            Event::Sent {
+                t,
+                node,
+                dir,
+                job_units,
+            } => {
+                balance[node] -= job_units as i128;
+                if balance[node] < 0 {
+                    violations.push(Violation::NegativeBalance {
+                        node,
+                        step: t,
+                        deficit: balance[node],
+                    });
+                }
+                let dest = topo.neighbor(node, dir);
+                let _ = Direction::Cw; // dir already encodes destination side
+                arriving_next[dest] += job_units as i128;
+            }
+        }
+    }
+
+    if processed_total != instance.total_work() {
+        violations.push(Violation::TotalMismatch {
+            processed: processed_total,
+            expected: instance.total_work(),
+        });
+    }
+    let derived = last_busy.map_or(0, |t| t + 1);
+    if derived != report.makespan {
+        violations.push(Violation::MakespanMismatch {
+            reported: report.makespan,
+            derived,
+        });
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Engine, EngineConfig, Inbox, Node, NodeCtx, Outbox, Payload, StepOutcome};
+
+    /// Minimal honest policy: process local work, never communicate.
+    struct LocalOnly {
+        remaining: u64,
+    }
+
+    #[derive(Debug, Clone)]
+    enum NoMsg {}
+
+    impl Payload for NoMsg {
+        fn job_units(&self) -> u64 {
+            match *self {}
+        }
+    }
+
+    impl Node for LocalOnly {
+        type Msg = NoMsg;
+
+        fn on_step(&mut self, _ctx: &NodeCtx, _inbox: Inbox<NoMsg>) -> StepOutcome<NoMsg> {
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                StepOutcome {
+                    outbox: Outbox::empty(),
+                    work_done: 1,
+                }
+            } else {
+                StepOutcome::idle()
+            }
+        }
+
+        fn pending_work(&self) -> u64 {
+            self.remaining
+        }
+    }
+
+    fn run_local(loads: Vec<u64>) -> (Instance, RunReport) {
+        let inst = Instance::from_loads(loads.clone());
+        let nodes: Vec<LocalOnly> = loads.iter().map(|&x| LocalOnly { remaining: x }).collect();
+        let config = EngineConfig {
+            trace: crate::trace::TraceLevel::Full,
+            ..EngineConfig::default()
+        };
+        let report = Engine::new(nodes, inst.total_work(), config).run().unwrap();
+        (inst, report)
+    }
+
+    #[test]
+    fn honest_run_validates() {
+        let (inst, report) = run_local(vec![4, 0, 2]);
+        assert!(validate_run(&inst, &report).is_empty());
+    }
+
+    #[test]
+    fn off_trace_cannot_be_validated() {
+        let inst = Instance::from_loads(vec![1]);
+        let nodes = vec![LocalOnly { remaining: 1 }];
+        let report = Engine::new(nodes, 1, EngineConfig::default())
+            .run()
+            .unwrap();
+        assert_eq!(
+            validate_run(&inst, &report),
+            vec![Violation::TraceUnavailable]
+        );
+    }
+
+    #[test]
+    fn wrong_instance_is_detected() {
+        let (_, report) = run_local(vec![4, 0, 2]);
+        // Validate against an instance with a different total.
+        let other = Instance::from_loads(vec![4, 0, 1]);
+        let violations = validate_run(&other, &report);
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, Violation::TotalMismatch { .. })));
+        // Node 2 processed 2 units but `other` only gives it 1 — the replay
+        // must also flag the causality hole.
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, Violation::NegativeBalance { node: 2, .. })));
+    }
+}

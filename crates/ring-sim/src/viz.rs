@@ -1,0 +1,199 @@
+//! ASCII visualization of a run: per-processor backlog over time.
+//!
+//! Replays a [`crate::TraceLevel::Full`] trace (the same
+//! replay the validator uses) and renders a character heatmap — time
+//! flowing down, the ring left to right — so the "spreading diamond" of
+//! work around a pile is directly visible in a terminal.
+
+use crate::engine::RunReport;
+use crate::instance::Instance;
+use crate::topology::RingTopology;
+use crate::trace::{Event, TraceLevel};
+
+/// Density glyphs from empty to saturated.
+const GLYPHS: [char; 7] = [' ', '.', ':', '-', '=', '#', '@'];
+
+/// Renders the per-step resident-work heatmap of a fully-traced run.
+///
+/// `max_cols`/`max_rows` bound the output size; wider rings and longer
+/// runs are downsampled (max pooling, so hot spots stay visible). Returns
+/// `None` if the run was not recorded with a full trace.
+pub fn render_load_timeline(
+    instance: &Instance,
+    report: &RunReport,
+    max_cols: usize,
+    max_rows: usize,
+) -> Option<String> {
+    if !matches!(report.trace.level(), TraceLevel::Full) {
+        return None;
+    }
+    let m = instance.num_processors();
+    let topo = RingTopology::new(m);
+    let steps = (report.makespan as usize).max(1);
+
+    // Replay into per-step snapshots of resident work.
+    let mut balance: Vec<i64> = instance.loads().iter().map(|&x| x as i64).collect();
+    let mut arriving_next: Vec<i64> = vec![0; m];
+    let mut snapshots: Vec<Vec<u64>> = Vec::with_capacity(steps);
+    let mut events = report.trace.events().iter().peekable();
+
+    for t in 0..steps as u64 {
+        // Deliveries from the previous step land first.
+        for (b, a) in balance.iter_mut().zip(arriving_next.iter_mut()) {
+            *b += *a;
+            *a = 0;
+        }
+        // Snapshot what is resident at the start of step t.
+        snapshots.push(balance.iter().map(|&b| b.max(0) as u64).collect());
+        while let Some(ev) = events.peek() {
+            let et = match ev {
+                Event::Processed { t, .. } | Event::Sent { t, .. } => *t,
+            };
+            if et != t {
+                break;
+            }
+            match **ev {
+                Event::Processed { node, units, .. } => balance[node] -= units as i64,
+                Event::Sent {
+                    node,
+                    dir,
+                    job_units,
+                    ..
+                } => {
+                    balance[node] -= job_units as i64;
+                    arriving_next[topo.neighbor(node, dir)] += job_units as i64;
+                }
+            }
+            events.next();
+        }
+    }
+
+    // Downsample with max pooling.
+    let col_stride = m.div_ceil(max_cols.max(1));
+    let row_stride = steps.div_ceil(max_rows.max(1));
+    let peak = snapshots
+        .iter()
+        .flatten()
+        .copied()
+        .max()
+        .unwrap_or(0)
+        .max(1);
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "load over time: {} processors (→), {} steps (↓), peak {} jobs/cell\n",
+        m, steps, peak
+    ));
+    for row_start in (0..steps).step_by(row_stride) {
+        let mut line = String::with_capacity(m / col_stride + 12);
+        for col_start in (0..m).step_by(col_stride) {
+            let mut cell = 0u64;
+            for snap in snapshots.iter().skip(row_start).take(row_stride) {
+                for &v in snap.iter().skip(col_start).take(col_stride) {
+                    cell = cell.max(v);
+                }
+            }
+            let idx = if cell == 0 {
+                0
+            } else {
+                // Log scale: small backlogs stay visible next to the pile.
+                let l = ((cell as f64).ln() / (peak as f64).ln()).clamp(0.0, 1.0);
+                1 + (l * (GLYPHS.len() - 2) as f64).round() as usize
+            };
+            line.push(GLYPHS[idx]);
+        }
+        out.push_str(&format!("t={:<6} |{}|\n", row_start, line));
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Engine, EngineConfig, Inbox, Node, NodeCtx, Outbox, Payload, StepOutcome};
+
+    struct LocalOnly {
+        remaining: u64,
+    }
+
+    #[derive(Debug, Clone)]
+    enum NoMsg {}
+
+    impl Payload for NoMsg {
+        fn job_units(&self) -> u64 {
+            match *self {}
+        }
+    }
+
+    impl Node for LocalOnly {
+        type Msg = NoMsg;
+
+        fn on_step(&mut self, _ctx: &NodeCtx, _inbox: Inbox<NoMsg>) -> StepOutcome<NoMsg> {
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                StepOutcome {
+                    outbox: Outbox::empty(),
+                    work_done: 1,
+                }
+            } else {
+                StepOutcome::idle()
+            }
+        }
+
+        fn pending_work(&self) -> u64 {
+            self.remaining
+        }
+    }
+
+    fn traced_run(loads: Vec<u64>) -> (Instance, RunReport) {
+        let inst = Instance::from_loads(loads.clone());
+        let nodes: Vec<LocalOnly> = loads.iter().map(|&x| LocalOnly { remaining: x }).collect();
+        let cfg = EngineConfig {
+            trace: crate::trace::TraceLevel::Full,
+            ..EngineConfig::default()
+        };
+        let report = Engine::new(nodes, inst.total_work(), cfg).run().unwrap();
+        (inst, report)
+    }
+
+    #[test]
+    fn untraced_run_returns_none() {
+        let inst = Instance::from_loads(vec![1]);
+        let nodes = vec![LocalOnly { remaining: 1 }];
+        let report = Engine::new(nodes, 1, EngineConfig::default())
+            .run()
+            .unwrap();
+        assert!(render_load_timeline(&inst, &report, 80, 24).is_none());
+    }
+
+    #[test]
+    fn heatmap_has_one_row_per_sampled_step() {
+        let (inst, report) = traced_run(vec![4, 0, 2]);
+        let s = render_load_timeline(&inst, &report, 80, 100).unwrap();
+        // header + 4 steps (makespan 4, stride 1)
+        assert_eq!(s.lines().count(), 1 + 4);
+        // The busiest processor shows the densest glyph somewhere.
+        assert!(s.contains('@'));
+    }
+
+    #[test]
+    fn downsampling_caps_output_size() {
+        let (inst, report) = traced_run(vec![50; 40]);
+        let s = render_load_timeline(&inst, &report, 10, 10).unwrap();
+        assert!(s.lines().count() <= 11);
+        for line in s.lines().skip(1) {
+            let body = line.split('|').nth(1).unwrap();
+            assert!(body.chars().count() <= 10);
+        }
+    }
+
+    #[test]
+    fn drained_timeline_ends_light() {
+        let (inst, report) = traced_run(vec![6, 6]);
+        let s = render_load_timeline(&inst, &report, 10, 100).unwrap();
+        let last = s.lines().last().unwrap();
+        // At the final step each processor has exactly 1 job left: lightest
+        // non-empty glyph.
+        assert!(last.contains('.'), "last row: {last}");
+    }
+}

@@ -1,0 +1,87 @@
+//! The §3 "evil adversary" construction (Table 1, part III).
+//!
+//! The worst-case analysis lets an adversary choose, for a target lower
+//! bound `L`, an instance that maximizes how far bucket `B_1` travels:
+//! every prefix window is saturated at its Lemma 2 capacity
+//! `M_k = L² + (k−1)L`. Solving the telescope, the saturating loads are
+//!
+//! ```text
+//! x_0 = L,   x_1 = L²,   x_2 = x_3 = … = x_{k-1} = L,   rest = 0
+//! ```
+//!
+//! (window `[0..j]` holds `L² + j·L = M_{j+1}` exactly, and window
+//! `[1..j]` holds `M_j` exactly). The adversary may pick both `L` and the
+//! region size `k` (§6.1); the paper's six `(L, k)` choices are partly
+//! illegible in the surviving scan, so the catalog spans the same ranges —
+//! see DESIGN.md §5.
+
+use ring_sim::Instance;
+
+/// Builds the adversary instance for lower bound `l` over a region of `k`
+/// processors on an `m`-ring.
+///
+/// # Panics
+///
+/// Panics if `k > m` or `k == 0` or `l == 0`.
+pub fn instance(m: usize, l: u64, k: usize) -> Instance {
+    assert!(k >= 1 && k <= m, "region must fit the ring");
+    assert!(l >= 1, "the target lower bound must be positive");
+    let mut v = vec![0u64; m];
+    v[0] = l;
+    if k >= 2 {
+        v[1] = l * l;
+    }
+    for x in v.iter_mut().take(k).skip(2) {
+        *x = l;
+    }
+    Instance::from_loads(v)
+}
+
+/// The Lemma 2 window capacity `M_k = L² + (k−1)·L`.
+pub fn window_capacity(l: u64, k: usize) -> u64 {
+    l * l + (k as u64 - 1) * l
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_prefix_window_is_saturated() {
+        let (m, l, k) = (64usize, 7u64, 20usize);
+        let inst = instance(m, l, k);
+        // Window starting at processor 1 of width j holds exactly M_j.
+        for j in 1..k {
+            assert_eq!(inst.arc_work(1, j), window_capacity(l, j), "width {j}");
+        }
+        // Prefix [0..j] holds M_{j+1} exactly.
+        for j in 2..=k {
+            assert_eq!(inst.arc_work(0, j), window_capacity(l, j), "prefix {j}");
+        }
+    }
+
+    #[test]
+    fn lemma1_bound_equals_l() {
+        let inst = instance(128, 12, 40);
+        assert_eq!(ring_opt::lemma1_lower_bound(&inst), 12);
+    }
+
+    #[test]
+    fn total_work_is_mk() {
+        let inst = instance(100, 9, 30);
+        assert_eq!(inst.total_work(), window_capacity(9, 30));
+    }
+
+    #[test]
+    fn degenerate_k1() {
+        let inst = instance(10, 5, 1);
+        assert_eq!(inst.total_work(), 5);
+        assert_eq!(inst.load(0), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "fit the ring")]
+    fn oversized_region_rejected() {
+        let _ = instance(10, 5, 11);
+    }
+}

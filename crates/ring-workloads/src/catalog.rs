@@ -1,0 +1,197 @@
+//! The 51-case test catalog of Table 1.
+//!
+//! * Part I — 36 structured cases: ring sizes {10, 100, 1000} ×
+//!   distributions {1, 2, 3, 4} × heavy loads {Huge, Large, Big}.
+//! * Part II — 9 uniform random cases: ring sizes {10, 100, 1000} ×
+//!   per-processor ranges {0–100, 0–500, 0–1000}.
+//! * Part III — 6 evil-adversary cases. The `(ring, L, k)` values in the
+//!   surviving scan of Table 1 are partly illegible (only `100` and `500`
+//!   are legible); we span the same ranges with `m ∈ {100, 1000}` ×
+//!   `L ∈ {10, 100, 500}` and region `k = m/2`, as recorded in DESIGN.md.
+//!
+//! Every case id is stable and every random case uses a seed derived from
+//! its position, so the catalog is fully deterministic.
+
+use crate::{adversary, random, structured};
+use ring_sim::Instance;
+use serde::{Deserialize, Serialize};
+
+/// Which part of Table 1 a case belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Part {
+    /// Structured (36 cases).
+    Structured,
+    /// Uniform random (9 cases).
+    Random,
+    /// Evil adversary (6 cases).
+    Adversary,
+}
+
+impl std::fmt::Display for Part {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Part::Structured => write!(f, "I"),
+            Part::Random => write!(f, "II"),
+            Part::Adversary => write!(f, "III"),
+        }
+    }
+}
+
+/// One test case of the catalog.
+#[derive(Debug, Clone)]
+pub struct CatalogCase {
+    /// Stable identifier, e.g. `"I-m100-d3-huge"`.
+    pub id: String,
+    /// Table 1 part.
+    pub part: Part,
+    /// Human-readable description.
+    pub description: String,
+    /// The instance itself.
+    pub instance: Instance,
+}
+
+const RING_SIZES: [usize; 3] = [10, 100, 1000];
+
+fn load_name(load: u64) -> &'static str {
+    match load {
+        structured::loads::HUGE => "huge",
+        structured::loads::LARGE => "large",
+        structured::loads::BIG => "big",
+        _ => "custom",
+    }
+}
+
+/// Builds the full 51-case catalog.
+pub fn catalog() -> Vec<CatalogCase> {
+    let mut cases = Vec::with_capacity(51);
+    let mut seed = 0x5eed_1994u64;
+
+    // Part I: structured.
+    for &m in &RING_SIZES {
+        for dist in 1..=4u32 {
+            for &load in &[
+                structured::loads::HUGE,
+                structured::loads::LARGE,
+                structured::loads::BIG,
+            ] {
+                seed += 1;
+                let instance = match dist {
+                    1 => structured::concentrated_node(m, load),
+                    2 => structured::concentrated_region(m, load),
+                    3 => structured::concentrated_node_random_bg(m, load, seed),
+                    4 => structured::concentrated_region_random_bg(m, load, seed),
+                    _ => unreachable!(),
+                };
+                cases.push(CatalogCase {
+                    id: format!("I-m{m}-d{dist}-{}", load_name(load)),
+                    part: Part::Structured,
+                    description: format!(
+                        "ring {m}, distribution {dist}, {} jobs per heavy processor",
+                        load
+                    ),
+                    instance,
+                });
+            }
+        }
+    }
+
+    // Part II: uniform random.
+    for &m in &RING_SIZES {
+        for &max in &[100u64, 500, 1000] {
+            seed += 1;
+            cases.push(CatalogCase {
+                id: format!("II-m{m}-r{max}"),
+                part: Part::Random,
+                description: format!("ring {m}, loads uniform in 0..={max}"),
+                instance: random::uniform(m, max, seed),
+            });
+        }
+    }
+
+    // Part III: evil adversary. The legible fragment of Table 1 shows the
+    // adversary's lower-bound choices L = 100 and 500; crossed with the
+    // three ring sizes that gives the six cases. The region size k is not
+    // recorded; we use k = m/2 (DESIGN.md §5).
+    for &m in &RING_SIZES {
+        for &l in &[100u64, 500] {
+            let k = m / 2;
+            cases.push(CatalogCase {
+                id: format!("III-m{m}-L{l}-k{k}"),
+                part: Part::Adversary,
+                description: format!("ring {m}, adversary target L={l}, region k={k}"),
+                instance: adversary::instance(m, l, k),
+            });
+        }
+    }
+
+    cases
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_51_cases() {
+        let c = catalog();
+        assert_eq!(c.len(), 51);
+        assert_eq!(c.iter().filter(|c| c.part == Part::Structured).count(), 36);
+        assert_eq!(c.iter().filter(|c| c.part == Part::Random).count(), 9);
+        assert_eq!(c.iter().filter(|c| c.part == Part::Adversary).count(), 6);
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let c = catalog();
+        let mut ids: Vec<&str> = c.iter().map(|c| c.id.as_str()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 51);
+    }
+
+    #[test]
+    fn catalog_is_deterministic() {
+        let a = catalog();
+        let b = catalog();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.instance, y.instance);
+        }
+    }
+
+    #[test]
+    fn every_case_is_nonempty() {
+        for case in catalog() {
+            assert!(case.instance.total_work() > 0, "case {} is empty", case.id);
+        }
+    }
+
+    #[test]
+    fn structured_cases_have_expected_heavy_load() {
+        let c = catalog();
+        let case = c.iter().find(|c| c.id == "I-m100-d1-huge").unwrap();
+        assert_eq!(case.instance.load(0), 100_000);
+        assert_eq!(case.instance.total_work(), 100_000);
+        let case = c.iter().find(|c| c.id == "I-m1000-d2-big").unwrap();
+        assert_eq!(case.instance.total_work(), 100 * 1_000);
+    }
+
+    #[test]
+    fn adversary_cases_hit_their_target_bound() {
+        for case in catalog().iter().filter(|c| c.part == Part::Adversary) {
+            let lb = ring_opt::lemma1_lower_bound(&case.instance);
+            // The construction calibrates the Lemma 1 bound to exactly L.
+            let l: u64 = case
+                .id
+                .split("-L")
+                .nth(1)
+                .unwrap()
+                .split('-')
+                .next()
+                .unwrap()
+                .parse()
+                .unwrap();
+            assert_eq!(lb, l, "case {}", case.id);
+        }
+    }
+}

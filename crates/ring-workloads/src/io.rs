@@ -1,0 +1,272 @@
+//! Plain-text instance files.
+//!
+//! A deliberately simple line-oriented format (no external parser
+//! dependencies) so instances can be generated once, checked into
+//! experiment repositories, and diffed:
+//!
+//! ```text
+//! # anything after '#' is a comment
+//! ring 8
+//! loads 5 0 0 3 0 0 0 1
+//! ```
+//!
+//! and for arbitrary job sizes (§4.2), one `jobs` line per processor in
+//! order:
+//!
+//! ```text
+//! ring 3
+//! jobs 4 4 9
+//! jobs
+//! jobs 1
+//! ```
+
+use ring_sim::{Instance, SizedInstance};
+
+/// Parse or I/O failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Line with an unknown keyword.
+    UnknownDirective {
+        /// 1-based line number.
+        line: usize,
+        /// The unrecognized first token.
+        token: String,
+    },
+    /// A number failed to parse.
+    BadNumber {
+        /// 1-based line number.
+        line: usize,
+        /// The offending token.
+        token: String,
+    },
+    /// Missing or duplicated `ring` directive, or load/job counts that do
+    /// not match it.
+    Structure(
+        /// Human-readable description.
+        String,
+    ),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::UnknownDirective { line, token } => {
+                write!(f, "line {line}: unknown directive {token:?}")
+            }
+            ParseError::BadNumber { line, token } => {
+                write!(f, "line {line}: {token:?} is not a number")
+            }
+            ParseError::Structure(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Renders a unit instance to the text format.
+pub fn write_instance(instance: &Instance) -> String {
+    let loads: Vec<String> = instance.loads().iter().map(u64::to_string).collect();
+    format!(
+        "# ring-sched unit instance\nring {}\nloads {}\n",
+        instance.num_processors(),
+        loads.join(" ")
+    )
+}
+
+/// Renders a sized instance to the text format.
+pub fn write_sized_instance(instance: &SizedInstance) -> String {
+    let mut out = format!(
+        "# ring-sched sized instance\nring {}\n",
+        instance.num_processors()
+    );
+    for p in 0..instance.num_processors() {
+        let sizes: Vec<String> = instance
+            .jobs_at(p)
+            .iter()
+            .map(|j| j.size.to_string())
+            .collect();
+        out.push_str("jobs");
+        if !sizes.is_empty() {
+            out.push(' ');
+            out.push_str(&sizes.join(" "));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn tokenize(text: &str) -> impl Iterator<Item = (usize, Vec<&str>)> {
+    text.lines().enumerate().filter_map(|(i, line)| {
+        let body = line.split('#').next().unwrap_or("").trim();
+        if body.is_empty() {
+            None
+        } else {
+            Some((i + 1, body.split_whitespace().collect()))
+        }
+    })
+}
+
+fn parse_numbers(line: usize, tokens: &[&str]) -> Result<Vec<u64>, ParseError> {
+    tokens
+        .iter()
+        .map(|t| {
+            t.parse::<u64>().map_err(|_| ParseError::BadNumber {
+                line,
+                token: t.to_string(),
+            })
+        })
+        .collect()
+}
+
+/// Parses a unit instance from the text format.
+pub fn read_instance(text: &str) -> Result<Instance, ParseError> {
+    let mut m: Option<usize> = None;
+    let mut loads: Option<Vec<u64>> = None;
+    for (line, tokens) in tokenize(text) {
+        match tokens[0] {
+            "ring" => {
+                let nums = parse_numbers(line, &tokens[1..])?;
+                if nums.len() != 1 || m.is_some() {
+                    return Err(ParseError::Structure(format!(
+                        "line {line}: 'ring' takes exactly one value and may appear once"
+                    )));
+                }
+                m = Some(nums[0] as usize);
+            }
+            "loads" => {
+                if loads.is_some() {
+                    return Err(ParseError::Structure(format!(
+                        "line {line}: duplicate 'loads'"
+                    )));
+                }
+                loads = Some(parse_numbers(line, &tokens[1..])?);
+            }
+            other => {
+                return Err(ParseError::UnknownDirective {
+                    line,
+                    token: other.to_string(),
+                })
+            }
+        }
+    }
+    let m = m.ok_or_else(|| ParseError::Structure("missing 'ring' directive".into()))?;
+    let loads = loads.ok_or_else(|| ParseError::Structure("missing 'loads' directive".into()))?;
+    if loads.len() != m || m == 0 {
+        return Err(ParseError::Structure(format!(
+            "'loads' has {} values but ring size is {m}",
+            loads.len()
+        )));
+    }
+    Ok(Instance::from_loads(loads))
+}
+
+/// Parses a sized instance from the text format.
+pub fn read_sized_instance(text: &str) -> Result<SizedInstance, ParseError> {
+    let mut m: Option<usize> = None;
+    let mut jobs: Vec<Vec<u64>> = Vec::new();
+    for (line, tokens) in tokenize(text) {
+        match tokens[0] {
+            "ring" => {
+                let nums = parse_numbers(line, &tokens[1..])?;
+                if nums.len() != 1 || m.is_some() {
+                    return Err(ParseError::Structure(format!(
+                        "line {line}: 'ring' takes exactly one value and may appear once"
+                    )));
+                }
+                m = Some(nums[0] as usize);
+            }
+            "jobs" => {
+                let sizes = parse_numbers(line, &tokens[1..])?;
+                if sizes.contains(&0) {
+                    return Err(ParseError::Structure(format!(
+                        "line {line}: job sizes must be positive"
+                    )));
+                }
+                jobs.push(sizes);
+            }
+            other => {
+                return Err(ParseError::UnknownDirective {
+                    line,
+                    token: other.to_string(),
+                })
+            }
+        }
+    }
+    let m = m.ok_or_else(|| ParseError::Structure("missing 'ring' directive".into()))?;
+    if jobs.len() != m || m == 0 {
+        return Err(ParseError::Structure(format!(
+            "{} 'jobs' lines but ring size is {m}",
+            jobs.len()
+        )));
+    }
+    Ok(SizedInstance::from_sizes(jobs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn unit_roundtrip() {
+        let inst = Instance::from_loads(vec![5, 0, 0, 3, 0, 0, 0, 1]);
+        let text = write_instance(&inst);
+        assert_eq!(read_instance(&text).unwrap(), inst);
+    }
+
+    #[test]
+    fn sized_roundtrip() {
+        let inst = SizedInstance::from_sizes(vec![vec![4, 4, 9], vec![], vec![1]]);
+        let text = write_sized_instance(&inst);
+        assert_eq!(read_sized_instance(&text).unwrap(), inst);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = "\n# header\nring 2   # two processors\n\nloads 7 0 # done\n";
+        assert_eq!(
+            read_instance(text).unwrap(),
+            Instance::from_loads(vec![7, 0])
+        );
+    }
+
+    #[test]
+    fn errors_are_reported_with_lines() {
+        assert!(matches!(
+            read_instance("ring 2\nloads 1 x"),
+            Err(ParseError::BadNumber { line: 2, .. })
+        ));
+        assert!(matches!(
+            read_instance("rong 2\nloads 1 2"),
+            Err(ParseError::UnknownDirective { line: 1, .. })
+        ));
+        assert!(matches!(
+            read_instance("ring 3\nloads 1 2"),
+            Err(ParseError::Structure(_))
+        ));
+        assert!(matches!(read_instance(""), Err(ParseError::Structure(_))));
+        assert!(matches!(
+            read_sized_instance("ring 1\njobs 0"),
+            Err(ParseError::Structure(_))
+        ));
+    }
+
+    proptest! {
+        #[test]
+        fn unit_roundtrip_random(loads in prop::collection::vec(0u64..10_000, 1..64)) {
+            let inst = Instance::from_loads(loads);
+            prop_assert_eq!(read_instance(&write_instance(&inst)).unwrap(), inst);
+        }
+
+        #[test]
+        fn sized_roundtrip_random(
+            sizes in prop::collection::vec(prop::collection::vec(1u64..100, 0..8), 1..24)
+        ) {
+            let inst = SizedInstance::from_sizes(sizes);
+            prop_assert_eq!(
+                read_sized_instance(&write_sized_instance(&inst)).unwrap(),
+                inst
+            );
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! # ring-workloads — instance generators and the §6 experiment catalog
+//!
+//! Provides every workload family used in the paper's evaluation (Table 1)
+//! plus generic generators for tests, examples, and benchmarks:
+//!
+//! * [`structured`] — the paper's four structured distributions
+//!   (concentrated on a node / in a region, with an empty or uniformly
+//!   random background);
+//! * [`random`] — uniform random loads;
+//! * [`adversary`] — instances built by the §3 "evil adversary" strategy
+//!   (every prefix window saturated at `M_k = L² + (k−1)L`);
+//! * [`section5`] — the two-instance construction behind the 1.06
+//!   distributed lower bound (Theorem 2);
+//! * [`sized`] — arbitrary-job-size workloads for the §4.2 algorithm;
+//! * [`mod@catalog`] — the full 51-case test catalog of Table 1, with
+//!   deterministic seeds.
+//!
+//! All generators are deterministic given their seed, so every figure in
+//! EXPERIMENTS.md is exactly reproducible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adversary;
+pub mod catalog;
+pub mod io;
+pub mod random;
+pub mod section5;
+pub mod sized;
+pub mod structured;
+
+pub use catalog::{catalog, CatalogCase, Part};

@@ -1,0 +1,56 @@
+//! Uniform random workloads (Table 1, part II).
+//!
+//! The paper's random cases draw each processor's load "uniformly from 0 to
+//! `k`" with `k ∈ {100, 500, 1000}`; we read the range as inclusive,
+//! `0..=k`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ring_sim::Instance;
+
+/// A uniform random instance: each processor's load drawn from `0..=max`.
+pub fn uniform(m: usize, max: u64, seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Instance::from_loads((0..m).map(|_| rng.gen_range(0..=max)).collect())
+}
+
+/// A random instance with `clusters` heavy piles of `pile` jobs each at
+/// random positions on an otherwise `0..=bg`-loaded ring. Not a Table 1
+/// family, but a useful stress shape for tests and benches.
+pub fn clustered(m: usize, clusters: usize, pile: u64, bg: u64, seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut v: Vec<u64> = (0..m).map(|_| rng.gen_range(0..=bg)).collect();
+    for _ in 0..clusters {
+        let at = rng.gen_range(0..m);
+        v[at] += pile;
+    }
+    Instance::from_loads(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_is_seeded_and_bounded() {
+        let a = uniform(200, 100, 1);
+        let b = uniform(200, 100, 1);
+        assert_eq!(a, b);
+        assert!(a.loads().iter().all(|&x| x <= 100));
+        // With 200 draws from 0..=100 the total should be near 10 000.
+        let n = a.total_work();
+        assert!(n > 5_000 && n < 15_000, "suspicious total {n}");
+    }
+
+    #[test]
+    fn clustered_adds_piles() {
+        let inst = clustered(100, 3, 10_000, 10, 42);
+        assert!(inst.max_load() >= 10_000);
+        assert!(inst.total_work() >= 30_000);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(uniform(100, 500, 1), uniform(100, 500, 2));
+    }
+}

@@ -1,0 +1,84 @@
+//! Arbitrary-job-size workloads for the §4.2 algorithm.
+//!
+//! The paper's own experiments use unit jobs only; these generators exist
+//! so the sized algorithm (and its 5.22 bound) can be exercised on
+//! realistic shapes — e.g. the parallel-loop workloads the introduction
+//! motivates, where iteration blocks have uneven running times.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ring_sim::SizedInstance;
+
+/// Each processor gets `jobs_per_proc` jobs with sizes uniform in
+/// `lo..=hi`.
+pub fn uniform_sizes(m: usize, jobs_per_proc: usize, lo: u64, hi: u64, seed: u64) -> SizedInstance {
+    assert!(lo >= 1 && hi >= lo, "need 1 <= lo <= hi");
+    let mut rng = StdRng::seed_from_u64(seed);
+    SizedInstance::from_sizes(
+        (0..m)
+            .map(|_| (0..jobs_per_proc).map(|_| rng.gen_range(lo..=hi)).collect())
+            .collect(),
+    )
+}
+
+/// A batch of `count` jobs with sizes uniform in `lo..=hi` dumped on one
+/// processor — the "batch of transactions arrives at one node" scenario.
+pub fn batch_on_one(
+    m: usize,
+    at: usize,
+    count: usize,
+    lo: u64,
+    hi: u64,
+    seed: u64,
+) -> SizedInstance {
+    assert!(lo >= 1 && hi >= lo, "need 1 <= lo <= hi");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sizes: Vec<Vec<u64>> = vec![Vec::new(); m];
+    sizes[at] = (0..count).map(|_| rng.gen_range(lo..=hi)).collect();
+    SizedInstance::from_sizes(sizes)
+}
+
+/// Loop-parallelization shape: processor `i` holds one block of
+/// `base + skew·i` iterations — a classic triangular loop nest where later
+/// blocks are heavier.
+pub fn triangular_loop(m: usize, base: u64, skew: u64) -> SizedInstance {
+    assert!(base >= 1, "blocks must be non-empty");
+    SizedInstance::from_sizes((0..m).map(|i| vec![base + skew * i as u64]).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_sizes_in_range_and_seeded() {
+        let a = uniform_sizes(20, 5, 2, 9, 11);
+        let b = uniform_sizes(20, 5, 2, 9, 11);
+        assert_eq!(a, b);
+        assert_eq!(a.num_jobs(), 100);
+        assert!(a.all_jobs().all(|j| (2..=9).contains(&j.size)));
+    }
+
+    #[test]
+    fn batch_lands_on_one_processor() {
+        let i = batch_on_one(16, 5, 40, 1, 10, 3);
+        assert_eq!(i.jobs_at(5).len(), 40);
+        assert_eq!(i.num_jobs(), 40);
+        assert!(i.work_at(5) >= 40);
+    }
+
+    #[test]
+    fn triangular_loop_shape() {
+        let i = triangular_loop(8, 10, 5);
+        assert_eq!(i.work_at(0), 10);
+        assert_eq!(i.work_at(7), 45);
+        assert_eq!(i.p_max(), 45);
+        assert_eq!(i.num_jobs(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "1 <= lo <= hi")]
+    fn zero_size_rejected() {
+        let _ = uniform_sizes(4, 2, 0, 5, 1);
+    }
+}

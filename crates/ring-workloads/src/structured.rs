@@ -1,0 +1,115 @@
+//! The structured distributions of Table 1, part I.
+//!
+//! Four shapes, parameterized by ring size `m` and per-heavy-processor job
+//! count `load` (the paper's Huge = 100 000, Large = 10 000, Big = 1 000):
+//!
+//! 1. concentrated on one node, zero elsewhere;
+//! 2. concentrated in a region, zero elsewhere;
+//! 3. concentrated on a node, `rand(100)` elsewhere;
+//! 4. concentrated in a region, `rand(100)` elsewhere.
+//!
+//! The paper does not state the region width; we use
+//! `max(2, m/10)` consecutive processors, each carrying `load` jobs
+//! (recorded in DESIGN.md). `rand(100)` draws uniformly from `0..100`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ring_sim::Instance;
+
+/// The paper's heavy-load sizes.
+pub mod loads {
+    /// "Huge" heavy-processor load.
+    pub const HUGE: u64 = 100_000;
+    /// "Large" heavy-processor load.
+    pub const LARGE: u64 = 10_000;
+    /// "Big" heavy-processor load.
+    pub const BIG: u64 = 1_000;
+}
+
+/// Width of the "concentrated in a region" block for an `m`-ring.
+pub fn region_width(m: usize) -> usize {
+    (m / 10).max(2).min(m)
+}
+
+/// Distribution 1: `load` jobs on processor 0, zero elsewhere.
+pub fn concentrated_node(m: usize, load: u64) -> Instance {
+    Instance::concentrated(m, 0, load)
+}
+
+/// Distribution 2: `load` jobs on each of the [`region_width`] processors
+/// starting at 0, zero elsewhere.
+pub fn concentrated_region(m: usize, load: u64) -> Instance {
+    let mut v = vec![0u64; m];
+    for x in v.iter_mut().take(region_width(m)) {
+        *x = load;
+    }
+    Instance::from_loads(v)
+}
+
+/// Distribution 3: `load` jobs on processor 0, `rand(100)` elsewhere.
+pub fn concentrated_node_random_bg(m: usize, load: u64, seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let v = (0..m)
+        .map(|i| if i == 0 { load } else { rng.gen_range(0..100) })
+        .collect();
+    Instance::from_loads(v)
+}
+
+/// Distribution 4: a heavy region as in distribution 2, `rand(100)`
+/// elsewhere.
+pub fn concentrated_region_random_bg(m: usize, load: u64, seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let r = region_width(m);
+    let v = (0..m)
+        .map(|i| if i < r { load } else { rng.gen_range(0..100) })
+        .collect();
+    Instance::from_loads(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn region_width_bounds() {
+        assert_eq!(region_width(10), 2);
+        assert_eq!(region_width(100), 10);
+        assert_eq!(region_width(1000), 100);
+        assert_eq!(region_width(2), 2);
+        assert_eq!(region_width(1), 1); // clamped to the ring
+    }
+
+    #[test]
+    fn d1_has_one_heavy_processor() {
+        let inst = concentrated_node(100, loads::BIG);
+        assert_eq!(inst.total_work(), 1_000);
+        assert_eq!(inst.loads().iter().filter(|&&x| x > 0).count(), 1);
+    }
+
+    #[test]
+    fn d2_has_region_width_heavy_processors() {
+        let inst = concentrated_region(100, loads::LARGE);
+        assert_eq!(inst.total_work(), 10 * 10_000);
+        assert_eq!(inst.loads().iter().filter(|&&x| x > 0).count(), 10);
+    }
+
+    #[test]
+    fn d3_background_is_bounded_and_seeded() {
+        let a = concentrated_node_random_bg(50, loads::BIG, 7);
+        let b = concentrated_node_random_bg(50, loads::BIG, 7);
+        let c = concentrated_node_random_bg(50, loads::BIG, 8);
+        assert_eq!(a, b, "same seed must reproduce");
+        assert_ne!(a, c, "different seed should differ");
+        assert_eq!(a.load(0), 1_000);
+        assert!(a.loads()[1..].iter().all(|&x| x < 100));
+    }
+
+    #[test]
+    fn d4_region_plus_background() {
+        let inst = concentrated_region_random_bg(100, loads::BIG, 3);
+        for i in 0..10 {
+            assert_eq!(inst.load(i), 1_000);
+        }
+        assert!(inst.loads()[10..].iter().all(|&x| x < 100));
+    }
+}

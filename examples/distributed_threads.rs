@@ -1,0 +1,56 @@
+//! Run the scheduler as an actual distributed system: one OS thread per
+//! processor, crossbeam channels as links, and nothing shared but the
+//! round clock.
+//!
+//! The same policy code that runs in the sequential simulator runs here
+//! unchanged — passing on this executor demonstrates the algorithms use
+//! only local state and neighbor messages, the paper's "no global control"
+//! claim.
+//!
+//! ```text
+//! cargo run --release -p ring-cli --example distributed_threads
+//! ```
+
+use ring_net::{run_capacitated_threaded, run_unit_threaded};
+use ring_sched::capacitated::run_capacitated;
+use ring_sched::unit::{run_unit, UnitConfig};
+use ring_sim::{Instance, TraceLevel};
+use std::time::Instant;
+
+fn main() {
+    let instance = Instance::concentrated(48, 0, 4_000);
+    println!(
+        "instance: {} jobs on processor 0 of a {}-ring\n",
+        instance.total_work(),
+        instance.num_processors()
+    );
+
+    for (name, cfg) in [("C1", UnitConfig::c1()), ("A2", UnitConfig::a2())] {
+        let seq = run_unit(&instance, &cfg).expect("sequential run succeeds");
+        let start = Instant::now();
+        let thr = run_unit_threaded(&instance, &cfg).expect("threaded run succeeds");
+        let wall = start.elapsed();
+        println!(
+            "{name}: sequential makespan {} | threaded makespan {} over {} threads \
+             ({} rounds, {} messages, {wall:.2?} wall time)",
+            seq.makespan,
+            thr.makespan,
+            instance.num_processors(),
+            thr.steps,
+            thr.messages_sent
+        );
+        assert_eq!(seq.makespan, thr.makespan, "executors must agree");
+    }
+
+    // The §7 algorithm under real unit-capacity links.
+    let seq = run_capacitated(&instance, TraceLevel::Off).expect("run succeeds");
+    let thr = run_capacitated_threaded(&instance).expect("run succeeds");
+    println!(
+        "capacitated: sequential {} | threaded {} (agree: {})",
+        seq.makespan,
+        thr.makespan,
+        seq.makespan == thr.makespan
+    );
+    assert_eq!(seq.makespan, thr.makespan);
+    println!("\nboth executors agree on every schedule — the policies are local.");
+}

@@ -1,0 +1,71 @@
+//! The §8 open problem, explored: job scheduling on a 2D torus.
+//!
+//! The paper closes by asking whether its ring approach adapts to meshes.
+//! This example runs our dimension-by-dimension adaptation (row phase with
+//! a `seen^{2/3}` target, column phase with the paper's `sqrt` rule) and
+//! compares against the exact torus optimum — computable because the
+//! staircase feasibility argument is metric, not ring-specific.
+//!
+//! ```text
+//! cargo run --release -p ring-cli --example mesh_scheduling
+//! ```
+
+use ring_mesh::{mesh_lower_bound, optimum_torus, run_mesh, MeshConfig, MeshInstance};
+use ring_opt::exact::{OptResult, SolverBudget};
+
+fn main() {
+    println!(
+        "{:<26} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "instance", "LB", "OPT", "uni", "factor", "bi(4way)", "factor"
+    );
+    let cases: Vec<(String, MeshInstance)> = vec![
+        (
+            "16x16, 8192 on one node".into(),
+            MeshInstance::concentrated(16, 16, 0, 8_192),
+        ),
+        (
+            "24x24, 20000 on one node".into(),
+            MeshInstance::concentrated(24, 24, 0, 20_000),
+        ),
+        ("12x12, two heaps".into(), {
+            let mut v = vec![0u64; 144];
+            v[0] = 3_000;
+            v[78] = 3_000;
+            MeshInstance::from_loads(12, 12, v)
+        }),
+        ("16x16, skewed random".into(), {
+            let v: Vec<u64> = (0..256).map(|i| ((i * 37) % 97) as u64).collect();
+            MeshInstance::from_loads(16, 16, v)
+        }),
+    ];
+
+    for (name, inst) in cases {
+        let uni = run_mesh(&inst, &MeshConfig::default());
+        let bi = run_mesh(&inst, &MeshConfig::bidirectional());
+        let lb = mesh_lower_bound(&inst);
+        let (opt, exact) = match optimum_torus(&inst, Some(uni.makespan), &SolverBudget::default())
+        {
+            OptResult::Exact(v) => (v, true),
+            OptResult::LowerBoundOnly(v) => (v, false),
+        };
+        println!(
+            "{:<26} {:>8} {:>7}{} {:>8} {:>8.3} {:>8} {:>8.3}",
+            name,
+            lb,
+            opt,
+            if exact { " " } else { "*" },
+            uni.makespan,
+            uni.makespan as f64 / opt.max(1) as f64,
+            bi.makespan,
+            bi.makespan as f64 / opt.max(1) as f64
+        );
+    }
+    println!(
+        "\nA pile of W jobs on a torus spreads over a radius ~W^(1/3) diamond\n\
+         (vs ~sqrt(W) on a ring): two dimensions give far more escape\n\
+         bandwidth, and the same bucket discipline exploits it with no\n\
+         global control. No worst-case factor is proven — that is exactly\n\
+         the paper's open problem — but the measured factors above stay\n\
+         small on every shape we tried."
+    );
+}

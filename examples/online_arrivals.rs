@@ -1,0 +1,68 @@
+//! Online (dynamic) job arrivals — beyond the paper's static model.
+//!
+//! The paper schedules a batch that is fully present at time 0 and cites
+//! Awerbuch–Kutten–Peleg for the dynamic setting. Our extension
+//! (`ring_sched::dynamic`) re-uses the bucket machinery unchanged: every
+//! new batch is packed into a fresh bucket on arrival. This example
+//! simulates a day of bursty gateway traffic and reports factors against a
+//! release-time-aware lower bound.
+//!
+//! ```text
+//! cargo run --release -p ring-cli --example online_arrivals
+//! ```
+
+use ring_sched::dynamic::{run_dynamic, Arrival, DynamicInstance};
+use ring_sched::unit::UnitConfig;
+
+fn main() {
+    // A 64-node processing ring. Three gateways receive bursts at
+    // staggered times; a big spike lands mid-trace.
+    let mut arrivals = Vec::new();
+    for k in 0..12u64 {
+        arrivals.push(Arrival {
+            time: 40 * k,
+            processor: 0,
+            count: 220,
+        });
+        arrivals.push(Arrival {
+            time: 40 * k + 13,
+            processor: 21,
+            count: 160,
+        });
+        arrivals.push(Arrival {
+            time: 40 * k + 27,
+            processor: 42,
+            count: 100,
+        });
+    }
+    arrivals.push(Arrival {
+        time: 240,
+        processor: 10,
+        count: 3_000, // the spike
+    });
+    let instance = DynamicInstance::new(64, arrivals);
+
+    println!(
+        "dynamic instance: {} jobs over {} arrivals, last at t={}",
+        instance.total_work(),
+        instance.arrivals().len(),
+        instance.last_arrival()
+    );
+    println!("release-aware lower bound: {}\n", instance.lower_bound());
+
+    println!("{:<5} {:>9} {:>8}", "alg", "makespan", "vs LB");
+    for (name, cfg) in UnitConfig::all_six() {
+        let run = run_dynamic(&instance, &cfg).expect("run succeeds");
+        println!(
+            "{:<5} {:>9} {:>8.3}",
+            name,
+            run.makespan,
+            run.makespan as f64 / run.lower_bound as f64
+        );
+    }
+    println!(
+        "\nEach burst becomes a fresh bucket at its gateway; the spike at\n\
+         t=240 spreads through the same sqrt-neighborhood discipline as the\n\
+         static algorithm, while earlier work keeps processing."
+    );
+}

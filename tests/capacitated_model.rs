@@ -1,0 +1,85 @@
+//! The §7 capacitated model end to end: Theorem 3, the Lemma 11/12
+//! invariants, and agreement between both executors under real
+//! unit-capacity links.
+
+use proptest::prelude::*;
+use ring_net::run_capacitated_threaded;
+use ring_opt::exact::{optimum_capacitated, OptResult, SolverBudget};
+use ring_sched::capacitated::run_capacitated;
+use ring_sim::{Instance, TraceLevel};
+
+#[test]
+fn theorem3_exact_on_fixed_instances() {
+    let cases = vec![
+        Instance::concentrated(8, 0, 100),
+        Instance::from_loads(vec![50, 0, 0, 0, 50, 0, 0, 0]),
+        Instance::from_loads(vec![10; 10]),
+        ring_workloads::random::uniform(12, 40, 5),
+    ];
+    for inst in cases {
+        let run = run_capacitated(&inst, TraceLevel::Off).unwrap();
+        match optimum_capacitated(&inst, Some(run.makespan), &SolverBudget::default()) {
+            OptResult::Exact(l) => assert!(
+                run.makespan <= 2 * l + 2,
+                "makespan {} > 2·{} + 2 on {:?}",
+                run.makespan,
+                l,
+                inst.loads()
+            ),
+            OptResult::LowerBoundOnly(_) => panic!("instance should be exactly solvable"),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Theorem 3 with exact optima on random small instances.
+    #[test]
+    fn theorem3_random(loads in prop::collection::vec(0u64..60, 2..12)) {
+        prop_assume!(loads.iter().sum::<u64>() > 0);
+        let inst = Instance::from_loads(loads);
+        let run = run_capacitated(&inst, TraceLevel::Off).unwrap();
+        if let OptResult::Exact(l) =
+            optimum_capacitated(&inst, Some(run.makespan), &SolverBudget::default())
+        {
+            prop_assert!(run.makespan <= 2 * l + 2,
+                "makespan {} vs 2·{}+2", run.makespan, l);
+            prop_assert!(run.makespan >= l);
+        }
+    }
+
+    /// Lemma 11b: once a processor first drains to ≤ 1 job, its load never
+    /// exceeds 3 afterwards.
+    #[test]
+    fn lemma11b_random(loads in prop::collection::vec(0u64..200, 2..20)) {
+        prop_assume!(loads.iter().sum::<u64>() > 0);
+        let inst = Instance::from_loads(loads);
+        let run = run_capacitated(&inst, TraceLevel::Off).unwrap();
+        prop_assert!(run.max_load_after_low <= 3,
+            "load after idle reached {}", run.max_load_after_low);
+    }
+
+    /// Lemma 12: passing never makes the schedule longer than the
+    /// no-passing schedule (whose length is the max initial load).
+    #[test]
+    fn lemma12_random(loads in prop::collection::vec(0u64..300, 2..16)) {
+        prop_assume!(loads.iter().sum::<u64>() > 0);
+        let max = *loads.iter().max().unwrap();
+        let inst = Instance::from_loads(loads);
+        let run = run_capacitated(&inst, TraceLevel::Off).unwrap();
+        prop_assert!(run.makespan <= max);
+    }
+
+    /// The threaded executor agrees with the sequential one under real
+    /// unit-capacity links.
+    #[test]
+    fn executors_agree(loads in prop::collection::vec(0u64..80, 2..10)) {
+        prop_assume!(loads.iter().sum::<u64>() > 0);
+        let inst = Instance::from_loads(loads);
+        let seq = run_capacitated(&inst, TraceLevel::Off).unwrap();
+        let thr = run_capacitated_threaded(&inst).unwrap();
+        prop_assert_eq!(seq.makespan, thr.makespan);
+        prop_assert_eq!(seq.processed, thr.processed_per_node);
+    }
+}

@@ -1,0 +1,59 @@
+//! Work conservation and machine-model compliance, verified from full
+//! event traces by the independent replay validator in `ring_sim`.
+
+use proptest::prelude::*;
+use ring_sched::unit::{run_unit, UnitConfig};
+use ring_sim::{validate_run, Instance};
+
+#[test]
+fn all_six_validate_on_fixed_instances() {
+    let cases = vec![
+        Instance::concentrated(24, 0, 500),
+        Instance::from_loads(vec![0, 0, 0, 9]),
+        Instance::from_loads(vec![7; 12]),
+        ring_workloads::adversary::instance(40, 9, 20),
+    ];
+    for inst in cases {
+        for (name, cfg) in UnitConfig::all_six() {
+            let run = run_unit(&inst, &cfg.with_trace()).unwrap();
+            let violations = validate_run(&inst, &run.report);
+            assert!(violations.is_empty(), "{name}: {violations:?}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every algorithm's full trace passes the causality/conservation
+    /// replay on random instances, including wrap-around regimes.
+    #[test]
+    fn traces_replay_cleanly(
+        loads in prop::collection::vec(0u64..120, 1..24),
+        alg in 0usize..6,
+    ) {
+        prop_assume!(loads.iter().sum::<u64>() > 0);
+        let inst = Instance::from_loads(loads);
+        let (name, cfg) = UnitConfig::all_six()[alg];
+        let run = run_unit(&inst, &cfg.with_trace()).unwrap();
+        let violations = validate_run(&inst, &run.report);
+        prop_assert!(violations.is_empty(), "{}: {:?}", name, violations);
+        // Aggregate accounting agrees with the instance.
+        prop_assert_eq!(run.report.metrics.total_processed(), inst.total_work());
+        prop_assert_eq!(run.assigned.iter().sum::<u64>(), inst.total_work());
+    }
+
+    /// Makespan is never below the trivial per-processor necessity and
+    /// never above the stay-local worst case plus travel slack.
+    #[test]
+    fn makespan_sane_envelope(loads in prop::collection::vec(0u64..200, 1..24)) {
+        let n: u64 = loads.iter().sum();
+        prop_assume!(n > 0);
+        let m = loads.len() as u64;
+        let inst = Instance::from_loads(loads);
+        let run = run_unit(&inst, &UnitConfig::c1()).unwrap();
+        prop_assert!(run.makespan >= n.div_ceil(m));
+        // Extremely loose upper envelope: everything plus a full lap.
+        prop_assert!(run.makespan <= n + 2 * m + 2);
+    }
+}

@@ -1,0 +1,120 @@
+//! Cross-crate tests of the extension features: optimal-schedule
+//! extraction, the diffusion baseline, dynamic arrivals, and the §8 torus
+//! exploration.
+
+use proptest::prelude::*;
+use ring_mesh::{mesh_lower_bound, optimum_torus, run_mesh, MeshConfig, MeshInstance};
+use ring_opt::assignment::extract_assignment;
+use ring_opt::exact::SolverBudget;
+use ring_sched::baselines::{run_diffusion, run_stay_local};
+use ring_sched::dynamic::{run_dynamic, Arrival, DynamicInstance};
+use ring_sched::unit::{run_unit, UnitConfig};
+use ring_sim::{Instance, TraceLevel};
+
+#[test]
+fn extracted_schedules_verify_on_catalog_slice() {
+    for case in ring_workloads::catalog()
+        .iter()
+        .filter(|c| c.instance.num_processors() == 10)
+    {
+        let hint = run_unit(&case.instance, &UnitConfig::c1())
+            .unwrap()
+            .makespan;
+        let a = extract_assignment(&case.instance, Some(hint), &SolverBudget::default())
+            .unwrap_or_else(|e| panic!("{}: {e}", case.id));
+        assert_eq!(a.verify(&case.instance), None, "case {}", case.id);
+        assert!(a.makespan <= hint);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The extracted optimal schedule always passes independent
+    /// verification and matches the value-only solver.
+    #[test]
+    fn assignment_roundtrip(loads in prop::collection::vec(0u64..120, 1..20)) {
+        prop_assume!(loads.iter().sum::<u64>() > 0);
+        let inst = Instance::from_loads(loads);
+        let a = extract_assignment(&inst, None, &SolverBudget::default()).unwrap();
+        prop_assert_eq!(a.verify(&inst), None);
+        let opt = ring_opt::optimum_uncapacitated(&inst, None, &SolverBudget::default());
+        prop_assert!(opt.is_exact());
+        prop_assert_eq!(a.makespan, opt.value());
+    }
+
+    /// Diffusion conserves work and never beats the exact optimum.
+    #[test]
+    fn diffusion_sanity(loads in prop::collection::vec(0u64..80, 2..16)) {
+        prop_assume!(loads.iter().sum::<u64>() > 0);
+        let inst = Instance::from_loads(loads.clone());
+        let report = run_diffusion(&inst, TraceLevel::Off).unwrap();
+        prop_assert_eq!(report.metrics.total_processed(), inst.total_work());
+        let opt = ring_opt::optimum_uncapacitated(&inst, Some(report.makespan),
+            &SolverBudget::default());
+        prop_assert!(report.makespan >= opt.value());
+        prop_assert!(report.makespan <= run_stay_local(&inst).max(1));
+    }
+
+    /// Dynamic runs respect the dynamic lower bound and conserve work.
+    #[test]
+    fn dynamic_sanity(
+        batches in prop::collection::vec((0u64..50, 0usize..12, 1u64..60), 1..8)
+    ) {
+        let arrivals: Vec<Arrival> = batches
+            .into_iter()
+            .map(|(time, p, count)| Arrival { time, processor: p % 12, count })
+            .collect();
+        let d = DynamicInstance::new(12, arrivals);
+        let run = run_dynamic(&d, &UnitConfig::c1()).unwrap();
+        prop_assert_eq!(run.report.metrics.total_processed(), d.total_work());
+        prop_assert!(run.makespan >= run.lower_bound,
+            "makespan {} < dynamic LB {}", run.makespan, run.lower_bound);
+    }
+
+    /// Mesh runs conserve work and never beat the torus optimum.
+    #[test]
+    fn mesh_sanity(loads in prop::collection::vec(0u64..60, 16..17)) {
+        prop_assume!(loads.iter().sum::<u64>() > 0);
+        let inst = MeshInstance::from_loads(4, 4, loads);
+        let run = run_mesh(&inst, &MeshConfig::default());
+        prop_assert_eq!(
+            run.report.processed_per_node.iter().sum::<u64>(),
+            inst.total_work()
+        );
+        let opt = optimum_torus(&inst, Some(run.makespan), &SolverBudget::default());
+        prop_assert!(opt.is_exact());
+        prop_assert!(run.makespan >= opt.value());
+        prop_assert!(opt.value() >= mesh_lower_bound(&inst));
+    }
+}
+
+#[test]
+fn dynamic_static_agreement_on_catalog_case() {
+    let case = ring_workloads::catalog()
+        .into_iter()
+        .find(|c| c.id == "II-m10-r100")
+        .unwrap();
+    let stat = run_unit(&case.instance, &UnitConfig::a2()).unwrap();
+    let dyn_run = run_dynamic(
+        &DynamicInstance::from_static(&case.instance),
+        &UnitConfig::a2(),
+    )
+    .unwrap();
+    assert_eq!(stat.makespan, dyn_run.makespan);
+}
+
+#[test]
+fn mesh_factors_stay_small_on_reference_shapes() {
+    let cases = vec![
+        MeshInstance::concentrated(10, 10, 0, 1_500),
+        MeshInstance::from_loads(6, 6, (0..36).map(|i| (i % 5) as u64).collect()),
+    ];
+    for inst in cases {
+        let run = run_mesh(&inst, &MeshConfig::default());
+        let opt = optimum_torus(&inst, Some(run.makespan), &SolverBudget::default());
+        assert!(opt.is_exact());
+        let f = run.makespan as f64 / opt.value().max(1) as f64;
+        assert!(f < 4.0, "mesh factor {f}");
+    }
+}

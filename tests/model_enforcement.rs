@@ -1,0 +1,279 @@
+//! Verifying the verifiers: deliberately broken policies must be caught.
+//!
+//! The engine meters the §2 machine model online and the trace replay in
+//! `ring_sim::validate` re-derives it offline. These tests feed both
+//! checkers policies that cheat in each distinct way — processing too
+//! fast, fabricating work, consuming work before it can physically arrive,
+//! and overloading capacitated links — and assert the right alarm fires.
+
+use ring_sim::{
+    validate_run, Direction, Engine, EngineConfig, Inbox, Instance, LinkCapacity, Node, NodeCtx,
+    Outbox, Payload, SimError, StepOutcome, TraceLevel, Violation,
+};
+
+#[derive(Debug, Clone)]
+struct JobMsg(u64);
+
+impl Payload for JobMsg {
+    fn job_units(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Processes one unit per step but claims two on the first step.
+struct Overworker {
+    remaining: u64,
+}
+
+impl Node for Overworker {
+    type Msg = JobMsg;
+
+    fn on_step(&mut self, ctx: &NodeCtx, _inbox: Inbox<JobMsg>) -> StepOutcome<JobMsg> {
+        let claim = if ctx.t == 0 {
+            2
+        } else {
+            u64::from(self.remaining > 0)
+        };
+        self.remaining = self.remaining.saturating_sub(claim);
+        StepOutcome {
+            outbox: Outbox::empty(),
+            work_done: claim,
+        }
+    }
+
+    fn pending_work(&self) -> u64 {
+        self.remaining
+    }
+}
+
+#[test]
+fn engine_rejects_overwork() {
+    let nodes = vec![Overworker { remaining: 4 }];
+    let err = Engine::new(nodes, 4, EngineConfig::default())
+        .run()
+        .unwrap_err();
+    assert!(matches!(err, SimError::Overwork { units: 2, .. }));
+}
+
+/// Fabricates work: processes one unit per step forever, far beyond its
+/// initial load.
+struct Fabricator;
+
+impl Node for Fabricator {
+    type Msg = JobMsg;
+
+    fn on_step(&mut self, _ctx: &NodeCtx, _inbox: Inbox<JobMsg>) -> StepOutcome<JobMsg> {
+        StepOutcome {
+            outbox: Outbox::empty(),
+            work_done: 1,
+        }
+    }
+
+    fn pending_work(&self) -> u64 {
+        0
+    }
+}
+
+#[test]
+fn engine_rejects_fabricated_work() {
+    // Two fabricators, total_work = 1: the second processed unit overshoots.
+    let nodes = vec![Fabricator, Fabricator];
+    let err = Engine::new(nodes, 1, EngineConfig::default())
+        .run()
+        .unwrap_err();
+    assert!(matches!(err, SimError::WorkMiscount { .. }));
+}
+
+/// Loses its jobs: never processes, never sends.
+struct Sinkhole {
+    held: u64,
+}
+
+impl Node for Sinkhole {
+    type Msg = JobMsg;
+
+    fn on_step(&mut self, _ctx: &NodeCtx, _inbox: Inbox<JobMsg>) -> StepOutcome<JobMsg> {
+        StepOutcome::idle()
+    }
+
+    fn pending_work(&self) -> u64 {
+        self.held
+    }
+}
+
+#[test]
+fn engine_times_out_on_lost_work() {
+    let nodes = vec![Sinkhole { held: 3 }];
+    let cfg = EngineConfig {
+        max_steps: Some(32),
+        ..EngineConfig::default()
+    };
+    let err = Engine::new(nodes, 3, cfg).run().unwrap_err();
+    assert!(matches!(
+        err,
+        SimError::ExceededMaxSteps { processed: 0, .. }
+    ));
+}
+
+/// A pair of colluding nodes that "teleport" a job: node 0 silently drops
+/// one of its jobs, node 1 processes a job it never received. Global totals
+/// match, so only the causality replay can catch it.
+struct Teleporter {
+    id: usize,
+    remaining: u64,
+}
+
+impl Node for Teleporter {
+    type Msg = JobMsg;
+
+    fn on_step(&mut self, ctx: &NodeCtx, _inbox: Inbox<JobMsg>) -> StepOutcome<JobMsg> {
+        match (self.id, ctx.t) {
+            // Node 1 processes the stolen job instantly at t = 0…
+            (1, 0) => StepOutcome {
+                outbox: Outbox::empty(),
+                work_done: 1,
+            },
+            // …while node 0 quietly forgets one job and processes the rest.
+            (0, _) if self.remaining > 1 => {
+                self.remaining -= 1;
+                StepOutcome {
+                    outbox: Outbox::empty(),
+                    work_done: 1,
+                }
+            }
+            _ => StepOutcome::idle(),
+        }
+    }
+
+    fn pending_work(&self) -> u64 {
+        self.remaining.saturating_sub(1)
+    }
+}
+
+#[test]
+fn replay_catches_teleported_work() {
+    let inst = Instance::from_loads(vec![3, 0]);
+    let nodes = vec![
+        Teleporter {
+            id: 0,
+            remaining: 3,
+        },
+        Teleporter {
+            id: 1,
+            remaining: 0,
+        },
+    ];
+    let cfg = EngineConfig {
+        trace: TraceLevel::Full,
+        ..EngineConfig::default()
+    };
+    // The engine is satisfied: 3 units claimed in total.
+    let report = Engine::new(nodes, 3, cfg).run().unwrap();
+    // The replay is not: node 1 processed work it never received.
+    let violations = validate_run(&inst, &report);
+    assert!(
+        violations
+            .iter()
+            .any(|v| matches!(v, Violation::NegativeBalance { node: 1, .. })),
+        "replay missed the teleport: {violations:?}"
+    );
+}
+
+/// Sends two jobs over one capacitated link in one step.
+struct LinkHog {
+    held: u64,
+}
+
+impl Node for LinkHog {
+    type Msg = JobMsg;
+
+    fn on_step(&mut self, ctx: &NodeCtx, _inbox: Inbox<JobMsg>) -> StepOutcome<JobMsg> {
+        let mut outbox = Outbox::empty();
+        if ctx.t == 0 && self.held >= 2 {
+            outbox.push(Direction::Cw, JobMsg(1));
+            outbox.push(Direction::Cw, JobMsg(1));
+            self.held -= 2;
+        }
+        StepOutcome {
+            outbox,
+            work_done: 0,
+        }
+    }
+
+    fn pending_work(&self) -> u64 {
+        self.held
+    }
+}
+
+#[test]
+fn engine_enforces_unit_link_capacity() {
+    let nodes = vec![LinkHog { held: 2 }, LinkHog { held: 0 }];
+    let cfg = EngineConfig {
+        link_capacity: LinkCapacity::UnitJobs,
+        ..EngineConfig::default()
+    };
+    let err = Engine::new(nodes, 2, cfg).run().unwrap_err();
+    assert!(matches!(
+        err,
+        SimError::LinkCapacityExceeded { job_units: 2, .. }
+    ));
+}
+
+#[test]
+fn unbounded_links_allow_the_same_send() {
+    // The same policy is legal in the §2 model — only §7 restricts links.
+    // (The jobs are then absorbed nowhere, so the run times out; the point
+    // is that no capacity error fires.)
+    let nodes = vec![LinkHog { held: 2 }, LinkHog { held: 0 }];
+    let cfg = EngineConfig {
+        max_steps: Some(16),
+        ..EngineConfig::default()
+    };
+    let err = Engine::new(nodes, 2, cfg).run().unwrap_err();
+    assert!(matches!(err, SimError::ExceededMaxSteps { .. }));
+}
+
+/// An honest policy run through the full pipeline must produce zero
+/// violations — the negative control for this file.
+struct Honest {
+    remaining: u64,
+}
+
+impl Node for Honest {
+    type Msg = JobMsg;
+
+    fn on_step(&mut self, _ctx: &NodeCtx, inbox: Inbox<JobMsg>) -> StepOutcome<JobMsg> {
+        for m in inbox.from_ccw.iter().chain(inbox.from_cw.iter()) {
+            self.remaining += m.0;
+        }
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            StepOutcome {
+                outbox: Outbox::empty(),
+                work_done: 1,
+            }
+        } else {
+            StepOutcome::idle()
+        }
+    }
+
+    fn pending_work(&self) -> u64 {
+        self.remaining
+    }
+}
+
+#[test]
+fn honest_policy_is_clean() {
+    let inst = Instance::from_loads(vec![5, 2, 0]);
+    let nodes: Vec<Honest> = inst
+        .loads()
+        .iter()
+        .map(|&x| Honest { remaining: x })
+        .collect();
+    let cfg = EngineConfig {
+        trace: TraceLevel::Full,
+        ..EngineConfig::default()
+    };
+    let report = Engine::new(nodes, 7, cfg).run().unwrap();
+    assert!(validate_run(&inst, &report).is_empty());
+}

@@ -1,0 +1,97 @@
+//! Cross-checks the staircase optimum solver against an independent
+//! formulation: a time-expanded flow network with *unbounded* move
+//! capacities (structurally unrelated to the distance-staircase network,
+//! so a construction bug in either is caught by disagreement).
+
+use proptest::prelude::*;
+use ring_opt::exact::{optimum_uncapacitated, OptResult, SolverBudget};
+use ring_opt::flow::{FlowNetwork, INF};
+use ring_sim::{Direction, Instance, RingTopology};
+
+/// Uncapacitated feasibility via a time-expanded graph: node (p, t) for
+/// t in 0..T; source→(p,0) cap x_p; hold and move edges cap INF; process
+/// edge (p,t)→sink cap 1.
+fn timeexp_uncap_feasible(inst: &Instance, t: u64) -> bool {
+    let n = inst.total_work();
+    if n == 0 {
+        return true;
+    }
+    if t == 0 {
+        return false;
+    }
+    let m = inst.num_processors();
+    let topo = RingTopology::new(m);
+    let steps = t as usize;
+    let node = |p: usize, tt: usize| 2 + tt * m + p;
+    let mut g = FlowNetwork::new(2 + steps * m);
+    for p in 0..m {
+        if inst.load(p) > 0 {
+            g.add_edge(0, node(p, 0), inst.load(p));
+        }
+    }
+    for tt in 0..steps {
+        for p in 0..m {
+            g.add_edge(node(p, tt), 1, 1);
+            if tt + 1 < steps {
+                g.add_edge(node(p, tt), node(p, tt + 1), INF);
+                if m >= 2 {
+                    g.add_edge(
+                        node(p, tt),
+                        node(topo.neighbor(p, Direction::Cw), tt + 1),
+                        INF,
+                    );
+                }
+                if m >= 3 {
+                    g.add_edge(
+                        node(p, tt),
+                        node(topo.neighbor(p, Direction::Ccw), tt + 1),
+                        INF,
+                    );
+                }
+            }
+        }
+    }
+    g.max_flow(0, 1) == n
+}
+
+fn timeexp_optimum(inst: &Instance) -> u64 {
+    let mut t = 0;
+    while !timeexp_uncap_feasible(inst, t) {
+        t += 1;
+    }
+    t
+}
+
+#[test]
+fn formulations_agree_on_fixed_instances() {
+    let cases = vec![
+        Instance::concentrated(8, 0, 16),
+        Instance::concentrated(5, 2, 33),
+        Instance::from_loads(vec![10, 0, 0, 10]),
+        Instance::from_loads(vec![7, 1, 0, 0, 0, 9]),
+        Instance::from_loads(vec![3]),
+        Instance::from_loads(vec![4, 4]),
+    ];
+    for inst in cases {
+        let stair = optimum_uncapacitated(&inst, None, &SolverBudget::default());
+        assert_eq!(
+            stair,
+            OptResult::Exact(timeexp_optimum(&inst)),
+            "disagreement on {:?}",
+            inst.loads()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn formulations_agree_randomly(loads in prop::collection::vec(0u64..25, 1..9)) {
+        prop_assume!(loads.iter().sum::<u64>() > 0);
+        let inst = Instance::from_loads(loads);
+        let stair = optimum_uncapacitated(&inst, None, &SolverBudget::default());
+        prop_assert_eq!(stair, OptResult::Exact(timeexp_optimum(&inst)),
+            "disagreement on {:?}", inst.loads());
+    }
+}

@@ -1,0 +1,137 @@
+//! Numeric verification of the paper's lemmas, one by one, on top of the
+//! crate implementations. (The theorems' end-to-end guarantees are covered
+//! in `approximation.rs` and `capacitated_model.rs`; this file pins down
+//! the intermediate claims.)
+
+use proptest::prelude::*;
+use ring_opt::exact::{optimum_uncapacitated, OptResult, SolverBudget};
+use ring_opt::lemma1_window_bound;
+use ring_sched::analysis::{alpha, C_PAPER};
+use ring_sched::fractional::{run_fractional, FractionalConfig};
+use ring_sched::unit::{run_unit, UnitConfig};
+use ring_sim::Instance;
+use ring_workloads::section5::Section5;
+
+fn exact_opt(inst: &Instance) -> u64 {
+    match optimum_uncapacitated(inst, None, &SolverBudget::default()) {
+        OptResult::Exact(v) => v,
+        OptResult::LowerBoundOnly(_) => panic!("instance should be exactly solvable"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Fact 1: sqrt(a+c) − sqrt(a) ≥ sqrt(a+b+c) − sqrt(a+b) for
+    /// non-negative a, b, c (concavity of sqrt).
+    #[test]
+    fn fact1(a in 0.0f64..1e6, b in 0.0f64..1e6, c in 0.0f64..1e6) {
+        let lhs = (a + c).sqrt() - a.sqrt();
+        let rhs = (a + b + c).sqrt() - (a + b).sqrt();
+        prop_assert!(lhs >= rhs - 1e-9);
+    }
+
+    /// Lemma 2: M_k = L² + (k−1)L is exactly the largest load a k-window
+    /// can carry at optimum L — i.e. the Lemma 1 bound inverts it.
+    #[test]
+    fn lemma2_inverts_lemma1(l in 1u64..2_000, k in 1usize..200) {
+        let mk = l * l + (k as u64 - 1) * l;
+        prop_assert_eq!(lemma1_window_bound(mk, k), l);
+        prop_assert_eq!(lemma1_window_bound(mk + 1, k), l + 1);
+    }
+
+    /// Lemma 4: no bucket of the Basic Algorithm travels further than
+    /// α(c)·L hops (α = 2/c + 1/c²), unless it laps the ring.
+    #[test]
+    fn lemma4_travel_bound(loads in prop::collection::vec(0u64..300, 4..24)) {
+        prop_assume!(loads.iter().sum::<u64>() > 0);
+        let inst = Instance::from_loads(loads);
+        let run = run_fractional(&inst, &FractionalConfig::default());
+        if !run.wrapped {
+            let opt = exact_opt(&inst) as f64;
+            prop_assert!(
+                (run.max_bucket_travel as f64) <= alpha(C_PAPER) * opt + 2.0,
+                "travel {} vs alpha*OPT {}", run.max_bucket_travel, alpha(C_PAPER) * opt
+            );
+        }
+    }
+
+    /// Lemma 5: runs in which buckets lap the ring finish within
+    /// (1 + 2α)·OPT (plus integral slack).
+    #[test]
+    fn lemma5_wraparound_bound(n in 200u64..4_000, m in 3usize..8) {
+        let inst = Instance::concentrated(m, 0, n);
+        let run = run_unit(&inst, &UnitConfig::c1()).unwrap();
+        let opt = exact_opt(&inst) as f64;
+        let bound = (1.0 + 2.0 * alpha(C_PAPER)) * opt + 2.0;
+        prop_assert!(run.wrapped, "m={m}, n={n} should lap");
+        prop_assert!(
+            (run.makespan as f64) <= bound,
+            "makespan {} vs (1+2α)·OPT = {:.1}", run.makespan, bound
+        );
+    }
+
+    /// Lemma 6: the integral algorithm finishes at most 2 steps after its
+    /// fractional shadow (+1 for the ceiling of the fractional makespan).
+    #[test]
+    fn lemma6_integral_tracks_fractional(loads in prop::collection::vec(0u64..200, 2..24)) {
+        prop_assume!(loads.iter().sum::<u64>() > 0);
+        let inst = Instance::from_loads(loads);
+        let frac = run_fractional(&inst, &FractionalConfig::default());
+        let int = run_unit(&inst, &UnitConfig::c1()).unwrap();
+        prop_assert!(
+            int.makespan as f64 <= frac.makespan.ceil() + 3.0,
+            "integral {} vs fractional {:.2}", int.makespan, frac.makespan
+        );
+    }
+
+    /// Lemma 8: the closed-form optimum of the two-heap instance matches
+    /// the flow solver for arbitrary (W, z).
+    #[test]
+    fn lemma8_closed_form(w in 10u64..400, z in 1usize..8) {
+        let s = Section5::new(w, z, 256);
+        prop_assert_eq!(exact_opt(&s.instance_i()), s.lemma8_optimum());
+    }
+
+    /// Lemma 10: no capacitated schedule beats the (k+2)-window bound —
+    /// checked through the exact capacitated solver.
+    #[test]
+    fn lemma10_window_bound(loads in prop::collection::vec(0u64..50, 2..10)) {
+        prop_assume!(loads.iter().sum::<u64>() > 0);
+        let inst = Instance::from_loads(loads);
+        let lb = ring_opt::bounds::lemma10_lower_bound(&inst);
+        if let OptResult::Exact(opt) =
+            ring_opt::optimum_capacitated(&inst, None, &SolverBudget::default())
+        {
+            prop_assert!(opt >= lb, "capacitated OPT {} below Lemma 10 bound {}", opt, lb);
+        }
+    }
+}
+
+#[test]
+fn equation3_alpha_is_the_bucket_emptying_coefficient() {
+    // On the adversary instance J (x₁ = L, every window saturated), the
+    // telescoping argument says bucket B₁ empties after ~α·L hops. The
+    // simulation should land near that, not merely under it.
+    let l = 30u64;
+    let m = 600usize;
+    let inst = ring_workloads::adversary::instance(m, l, 400);
+    let run = run_fractional(&inst, &FractionalConfig::default());
+    let predicted = alpha(C_PAPER) * l as f64;
+    let measured = run.travel_per_origin[0] as f64;
+    assert!(
+        measured <= predicted + 2.0,
+        "B1 travelled {measured}, telescoping bound {predicted:.1}"
+    );
+    assert!(
+        measured >= 0.5 * predicted,
+        "B1 travelled only {measured}, expected near {predicted:.1}"
+    );
+}
+
+#[test]
+fn theorem2_margin_is_tight_at_the_papers_constants() {
+    use ring_workloads::section5::theorem2_margin;
+    assert!(theorem2_margin(0.71, 0.06) > 0.0);
+    assert!(theorem2_margin(0.71, 0.065) < 0.0);
+}

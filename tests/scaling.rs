@@ -1,0 +1,56 @@
+//! §4.3 end to end: speed and transit-time reductions preserve behavior
+//! and guarantees.
+
+use proptest::prelude::*;
+use ring_opt::bounds::sized_lower_bound;
+use ring_sched::arbitrary::ArbitraryConfig;
+use ring_sched::scaled::{lift, run_scaled, to_unit_model};
+use ring_sim::SizedInstance;
+
+#[test]
+fn identity_scaling_is_a_noop() {
+    let inst = ring_workloads::sized::uniform_sizes(16, 3, 1, 9, 2);
+    let unit = to_unit_model(&inst, 1, 1).unwrap();
+    assert_eq!(unit, inst);
+}
+
+#[test]
+fn transit_time_scales_schedule_linearly() {
+    let inst = ring_workloads::sized::batch_on_one(24, 0, 30, 2, 8, 7);
+    // Lift so sizes divide by every transit we test.
+    let lifted = lift(&inst, 6);
+    let cfg = ArbitraryConfig::default();
+    let tau1 = run_scaled(&lifted, 1, 1, &cfg).unwrap();
+    let tau2 = run_scaled(&lifted, 1, 2, &cfg).unwrap();
+    let tau3 = run_scaled(&lifted, 1, 3, &cfg).unwrap();
+    // Each run reports in original time units: makespan = τ · unit-model
+    // makespan by construction.
+    assert_eq!(tau2.makespan, 2 * tau2.unit_run.makespan);
+    assert_eq!(tau3.makespan, 3 * tau3.unit_run.makespan);
+    // Larger τ means relatively costlier communication, so the original
+    // makespan cannot improve.
+    assert!(tau2.makespan >= tau1.makespan);
+    assert!(tau3.makespan >= tau2.makespan);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The reduced run still honors Corollary 2 against the reduced
+    /// instance's lower bound, for any (speed, transit) pair.
+    #[test]
+    fn scaled_runs_keep_the_guarantee(
+        sizes in prop::collection::vec(prop::collection::vec(1u64..6, 0..4), 2..12),
+        speed in 1u64..4,
+        tau in 1u64..4,
+    ) {
+        prop_assume!(sizes.iter().flatten().count() > 0);
+        let base = SizedInstance::from_sizes(sizes);
+        let lifted = lift(&base, speed * tau);
+        let run = run_scaled(&lifted, speed, tau, &ArbitraryConfig::default()).unwrap();
+        let unit = to_unit_model(&lifted, speed, tau).unwrap();
+        let lb = sized_lower_bound(&unit);
+        prop_assert!(run.unit_run.makespan as f64 <= 5.22 * lb as f64 + 3.0);
+        prop_assert_eq!(run.makespan, run.unit_run.makespan * tau);
+    }
+}

@@ -1,0 +1,48 @@
+//! Opt-in stress tests (`cargo test --release -p ring-cli --test stress --
+//! --ignored`). These exercise scales well beyond the paper's evaluation;
+//! they are excluded from the default run because they take minutes in
+//! debug builds.
+
+use ring_opt::exact::{optimum_uncapacitated, SolverBudget};
+use ring_sched::unit::{run_unit, UnitConfig};
+use ring_sim::Instance;
+
+#[test]
+#[ignore = "stress scale; run with --ignored in release mode"]
+fn c1_on_a_5000_ring_with_a_million_jobs() {
+    let inst = Instance::concentrated(5_000, 0, 1_000_000);
+    let run = run_unit(&inst, &UnitConfig::c1()).unwrap();
+    // OPT = 1000 (sqrt of 1e6); Theorem 1 must hold at this scale too.
+    assert!(run.makespan as f64 <= 4.22 * 1_000.0 + 2.0);
+    assert_eq!(run.report.metrics.total_processed(), 1_000_000);
+}
+
+#[test]
+#[ignore = "stress scale; run with --ignored in release mode"]
+fn all_six_on_a_wide_noisy_ring() {
+    let inst = ring_workloads::random::uniform(4_096, 200, 42);
+    let n = inst.total_work();
+    for (name, cfg) in UnitConfig::all_six() {
+        let run = run_unit(&inst, &cfg).unwrap();
+        assert_eq!(run.report.metrics.total_processed(), n, "{name}");
+    }
+}
+
+#[test]
+#[ignore = "stress scale; run with --ignored in release mode"]
+fn exact_solver_on_a_2000_ring() {
+    let inst = ring_workloads::random::uniform(2_000, 100, 7);
+    let hint = run_unit(&inst, &UnitConfig::c1()).unwrap().makespan;
+    let opt = optimum_uncapacitated(&inst, Some(hint), &SolverBudget::default());
+    assert!(opt.is_exact());
+    assert!(opt.value() <= hint);
+}
+
+#[test]
+#[ignore = "stress scale; run with --ignored in release mode"]
+fn threaded_executor_with_256_threads() {
+    let inst = Instance::concentrated(256, 0, 8_192);
+    let seq = run_unit(&inst, &UnitConfig::a2()).unwrap();
+    let thr = ring_net::run_unit_threaded(&inst, &UnitConfig::a2()).unwrap();
+    assert_eq!(seq.makespan, thr.makespan);
+}
