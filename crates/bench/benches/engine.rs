@@ -1,0 +1,74 @@
+//! Sequential vs arc-parallel engine: `Engine::run` against
+//! `Engine::par_run` on the same instances, up to m = 4096.
+//!
+//! The two executors produce bit-identical reports (asserted once per
+//! group before timing), so this measures pure execution cost: arena
+//! stepping on one thread versus arc sharding with two barriers per
+//! round. Small rings should favor `run` (barriers dominate); the
+//! crossover is the number worth watching as `m` grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ring_sched::unit::{run_unit, run_unit_par, UnitConfig};
+use ring_sim::Instance;
+use std::hint::black_box;
+
+/// A concentrated load: one source, 16·m unit jobs — the workload shape
+/// with the longest wavefronts (bucket travels Θ(√n) hops).
+fn instance(m: usize) -> Instance {
+    Instance::concentrated(m, 0, (m as u64) * 16)
+}
+
+fn run_vs_par_run(c: &mut Criterion) {
+    let shard_counts = [2usize, 4, 8];
+    for &m in &[256usize, 1024, 4096] {
+        let inst = instance(m);
+        let cfg = UnitConfig::c1();
+        // Equivalence guard: never benchmark two executors that disagree.
+        let seq = run_unit(&inst, &cfg).unwrap();
+        for &s in &shard_counts {
+            let par = run_unit_par(&inst, &cfg, s).unwrap();
+            assert_eq!(seq.report, par.report, "m={m} shards={s} diverged");
+        }
+
+        let mut group = c.benchmark_group(format!("engine/m={m}"));
+        group.throughput(Throughput::Elements(m as u64));
+        group.bench_function("run", |b| {
+            b.iter(|| run_unit(black_box(&inst), &cfg).unwrap().makespan)
+        });
+        for &s in &shard_counts {
+            group.bench_with_input(BenchmarkId::new("par_run", s), &s, |b, &s| {
+                b.iter(|| run_unit_par(black_box(&inst), &cfg, s).unwrap().makespan)
+            });
+        }
+        group.finish();
+    }
+}
+
+fn observe_overhead(c: &mut Criterion) {
+    // The observability series are opt-in; this pins down what turning
+    // them on costs relative to a bare run.
+    let inst = instance(1024);
+    let mut group = c.benchmark_group("engine/observe");
+    group.bench_function("off", |b| {
+        b.iter(|| {
+            run_unit(black_box(&inst), &UnitConfig::c1())
+                .unwrap()
+                .makespan
+        })
+    });
+    group.bench_function("on", |b| {
+        b.iter(|| {
+            run_unit(black_box(&inst), &UnitConfig::c1().with_observe())
+                .unwrap()
+                .makespan
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = run_vs_par_run, observe_overhead
+}
+criterion_main!(benches);

@@ -16,7 +16,7 @@
 use ring_opt::exact::{optimum_capacitated, optimum_uncapacitated, OptResult, SolverBudget};
 use ring_opt::{capacitated_lower_bound, uncapacitated_lower_bound};
 use ring_sched::capacitated::run_capacitated;
-use ring_sched::unit::{run_unit, UnitConfig};
+use ring_sched::unit::{run_unit, run_unit_par, UnitConfig};
 use ring_sim::{Instance, TraceLevel};
 use ring_workloads::{catalog, random, section5::Section5, structured};
 use std::collections::HashMap;
@@ -34,6 +34,8 @@ fn usage() -> ! {
          \x20   --workload concentrated|region|uniform  (default concentrated)\n\
          \x20   --m <ring size> --n <jobs> [--seed <s>] [--c <const>]\n\
          \x20   --threaded                    one OS thread per processor\n\
+         \x20   --par <shards>                arc-parallel engine on <shards> threads\n\
+         \x20   --observe                     emit per-step observability JSON\n\
          \x20 capacitated                     run the \u{a7}7 algorithm\n\
          \x20   --m <ring size> --n <jobs> | --case <id>\n\
          \x20 optimum                         exact optimum + lower bounds\n\
@@ -167,7 +169,10 @@ fn cmd_catalog() {
 
 fn cmd_run(flags: &HashMap<String, String>) {
     let inst = build_instance(flags);
-    let cfg = alg_config(flags);
+    let mut cfg = alg_config(flags);
+    if flags.contains_key("observe") {
+        cfg = cfg.with_observe();
+    }
     let lb = uncapacitated_lower_bound(&inst);
     println!(
         "instance: m={} n={} | algorithm {}",
@@ -188,7 +193,16 @@ fn cmd_run(flags: &HashMap<String, String>) {
         );
         println!("messages sent: {}", run.messages_sent);
     } else {
-        let run = run_unit(&inst, &cfg).unwrap_or_else(|e| {
+        let run = if let Some(shards) = flags.get("par") {
+            let shards: usize = shards.parse().unwrap_or_else(|_| {
+                eprintln!("--par must be a shard count");
+                usage()
+            });
+            run_unit_par(&inst, &cfg, shards.max(1))
+        } else {
+            run_unit(&inst, &cfg)
+        }
+        .unwrap_or_else(|e| {
             eprintln!("run failed: {e}");
             exit(1)
         });
@@ -214,6 +228,9 @@ fn cmd_run(flags: &HashMap<String, String>) {
                 "instance too large for exact solve; factor vs lower bound {v}: {:.3}",
                 run.makespan as f64 / v.max(1) as f64
             ),
+        }
+        if let Some(obs) = &run.report.observability {
+            println!("observability: {}", obs.to_json());
         }
     }
 }

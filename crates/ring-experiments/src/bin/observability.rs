@@ -1,0 +1,25 @@
+//! Per-step dynamics of the six algorithms: imbalance decay, in-flight
+//! payload, link utilization, and drop-off spread.
+//!
+//! ```text
+//! cargo run --release -p ring-experiments --bin observability
+//! ```
+
+use ring_experiments::observability::{
+    render, render_imbalance_sparkline, run_experiment, workloads,
+};
+use ring_sched::unit::{run_unit, UnitConfig};
+
+fn main() {
+    println!("## Per-step observability (engine `observe` mode)\n");
+    print!("{}", render(&run_experiment()));
+
+    println!("\n## Imbalance decay (C1, one column ≈ one step, peak-normalized)\n");
+    println!("```text");
+    for (label, inst) in workloads() {
+        let run = run_unit(&inst, &UnitConfig::c1().with_observe()).expect("run succeeds");
+        let obs = run.report.observability.expect("observe was requested");
+        println!("{label:<28} {}", render_imbalance_sparkline(&obs, 60));
+    }
+    println!("```");
+}

@@ -22,9 +22,12 @@
 //! * [`capacitated`] — the §7 experiment;
 //! * [`ablation`] — sweeps of the drop-off constant `c` and
 //!   uni-vs-bidirectional comparisons (design-choice ablations);
+//! * [`observability`] — per-step dynamics (imbalance decay, in-flight
+//!   payload, link utilization) from the engine's `observe` mode;
 //! * [`report`] — markdown rendering for EXPERIMENTS.md.
 //!
-//! Binaries: `figures`, `table1`, `capacitated`, `ablation`.
+//! Binaries: `figures`, `table1`, `capacitated`, `ablation`,
+//! `communication`, `observability`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,6 +37,7 @@ pub mod capacitated;
 pub mod communication;
 pub mod figures;
 pub mod histogram;
+pub mod observability;
 pub mod report;
 pub mod runner;
 pub mod stats;

@@ -1,0 +1,222 @@
+//! Per-step observability experiment — how the schedules *unfold*.
+//!
+//! The figure experiments summarize every run to a single number (the
+//! approximation factor). This experiment keeps the engine's per-step
+//! series ([`ring_sim::Observability`]) and condenses them into dynamics
+//! that the endpoint numbers cannot show:
+//!
+//! * **peak imbalance** — the largest `max_i pending_i − mean pending`
+//!   over the run: how far from balanced the ring ever gets;
+//! * **settle step** — the first step after which the imbalance stays
+//!   below one job: how quickly drop-offs flatten the load;
+//! * **peak inflight** — the largest per-step payload on the wire;
+//! * **mean link utilization** — the fraction of (link, step) pairs that
+//!   carried a message, averaged over the ring: the paper's "low control
+//!   overhead" claim, per step instead of in total;
+//! * **drop-off spread** — how many distinct processors ever accepted
+//!   work, versus the ring size.
+
+use ring_sched::unit::{run_unit, UnitConfig};
+use ring_sim::{Instance, Observability};
+
+/// One (workload, algorithm) measurement.
+#[derive(Debug, Clone)]
+pub struct ObsRow {
+    /// Workload label.
+    pub workload: String,
+    /// Algorithm name (`A1`…`C2`).
+    pub algorithm: String,
+    /// Schedule length.
+    pub makespan: u64,
+    /// Largest per-step load imbalance over the run.
+    pub peak_imbalance: f64,
+    /// First step after which imbalance stays `< 1.0` (equals the
+    /// makespan when the run never settles early).
+    pub settle_step: u64,
+    /// Largest per-step payload in flight.
+    pub peak_inflight: u64,
+    /// Link utilization averaged over all nodes.
+    pub mean_link_utilization: f64,
+    /// Processors that accepted at least one job.
+    pub dropoff_nodes: usize,
+    /// Ring size.
+    pub m: usize,
+}
+
+/// The workloads whose dynamics we chart (a concentrated point load, a
+/// two-burst load, and a noisy spread).
+pub fn workloads() -> Vec<(String, Instance)> {
+    vec![
+        (
+            "concentrated m=64 n=1024".into(),
+            Instance::concentrated(64, 0, 1024),
+        ),
+        ("twin m=64".into(), {
+            let mut v = vec![0u64; 64];
+            v[0] = 512;
+            v[32] = 512;
+            Instance::from_loads(v)
+        }),
+        (
+            "uniform m=64 0..=40".into(),
+            ring_workloads::random::uniform(64, 40, 1994),
+        ),
+    ]
+}
+
+/// First step after which the imbalance series stays below one job.
+fn settle_step(obs: &Observability) -> u64 {
+    let series = obs.imbalance_series();
+    let mut last_bad = None;
+    for (i, &v) in series.iter().enumerate() {
+        if v >= 1.0 {
+            last_bad = Some(i);
+        }
+    }
+    match last_bad {
+        Some(i) => i as u64 + 1,
+        None => 0,
+    }
+}
+
+/// Condenses one run's series into a row.
+fn summarize(workload: &str, algorithm: &str, makespan: u64, obs: &Observability) -> ObsRow {
+    let util = obs.link_utilization();
+    let mean_link_utilization = if util.is_empty() {
+        0.0
+    } else {
+        util.iter().sum::<f64>() / util.len() as f64
+    };
+    ObsRow {
+        workload: workload.to_string(),
+        algorithm: algorithm.to_string(),
+        makespan,
+        peak_imbalance: obs.peak_imbalance(),
+        settle_step: settle_step(obs),
+        peak_inflight: obs.inflight_series().into_iter().max().unwrap_or(0),
+        mean_link_utilization,
+        dropoff_nodes: obs.dropoffs_per_node.iter().filter(|&&d| d > 0).count(),
+        m: obs.num_processors,
+    }
+}
+
+/// Runs all six algorithms over the workloads with observability on.
+pub fn run_experiment() -> Vec<ObsRow> {
+    let mut rows = Vec::new();
+    for (label, inst) in workloads() {
+        for (name, cfg) in UnitConfig::all_six() {
+            let cfg = cfg.with_observe();
+            let run = run_unit(&inst, &cfg).expect("run succeeds");
+            let obs = run
+                .report
+                .observability
+                .as_ref()
+                .expect("observe was requested");
+            rows.push(summarize(&label, name, run.makespan, obs));
+        }
+    }
+    rows
+}
+
+/// Renders the rows as a markdown table.
+pub fn render(rows: &[ObsRow]) -> String {
+    let mut s = String::new();
+    s.push_str(
+        "| workload | algorithm | makespan | peak imbalance | settle step | \
+         peak inflight | link util | drop-off nodes |\n",
+    );
+    s.push_str("|---|---|---|---|---|---|---|---|\n");
+    for r in rows {
+        s.push_str(&format!(
+            "| {} | {} | {} | {:.1} | {} | {} | {:.3} | {}/{} |\n",
+            r.workload,
+            r.algorithm,
+            r.makespan,
+            r.peak_imbalance,
+            r.settle_step,
+            r.peak_inflight,
+            r.mean_link_utilization,
+            r.dropoff_nodes,
+            r.m
+        ));
+    }
+    s
+}
+
+/// Renders one run's imbalance series as a fixed-height text sparkline
+/// (one column per step, downsampled to at most `width` columns).
+pub fn render_imbalance_sparkline(obs: &Observability, width: usize) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let series = obs.imbalance_series();
+    if series.is_empty() {
+        return String::new();
+    }
+    let peak = series.iter().copied().fold(0.0_f64, f64::max).max(1.0);
+    let stride = series.len().div_ceil(width.max(1));
+    let mut s = String::new();
+    for chunk in series.chunks(stride) {
+        let v = chunk.iter().copied().fold(0.0_f64, f64::max);
+        let idx = ((v / peak) * (BARS.len() - 1) as f64).round() as usize;
+        s.push(BARS[idx.min(BARS.len() - 1)]);
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_cover_all_algorithms_and_workloads() {
+        let rows = run_experiment();
+        assert_eq!(rows.len(), workloads().len() * 6);
+        for r in &rows {
+            assert!(r.makespan > 0, "{}/{}", r.workload, r.algorithm);
+            assert!(r.settle_step <= r.makespan);
+            assert!(r.dropoff_nodes >= 1 && r.dropoff_nodes <= r.m);
+            assert!((0.0..=1.0).contains(&r.mean_link_utilization));
+        }
+    }
+
+    #[test]
+    fn concentrated_load_spreads_across_many_nodes() {
+        // sqrt-spreading: 1024 jobs from one source must land on many
+        // processors under every algorithm.
+        let rows = run_experiment();
+        for r in rows.iter().filter(|r| r.workload.starts_with("concentr")) {
+            assert!(
+                r.dropoff_nodes >= 8,
+                "{} spread only {} nodes",
+                r.algorithm,
+                r.dropoff_nodes
+            );
+        }
+    }
+
+    #[test]
+    fn sparkline_has_bounded_width() {
+        let inst = Instance::concentrated(16, 0, 256);
+        let run = run_unit(&inst, &UnitConfig::c1().with_observe()).unwrap();
+        let obs = run.report.observability.unwrap();
+        let line = render_imbalance_sparkline(&obs, 40);
+        assert!(!line.is_empty());
+        assert!(line.chars().count() <= 40);
+    }
+
+    #[test]
+    fn render_contains_headers() {
+        let rows = vec![ObsRow {
+            workload: "w".into(),
+            algorithm: "C1".into(),
+            makespan: 10,
+            peak_imbalance: 3.5,
+            settle_step: 7,
+            peak_inflight: 12,
+            mean_link_utilization: 0.25,
+            dropoff_nodes: 5,
+            m: 16,
+        }];
+        let s = render(&rows);
+        assert!(s.contains("| w | C1 | 10 | 3.5 | 7 | 12 | 0.250 | 5/16 |"));
+    }
+}

@@ -22,7 +22,7 @@
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
-use ring_sim::{Inbox, LinkCapacity, Node, NodeCtx, Payload, RingTopology, SimError};
+use ring_sim::{Direction, LinkCapacity, Node, NodeCtx, RingTopology, SimError, StepIo};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Barrier;
 
@@ -152,56 +152,71 @@ where
 
             scope.spawn(move || {
                 let mut local_processed = 0u64;
+                // Reusable step buffers: the inbox pair is refilled from the
+                // channels each round, the outbox pair is drained by the
+                // sends (the receiving thread takes ownership of the Vec, so
+                // the allocation travels with the packet — same as before).
+                let mut from_ccw: Vec<N::Msg> = Vec::new();
+                let mut from_cw: Vec<N::Msg> = Vec::new();
+                let mut out_cw: Vec<N::Msg> = Vec::new();
+                let mut out_ccw: Vec<N::Msg> = Vec::new();
                 let mut t = 0u64;
                 loop {
-                    let inbox = if t == 0 {
-                        Inbox::empty()
-                    } else {
-                        Inbox {
-                            from_ccw: from_left.recv().expect("neighbor sends every round"),
-                            from_cw: from_right.recv().expect("neighbor sends every round"),
-                        }
-                    };
+                    if t > 0 {
+                        from_ccw = from_left.recv().expect("neighbor sends every round");
+                        from_cw = from_right.recv().expect("neighbor sends every round");
+                    }
                     let ctx = NodeCtx { id: i, t, topo };
-                    let outcome = node.on_step(&ctx, inbox);
+                    let mut io =
+                        StepIo::new(&mut from_ccw, &mut from_cw, &mut out_cw, &mut out_ccw);
+                    let work_done = node.on_step(&ctx, &mut io);
+                    let sent = [
+                        (
+                            io.out.messages(Direction::Cw),
+                            io.out.payload(Direction::Cw),
+                        ),
+                        (
+                            io.out.messages(Direction::Ccw),
+                            io.out.payload(Direction::Ccw),
+                        ),
+                    ];
+                    from_ccw.clear();
+                    from_cw.clear();
 
-                    if outcome.work_done > 1 {
+                    if work_done > 1 {
                         flag.store(FLAG_OVERWORK, Ordering::SeqCst);
                         *flag_detail.lock() = Some(SimError::Overwork {
                             node: i,
                             step: t,
-                            units: outcome.work_done,
+                            units: work_done,
                         });
-                    } else if outcome.work_done == 1 {
+                    } else if work_done == 1 {
                         local_processed += 1;
                         processed.fetch_add(1, Ordering::SeqCst);
                         last_busy_plus1.fetch_max(t + 1, Ordering::SeqCst);
                     }
 
-                    for msgs in [&outcome.outbox.cw, &outcome.outbox.ccw] {
-                        if link_capacity == LinkCapacity::UnitJobs && !msgs.is_empty() {
-                            let payload: u64 = msgs.iter().map(Payload::job_units).sum();
-                            if payload > 1 || msgs.len() > 2 {
-                                flag.store(FLAG_CAPACITY, Ordering::SeqCst);
-                                *flag_detail.lock() = Some(SimError::LinkCapacityExceeded {
-                                    node: i,
-                                    step: t,
-                                    job_units: payload,
-                                    messages: msgs.len(),
-                                });
-                            }
+                    for (count, payload) in sent {
+                        if link_capacity == LinkCapacity::UnitJobs
+                            && count > 0
+                            && (payload > 1 || count > 2)
+                        {
+                            flag.store(FLAG_CAPACITY, Ordering::SeqCst);
+                            *flag_detail.lock() = Some(SimError::LinkCapacityExceeded {
+                                node: i,
+                                step: t,
+                                job_units: payload,
+                                messages: count as usize,
+                            });
                         }
                     }
-                    messages.fetch_add(
-                        (outcome.outbox.cw.len() + outcome.outbox.ccw.len()) as u64,
-                        Ordering::Relaxed,
-                    );
+                    messages.fetch_add(sent[0].0 + sent[1].0, Ordering::Relaxed);
                     // Send exactly one packet per neighbor per round.
                     my_cw_tx
-                        .send(outcome.outbox.cw)
+                        .send(std::mem::take(&mut out_cw))
                         .expect("receiver lives until the shared exit round");
                     my_ccw_tx
-                        .send(outcome.outbox.ccw)
+                        .send(std::mem::take(&mut out_ccw))
                         .expect("receiver lives until the shared exit round");
 
                     barrier.wait();
@@ -252,7 +267,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ring_sim::{Outbox, StepOutcome};
+    use ring_sim::Payload;
 
     /// Local-grind policy (no communication).
     struct LocalOnly {
@@ -271,15 +286,12 @@ mod tests {
     impl Node for LocalOnly {
         type Msg = NoMsg;
 
-        fn on_step(&mut self, _ctx: &NodeCtx, _inbox: Inbox<NoMsg>) -> StepOutcome<NoMsg> {
+        fn on_step(&mut self, _ctx: &NodeCtx, _io: &mut StepIo<'_, NoMsg>) -> u64 {
             if self.remaining > 0 {
                 self.remaining -= 1;
-                StepOutcome {
-                    outbox: Outbox::empty(),
-                    work_done: 1,
-                }
+                1
             } else {
-                StepOutcome::idle()
+                0
             }
         }
 
@@ -313,8 +325,8 @@ mod tests {
         struct Lazy;
         impl Node for Lazy {
             type Msg = NoMsg;
-            fn on_step(&mut self, _c: &NodeCtx, _i: Inbox<NoMsg>) -> StepOutcome<NoMsg> {
-                StepOutcome::idle()
+            fn on_step(&mut self, _c: &NodeCtx, _io: &mut StepIo<'_, NoMsg>) -> u64 {
+                0
             }
             fn pending_work(&self) -> u64 {
                 1

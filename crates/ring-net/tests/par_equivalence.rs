@@ -1,0 +1,109 @@
+//! Three-executor equivalence: `Engine::run` ≡ `Engine::par_run` ≡
+//! `ring_net::run_threaded`.
+//!
+//! All three executors implement the same synchronous round-delayed model,
+//! and every policy in the workspace is deterministic, so the schedules must
+//! agree *exactly* — the arc-parallel engine bit-for-bit on the whole
+//! [`RunReport`] (metrics, trace, observability), the thread-per-processor
+//! executor on everything it reports (makespan, per-node work, message
+//! count). Divergence under any executor means either a policy peeked at
+//! non-local state or an executor broke the model — both bugs this file
+//! exists to catch.
+
+use proptest::prelude::*;
+use ring_net::run_unit_threaded;
+use ring_sched::unit::{build_unit_nodes, run_unit, UnitConfig};
+use ring_sim::{Engine, EngineConfig, Instance, RunReport, SimError};
+
+/// Runs a unit-algorithm config through the arc-parallel engine.
+fn par_run_unit(inst: &Instance, cfg: &UnitConfig, shards: usize) -> Result<RunReport, SimError> {
+    let nodes = build_unit_nodes(inst, cfg);
+    let engine_cfg = EngineConfig {
+        max_steps: cfg.max_steps,
+        trace: cfg.trace,
+        observe: cfg.observe,
+        ..EngineConfig::default()
+    };
+    Engine::new(nodes, inst.total_work(), engine_cfg).par_run(shards)
+}
+
+fn cases() -> Vec<Instance> {
+    vec![
+        Instance::concentrated(16, 0, 120),
+        Instance::concentrated(9, 4, 300),
+        Instance::from_loads(vec![30, 0, 0, 12, 7, 0, 0, 0, 0, 44, 0, 3]),
+        Instance::from_loads(vec![5; 8]),
+        Instance::from_loads(vec![1000, 0, 0, 0]), // wrap-around path
+        Instance::from_loads(vec![17]),            // singleton ring
+    ]
+}
+
+#[test]
+fn all_six_configs_agree_across_all_three_executors() {
+    for inst in cases() {
+        for (name, cfg) in UnitConfig::all_six() {
+            // Full trace + observability so the bit-for-bit comparison
+            // covers every field the report can carry.
+            let cfg = cfg.with_trace().with_observe();
+            let seq = run_unit(&inst, &cfg).unwrap();
+            for shards in [2, 3, 7] {
+                let par = par_run_unit(&inst, &cfg, shards).unwrap();
+                assert_eq!(
+                    seq.report,
+                    par,
+                    "{name}/{shards} shards diverged on {:?}",
+                    inst.loads()
+                );
+            }
+            let thr = run_unit_threaded(&inst, &cfg).unwrap();
+            assert_eq!(seq.makespan, thr.makespan, "{name} on {:?}", inst.loads());
+            assert_eq!(
+                seq.report.metrics.processed_per_node,
+                thr.processed_per_node,
+                "{name} on {:?}",
+                inst.loads()
+            );
+            assert_eq!(
+                seq.report.metrics.messages_sent,
+                thr.messages_sent,
+                "{name} on {:?}",
+                inst.loads()
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random instances, random shard counts, all six §6 algorithms: the
+    /// three executors agree on makespan, per-node work, and messages; the
+    /// two engine executors agree on the entire report.
+    #[test]
+    fn executors_agree_on_random_instances(
+        loads in prop::collection::vec(0u64..120, 1..24),
+        alg in 0usize..6,
+        shards in 2usize..9,
+    ) {
+        prop_assume!(loads.iter().sum::<u64>() > 0);
+        let inst = Instance::from_loads(loads);
+        let (name, cfg) = UnitConfig::all_six()[alg];
+        let cfg = cfg.with_trace().with_observe();
+
+        let seq = run_unit(&inst, &cfg).unwrap();
+        let par = par_run_unit(&inst, &cfg, shards).unwrap();
+        prop_assert_eq!(
+            &seq.report,
+            &par,
+            "{} with {} shards diverged on {:?}",
+            name,
+            shards,
+            inst.loads()
+        );
+
+        let thr = run_unit_threaded(&inst, &cfg).unwrap();
+        prop_assert_eq!(seq.makespan, thr.makespan);
+        prop_assert_eq!(&seq.report.metrics.processed_per_node, &thr.processed_per_node);
+        prop_assert_eq!(seq.report.metrics.messages_sent, thr.messages_sent);
+    }
+}

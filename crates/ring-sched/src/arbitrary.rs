@@ -24,8 +24,8 @@
 use crate::bucket::Ledger;
 use crate::{analysis::C_PAPER, ceil_tol, EPS};
 use ring_sim::{
-    Direction, Engine, EngineConfig, Inbox, Job, Node, NodeCtx, Outbox, Payload, RunReport,
-    SimError, SizedInstance, StepOutcome, TraceLevel,
+    Direction, Engine, EngineConfig, Job, Node, NodeCtx, Payload, RunReport, SimError,
+    SizedInstance, StepIo, TraceLevel,
 };
 use std::collections::VecDeque;
 
@@ -245,8 +245,7 @@ impl SizedNode {
 impl Node for SizedNode {
     type Msg = SizedBucket;
 
-    fn on_step(&mut self, ctx: &NodeCtx, inbox: Inbox<SizedBucket>) -> StepOutcome<SizedBucket> {
-        let mut outbox = Outbox::empty();
+    fn on_step(&mut self, ctx: &NodeCtx, io: &mut StepIo<'_, SizedBucket>) -> u64 {
         let m = ctx.topo.len();
 
         if ctx.t == 0 {
@@ -262,23 +261,28 @@ impl Node for SizedNode {
                     } else if self.bidirectional && m > 2 {
                         let ccw = split_sized(&mut b);
                         if !ccw.is_spent() {
-                            outbox.push(Direction::Ccw, ccw);
+                            io.out.push(Direction::Ccw, ccw);
                         }
                         if !b.is_spent() {
-                            outbox.push(Direction::Cw, b);
+                            io.out.push(Direction::Cw, b);
                         }
                     } else {
-                        outbox.push(Direction::Cw, b);
+                        io.out.push(Direction::Cw, b);
                     }
                 }
             }
         } else {
-            for msg in inbox.from_ccw.into_iter().chain(inbox.from_cw) {
+            for msg in io
+                .inbox
+                .from_ccw
+                .drain(..)
+                .chain(io.inbox.from_cw.drain(..))
+            {
                 let mut bucket = msg;
                 bucket.arrive(self.x, m);
                 self.negotiate_with_m(&mut bucket, m);
                 if !bucket.is_spent() {
-                    outbox.push(bucket.dir, bucket);
+                    io.out.push(bucket.dir, bucket);
                 }
             }
         }
@@ -294,7 +298,7 @@ impl Node for SizedNode {
             self.current_remaining -= 1;
             work_done = 1;
         }
-        StepOutcome { outbox, work_done }
+        work_done
     }
 
     fn pending_work(&self) -> u64 {

@@ -20,8 +20,8 @@
 //! a waste.
 
 use ring_sim::{
-    Direction, Engine, EngineConfig, Inbox, Instance, Node, NodeCtx, Outbox, Payload, RunReport,
-    SimError, StepOutcome, TraceLevel,
+    Direction, Engine, EngineConfig, Instance, Node, NodeCtx, Payload, RunReport, SimError, StepIo,
+    TraceLevel,
 };
 
 /// Runs the no-migration baseline (schedule `S'` of Lemma 12). The
@@ -57,12 +57,12 @@ pub struct DiffusionNode {
 impl Node for DiffusionNode {
     type Msg = DiffusionMsg;
 
-    fn on_step(&mut self, _ctx: &NodeCtx, inbox: Inbox<DiffusionMsg>) -> StepOutcome<DiffusionMsg> {
-        for msg in &inbox.from_ccw {
+    fn on_step(&mut self, _ctx: &NodeCtx, io: &mut StepIo<'_, DiffusionMsg>) -> u64 {
+        for msg in io.inbox.from_ccw.iter() {
             self.jobs += msg.jobs;
             self.left = Some(msg.load);
         }
-        for msg in &inbox.from_cw {
+        for msg in io.inbox.from_cw.iter() {
             self.jobs += msg.jobs;
             self.right = Some(msg.load);
         }
@@ -94,22 +94,21 @@ impl Node for DiffusionNode {
         send_ccw = send_ccw.min(sendable.saturating_sub(send_cw));
         self.jobs -= send_cw + send_ccw;
 
-        let mut outbox = Outbox::empty();
-        outbox.push(
+        io.out.push(
             Direction::Cw,
             DiffusionMsg {
                 jobs: send_cw,
                 load: self.jobs,
             },
         );
-        outbox.push(
+        io.out.push(
             Direction::Ccw,
             DiffusionMsg {
                 jobs: send_ccw,
                 load: self.jobs,
             },
         );
-        StepOutcome { outbox, work_done }
+        work_done
     }
 
     fn pending_work(&self) -> u64 {

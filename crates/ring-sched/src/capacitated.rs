@@ -26,8 +26,8 @@
 //! that the neighbor is nearly idle).
 
 use ring_sim::{
-    Direction, Engine, EngineConfig, Inbox, Instance, LinkCapacity, Node, NodeCtx, Outbox, Payload,
-    RunReport, SimError, StepOutcome, TraceLevel,
+    Direction, Engine, EngineConfig, Instance, LinkCapacity, Node, NodeCtx, Payload, RunReport,
+    SimError, StepIo, TraceLevel,
 };
 
 /// A message on a capacitated link: either one job or a load announcement.
@@ -107,10 +107,10 @@ impl CapacitatedNode {
 impl Node for CapacitatedNode {
     type Msg = CapMsg;
 
-    fn on_step(&mut self, _ctx: &NodeCtx, inbox: Inbox<CapMsg>) -> StepOutcome<CapMsg> {
+    fn on_step(&mut self, _ctx: &NodeCtx, io: &mut StepIo<'_, CapMsg>) -> u64 {
         // Receive: jobs add to our pile; counts refresh neighbor estimates.
         // from_ccw = sent by the left (counterclockwise) neighbor.
-        for msg in &inbox.from_ccw {
+        for msg in io.inbox.from_ccw.iter() {
             match msg {
                 CapMsg::Job => self.jobs += 1,
                 CapMsg::Count(c) => self.left = Some(*c),
@@ -120,7 +120,7 @@ impl Node for CapacitatedNode {
                 }
             }
         }
-        for msg in &inbox.from_cw {
+        for msg in io.inbox.from_cw.iter() {
             match msg {
                 CapMsg::Job => self.jobs += 1,
                 CapMsg::Count(c) => self.right = Some(*c),
@@ -131,7 +131,6 @@ impl Node for CapacitatedNode {
             }
         }
 
-        let mut outbox = Outbox::empty();
         let mut work_done = 0;
         if self.jobs > 0 {
             self.jobs -= 1;
@@ -152,12 +151,12 @@ impl Node for CapacitatedNode {
         // along on the job so each link direction carries one message.
         for (dir, passed) in [(Direction::Cw, passed_cw), (Direction::Ccw, passed_ccw)] {
             match (passed, self.piggyback) {
-                (true, true) => outbox.push(dir, CapMsg::JobWithCount(self.jobs)),
+                (true, true) => io.out.push(dir, CapMsg::JobWithCount(self.jobs)),
                 (true, false) => {
-                    outbox.push(dir, CapMsg::Job);
-                    outbox.push(dir, CapMsg::Count(self.jobs));
+                    io.out.push(dir, CapMsg::Job);
+                    io.out.push(dir, CapMsg::Count(self.jobs));
                 }
-                (false, _) => outbox.push(dir, CapMsg::Count(self.jobs)),
+                (false, _) => io.out.push(dir, CapMsg::Count(self.jobs)),
             }
         }
 
@@ -168,7 +167,7 @@ impl Node for CapacitatedNode {
         if self.reached_low {
             self.max_load_after_low = self.max_load_after_low.max(self.jobs);
         }
-        StepOutcome { outbox, work_done }
+        work_done
     }
 
     fn pending_work(&self) -> u64 {
@@ -222,6 +221,7 @@ pub fn run_capacitated_piggyback(
         link_capacity: LinkCapacity::UnitJobs,
         trace,
         max_steps: Some(4 * (instance.total_work() + instance.num_processors() as u64) + 64),
+        ..EngineConfig::default()
     };
     let mut engine = Engine::new(nodes, instance.total_work(), cfg);
     let report = engine.run()?;
@@ -257,6 +257,7 @@ pub fn run_capacitated(instance: &Instance, trace: TraceLevel) -> Result<Capacit
         // The schedule is at most 2L + 2 <= 2·max_load + 2, but a stuck run
         // should fail fast: cap generously by total work.
         max_steps: Some(4 * (instance.total_work() + instance.num_processors() as u64) + 64),
+        ..EngineConfig::default()
     };
     let mut engine = Engine::new(nodes, instance.total_work(), cfg);
     let report = engine.run()?;

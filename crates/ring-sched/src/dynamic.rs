@@ -23,9 +23,7 @@
 //!   work arriving *at or after* `r` (that work cannot start before `r`).
 
 use crate::unit::{UnitConfig, UnitNode};
-use ring_sim::{
-    Engine, EngineConfig, Inbox, Instance, Node, NodeCtx, RunReport, SimError, StepOutcome,
-};
+use ring_sim::{Engine, EngineConfig, Instance, Node, NodeCtx, RunReport, SimError, StepIo};
 
 /// A batch of unit jobs arriving at a processor at a point in time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -171,19 +169,22 @@ pub struct DynamicNode {
 impl Node for DynamicNode {
     type Msg = crate::bucket::Bucket;
 
-    fn on_step(&mut self, ctx: &NodeCtx, inbox: Inbox<Self::Msg>) -> StepOutcome<Self::Msg> {
+    fn on_step(&mut self, ctx: &NodeCtx, io: &mut StepIo<'_, Self::Msg>) -> u64 {
         let m = ctx.topo.len();
-        let mut outbox = ring_sim::Outbox::empty();
         // New batches first: they are visible to this step's processing.
         while self.pending.front().is_some_and(|a| a.time <= ctx.t) {
             let a = self.pending.pop_front().expect("front checked");
-            self.inner.emit_bucket(ctx.id, m, a.count, &mut outbox);
+            self.inner.emit_bucket(ctx.id, m, a.count, &mut io.out);
         }
-        for bucket in inbox.from_ccw.into_iter().chain(inbox.from_cw) {
-            self.inner.receive_bucket(bucket, &mut outbox, m);
+        for bucket in io
+            .inbox
+            .from_ccw
+            .drain(..)
+            .chain(io.inbox.from_cw.drain(..))
+        {
+            self.inner.receive_bucket(bucket, &mut io.out, m);
         }
-        let work_done = self.inner.process_tick();
-        StepOutcome { outbox, work_done }
+        self.inner.process_tick()
     }
 
     fn pending_work(&self) -> u64 {

@@ -36,8 +36,8 @@
 use crate::analysis::C_PAPER;
 use crate::bucket::{drop_balancing, drop_regular, Bucket, Ledger};
 use ring_sim::{
-    Direction, Engine, EngineConfig, Inbox, Instance, Node, NodeCtx, Outbox, RunReport, SimError,
-    StepOutcome, TraceLevel,
+    Direction, Engine, EngineConfig, Instance, Node, NodeCtx, Outbox, RunReport, SimError, StepIo,
+    TraceLevel,
 };
 use serde::{Deserialize, Serialize};
 
@@ -86,6 +86,8 @@ pub struct UnitConfig {
     pub trace: TraceLevel,
     /// Optional step budget override.
     pub max_steps: Option<u64>,
+    /// Collect the engine's per-step observability series.
+    pub observe: bool,
 }
 
 impl UnitConfig {
@@ -109,6 +111,7 @@ impl UnitConfig {
             c,
             trace: TraceLevel::Off,
             max_steps: None,
+            observe: false,
         }
     }
 
@@ -159,6 +162,13 @@ impl UnitConfig {
     /// Returns the same configuration with full event tracing.
     pub fn with_trace(mut self) -> Self {
         self.trace = TraceLevel::Full;
+        self
+    }
+
+    /// Returns the same configuration with per-step observability series
+    /// collection turned on.
+    pub fn with_observe(mut self) -> Self {
+        self.observe = true;
         self
     }
 
@@ -256,7 +266,7 @@ impl UnitNode {
         id: usize,
         m: usize,
         count: u64,
-        outbox: &mut Outbox<Bucket>,
+        outbox: &mut Outbox<'_, Bucket>,
     ) {
         if count == 0 {
             return;
@@ -297,7 +307,7 @@ impl UnitNode {
     pub(crate) fn receive_bucket(
         &mut self,
         mut bucket: Bucket,
-        outbox: &mut Outbox<Bucket>,
+        outbox: &mut Outbox<'_, Bucket>,
         m: usize,
     ) {
         bucket.arrive(self.x, m);
@@ -320,7 +330,7 @@ impl UnitNode {
 
     /// Accepts a bucket at this node: run the drop-off negotiation and
     /// forward the bucket if it still holds anything.
-    fn handle_bucket(&mut self, mut bucket: Bucket, outbox: &mut Outbox<Bucket>, m: usize) {
+    fn handle_bucket(&mut self, mut bucket: Bucket, outbox: &mut Outbox<'_, Bucket>, m: usize) {
         self.max_travel_seen = self.max_travel_seen.max(bucket.hops);
         self.ledger.passed_frac += bucket.frac;
         self.ledger.passed_int += bucket.jobs;
@@ -343,27 +353,30 @@ impl UnitNode {
 impl Node for UnitNode {
     type Msg = Bucket;
 
-    fn on_step(&mut self, ctx: &NodeCtx, inbox: Inbox<Bucket>) -> StepOutcome<Bucket> {
-        let mut outbox = Outbox::empty();
+    fn on_step(&mut self, ctx: &NodeCtx, io: &mut StepIo<'_, Bucket>) -> u64 {
         let m = ctx.topo.len();
 
         if ctx.t == 0 {
             // Pack all local jobs into a bucket, drop the origin's share,
             // split if bidirectional, and send the rest on its way.
             let count = std::mem::take(&mut self.x);
-            self.emit_bucket(ctx.id, m, count, &mut outbox);
+            self.emit_bucket(ctx.id, m, count, &mut io.out);
         } else {
             // At most one bucket arrives per direction per step (all
             // buckets advance in lock-step). Process the clockwise
             // traveller first — a fixed, documented order so runs are
             // deterministic.
-            for bucket in inbox.from_ccw.into_iter().chain(inbox.from_cw) {
-                self.receive_bucket(bucket, &mut outbox, m);
+            for bucket in io
+                .inbox
+                .from_ccw
+                .drain(..)
+                .chain(io.inbox.from_cw.drain(..))
+            {
+                self.receive_bucket(bucket, &mut io.out, m);
             }
         }
 
-        let work_done = self.process_tick();
-        StepOutcome { outbox, work_done }
+        self.process_tick()
     }
 
     fn pending_work(&self) -> u64 {
@@ -407,25 +420,49 @@ impl UnitNode {
 /// assert!(run.makespan >= 8);                       // sqrt(64) is optimal
 /// ```
 pub fn run_unit(instance: &Instance, cfg: &UnitConfig) -> Result<UnitRun, SimError> {
+    let mut engine = unit_engine(instance, cfg);
+    let report = engine.run()?;
+    Ok(finish_unit_run(engine, report))
+}
+
+/// Runs one of the six unit-job algorithms through the arc-parallel engine.
+///
+/// The ring is split into `shards` contiguous arcs stepped on scoped
+/// threads ([`Engine::par_run`]); the resulting [`UnitRun`] is bit-for-bit
+/// identical to [`run_unit`]'s on the same instance and config.
+pub fn run_unit_par(
+    instance: &Instance,
+    cfg: &UnitConfig,
+    shards: usize,
+) -> Result<UnitRun, SimError> {
+    let mut engine = unit_engine(instance, cfg);
+    let report = engine.par_run(shards)?;
+    Ok(finish_unit_run(engine, report))
+}
+
+fn unit_engine(instance: &Instance, cfg: &UnitConfig) -> Engine<UnitNode> {
     let nodes = build_unit_nodes(instance, cfg);
     let engine_cfg = EngineConfig {
         max_steps: cfg.max_steps,
         trace: cfg.trace,
+        observe: cfg.observe,
         ..EngineConfig::default()
     };
-    let mut engine = Engine::new(nodes, instance.total_work(), engine_cfg);
-    let report = engine.run()?;
+    Engine::new(nodes, instance.total_work(), engine_cfg)
+}
+
+fn finish_unit_run(engine: Engine<UnitNode>, report: RunReport) -> UnitRun {
     let nodes = engine.into_nodes();
     let max_bucket_travel = nodes.iter().map(|n| n.max_travel_seen).max().unwrap_or(0);
     let wrapped = nodes.iter().any(|n| n.saw_balancing);
     let assigned = nodes.iter().map(|n| n.ledger.accepted_int).collect();
-    Ok(UnitRun {
+    UnitRun {
         makespan: report.makespan,
         max_bucket_travel,
         wrapped,
         assigned,
         report,
-    })
+    }
 }
 
 #[cfg(test)]

@@ -1,9 +1,8 @@
 //! The synchronous ring execution engine.
 //!
 //! The engine owns one [`Node`] per processor and advances global time in
-//! lock-step rounds. In round `t` every node, in parallel (simulated
-//! sequentially but with strictly round-delayed message delivery, so node
-//! evaluation order is unobservable):
+//! lock-step rounds. In round `t` every node, in parallel (round-delayed
+//! message delivery makes node evaluation order unobservable):
 //!
 //! 1. receives the messages its two neighbors sent in round `t - 1`,
 //! 2. performs one step of its local policy, possibly processing one unit of
@@ -19,9 +18,27 @@
 //! one unit per step, and (with [`LinkCapacity::UnitJobs`], the §7 model) if
 //! a node sends more than one job or more than two messages over one link in
 //! one step. It also verifies global work conservation at termination.
+//!
+//! ## Message arenas
+//!
+//! Messages live in two double-buffered arenas per direction: `cur` holds
+//! what was sent last round (this round's inboxes), `next` collects what is
+//! sent this round. Policies *drain* their [`Inbox`] (borrowed from `cur`)
+//! and push through an [`Outbox`] that writes straight into the receiving
+//! node's `next` vector, so the steady-state inner loop moves messages
+//! without allocating: all vectors retain their high-water-mark capacity and
+//! the buffers swap roles at the end of each round.
+//!
+//! ## Executors
+//!
+//! [`Engine::run`] steps nodes `0..m` in index order on one thread.
+//! [`Engine::par_run`] shards the ring into contiguous arcs, one scoped
+//! thread per arc, exchanging only the per-round boundary messages; because
+//! delivery is round-delayed and each `next` vector has exactly one writer
+//! per round, the two produce bit-for-bit identical [`RunReport`]s.
 
 use crate::error::SimError;
-use crate::metrics::Metrics;
+use crate::metrics::{Metrics, Observability, StepSample};
 use crate::topology::{Direction, RingTopology};
 use crate::trace::{Event, Trace, TraceLevel};
 
@@ -36,86 +53,118 @@ pub trait Payload {
     fn job_units(&self) -> u64;
 }
 
-/// Messages produced by a node in one step, by outgoing direction.
-#[derive(Debug, Clone)]
-pub struct Outbox<M> {
-    /// Messages to the clockwise neighbor (`i + 1`).
-    pub cw: Vec<M>,
-    /// Messages to the counterclockwise neighbor (`i - 1`).
-    pub ccw: Vec<M>,
-}
-
-impl<M> Default for Outbox<M> {
-    fn default() -> Self {
-        Outbox {
-            cw: Vec::new(),
-            ccw: Vec::new(),
-        }
-    }
-}
-
-impl<M> Outbox<M> {
-    /// An outbox with no messages.
-    pub fn empty() -> Self {
-        Self::default()
-    }
-
-    /// Appends a message in the given direction.
-    pub fn push(&mut self, dir: Direction, msg: M) {
-        match dir {
-            Direction::Cw => self.cw.push(msg),
-            Direction::Ccw => self.ccw.push(msg),
-        }
-    }
-
-    /// True iff no messages are queued in either direction.
-    pub fn is_empty(&self) -> bool {
-        self.cw.is_empty() && self.ccw.is_empty()
-    }
-}
-
-/// Messages delivered to a node at the start of a step, by the side they
-/// arrived from.
-#[derive(Debug, Clone)]
-pub struct Inbox<M> {
+/// Messages delivered to a node at the start of a step, borrowed from the
+/// engine's arenas by the side they arrived from.
+///
+/// Policies either drain the vectors (`drain(..)` keeps the buffer capacity
+/// for the next round) or read them by reference; anything left over is
+/// discarded by the engine when the step ends.
+#[derive(Debug)]
+pub struct Inbox<'a, M> {
     /// Messages from the counterclockwise neighbor (`i - 1`), i.e. messages
     /// that were travelling clockwise.
-    pub from_ccw: Vec<M>,
+    pub from_ccw: &'a mut Vec<M>,
     /// Messages from the clockwise neighbor (`i + 1`), i.e. messages that
     /// were travelling counterclockwise.
-    pub from_cw: Vec<M>,
+    pub from_cw: &'a mut Vec<M>,
 }
 
-impl<M> Inbox<M> {
-    /// An inbox with no messages (what every node sees at `t = 0`).
-    pub fn empty() -> Self {
-        Inbox {
-            from_ccw: Vec::new(),
-            from_cw: Vec::new(),
-        }
-    }
-
+impl<M> Inbox<'_, M> {
     /// True iff nothing arrived this step.
     pub fn is_empty(&self) -> bool {
         self.from_ccw.is_empty() && self.from_cw.is_empty()
     }
 }
 
-/// What a node did in one step.
-#[derive(Debug, Clone)]
-pub struct StepOutcome<M> {
-    /// Messages to send (delivered to the neighbors at `t + 1`).
-    pub outbox: Outbox<M>,
-    /// Units of work processed this step. The model allows at most 1.
-    pub work_done: u64,
+/// A node's outgoing channel for one step, writing directly into the
+/// receiving nodes' arena buffers while metering message counts and job
+/// payload per direction (the engine reads the meters for link-capacity
+/// enforcement, metrics and tracing).
+#[derive(Debug)]
+pub struct Outbox<'a, M: Payload> {
+    to_cw: &'a mut Vec<M>,
+    to_ccw: &'a mut Vec<M>,
+    cw_messages: u64,
+    cw_payload: u64,
+    ccw_messages: u64,
+    ccw_payload: u64,
 }
 
-impl<M> StepOutcome<M> {
-    /// An idle step: no messages, no processing.
-    pub fn idle() -> Self {
-        StepOutcome {
-            outbox: Outbox::empty(),
-            work_done: 0,
+impl<M: Payload> Outbox<'_, M> {
+    /// Appends a message in the given direction (delivered at `t + 1`).
+    pub fn push(&mut self, dir: Direction, msg: M) {
+        let units = msg.job_units();
+        match dir {
+            Direction::Cw => {
+                self.cw_messages += 1;
+                self.cw_payload += units;
+                self.to_cw.push(msg);
+            }
+            Direction::Ccw => {
+                self.ccw_messages += 1;
+                self.ccw_payload += units;
+                self.to_ccw.push(msg);
+            }
+        }
+    }
+
+    /// True iff nothing was sent yet this step.
+    pub fn is_empty(&self) -> bool {
+        self.cw_messages == 0 && self.ccw_messages == 0
+    }
+
+    /// Messages pushed in the given direction this step.
+    pub fn messages(&self, dir: Direction) -> u64 {
+        match dir {
+            Direction::Cw => self.cw_messages,
+            Direction::Ccw => self.ccw_messages,
+        }
+    }
+
+    /// Job payload pushed in the given direction this step.
+    pub fn payload(&self, dir: Direction) -> u64 {
+        match dir {
+            Direction::Cw => self.cw_payload,
+            Direction::Ccw => self.ccw_payload,
+        }
+    }
+}
+
+/// The borrowed I/O surface a node works through during one step: its
+/// [`Inbox`] and its [`Outbox`].
+///
+/// Constructed by the engine over its arenas; alternative executors (such
+/// as the thread-per-processor one in `ring-net`) build it over their own
+/// buffers via [`StepIo::new`].
+#[derive(Debug)]
+pub struct StepIo<'a, M: Payload> {
+    /// Messages delivered this step.
+    pub inbox: Inbox<'a, M>,
+    /// Outgoing messages (delivered at `t + 1`).
+    pub out: Outbox<'a, M>,
+}
+
+impl<'a, M: Payload> StepIo<'a, M> {
+    /// Builds a step I/O surface over caller-owned buffers: the two inbox
+    /// vectors (messages that arrived from the counterclockwise and the
+    /// clockwise neighbor) and the two destination vectors messages travel
+    /// into (clockwise and counterclockwise).
+    pub fn new(
+        from_ccw: &'a mut Vec<M>,
+        from_cw: &'a mut Vec<M>,
+        to_cw: &'a mut Vec<M>,
+        to_ccw: &'a mut Vec<M>,
+    ) -> Self {
+        StepIo {
+            inbox: Inbox { from_ccw, from_cw },
+            out: Outbox {
+                to_cw,
+                to_ccw,
+                cw_messages: 0,
+                cw_payload: 0,
+                ccw_messages: 0,
+                ccw_payload: 0,
+            },
         }
     }
 }
@@ -143,14 +192,16 @@ pub trait Node {
     /// Link message type.
     type Msg: Payload;
 
-    /// Executes one synchronous step: consume `inbox` (messages the
+    /// Executes one synchronous step: consume the inbox (messages the
     /// neighbors sent in the previous step; empty at `t = 0`), optionally
-    /// process one unit of resident work, and emit messages.
-    fn on_step(&mut self, ctx: &NodeCtx, inbox: Inbox<Self::Msg>) -> StepOutcome<Self::Msg>;
+    /// process one unit of resident work, and emit messages through
+    /// `io.out`. Returns the units of work processed this step (the model
+    /// allows at most 1).
+    fn on_step(&mut self, ctx: &NodeCtx, io: &mut StepIo<'_, Self::Msg>) -> u64;
 
     /// Units of unprocessed work currently resident on this node (not
-    /// counting work in flight). Used only for diagnostics; termination is
-    /// detected by global work conservation.
+    /// counting work in flight). Used for diagnostics and the observability
+    /// backlog series; termination is detected by global work conservation.
     fn pending_work(&self) -> u64;
 }
 
@@ -179,6 +230,10 @@ pub struct EngineConfig {
     pub link_capacity: LinkCapacity,
     /// Event recording level.
     pub trace: TraceLevel,
+    /// Collect the per-step [`Observability`] time series (off by default:
+    /// it costs one `pending_work` call and a payload sum per node per
+    /// step).
+    pub observe: bool,
 }
 
 impl Default for EngineConfig {
@@ -187,12 +242,13 @@ impl Default for EngineConfig {
             max_steps: None,
             link_capacity: LinkCapacity::Unbounded,
             trace: TraceLevel::Off,
+            observe: false,
         }
     }
 }
 
 /// Result of a completed run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RunReport {
     /// Schedule length: the time at which the last unit of work finished
     /// processing (work processed during step `t` completes at `t + 1`).
@@ -202,6 +258,81 @@ pub struct RunReport {
     pub metrics: Metrics,
     /// Event log (empty unless [`TraceLevel::Full`]).
     pub trace: Trace,
+    /// Per-step time series (`None` unless [`EngineConfig::observe`]).
+    pub observability: Option<Observability>,
+}
+
+/// What one node did in one metered step (internal).
+struct NodeStep {
+    work_done: u64,
+    cw_messages: u64,
+    cw_payload: u64,
+    ccw_messages: u64,
+    ccw_payload: u64,
+}
+
+impl NodeStep {
+    fn sent_payload(&self) -> u64 {
+        self.cw_payload + self.ccw_payload
+    }
+
+    fn sent_messages(&self) -> u64 {
+        self.cw_messages + self.ccw_messages
+    }
+}
+
+/// Steps one node over the given buffers and enforces the per-node model
+/// rules (unit speed, link capacity), leaving the inbox buffers empty.
+/// Shared verbatim by both executors so they cannot drift.
+fn drive_node<N: Node>(
+    node: &mut N,
+    ctx: &NodeCtx,
+    from_ccw: &mut Vec<N::Msg>,
+    from_cw: &mut Vec<N::Msg>,
+    to_cw: &mut Vec<N::Msg>,
+    to_ccw: &mut Vec<N::Msg>,
+    link_capacity: LinkCapacity,
+) -> Result<NodeStep, SimError> {
+    let mut io = StepIo::new(from_ccw, from_cw, to_cw, to_ccw);
+    let work_done = node.on_step(ctx, &mut io);
+    let step = NodeStep {
+        work_done,
+        cw_messages: io.out.cw_messages,
+        cw_payload: io.out.cw_payload,
+        ccw_messages: io.out.ccw_messages,
+        ccw_payload: io.out.ccw_payload,
+    };
+    // Anything the policy chose not to drain is gone; clearing (not
+    // reallocating) keeps the arena capacity for the next round.
+    from_ccw.clear();
+    from_cw.clear();
+    if step.work_done > 1 {
+        return Err(SimError::Overwork {
+            node: ctx.id,
+            step: ctx.t,
+            units: step.work_done,
+        });
+    }
+    if link_capacity == LinkCapacity::UnitJobs {
+        for (messages, payload) in [
+            (step.cw_messages, step.cw_payload),
+            (step.ccw_messages, step.ccw_payload),
+        ] {
+            if payload > 1 || messages > 2 {
+                return Err(SimError::LinkCapacityExceeded {
+                    node: ctx.id,
+                    step: ctx.t,
+                    job_units: payload,
+                    messages: messages as usize,
+                });
+            }
+        }
+    }
+    Ok(step)
+}
+
+fn payload_of<M: Payload>(msgs: &[M]) -> u64 {
+    msgs.iter().map(Payload::job_units).sum()
 }
 
 /// The synchronous executor.
@@ -243,29 +374,41 @@ impl<N: Node> Engine<N> {
         self.nodes
     }
 
-    /// Runs the simulation to completion.
+    fn max_steps(&self) -> u64 {
+        self.config
+            .max_steps
+            .unwrap_or_else(|| 4 * (self.total_work + self.topo.len() as u64) + 64)
+    }
+
+    fn empty_report(&self) -> RunReport {
+        let m = self.topo.len();
+        RunReport {
+            makespan: 0,
+            metrics: Metrics::new(m),
+            trace: Trace::new(self.config.trace),
+            observability: self.config.observe.then(|| Observability::new(m)),
+        }
+    }
+
+    /// Runs the simulation to completion on the calling thread.
     pub fn run(&mut self) -> Result<RunReport, SimError> {
         let m = self.topo.len();
-        let max_steps = self
-            .config
-            .max_steps
-            .unwrap_or_else(|| 4 * (self.total_work + m as u64) + 64);
+        let max_steps = self.max_steps();
         let mut metrics = Metrics::new(m);
         let mut trace = Trace::new(self.config.trace);
+        let mut obs = self.config.observe.then(|| Observability::new(m));
 
         if self.total_work == 0 {
-            return Ok(RunReport {
-                makespan: 0,
-                metrics,
-                trace,
-            });
+            return Ok(self.empty_report());
         }
 
-        // Messages in flight, indexed by *receiving* node. `inflight_cw[i]`
-        // holds clockwise-travelling messages that node `i` will receive
-        // (sent by `i - 1` in the previous step).
-        let mut inflight_cw: Vec<Vec<N::Msg>> = (0..m).map(|_| Vec::new()).collect();
-        let mut inflight_ccw: Vec<Vec<N::Msg>> = (0..m).map(|_| Vec::new()).collect();
+        // Double-buffered message arenas, indexed by *receiving* node:
+        // `cur_cw[i]` holds clockwise-travelling messages node `i` receives
+        // this round (sent by `i - 1` last round); `next_*` collect this
+        // round's sends. The pairs swap roles each round; every vector keeps
+        // its capacity, so the steady-state loop does not allocate.
+        let mut cur_cw: Vec<Vec<N::Msg>> = (0..m).map(|_| Vec::new()).collect();
+        let mut cur_ccw: Vec<Vec<N::Msg>> = (0..m).map(|_| Vec::new()).collect();
         let mut next_cw: Vec<Vec<N::Msg>> = (0..m).map(|_| Vec::new()).collect();
         let mut next_ccw: Vec<Vec<N::Msg>> = (0..m).map(|_| Vec::new()).collect();
 
@@ -281,55 +424,55 @@ impl<N: Node> Engine<N> {
             }
 
             let mut inflight_payload: u64 = 0;
+            let mut sample = StepSample {
+                t,
+                ..StepSample::default()
+            };
             for i in 0..m {
-                let inbox = Inbox {
-                    from_ccw: std::mem::take(&mut inflight_cw[i]),
-                    from_cw: std::mem::take(&mut inflight_ccw[i]),
-                };
                 let ctx = NodeCtx {
                     id: i,
                     t,
                     topo: self.topo,
                 };
-                let outcome = self.nodes[i].on_step(&ctx, inbox);
-                if outcome.work_done > 1 {
-                    return Err(SimError::Overwork {
-                        node: i,
-                        step: t,
-                        units: outcome.work_done,
-                    });
-                }
-                if outcome.work_done > 0 {
-                    processed_total += outcome.work_done;
-                    metrics.processed_per_node[i] += outcome.work_done;
+                let delivered = if obs.is_some() {
+                    payload_of(&cur_cw[i]) + payload_of(&cur_ccw[i])
+                } else {
+                    0
+                };
+                let dest_cw = self.topo.neighbor(i, Direction::Cw);
+                let dest_ccw = self.topo.neighbor(i, Direction::Ccw);
+                // The four arenas are distinct containers, so borrowing one
+                // element of each is disjoint for every m (including the
+                // self-delivery of a singleton ring).
+                let step = drive_node(
+                    &mut self.nodes[i],
+                    &ctx,
+                    &mut cur_cw[i],
+                    &mut cur_ccw[i],
+                    &mut next_cw[dest_cw],
+                    &mut next_ccw[dest_ccw],
+                    self.config.link_capacity,
+                )?;
+
+                if step.work_done > 0 {
+                    processed_total += step.work_done;
+                    metrics.processed_per_node[i] += step.work_done;
                     metrics.busy_steps_per_node[i] += 1;
                     metrics.last_busy_step = Some(t);
                     trace.record(Event::Processed {
                         t,
                         node: i,
-                        units: outcome.work_done,
+                        units: step.work_done,
                     });
                 }
-
-                for (dir, msgs) in [
-                    (Direction::Cw, outcome.outbox.cw),
-                    (Direction::Ccw, outcome.outbox.ccw),
+                for (dir, messages, payload) in [
+                    (Direction::Cw, step.cw_messages, step.cw_payload),
+                    (Direction::Ccw, step.ccw_messages, step.ccw_payload),
                 ] {
-                    if msgs.is_empty() {
+                    if messages == 0 {
                         continue;
                     }
-                    let payload: u64 = msgs.iter().map(Payload::job_units).sum();
-                    if self.config.link_capacity == LinkCapacity::UnitJobs
-                        && (payload > 1 || msgs.len() > 2)
-                    {
-                        return Err(SimError::LinkCapacityExceeded {
-                            node: i,
-                            step: t,
-                            job_units: payload,
-                            messages: msgs.len(),
-                        });
-                    }
-                    metrics.messages_sent += msgs.len() as u64;
+                    metrics.messages_sent += messages;
                     metrics.job_hops += payload;
                     inflight_payload += payload;
                     trace.record(Event::Sent {
@@ -338,18 +481,35 @@ impl<N: Node> Engine<N> {
                         dir,
                         job_units: payload,
                     });
-                    let dest = self.topo.neighbor(i, dir);
-                    match dir {
-                        Direction::Cw => next_cw[dest].extend(msgs),
-                        Direction::Ccw => next_ccw[dest].extend(msgs),
-                    }
+                }
+                if let Some(o) = obs.as_mut() {
+                    o.record_sends(
+                        i,
+                        step.cw_messages,
+                        step.cw_payload,
+                        step.ccw_messages,
+                        step.ccw_payload,
+                    );
+                    let dropped = delivered.saturating_sub(step.sent_payload());
+                    o.dropoffs_per_node[i] += dropped;
+                    let pending = self.nodes[i].pending_work();
+                    sample.delivered_payload += delivered;
+                    sample.sent_payload += step.sent_payload();
+                    sample.messages += step.sent_messages();
+                    sample.processed += step.work_done;
+                    sample.dropped_off += dropped;
+                    sample.max_pending = sample.max_pending.max(pending);
+                    sample.total_pending += pending;
                 }
             }
             metrics.peak_inflight_jobs = metrics.peak_inflight_jobs.max(inflight_payload);
+            if let Some(o) = obs.as_mut() {
+                o.samples.push(sample);
+            }
 
-            std::mem::swap(&mut inflight_cw, &mut next_cw);
-            std::mem::swap(&mut inflight_ccw, &mut next_ccw);
-            // next_* now hold the (drained) previous inflight vectors.
+            std::mem::swap(&mut cur_cw, &mut next_cw);
+            std::mem::swap(&mut cur_ccw, &mut next_ccw);
+            // next_* now hold the cleared previous-round vectors.
 
             t += 1;
             metrics.steps = t;
@@ -370,9 +530,494 @@ impl<N: Node> Engine<N> {
                     makespan,
                     metrics,
                     trace,
+                    observability: obs,
                 });
             }
         }
+    }
+
+    /// Runs the simulation to completion on `shards` scoped threads, each
+    /// owning one contiguous arc of the ring.
+    ///
+    /// Per round each thread steps its own nodes against the shared arena
+    /// layout, exchanging only the two messages streams that cross its arc
+    /// boundaries (through per-boundary mailboxes); two barriers per round
+    /// realize the model's global clock. Because message delivery is
+    /// round-delayed, node evaluation order is unobservable, and every
+    /// arena slot still has exactly one writer per round — so the result is
+    /// **bit-for-bit identical** to [`Engine::run`]: same [`RunReport`]
+    /// (metrics, trace and observability included), same error on invalid
+    /// policies. The equivalence is asserted across the paper's §6
+    /// algorithm catalog by the workspace's property tests.
+    ///
+    /// `shards` is clamped to the ring size; `shards <= 1` delegates to
+    /// [`Engine::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn par_run(&mut self, shards: usize) -> Result<RunReport, SimError>
+    where
+        N: Send,
+        N::Msg: Send,
+    {
+        assert!(shards > 0, "need at least one shard");
+        let m = self.topo.len();
+        let shards = shards.min(m);
+        if shards == 1 {
+            return self.run();
+        }
+        if self.total_work == 0 {
+            return Ok(self.empty_report());
+        }
+        let max_steps = self.max_steps();
+
+        par::run_sharded(
+            &mut self.nodes,
+            self.topo,
+            self.total_work,
+            max_steps,
+            self.config,
+            shards,
+        )
+    }
+}
+
+/// The arc-parallel executor internals.
+mod par {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Barrier, Mutex};
+
+    /// Everything one arc accumulates locally; merged deterministically
+    /// after the threads join.
+    struct ArcPartial {
+        lo: usize,
+        processed_per_node: Vec<u64>,
+        busy_steps_per_node: Vec<u64>,
+        messages_sent: u64,
+        job_hops: u64,
+        last_busy: Option<u64>,
+        /// Payload this arc put in flight in each round (for the global
+        /// per-round peak).
+        sent_payload_per_round: Vec<u64>,
+        events: Vec<Event>,
+        obs: Option<Observability>,
+    }
+
+    /// Error found by an arc, keyed for "first error wins" merging: the
+    /// sequential engine fails at the smallest `(step, node)` violation, so
+    /// the parallel one must too.
+    type Flagged = (u64, usize, SimError);
+
+    fn merge_flag(slot: &Mutex<Option<Flagged>>, cand: Flagged) {
+        let mut slot = slot.lock().unwrap_or_else(|e| e.into_inner());
+        match slot.as_ref() {
+            Some((t, node, _)) if (*t, *node) <= (cand.0, cand.1) => {}
+            _ => *slot = Some(cand),
+        }
+    }
+
+    pub(super) fn run_sharded<N>(
+        nodes: &mut [N],
+        topo: RingTopology,
+        total_work: u64,
+        max_steps: u64,
+        config: EngineConfig,
+        shards: usize,
+    ) -> Result<RunReport, SimError>
+    where
+        N: Node + Send,
+        N::Msg: Send,
+    {
+        let m = topo.len();
+
+        // Whole-ring arenas, split below into per-arc slices.
+        let mut cur_cw: Vec<Vec<N::Msg>> = (0..m).map(|_| Vec::new()).collect();
+        let mut cur_ccw: Vec<Vec<N::Msg>> = (0..m).map(|_| Vec::new()).collect();
+        let mut next_cw: Vec<Vec<N::Msg>> = (0..m).map(|_| Vec::new()).collect();
+        let mut next_ccw: Vec<Vec<N::Msg>> = (0..m).map(|_| Vec::new()).collect();
+
+        // Boundary mailboxes. `mail_cw[a]` holds the clockwise messages
+        // entering arc `a` (addressed to its first node); it is written by
+        // arc `a - 1` and drained by arc `a`, in phases separated by the
+        // round barriers, so each lock is uncontended and taken once per
+        // round per side.
+        let mail_cw: Vec<Mutex<Vec<N::Msg>>> =
+            (0..shards).map(|_| Mutex::new(Vec::new())).collect();
+        let mail_ccw: Vec<Mutex<Vec<N::Msg>>> =
+            (0..shards).map(|_| Mutex::new(Vec::new())).collect();
+
+        let barrier = Barrier::new(shards);
+        let processed = AtomicU64::new(0);
+        let flagged: Mutex<Option<Flagged>> = Mutex::new(None);
+
+        // Balanced contiguous partition: the first `m % shards` arcs get one
+        // extra node.
+        let base = m / shards;
+        let extra = m % shards;
+        let bounds: Vec<(usize, usize)> = (0..shards)
+            .scan(0usize, |lo, a| {
+                let len = base + usize::from(a < extra);
+                let range = (*lo, *lo + len);
+                *lo += len;
+                Some(range)
+            })
+            .collect();
+
+        // Hand each arc its slice of every arena.
+        struct ArcBufs<'a, N: Node> {
+            lo: usize,
+            hi: usize,
+            nodes: &'a mut [N],
+            cur_cw: &'a mut [Vec<N::Msg>],
+            cur_ccw: &'a mut [Vec<N::Msg>],
+            next_cw: &'a mut [Vec<N::Msg>],
+            next_ccw: &'a mut [Vec<N::Msg>],
+        }
+        let mut arcs: Vec<ArcBufs<'_, N>> = Vec::with_capacity(shards);
+        {
+            let mut rest_nodes = &mut *nodes;
+            let mut rest_cur_cw = &mut cur_cw[..];
+            let mut rest_cur_ccw = &mut cur_ccw[..];
+            let mut rest_next_cw = &mut next_cw[..];
+            let mut rest_next_ccw = &mut next_ccw[..];
+            for &(lo, hi) in &bounds {
+                let len = hi - lo;
+                let (a, b) = rest_nodes.split_at_mut(len);
+                rest_nodes = b;
+                let (c, d) = rest_cur_cw.split_at_mut(len);
+                rest_cur_cw = d;
+                let (e, f) = rest_cur_ccw.split_at_mut(len);
+                rest_cur_ccw = f;
+                let (g, h) = rest_next_cw.split_at_mut(len);
+                rest_next_cw = h;
+                let (i, j) = rest_next_ccw.split_at_mut(len);
+                rest_next_ccw = j;
+                arcs.push(ArcBufs {
+                    lo,
+                    hi,
+                    nodes: a,
+                    cur_cw: c,
+                    cur_ccw: e,
+                    next_cw: g,
+                    next_ccw: i,
+                });
+            }
+        }
+
+        let partials: Vec<ArcPartial> = std::thread::scope(|scope| {
+            let handles: Vec<_> = arcs
+                .into_iter()
+                .enumerate()
+                .map(|(a, bufs)| {
+                    let barrier = &barrier;
+                    let processed = &processed;
+                    let flagged = &flagged;
+                    let mail_cw = &mail_cw;
+                    let mail_ccw = &mail_ccw;
+                    scope.spawn(move || {
+                        run_arc(
+                            a,
+                            shards,
+                            bufs.lo,
+                            bufs.hi,
+                            bufs.nodes,
+                            bufs.cur_cw,
+                            bufs.cur_ccw,
+                            bufs.next_cw,
+                            bufs.next_ccw,
+                            topo,
+                            total_work,
+                            max_steps,
+                            config,
+                            barrier,
+                            processed,
+                            flagged,
+                            mail_cw,
+                            mail_ccw,
+                        )
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("arc thread panicked"))
+                .collect()
+        });
+
+        // Resolve the outcome with the sequential engine's precedence:
+        // in-round violations first, then the round-end conservation check,
+        // then the budget.
+        if let Some((_, _, err)) = flagged.into_inner().unwrap_or_else(|e| e.into_inner()) {
+            return Err(err);
+        }
+        let processed_total = processed.into_inner();
+        if processed_total > total_work {
+            return Err(SimError::WorkMiscount {
+                processed: processed_total,
+                total: total_work,
+            });
+        }
+        if processed_total < total_work {
+            return Err(SimError::ExceededMaxSteps {
+                max_steps,
+                processed: processed_total,
+                total: total_work,
+            });
+        }
+
+        // Deterministic merge of the per-arc partials.
+        let rounds = partials
+            .iter()
+            .map(|p| p.sent_payload_per_round.len())
+            .max()
+            .unwrap_or(0);
+        let mut metrics = Metrics::new(m);
+        metrics.steps = rounds as u64;
+        let mut inflight_per_round = vec![0u64; rounds];
+        let mut obs = config.observe.then(|| Observability::new(m));
+        let mut event_logs: Vec<Vec<Event>> = Vec::with_capacity(shards);
+        for p in partials {
+            let k = p.processed_per_node.len();
+            metrics.processed_per_node[p.lo..p.lo + k].copy_from_slice(&p.processed_per_node);
+            metrics.busy_steps_per_node[p.lo..p.lo + k].copy_from_slice(&p.busy_steps_per_node);
+            metrics.messages_sent += p.messages_sent;
+            metrics.job_hops += p.job_hops;
+            metrics.last_busy_step = metrics.last_busy_step.max(p.last_busy);
+            for (round, payload) in p.sent_payload_per_round.iter().enumerate() {
+                inflight_per_round[round] += payload;
+            }
+            if let (Some(o), Some(po)) = (obs.as_mut(), p.obs.as_ref()) {
+                o.absorb_arc(p.lo, po);
+            }
+            event_logs.push(p.events);
+        }
+        metrics.peak_inflight_jobs = inflight_per_round.iter().copied().max().unwrap_or(0);
+        let trace = Trace::merge_arcs(config.trace, event_logs);
+        let makespan = metrics.last_busy_step.expect("work was processed") + 1;
+        Ok(RunReport {
+            makespan,
+            metrics,
+            trace,
+            observability: obs,
+        })
+    }
+
+    /// The per-arc worker loop. Arc `a` owns nodes `lo..hi`; all slice
+    /// arguments are indexed arc-locally (`i - lo`).
+    #[allow(clippy::too_many_arguments)]
+    fn run_arc<N>(
+        a: usize,
+        shards: usize,
+        lo: usize,
+        hi: usize,
+        nodes: &mut [N],
+        cur_cw: &mut [Vec<N::Msg>],
+        cur_ccw: &mut [Vec<N::Msg>],
+        next_cw: &mut [Vec<N::Msg>],
+        next_ccw: &mut [Vec<N::Msg>],
+        topo: RingTopology,
+        total_work: u64,
+        max_steps: u64,
+        config: EngineConfig,
+        barrier: &Barrier,
+        processed: &AtomicU64,
+        flagged: &Mutex<Option<Flagged>>,
+        mail_cw: &[Mutex<Vec<N::Msg>>],
+        mail_ccw: &[Mutex<Vec<N::Msg>>],
+    ) -> ArcPartial
+    where
+        N: Node,
+    {
+        let len = hi - lo;
+        let mut partial = ArcPartial {
+            lo,
+            processed_per_node: vec![0; len],
+            busy_steps_per_node: vec![0; len],
+            messages_sent: 0,
+            job_hops: 0,
+            last_busy: None,
+            sent_payload_per_round: Vec::new(),
+            events: Vec::new(),
+            obs: config.observe.then(|| Observability::new(len)),
+        };
+        let record = matches!(config.trace, TraceLevel::Full);
+        // Thread-local buffers for the two streams that leave this arc;
+        // swapped into the neighbor mailboxes once per round.
+        let mut out_cw_boundary: Vec<N::Msg> = Vec::new();
+        let mut out_ccw_boundary: Vec<N::Msg> = Vec::new();
+
+        let mut t: u64 = 0;
+        loop {
+            // Same budget check as the sequential engine, evaluated
+            // identically by every arc — no communication needed.
+            if t >= max_steps {
+                break;
+            }
+
+            // Phase A: step the arc's nodes in ring order.
+            let mut round_sent_payload: u64 = 0;
+            let mut sample = StepSample {
+                t,
+                ..StepSample::default()
+            };
+            let mut local_error = false;
+            for i in lo..hi {
+                let j = i - lo;
+                let ctx = NodeCtx { id: i, t, topo };
+                let delivered = if partial.obs.is_some() {
+                    payload_of(&cur_cw[j]) + payload_of(&cur_ccw[j])
+                } else {
+                    0
+                };
+                // Clockwise sends land at i + 1: arc-internal unless this is
+                // the last node; counterclockwise at i - 1: internal unless
+                // this is the first.
+                let (cur_a, cur_b) = split_two(cur_cw, cur_ccw, j);
+                let to_cw: &mut Vec<N::Msg> = if i + 1 < hi {
+                    &mut next_cw[j + 1]
+                } else {
+                    &mut out_cw_boundary
+                };
+                let to_ccw: &mut Vec<N::Msg> = if i > lo {
+                    &mut next_ccw[j - 1]
+                } else {
+                    &mut out_ccw_boundary
+                };
+                let step = match drive_node(
+                    &mut nodes[j],
+                    &ctx,
+                    cur_a,
+                    cur_b,
+                    to_cw,
+                    to_ccw,
+                    config.link_capacity,
+                ) {
+                    Ok(step) => step,
+                    Err(err) => {
+                        merge_flag(flagged, (t, i, err));
+                        local_error = true;
+                        break;
+                    }
+                };
+                if step.work_done > 0 {
+                    partial.processed_per_node[j] += step.work_done;
+                    partial.busy_steps_per_node[j] += 1;
+                    partial.last_busy = Some(t);
+                    processed.fetch_add(step.work_done, Ordering::SeqCst);
+                    if record {
+                        partial.events.push(Event::Processed {
+                            t,
+                            node: i,
+                            units: step.work_done,
+                        });
+                    }
+                }
+                for (dir, messages, payload) in [
+                    (Direction::Cw, step.cw_messages, step.cw_payload),
+                    (Direction::Ccw, step.ccw_messages, step.ccw_payload),
+                ] {
+                    if messages == 0 {
+                        continue;
+                    }
+                    partial.messages_sent += messages;
+                    partial.job_hops += payload;
+                    round_sent_payload += payload;
+                    if record {
+                        partial.events.push(Event::Sent {
+                            t,
+                            node: i,
+                            dir,
+                            job_units: payload,
+                        });
+                    }
+                }
+                if let Some(o) = partial.obs.as_mut() {
+                    o.record_sends(
+                        j,
+                        step.cw_messages,
+                        step.cw_payload,
+                        step.ccw_messages,
+                        step.ccw_payload,
+                    );
+                    let dropped = delivered.saturating_sub(step.sent_payload());
+                    o.dropoffs_per_node[j] += dropped;
+                    let pending = nodes[j].pending_work();
+                    sample.delivered_payload += delivered;
+                    sample.sent_payload += step.sent_payload();
+                    sample.messages += step.sent_messages();
+                    sample.processed += step.work_done;
+                    sample.dropped_off += dropped;
+                    sample.max_pending = sample.max_pending.max(pending);
+                    sample.total_pending += pending;
+                }
+            }
+            partial.sent_payload_per_round.push(round_sent_payload);
+            if let Some(o) = partial.obs.as_mut() {
+                o.samples.push(sample);
+            }
+
+            // Ship this round's boundary streams to the neighbor arcs. The
+            // receiving mailbox is empty here (drained last round before the
+            // second barrier), so this is a pointer swap, not a copy.
+            {
+                let mut slot = mail_cw[(a + 1) % shards]
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner());
+                std::mem::swap(&mut *slot, &mut out_cw_boundary);
+            }
+            {
+                let mut slot = mail_ccw[(a + shards - 1) % shards]
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner());
+                std::mem::swap(&mut *slot, &mut out_ccw_boundary);
+            }
+
+            // Barrier 1: all sends (arena writes, mailbox swaps, shared
+            // counters, error flags) for round `t` are complete.
+            barrier.wait();
+
+            // Phase B: take delivery of the boundary streams, read the
+            // shared round outcome, and flip the arc's arena buffers.
+            {
+                let mut slot = mail_cw[a].lock().unwrap_or_else(|e| e.into_inner());
+                next_cw[0].append(&mut slot);
+            }
+            {
+                let mut slot = mail_ccw[a].lock().unwrap_or_else(|e| e.into_inner());
+                next_ccw[len - 1].append(&mut slot);
+            }
+            for j in 0..len {
+                std::mem::swap(&mut cur_cw[j], &mut next_cw[j]);
+                std::mem::swap(&mut cur_ccw[j], &mut next_ccw[j]);
+            }
+            let processed_total = processed.load(Ordering::SeqCst);
+            let any_error =
+                local_error || flagged.lock().unwrap_or_else(|e| e.into_inner()).is_some();
+            let stop = any_error || processed_total >= total_work;
+
+            // Barrier 2: everyone has read the round outcome (and emptied
+            // the mailboxes) before the next round starts writing. All
+            // threads computed `stop` from the same post-barrier-1 state, so
+            // they agree.
+            barrier.wait();
+            if stop {
+                break;
+            }
+            t += 1;
+        }
+        partial
+    }
+
+    /// Disjoint `&mut` borrows of `cw[j]` and `ccw[j]` (two different
+    /// containers; written as a helper so the call site stays readable).
+    fn split_two<'s, M>(
+        cw: &'s mut [Vec<M>],
+        ccw: &'s mut [Vec<M>],
+        j: usize,
+    ) -> (&'s mut Vec<M>, &'s mut Vec<M>) {
+        (&mut cw[j], &mut ccw[j])
     }
 }
 
@@ -388,15 +1033,12 @@ mod tests {
     impl Node for LocalOnly {
         type Msg = NoMsg;
 
-        fn on_step(&mut self, _ctx: &NodeCtx, _inbox: Inbox<NoMsg>) -> StepOutcome<NoMsg> {
+        fn on_step(&mut self, _ctx: &NodeCtx, _io: &mut StepIo<'_, NoMsg>) -> u64 {
             if self.remaining > 0 {
                 self.remaining -= 1;
-                StepOutcome {
-                    outbox: Outbox::empty(),
-                    work_done: 1,
-                }
+                1
             } else {
-                StepOutcome::idle()
+                0
             }
         }
 
@@ -432,19 +1074,15 @@ mod tests {
     impl Node for HotPotato {
         type Msg = Potato;
 
-        fn on_step(&mut self, _ctx: &NodeCtx, inbox: Inbox<Potato>) -> StepOutcome<Potato> {
-            for p in inbox.from_ccw {
+        fn on_step(&mut self, _ctx: &NodeCtx, io: &mut StepIo<'_, Potato>) -> u64 {
+            for p in io.inbox.from_ccw.drain(..) {
                 self.holding += p.0;
             }
-            let mut outbox = Outbox::empty();
             if self.holding > 0 {
-                outbox.push(Direction::Cw, Potato(self.holding));
+                io.out.push(Direction::Cw, Potato(self.holding));
                 self.holding = 0;
             }
-            StepOutcome {
-                outbox,
-                work_done: 0,
-            }
+            0
         }
 
         fn pending_work(&self) -> u64 {
@@ -489,21 +1127,74 @@ mod tests {
         assert!(matches!(err, SimError::ExceededMaxSteps { .. }));
     }
 
+    /// A courier chain: node 0 hands a 5-unit parcel clockwise; nodes 1 and
+    /// 2 relay it; node 3 keeps it and processes it. The parcel makes
+    /// exactly 3 hops carrying 5 units, so `job_hops` — payload × hops, the
+    /// paper's total communication cost — must be 15, from 3 messages.
+    struct Courier {
+        emit_at_start: bool,
+        sink: bool,
+        backlog: u64,
+    }
+
+    #[derive(Debug, Clone)]
+    struct Parcel(u64);
+
+    impl Payload for Parcel {
+        fn job_units(&self) -> u64 {
+            self.0
+        }
+    }
+
+    impl Node for Courier {
+        type Msg = Parcel;
+
+        fn on_step(&mut self, _ctx: &NodeCtx, io: &mut StepIo<'_, Parcel>) -> u64 {
+            if self.emit_at_start {
+                self.emit_at_start = false;
+                let units = std::mem::take(&mut self.backlog);
+                io.out.push(Direction::Cw, Parcel(units));
+                return 0;
+            }
+            for p in io.inbox.from_ccw.drain(..) {
+                if self.sink {
+                    self.backlog += p.0;
+                } else {
+                    io.out.push(Direction::Cw, p);
+                }
+            }
+            if self.backlog > 0 {
+                self.backlog -= 1;
+                1
+            } else {
+                0
+            }
+        }
+
+        fn pending_work(&self) -> u64 {
+            self.backlog
+        }
+    }
+
     #[test]
     fn job_hops_count_payload_times_hops() {
-        // 5 jobs circulating for 50 steps: one send of 5 units per step.
-        let nodes = vec![HotPotato { holding: 5 }, HotPotato { holding: 0 }];
-        let config = EngineConfig {
-            max_steps: Some(50),
-            ..EngineConfig::default()
-        };
-        let err = Engine::new(nodes, 5, config).run().unwrap_err();
-        // we only learn hops from metrics on success; this test just pins
-        // down that the budget error reports no processing.
-        match err {
-            SimError::ExceededMaxSteps { processed, .. } => assert_eq!(processed, 0),
-            other => panic!("unexpected error {other:?}"),
-        }
+        let nodes: Vec<Courier> = (0..6)
+            .map(|i| Courier {
+                emit_at_start: i == 0,
+                sink: i == 3,
+                backlog: if i == 0 { 5 } else { 0 },
+            })
+            .collect();
+        let report = Engine::new(nodes, 5, EngineConfig::default())
+            .run()
+            .unwrap();
+        // Hops at t = 0, 1, 2; arrival at node 3 at t = 3; five units
+        // processed during steps 3..=7.
+        assert_eq!(report.metrics.messages_sent, 3);
+        assert_eq!(report.metrics.job_hops, 5 * 3);
+        assert_eq!(report.metrics.peak_inflight_jobs, 5);
+        assert_eq!(report.makespan, 8);
+        assert_eq!(report.metrics.processed_per_node, vec![0, 0, 0, 5, 0, 0]);
     }
 
     #[test]
@@ -526,11 +1217,8 @@ mod tests {
     impl Node for Cheater {
         type Msg = NoMsg;
 
-        fn on_step(&mut self, _ctx: &NodeCtx, _inbox: Inbox<NoMsg>) -> StepOutcome<NoMsg> {
-            StepOutcome {
-                outbox: Outbox::empty(),
-                work_done: 2,
-            }
+        fn on_step(&mut self, _ctx: &NodeCtx, _io: &mut StepIo<'_, NoMsg>) -> u64 {
+            2
         }
 
         fn pending_work(&self) -> u64 {
@@ -557,6 +1245,63 @@ mod tests {
         assert_eq!(report.trace.total_processed(), 2);
         assert_eq!(report.trace.events().len(), 2);
     }
+
+    #[test]
+    fn observability_series_track_backlog_and_flow() {
+        let nodes: Vec<Courier> = (0..6)
+            .map(|i| Courier {
+                emit_at_start: i == 0,
+                sink: i == 3,
+                backlog: if i == 0 { 5 } else { 0 },
+            })
+            .collect();
+        let config = EngineConfig {
+            observe: true,
+            ..EngineConfig::default()
+        };
+        let report = Engine::new(nodes, 5, config).run().unwrap();
+        let obs = report.observability.expect("observe was on");
+        assert_eq!(obs.samples.len(), report.metrics.steps as usize);
+        // While the parcel is in flight no node holds work; once the sink
+        // keeps it, the end-of-step backlog series records 4, 3, 2, 1, 0
+        // (pending is sampled after the step's unit of work is done).
+        assert_eq!(
+            obs.inflight_series(),
+            vec![5, 5, 5, 0, 0, 0, 0, 0],
+            "payload is in flight during the three hop rounds"
+        );
+        assert_eq!(obs.samples[3].dropped_off, 5, "the sink kept the parcel");
+        assert_eq!(obs.samples[3].max_pending, 4);
+        assert_eq!(obs.samples[7].max_pending, 0);
+        assert_eq!(obs.dropoffs_per_node, vec![0, 0, 0, 5, 0, 0]);
+        // Links 0, 1, 2 each carried one clockwise message; nothing else.
+        assert_eq!(obs.links.cw_messages, vec![1, 1, 1, 0, 0, 0]);
+        assert_eq!(obs.links.ccw_messages, vec![0; 6]);
+        let json = obs.to_json();
+        assert!(json.contains("\"num_processors\":6"));
+    }
+
+    #[test]
+    fn run_is_zero_alloc_in_steady_state_for_bounded_traffic() {
+        // Not a real allocation counter (no custom allocator offline), but
+        // the structural property it relies on: arena vectors keep their
+        // capacity across rounds, so capacity stops growing once traffic
+        // peaks. Exercised indirectly by a long potato run within budget.
+        let nodes = vec![
+            HotPotato { holding: 3 },
+            HotPotato { holding: 0 },
+            HotPotato { holding: 0 },
+        ];
+        let config = EngineConfig {
+            max_steps: Some(10_000),
+            ..EngineConfig::default()
+        };
+        let err = Engine::new(nodes, 3, config).run().unwrap_err();
+        match err {
+            SimError::ExceededMaxSteps { processed, .. } => assert_eq!(processed, 0),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -566,16 +1311,17 @@ mod delivery_tests {
 
     /// A relay ring: node 0 emits one token clockwise at t=0; every node
     /// forwards tokens onward and the designated sink consumes them. Used
-    /// to pin down exact delivery timing in both directions.
-    struct Relay {
-        emit_at_start: bool,
-        sink: bool,
-        dir: Direction,
-        held: u64,
+    /// to pin down exact delivery timing in both directions (and reused by
+    /// the `par_tests` module as the run/par_run comparison fixture).
+    pub(super) struct Relay {
+        pub(super) emit_at_start: bool,
+        pub(super) sink: bool,
+        pub(super) dir: Direction,
+        pub(super) held: u64,
     }
 
     #[derive(Debug, Clone)]
-    struct Token;
+    pub(super) struct Token;
 
     impl Payload for Token {
         fn job_units(&self) -> u64 {
@@ -586,25 +1332,26 @@ mod delivery_tests {
     impl Node for Relay {
         type Msg = Token;
 
-        fn on_step(&mut self, _ctx: &NodeCtx, inbox: Inbox<Token>) -> StepOutcome<Token> {
-            let mut outbox = Outbox::empty();
-            let incoming = inbox.from_ccw.len() + inbox.from_cw.len();
+        fn on_step(&mut self, _ctx: &NodeCtx, io: &mut StepIo<'_, Token>) -> u64 {
+            let incoming = io.inbox.from_ccw.len() + io.inbox.from_cw.len();
+            io.inbox.from_ccw.clear();
+            io.inbox.from_cw.clear();
             self.held += incoming as u64;
             let mut work_done = 0;
             if self.emit_at_start {
                 self.emit_at_start = false;
-                outbox.push(self.dir, Token);
+                io.out.push(self.dir, Token);
                 self.held -= 1;
             } else if self.held > 0 {
                 if self.sink {
                     self.held -= 1;
                     work_done = 1;
                 } else {
-                    outbox.push(self.dir, Token);
+                    io.out.push(self.dir, Token);
                     self.held -= 1;
                 }
             }
-            StepOutcome { outbox, work_done }
+            work_done
         }
 
         fn pending_work(&self) -> u64 {
@@ -612,7 +1359,7 @@ mod delivery_tests {
         }
     }
 
-    fn relay_ring(m: usize, sink: usize, dir: Direction) -> Vec<Relay> {
+    pub(super) fn relay_ring(m: usize, sink: usize, dir: Direction) -> Vec<Relay> {
         (0..m)
             .map(|i| Relay {
                 emit_at_start: i == 0,
@@ -646,14 +1393,79 @@ mod delivery_tests {
 
     #[test]
     fn token_laps_the_ring_if_nobody_sinks_itself() {
-        // Sink at node 0: the token must travel all m hops.
+        // Node 0 is both emitter and sink: `emit_at_start` forces the token
+        // out clockwise at t=0 (the emit branch runs before the sink
+        // branch), so it is consumed only on return — after all m hops.
         let m = 5;
-        let mut nodes = relay_ring(m, 0, Direction::Cw);
-        nodes[0].sink = false; // emit first...
-        nodes[0].sink = true; // ...but consume on return
+        let nodes = relay_ring(m, 0, Direction::Cw);
         let report = Engine::new(nodes, 1, EngineConfig::default())
             .run()
             .unwrap();
         assert_eq!(report.makespan, m as u64 + 1);
+        assert_eq!(report.metrics.job_hops, m as u64, "one full lap");
+        assert_eq!(report.metrics.messages_sent, m as u64);
+    }
+}
+
+#[cfg(test)]
+mod par_tests {
+    use super::delivery_tests::relay_ring;
+    use super::*;
+
+    fn full_config() -> EngineConfig {
+        EngineConfig {
+            trace: TraceLevel::Full,
+            observe: true,
+            ..EngineConfig::default()
+        }
+    }
+
+    #[test]
+    fn par_run_matches_run_bit_for_bit_on_relay_rings() {
+        for m in [1usize, 2, 3, 5, 8, 17] {
+            for dir in [Direction::Cw, Direction::Ccw] {
+                let sink = (2 * m) / 3;
+                let seq = Engine::new(relay_ring(m, sink, dir), 1, full_config())
+                    .run()
+                    .unwrap();
+                for shards in [1usize, 2, 3, 4, m] {
+                    let par = Engine::new(relay_ring(m, sink, dir), 1, full_config())
+                        .par_run(shards)
+                        .unwrap();
+                    assert_eq!(seq, par, "m={m} dir={dir:?} shards={shards}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn par_run_clamps_shards_to_ring_size() {
+        let seq = Engine::new(relay_ring(3, 1, Direction::Cw), 1, full_config())
+            .run()
+            .unwrap();
+        let par = Engine::new(relay_ring(3, 1, Direction::Cw), 1, full_config())
+            .par_run(64)
+            .unwrap();
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn par_run_reports_the_same_budget_error() {
+        // Nobody ever sinks: both executors must blow the same step budget
+        // having processed nothing.
+        let mk = || {
+            let mut nodes = relay_ring(4, 0, Direction::Cw);
+            for n in &mut nodes {
+                n.sink = false;
+            }
+            nodes
+        };
+        let config = EngineConfig {
+            max_steps: Some(40),
+            ..EngineConfig::default()
+        };
+        let seq = Engine::new(mk(), 1, config).run().unwrap_err();
+        let par = Engine::new(mk(), 1, config).par_run(2).unwrap_err();
+        assert_eq!(format!("{seq:?}"), format!("{par:?}"));
     }
 }

@@ -43,12 +43,11 @@ pub mod validate;
 pub mod viz;
 
 pub use engine::{
-    Engine, EngineConfig, Inbox, LinkCapacity, Node, NodeCtx, Outbox, Payload, RunReport,
-    StepOutcome,
+    Engine, EngineConfig, Inbox, LinkCapacity, Node, NodeCtx, Outbox, Payload, RunReport, StepIo,
 };
 pub use error::SimError;
 pub use instance::{Instance, Job, JobId, SizedInstance};
-pub use metrics::Metrics;
+pub use metrics::{LinkStats, Metrics, Observability, StepSample};
 pub use topology::{Direction, RingTopology};
 pub use trace::{Event, Trace, TraceLevel};
 pub use validate::{validate_run, Violation};

@@ -45,6 +45,19 @@ pub enum Event {
     },
 }
 
+impl Event {
+    /// The `(step, node)` ordering key of engine-order traces. Within one
+    /// `(step, node)` cell the engine emits at most three events in the
+    /// fixed order *Processed, Sent cw, Sent ccw*, so a stable sort by this
+    /// key restores full engine order from any per-node-ordered shuffle —
+    /// which is how [`crate::Engine::par_run`] merges per-arc event logs.
+    pub(crate) fn order_key(&self) -> (u64, usize) {
+        match *self {
+            Event::Processed { t, node, .. } | Event::Sent { t, node, .. } => (t, node),
+        }
+    }
+}
+
 /// An ordered log of [`Event`]s for one run.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Trace {
@@ -65,6 +78,15 @@ impl Trace {
         if matches!(self.level, TraceLevel::Full) {
             self.events.push(ev);
         }
+    }
+
+    /// Rebuilds a trace from per-arc event logs: concatenates them and
+    /// stable-sorts by `(step, node)`, which restores exact engine order
+    /// (see [`Event::order_key`]).
+    pub(crate) fn merge_arcs(level: TraceLevel, arcs: Vec<Vec<Event>>) -> Self {
+        let mut events: Vec<Event> = arcs.into_iter().flatten().collect();
+        events.sort_by_key(Event::order_key);
+        Trace { events, level }
     }
 
     /// The level this trace was recorded at.

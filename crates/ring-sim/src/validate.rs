@@ -207,7 +207,7 @@ pub fn validate_run(instance: &Instance, report: &RunReport) -> Vec<Violation> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::{Engine, EngineConfig, Inbox, Node, NodeCtx, Outbox, Payload, StepOutcome};
+    use crate::engine::{Engine, EngineConfig, Node, NodeCtx, Payload, StepIo};
 
     /// Minimal honest policy: process local work, never communicate.
     struct LocalOnly {
@@ -226,15 +226,12 @@ mod tests {
     impl Node for LocalOnly {
         type Msg = NoMsg;
 
-        fn on_step(&mut self, _ctx: &NodeCtx, _inbox: Inbox<NoMsg>) -> StepOutcome<NoMsg> {
+        fn on_step(&mut self, _ctx: &NodeCtx, _io: &mut StepIo<'_, NoMsg>) -> u64 {
             if self.remaining > 0 {
                 self.remaining -= 1;
-                StepOutcome {
-                    outbox: Outbox::empty(),
-                    work_done: 1,
-                }
+                1
             } else {
-                StepOutcome::idle()
+                0
             }
         }
 

@@ -110,7 +110,7 @@ pub fn render_load_timeline(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::{Engine, EngineConfig, Inbox, Node, NodeCtx, Outbox, Payload, StepOutcome};
+    use crate::engine::{Engine, EngineConfig, Node, NodeCtx, Payload, StepIo};
 
     struct LocalOnly {
         remaining: u64,
@@ -128,15 +128,12 @@ mod tests {
     impl Node for LocalOnly {
         type Msg = NoMsg;
 
-        fn on_step(&mut self, _ctx: &NodeCtx, _inbox: Inbox<NoMsg>) -> StepOutcome<NoMsg> {
+        fn on_step(&mut self, _ctx: &NodeCtx, _io: &mut StepIo<'_, NoMsg>) -> u64 {
             if self.remaining > 0 {
                 self.remaining -= 1;
-                StepOutcome {
-                    outbox: Outbox::empty(),
-                    work_done: 1,
-                }
+                1
             } else {
-                StepOutcome::idle()
+                0
             }
         }
 

@@ -1,0 +1,234 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Supports the subset of the proptest API this workspace uses: the
+//! `proptest!` macro (with an optional `#![proptest_config(..)]` header),
+//! range and tuple strategies, `prop::collection::vec`, and the
+//! `prop_assume!` / `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`
+//! macros.
+//!
+//! Differences from upstream, by design:
+//!
+//! * **No shrinking.** On failure the panic message reports the exact
+//!   generated inputs instead of a minimized counterexample.
+//! * **Deterministic seeding.** Cases are derived from a fixed seed mixed
+//!   with the test name, so failures reproduce exactly on re-run.
+//!   `PROPTEST_SEED` in the environment overrides the base seed.
+//! * **Regression files are ignored** (`proptest-regressions/` is neither
+//!   read nor written).
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod strategy;
+
+pub use strategy::Strategy;
+
+/// Namespace mirror of `proptest::prop` (so `prop::collection::vec` works
+/// through the prelude).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        pub use crate::strategy::collection::vec;
+    }
+}
+
+/// Everything a `proptest!` test module needs in scope.
+pub mod prelude {
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+}
+
+/// Runner configuration (`cases` is the only supported knob).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases to run per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a test-case body did not complete normally.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case was rejected by `prop_assume!` and should not count.
+    Reject,
+}
+
+#[doc(hidden)]
+pub fn __new_case_rng(test_name: &str, case: u64) -> StdRng {
+    let base: u64 = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0x5EED_CAFE_F00D_D00D);
+    // FNV-1a over the test name keeps distinct tests on distinct streams.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    StdRng::seed_from_u64(base ^ h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// The proptest entry-point macro. Accepts one optional
+/// `#![proptest_config(expr)]` header followed by any number of
+/// `#[test] fn name(arg in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { (<$crate::ProptestConfig as ::std::default::Default>::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut accepted: u32 = 0;
+            let mut case: u64 = 0;
+            let max_attempts: u64 = u64::from(config.cases) * 20 + 100;
+            while accepted < config.cases {
+                assert!(
+                    case < max_attempts,
+                    "proptest '{}': too many prop_assume! rejections \
+                     ({accepted}/{} cases accepted after {case} attempts)",
+                    stringify!($name),
+                    config.cases,
+                );
+                let mut rng = $crate::__new_case_rng(stringify!($name), case);
+                case += 1;
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)+
+                let __inputs = format!(
+                    concat!($(stringify!($arg), " = {:?}; "),+),
+                    $(&$arg),+
+                );
+                let __outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(
+                        move || -> ::std::result::Result<(), $crate::TestCaseError> {
+                            $body
+                            #[allow(unreachable_code)]
+                            Ok(())
+                        },
+                    ),
+                );
+                match __outcome {
+                    Ok(Ok(())) => accepted += 1,
+                    Ok(Err($crate::TestCaseError::Reject)) => {}
+                    Err(payload) => {
+                        eprintln!(
+                            "proptest '{}' failed on case #{} with inputs: {}",
+                            stringify!($name),
+                            case - 1,
+                            __inputs,
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Rejects the current case (it does not count toward `cases`).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Asserts within a proptest case (plain `assert!`; inputs are reported by
+/// the runner on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)+) => { assert!($($t)+) };
+}
+
+/// `assert_eq!` within a proptest case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)+) => { assert_eq!($($t)+) };
+}
+
+/// `assert_ne!` within a proptest case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)+) => { assert_ne!($($t)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_vecs_sample_in_bounds(
+            x in 3u64..17,
+            v in prop::collection::vec(0u64..10, 2..6),
+            t in (0usize..4, 1i64..=5),
+        ) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&e| e < 10));
+            prop_assert!(t.0 < 4);
+            prop_assert!((1..=5).contains(&t.1));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(n in 0u64..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_works(f in 0.0f64..1.0) {
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn nested_vec_strategy_samples() {
+        let strat = prop::collection::vec(prop::collection::vec(1u64..100, 0..8), 1..24);
+        let mut rng = crate::__new_case_rng("nested", 0);
+        let v = strat.sample(&mut rng);
+        assert!(!v.is_empty() && v.len() < 24);
+        assert!(v.iter().all(|inner| inner.len() < 8));
+        assert!(v.iter().flatten().all(|&x| (1..100).contains(&x)));
+    }
+}

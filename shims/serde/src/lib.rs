@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no access to crates.io, so this workspace-local
+//! shim satisfies `use serde::{Deserialize, Serialize}` and
+//! `#[derive(Serialize, Deserialize)]` without providing any actual
+//! serialization machinery. The traits are blanket-implemented markers, so
+//! generic bounds like `T: Serialize` are always met; anything that needs
+//! real wire output in this repository (e.g. `ringsched --observe`)
+//! hand-writes its JSON instead.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all types.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

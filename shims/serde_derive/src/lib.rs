@@ -1,0 +1,18 @@
+//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros.
+//!
+//! The real `serde_derive` generates trait impls; the shim's `serde` crate
+//! blanket-implements its marker traits instead, so these derives only need
+//! to exist (and swallow `#[serde(...)]` attributes) for the annotated types
+//! to compile unchanged.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

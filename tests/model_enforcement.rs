@@ -7,8 +7,8 @@
 //! and overloading capacitated links — and assert the right alarm fires.
 
 use ring_sim::{
-    validate_run, Direction, Engine, EngineConfig, Inbox, Instance, LinkCapacity, Node, NodeCtx,
-    Outbox, Payload, SimError, StepOutcome, TraceLevel, Violation,
+    validate_run, Direction, Engine, EngineConfig, Instance, LinkCapacity, Node, NodeCtx, Payload,
+    SimError, StepIo, TraceLevel, Violation,
 };
 
 #[derive(Debug, Clone)]
@@ -28,17 +28,14 @@ struct Overworker {
 impl Node for Overworker {
     type Msg = JobMsg;
 
-    fn on_step(&mut self, ctx: &NodeCtx, _inbox: Inbox<JobMsg>) -> StepOutcome<JobMsg> {
+    fn on_step(&mut self, ctx: &NodeCtx, _io: &mut StepIo<'_, JobMsg>) -> u64 {
         let claim = if ctx.t == 0 {
             2
         } else {
             u64::from(self.remaining > 0)
         };
         self.remaining = self.remaining.saturating_sub(claim);
-        StepOutcome {
-            outbox: Outbox::empty(),
-            work_done: claim,
-        }
+        claim
     }
 
     fn pending_work(&self) -> u64 {
@@ -62,11 +59,8 @@ struct Fabricator;
 impl Node for Fabricator {
     type Msg = JobMsg;
 
-    fn on_step(&mut self, _ctx: &NodeCtx, _inbox: Inbox<JobMsg>) -> StepOutcome<JobMsg> {
-        StepOutcome {
-            outbox: Outbox::empty(),
-            work_done: 1,
-        }
+    fn on_step(&mut self, _ctx: &NodeCtx, _io: &mut StepIo<'_, JobMsg>) -> u64 {
+        1
     }
 
     fn pending_work(&self) -> u64 {
@@ -92,8 +86,8 @@ struct Sinkhole {
 impl Node for Sinkhole {
     type Msg = JobMsg;
 
-    fn on_step(&mut self, _ctx: &NodeCtx, _inbox: Inbox<JobMsg>) -> StepOutcome<JobMsg> {
-        StepOutcome::idle()
+    fn on_step(&mut self, _ctx: &NodeCtx, _io: &mut StepIo<'_, JobMsg>) -> u64 {
+        0
     }
 
     fn pending_work(&self) -> u64 {
@@ -126,22 +120,16 @@ struct Teleporter {
 impl Node for Teleporter {
     type Msg = JobMsg;
 
-    fn on_step(&mut self, ctx: &NodeCtx, _inbox: Inbox<JobMsg>) -> StepOutcome<JobMsg> {
+    fn on_step(&mut self, ctx: &NodeCtx, _io: &mut StepIo<'_, JobMsg>) -> u64 {
         match (self.id, ctx.t) {
             // Node 1 processes the stolen job instantly at t = 0…
-            (1, 0) => StepOutcome {
-                outbox: Outbox::empty(),
-                work_done: 1,
-            },
+            (1, 0) => 1,
             // …while node 0 quietly forgets one job and processes the rest.
             (0, _) if self.remaining > 1 => {
                 self.remaining -= 1;
-                StepOutcome {
-                    outbox: Outbox::empty(),
-                    work_done: 1,
-                }
+                1
             }
-            _ => StepOutcome::idle(),
+            _ => 0,
         }
     }
 
@@ -187,17 +175,13 @@ struct LinkHog {
 impl Node for LinkHog {
     type Msg = JobMsg;
 
-    fn on_step(&mut self, ctx: &NodeCtx, _inbox: Inbox<JobMsg>) -> StepOutcome<JobMsg> {
-        let mut outbox = Outbox::empty();
+    fn on_step(&mut self, ctx: &NodeCtx, io: &mut StepIo<'_, JobMsg>) -> u64 {
         if ctx.t == 0 && self.held >= 2 {
-            outbox.push(Direction::Cw, JobMsg(1));
-            outbox.push(Direction::Cw, JobMsg(1));
+            io.out.push(Direction::Cw, JobMsg(1));
+            io.out.push(Direction::Cw, JobMsg(1));
             self.held -= 2;
         }
-        StepOutcome {
-            outbox,
-            work_done: 0,
-        }
+        0
     }
 
     fn pending_work(&self) -> u64 {
@@ -242,18 +226,15 @@ struct Honest {
 impl Node for Honest {
     type Msg = JobMsg;
 
-    fn on_step(&mut self, _ctx: &NodeCtx, inbox: Inbox<JobMsg>) -> StepOutcome<JobMsg> {
-        for m in inbox.from_ccw.iter().chain(inbox.from_cw.iter()) {
+    fn on_step(&mut self, _ctx: &NodeCtx, io: &mut StepIo<'_, JobMsg>) -> u64 {
+        for m in io.inbox.from_ccw.iter().chain(io.inbox.from_cw.iter()) {
             self.remaining += m.0;
         }
         if self.remaining > 0 {
             self.remaining -= 1;
-            StepOutcome {
-                outbox: Outbox::empty(),
-                work_done: 1,
-            }
+            1
         } else {
-            StepOutcome::idle()
+            0
         }
     }
 
