@@ -16,8 +16,8 @@
 use ring_opt::exact::{optimum_capacitated, optimum_uncapacitated, OptResult, SolverBudget};
 use ring_opt::{capacitated_lower_bound, uncapacitated_lower_bound};
 use ring_sched::capacitated::run_capacitated;
-use ring_sched::unit::{run_unit, run_unit_par, UnitConfig};
-use ring_sim::{Instance, TraceLevel};
+use ring_sched::unit::{run_unit, run_unit_faulty, run_unit_par, run_unit_par_faulty, UnitConfig};
+use ring_sim::{FaultPlan, Instance, TraceLevel};
 use ring_workloads::{catalog, random, section5::Section5, structured};
 use std::collections::HashMap;
 use std::process::exit;
@@ -36,6 +36,14 @@ fn usage() -> ! {
          \x20   --threaded                    one OS thread per processor\n\
          \x20   --par <shards>                arc-parallel engine on <shards> threads\n\
          \x20   --observe                     emit per-step observability JSON\n\
+         \x20   --faults <spec>               deterministic fault plan, entries\n\
+         \x20                                 separated by ';':\n\
+         \x20                                   drop:<node><cw|ccw>@<from>..<until>\n\
+         \x20                                   delay=<d>:<node><cw|ccw>@<from>..<until>\n\
+         \x20                                   cap=<u>:<node><cw|ccw>@<from>..<until>\n\
+         \x20                                   stall:<node>@<from>..<until>\n\
+         \x20                                   slow=<k>:<node>@<from>..<until>\n\
+         \x20                                   seed=<s>[@<horizon>]  (random plan)\n\
          \x20 capacitated                     run the \u{a7}7 algorithm\n\
          \x20   --m <ring size> --n <jobs> | --case <id>\n\
          \x20 optimum                         exact optimum + lower bounds\n\
@@ -173,6 +181,12 @@ fn cmd_run(flags: &HashMap<String, String>) {
     if flags.contains_key("observe") {
         cfg = cfg.with_observe();
     }
+    let faults = flags.get("faults").map(|spec| {
+        FaultPlan::parse(spec, inst.num_processors()).unwrap_or_else(|e| {
+            eprintln!("bad --faults spec: {e}");
+            usage()
+        })
+    });
     let lb = uncapacitated_lower_bound(&inst);
     println!(
         "instance: m={} n={} | algorithm {}",
@@ -181,6 +195,10 @@ fn cmd_run(flags: &HashMap<String, String>) {
         cfg.name()
     );
     if flags.contains_key("threaded") {
+        if faults.is_some() {
+            eprintln!("--faults is not supported by the threaded executor (use --par)");
+            exit(2);
+        }
         let run = ring_net::run_unit_threaded(&inst, &cfg).unwrap_or_else(|e| {
             eprintln!("run failed: {e}");
             exit(1)
@@ -193,14 +211,19 @@ fn cmd_run(flags: &HashMap<String, String>) {
         );
         println!("messages sent: {}", run.messages_sent);
     } else {
-        let run = if let Some(shards) = flags.get("par") {
-            let shards: usize = shards.parse().unwrap_or_else(|_| {
-                eprintln!("--par must be a shard count");
-                usage()
-            });
-            run_unit_par(&inst, &cfg, shards.max(1))
-        } else {
-            run_unit(&inst, &cfg)
+        let run = match (flags.get("par"), &faults) {
+            (Some(shards), plan) => {
+                let shards: usize = shards.parse().unwrap_or_else(|_| {
+                    eprintln!("--par must be a shard count");
+                    usage()
+                });
+                match plan {
+                    Some(p) => run_unit_par_faulty(&inst, &cfg, p, shards.max(1)),
+                    None => run_unit_par(&inst, &cfg, shards.max(1)),
+                }
+            }
+            (None, Some(p)) => run_unit_faulty(&inst, &cfg, p),
+            (None, None) => run_unit(&inst, &cfg),
         }
         .unwrap_or_else(|e| {
             eprintln!("run failed: {e}");
@@ -218,6 +241,14 @@ fn cmd_run(flags: &HashMap<String, String>) {
             run.report.metrics.messages_sent,
             run.report.metrics.job_hops
         );
+        if faults.is_some() {
+            println!(
+                "faults: dropped {} delayed {} retried {}",
+                run.report.metrics.messages_dropped,
+                run.report.metrics.messages_delayed,
+                run.report.metrics.messages_retried
+            );
+        }
         let opt = optimum_uncapacitated(&inst, Some(run.makespan), &SolverBudget::default());
         match opt {
             OptResult::Exact(v) => println!(

@@ -6,13 +6,17 @@
 //! ```
 
 use ring_experiments::observability::{
-    render, render_imbalance_sparkline, run_experiment, workloads,
+    render, render_faults, render_imbalance_sparkline, run_experiment, run_fault_experiment,
+    workloads,
 };
 use ring_sched::unit::{run_unit, UnitConfig};
 
 fn main() {
     println!("## Per-step observability (engine `observe` mode)\n");
     print!("{}", render(&run_experiment()));
+
+    println!("\n## Fault dynamics (deterministic plan over the loaded region)\n");
+    print!("{}", render_faults(&run_fault_experiment()));
 
     println!("\n## Imbalance decay (C1, one column ≈ one step, peak-normalized)\n");
     println!("```text");

@@ -12,8 +12,10 @@
 
 use proptest::prelude::*;
 use ring_net::run_unit_threaded;
-use ring_sched::unit::{build_unit_nodes, run_unit, UnitConfig};
-use ring_sim::{Engine, EngineConfig, Instance, RunReport, SimError};
+use ring_sched::unit::{
+    build_unit_nodes, run_unit, run_unit_faulty, run_unit_par_faulty, UnitConfig,
+};
+use ring_sim::{check_run, Engine, EngineConfig, FaultPlan, Instance, RunReport, SimError};
 
 /// Runs a unit-algorithm config through the arc-parallel engine.
 fn par_run_unit(inst: &Instance, cfg: &UnitConfig, shards: usize) -> Result<RunReport, SimError> {
@@ -68,6 +70,70 @@ fn all_six_configs_agree_across_all_three_executors() {
                 thr.messages_sent,
                 "{name} on {:?}",
                 inst.loads()
+            );
+        }
+    }
+}
+
+/// Base 64 random fault cases, scaled by the `RING_FAULT_SEEDS` environment
+/// variable (CI's fault-matrix job sets it to 8 for a 512-case soak).
+fn fault_case_count() -> u32 {
+    let mult = std::env::var("RING_FAULT_SEEDS")
+        .ok()
+        .and_then(|v| v.parse::<u32>().ok())
+        .unwrap_or(1)
+        .max(1);
+    64 * mult
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(fault_case_count()))]
+
+    /// Random instances, random fault plans, all six §6 algorithms, shard
+    /// counts {1, 2, 3, 7}: `run` and `par_run` produce bit-identical
+    /// `RunReport`s under the same plan, every run still places and
+    /// processes all work, and the trace-replay oracle accepts it.
+    ///
+    /// The base 64 cases scale with `RING_FAULT_SEEDS` (CI sets it to 8 for
+    /// a 512-case soak).
+    #[test]
+    fn executors_agree_under_fault_plans(
+        loads in prop::collection::vec(0u64..100, 2..20),
+        alg in 0usize..6,
+        seed in 0u64..1_000_000,
+    ) {
+        prop_assume!(loads.iter().sum::<u64>() > 0);
+        let inst = Instance::from_loads(loads);
+        let m = inst.num_processors();
+        let plan = FaultPlan::random(m, 48, seed);
+        let (name, cfg) = UnitConfig::all_six()[alg];
+        let cfg = cfg.with_trace().with_observe();
+
+        let seq = run_unit_faulty(&inst, &cfg, &plan).unwrap();
+        prop_assert_eq!(
+            seq.report.metrics.total_processed(),
+            inst.total_work(),
+            "{} lost work under {:?}",
+            name,
+            &plan
+        );
+        let violations = check_run(&inst, &seq.report, Some(&plan));
+        prop_assert!(
+            violations.is_empty(),
+            "{} oracle violations under {:?}: {:?}",
+            name,
+            &plan,
+            violations
+        );
+        for shards in [1usize, 2, 3, 7] {
+            let par = run_unit_par_faulty(&inst, &cfg, &plan, shards).unwrap();
+            prop_assert_eq!(
+                &seq.report,
+                &par.report,
+                "{} with {} shards diverged under {:?}",
+                name,
+                shards,
+                &plan
             );
         }
     }

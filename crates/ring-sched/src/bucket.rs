@@ -24,6 +24,11 @@ use ring_sim::{Direction, Payload};
 /// A travelling bucket of unit jobs plus its fractional shadow.
 #[derive(Debug, Clone)]
 pub struct Bucket {
+    /// Run-unique identifier, keyed into the [`ring_sim::DropRecord`] audit
+    /// so the oracle can replay the per-bucket I1 ledger. Defaults to the
+    /// origin index; emitters that create several buckets per node (the
+    /// bidirectional split, dynamic arrivals) re-key it.
+    pub id: u64,
     /// Processor the bucket started from.
     pub origin: usize,
     /// Travel direction (fixed for the bucket's lifetime).
@@ -63,6 +68,7 @@ impl Bucket {
     /// A fresh bucket holding all `x` jobs of processor `origin`.
     pub fn new(origin: usize, dir: Direction, x: u64) -> Self {
         Bucket {
+            id: origin as u64,
             origin,
             dir,
             jobs: x,
@@ -123,6 +129,7 @@ impl Bucket {
         self.jobs -= ccw_jobs;
         self.frac = half_frac;
         Bucket {
+            id: self.id,
             origin: self.origin,
             dir: Direction::Ccw,
             jobs: ccw_jobs,

@@ -174,7 +174,8 @@ impl Node for DynamicNode {
         // New batches first: they are visible to this step's processing.
         while self.pending.front().is_some_and(|a| a.time <= ctx.t) {
             let a = self.pending.pop_front().expect("front checked");
-            self.inner.emit_bucket(ctx.id, m, a.count, &mut io.out);
+            self.inner
+                .emit_bucket(ctx.id, m, a.count, &mut io.out, &mut io.audit);
         }
         for bucket in io
             .inbox
@@ -182,7 +183,8 @@ impl Node for DynamicNode {
             .drain(..)
             .chain(io.inbox.from_cw.drain(..))
         {
-            self.inner.receive_bucket(bucket, &mut io.out, m);
+            self.inner
+                .receive_bucket(bucket, &mut io.out, &mut io.audit, m);
         }
         self.inner.process_tick()
     }

@@ -34,12 +34,39 @@
 //!   constant — see `UnitConfig::new`). All configurable for ablation.
 
 use crate::analysis::C_PAPER;
-use crate::bucket::{drop_balancing, drop_regular, Bucket, Ledger};
+use crate::bucket::{drop_balancing, drop_regular, Bucket, DropOutcome, Ledger};
+use crate::EPS;
 use ring_sim::{
-    Direction, Engine, EngineConfig, Instance, Node, NodeCtx, Outbox, RunReport, SimError, StepIo,
-    TraceLevel,
+    Audit, Direction, DropKind, DropRecord, Engine, EngineConfig, FaultPlan, Instance, Node,
+    NodeCtx, Outbox, RunReport, SimError, StepIo, TraceLevel,
 };
 use serde::{Deserialize, Serialize};
+
+/// Reports one drop-off to the engine's audit sink (no-op unless the engine
+/// is recording a full trace). `bucket` and `ledger` must already reflect
+/// the post-drop state — the record carries the *cumulative* levels the
+/// oracle re-checks I1/I2 against.
+fn record_drop(
+    audit: &mut Audit<'_>,
+    bucket: &Bucket,
+    ledger: &Ledger,
+    outcome: DropOutcome,
+    kind: DropKind,
+) {
+    if outcome.int == 0 && outcome.frac <= EPS {
+        return;
+    }
+    audit.record(DropRecord {
+        bucket: bucket.id,
+        int: outcome.int,
+        frac: outcome.frac,
+        cum_drop_frac: bucket.dropped_frac,
+        cum_accept_frac: ledger.accepted_frac,
+        p_max_bucket: 0,
+        p_max_node: 0,
+        kind,
+    });
+}
 
 /// Which drop-off target rule to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -218,6 +245,13 @@ pub struct UnitNode {
     max_travel_seen: u64,
     /// Whether a balancing-mode bucket passed through (diagnostics).
     saw_balancing: bool,
+    /// Whether the initial load has been packed into a bucket yet. Fault
+    /// plans can stall a processor through step 0, so emission happens on
+    /// the node's *first executed* step rather than at `t == 0`.
+    emitted: bool,
+    /// Count of buckets this node has emitted, used to mint run-unique
+    /// bucket ids (dynamic arrivals emit more than once per node).
+    emit_serial: u64,
 }
 
 impl UnitNode {
@@ -233,6 +267,8 @@ impl UnitNode {
             ledger: Ledger::default(),
             max_travel_seen: 0,
             saw_balancing: false,
+            emitted: false,
+            emit_serial: 0,
         }
     }
 
@@ -263,16 +299,27 @@ impl UnitNode {
     /// online-arrivals extension ([`crate::dynamic`]).
     pub(crate) fn emit_bucket(
         &mut self,
-        id: usize,
+        origin: usize,
         m: usize,
         count: u64,
         outbox: &mut Outbox<'_, Bucket>,
+        audit: &mut Audit<'_>,
     ) {
+        // `x` re-grows inside this method, so once any emission has happened
+        // `pending_work` must stop counting it (the dynamic extension calls
+        // this directly, without going through `UnitNode::on_step`).
+        self.emitted = true;
         if count == 0 {
             return;
         }
+        // Mint a run-unique bucket id: serial-within-node × ring stride,
+        // with the counterclockwise half of a bidirectional split offset by
+        // `m` (ids only need to be unique, not dense).
+        let id = 2 * self.emit_serial * m as u64 + origin as u64;
+        self.emit_serial += 1;
         self.x += count;
-        let mut b = Bucket::new(id, Direction::Cw, count);
+        let mut b = Bucket::new(origin, Direction::Cw, count);
+        b.id = id;
         self.ledger.passed_frac += b.frac;
         self.ledger.passed_int += b.jobs;
         let target = self.target(&b);
@@ -280,16 +327,27 @@ impl UnitNode {
         let outcome = drop_regular(&mut b, &mut self.ledger, current, target);
         self.backlog += outcome.int;
         self.backlog_frac += outcome.frac;
+        record_drop(audit, &b, &self.ledger, outcome, DropKind::Regular);
         if !b.is_spent() {
             if m == 1 {
                 // Degenerate singleton ring: nowhere to send; keep
                 // everything (the target rule may have left some).
                 self.backlog += b.jobs;
+                self.backlog_frac += b.frac;
+                let keep = DropOutcome {
+                    frac: b.frac,
+                    int: b.jobs,
+                };
                 self.ledger.accepted_int += b.jobs;
                 self.ledger.accepted_frac += b.frac;
-                self.backlog_frac += b.frac;
+                b.dropped_int += b.jobs;
+                b.dropped_frac += b.frac;
+                b.jobs = 0;
+                b.frac = 0.0;
+                record_drop(audit, &b, &self.ledger, keep, DropKind::Regular);
             } else if self.directionality == Directionality::Bi && m > 2 {
-                let ccw = b.split_for_bidirectional();
+                let mut ccw = b.split_for_bidirectional();
+                ccw.id = id + m as u64;
                 if !ccw.is_spent() {
                     outbox.push(Direction::Ccw, ccw);
                 }
@@ -308,10 +366,11 @@ impl UnitNode {
         &mut self,
         mut bucket: Bucket,
         outbox: &mut Outbox<'_, Bucket>,
+        audit: &mut Audit<'_>,
         m: usize,
     ) {
         bucket.arrive(self.x, m);
-        self.handle_bucket(bucket, outbox, m);
+        self.handle_bucket(bucket, outbox, audit, m);
     }
 
     /// Processes one unit of resident work if any, and advances the
@@ -330,20 +389,35 @@ impl UnitNode {
 
     /// Accepts a bucket at this node: run the drop-off negotiation and
     /// forward the bucket if it still holds anything.
-    fn handle_bucket(&mut self, mut bucket: Bucket, outbox: &mut Outbox<'_, Bucket>, m: usize) {
+    fn handle_bucket(
+        &mut self,
+        mut bucket: Bucket,
+        outbox: &mut Outbox<'_, Bucket>,
+        audit: &mut Audit<'_>,
+        m: usize,
+    ) {
         self.max_travel_seen = self.max_travel_seen.max(bucket.hops);
         self.ledger.passed_frac += bucket.frac;
         self.ledger.passed_int += bucket.jobs;
-        let outcome = if bucket.balancing {
+        let (outcome, kind) = if bucket.balancing {
             self.saw_balancing = true;
-            drop_balancing(&mut bucket, &mut self.ledger, m)
+            let kind = if bucket.spill > 0 {
+                DropKind::Forced
+            } else {
+                DropKind::Balancing
+            };
+            (drop_balancing(&mut bucket, &mut self.ledger, m), kind)
         } else {
             let target = self.target(&bucket);
             let current = self.reference_level();
-            drop_regular(&mut bucket, &mut self.ledger, current, target)
+            (
+                drop_regular(&mut bucket, &mut self.ledger, current, target),
+                DropKind::Regular,
+            )
         };
         self.backlog += outcome.int;
         self.backlog_frac += outcome.frac;
+        record_drop(audit, &bucket, &self.ledger, outcome, kind);
         if !bucket.is_spent() {
             outbox.push(bucket.dir, bucket);
         }
@@ -356,31 +430,35 @@ impl Node for UnitNode {
     fn on_step(&mut self, ctx: &NodeCtx, io: &mut StepIo<'_, Bucket>) -> u64 {
         let m = ctx.topo.len();
 
-        if ctx.t == 0 {
+        if !self.emitted {
             // Pack all local jobs into a bucket, drop the origin's share,
-            // split if bidirectional, and send the rest on its way.
+            // split if bidirectional, and send the rest on its way. This is
+            // step 0 in a fault-free run; a processor stalled through step 0
+            // emits on its first executed step instead (the retry/re-emit
+            // recovery rule — no work is ever lost to a stall).
+            self.emitted = true;
             let count = std::mem::take(&mut self.x);
-            self.emit_bucket(ctx.id, m, count, &mut io.out);
-        } else {
-            // At most one bucket arrives per direction per step (all
-            // buckets advance in lock-step). Process the clockwise
-            // traveller first — a fixed, documented order so runs are
-            // deterministic.
-            for bucket in io
-                .inbox
-                .from_ccw
-                .drain(..)
-                .chain(io.inbox.from_cw.drain(..))
-            {
-                self.receive_bucket(bucket, &mut io.out, m);
-            }
+            self.emit_bucket(ctx.id, m, count, &mut io.out, &mut io.audit);
+        }
+        // Fault-free, at most one bucket arrives per direction per step (all
+        // buckets advance in lock-step); after a stall the backlog of
+        // carried-over deliveries lands at once. Process the clockwise
+        // travellers first — a fixed, documented order so runs are
+        // deterministic.
+        for bucket in io
+            .inbox
+            .from_ccw
+            .drain(..)
+            .chain(io.inbox.from_cw.drain(..))
+        {
+            self.receive_bucket(bucket, &mut io.out, &mut io.audit, m);
         }
 
         self.process_tick()
     }
 
     fn pending_work(&self) -> u64 {
-        self.backlog
+        self.backlog + if self.emitted { 0 } else { self.x }
     }
 }
 
@@ -420,7 +498,7 @@ impl UnitNode {
 /// assert!(run.makespan >= 8);                       // sqrt(64) is optimal
 /// ```
 pub fn run_unit(instance: &Instance, cfg: &UnitConfig) -> Result<UnitRun, SimError> {
-    let mut engine = unit_engine(instance, cfg);
+    let mut engine = unit_engine(instance, cfg, None);
     let report = engine.run()?;
     Ok(finish_unit_run(engine, report))
 }
@@ -435,17 +513,51 @@ pub fn run_unit_par(
     cfg: &UnitConfig,
     shards: usize,
 ) -> Result<UnitRun, SimError> {
-    let mut engine = unit_engine(instance, cfg);
+    let mut engine = unit_engine(instance, cfg, None);
     let report = engine.par_run(shards)?;
     Ok(finish_unit_run(engine, report))
 }
 
-fn unit_engine(instance: &Instance, cfg: &UnitConfig) -> Engine<UnitNode> {
+/// Runs one of the six unit-job algorithms under a deterministic fault
+/// plan: downed/delayed/capped links hold buckets back (the engine re-sends
+/// them as the fault allows) and stalled processors defer both their
+/// initial emission and their drop-off negotiations to their next executed
+/// step. All work is still placed and processed; only the makespan and the
+/// fault counters in `report.metrics` change.
+pub fn run_unit_faulty(
+    instance: &Instance,
+    cfg: &UnitConfig,
+    plan: &FaultPlan,
+) -> Result<UnitRun, SimError> {
+    let mut engine = unit_engine(instance, cfg, Some(plan.clone()));
+    let report = engine.run()?;
+    Ok(finish_unit_run(engine, report))
+}
+
+/// [`run_unit_faulty`] through the arc-parallel engine — bit-for-bit
+/// identical to the sequential run on the same instance, config, and plan.
+pub fn run_unit_par_faulty(
+    instance: &Instance,
+    cfg: &UnitConfig,
+    plan: &FaultPlan,
+    shards: usize,
+) -> Result<UnitRun, SimError> {
+    let mut engine = unit_engine(instance, cfg, Some(plan.clone()));
+    let report = engine.par_run(shards)?;
+    Ok(finish_unit_run(engine, report))
+}
+
+fn unit_engine(
+    instance: &Instance,
+    cfg: &UnitConfig,
+    faults: Option<FaultPlan>,
+) -> Engine<UnitNode> {
     let nodes = build_unit_nodes(instance, cfg);
     let engine_cfg = EngineConfig {
         max_steps: cfg.max_steps,
         trace: cfg.trace,
         observe: cfg.observe,
+        faults,
         ..EngineConfig::default()
     };
     Engine::new(nodes, instance.total_work(), engine_cfg)

@@ -37,10 +37,13 @@
 //! delivery is round-delayed and each `next` vector has exactly one writer
 //! per round, the two produce bit-for-bit identical [`RunReport`]s.
 
+use std::collections::VecDeque;
+
 use crate::error::SimError;
+use crate::fault::FaultPlan;
 use crate::metrics::{Metrics, Observability, StepSample};
 use crate::topology::{Direction, RingTopology};
-use crate::trace::{Event, Trace, TraceLevel};
+use crate::trace::{DropKind, Event, Trace, TraceLevel};
 
 /// Anything that can travel over a ring link.
 ///
@@ -130,8 +133,73 @@ impl<M: Payload> Outbox<'_, M> {
     }
 }
 
+/// One audited drop-off decision by a scheduling policy: how much work a
+/// node permanently accepted out of a bucket, together with the cumulative
+/// ledgers that justified it under the paper's constraints.
+///
+/// Policies report these through [`Audit`]; the engine turns them into
+/// [`Event::DroppedOff`] trace events that the [`crate::oracle`] re-checks
+/// against I1/I2 (unit jobs) or A1/A2 (arbitrary sizes).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DropRecord {
+    /// Identifier of the bucket the work came from.
+    pub bucket: u64,
+    /// Integral work units accepted.
+    pub int: u64,
+    /// Fractional (shadow) work accepted.
+    pub frac: f64,
+    /// Bucket-cumulative fractional drop *after* this event (the I1/A1
+    /// reference level).
+    pub cum_drop_frac: f64,
+    /// Node-cumulative fractional acceptance *after* this event (the I2/A2
+    /// reference level).
+    pub cum_accept_frac: f64,
+    /// Largest job size the bucket has seen (0 for unit jobs).
+    pub p_max_bucket: u64,
+    /// Largest job size the node has seen (0 for unit jobs).
+    pub p_max_node: u64,
+    /// Which invariant family governs this drop.
+    pub kind: DropKind,
+}
+
+/// Where a node's [`DropRecord`]s go during one step: a borrowed sink when
+/// the engine is recording a full trace, or nowhere ([`Audit::off`]) when it
+/// is not — policies call [`Audit::record`] unconditionally and the sink
+/// decides.
+#[derive(Debug)]
+pub struct Audit<'a> {
+    sink: Option<&'a mut Vec<DropRecord>>,
+}
+
+impl<'a> Audit<'a> {
+    /// An audit sink that discards everything (used when tracing is off and
+    /// by executors that do not audit, such as `ring-net`'s).
+    pub fn off() -> Self {
+        Audit { sink: None }
+    }
+
+    /// An audit sink collecting into `sink`.
+    pub fn to(sink: &'a mut Vec<DropRecord>) -> Self {
+        Audit { sink: Some(sink) }
+    }
+
+    /// True iff records are being kept. Policies may skip building records
+    /// when disabled, but [`Audit::record`] is always safe to call.
+    pub fn is_enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Reports one drop-off decision.
+    #[inline]
+    pub fn record(&mut self, rec: DropRecord) {
+        if let Some(sink) = self.sink.as_mut() {
+            sink.push(rec);
+        }
+    }
+}
+
 /// The borrowed I/O surface a node works through during one step: its
-/// [`Inbox`] and its [`Outbox`].
+/// [`Inbox`], its [`Outbox`], and the [`Audit`] sink for drop-off records.
 ///
 /// Constructed by the engine over its arenas; alternative executors (such
 /// as the thread-per-processor one in `ring-net`) build it over their own
@@ -142,13 +210,17 @@ pub struct StepIo<'a, M: Payload> {
     pub inbox: Inbox<'a, M>,
     /// Outgoing messages (delivered at `t + 1`).
     pub out: Outbox<'a, M>,
+    /// Sink for drop-off audit records (discarding unless the engine is
+    /// recording a full trace).
+    pub audit: Audit<'a>,
 }
 
 impl<'a, M: Payload> StepIo<'a, M> {
     /// Builds a step I/O surface over caller-owned buffers: the two inbox
     /// vectors (messages that arrived from the counterclockwise and the
     /// clockwise neighbor) and the two destination vectors messages travel
-    /// into (clockwise and counterclockwise).
+    /// into (clockwise and counterclockwise). The audit sink starts
+    /// [`Audit::off`].
     pub fn new(
         from_ccw: &'a mut Vec<M>,
         from_cw: &'a mut Vec<M>,
@@ -165,6 +237,7 @@ impl<'a, M: Payload> StepIo<'a, M> {
                 ccw_messages: 0,
                 ccw_payload: 0,
             },
+            audit: Audit::off(),
         }
     }
 }
@@ -220,11 +293,12 @@ pub enum LinkCapacity {
 }
 
 /// Engine configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct EngineConfig {
     /// Hard step budget; the run errors if exceeded. `None` derives a
-    /// generous default from the instance (`4·(n + m) + 64`), which is far
-    /// above any constant-factor-approximate schedule.
+    /// generous default from the instance (`4·(n + m) + 64`, widened by
+    /// twice the fault-plan horizon when one is set), which is far above
+    /// any constant-factor-approximate schedule.
     pub max_steps: Option<u64>,
     /// Link model.
     pub link_capacity: LinkCapacity,
@@ -234,6 +308,11 @@ pub struct EngineConfig {
     /// it costs one `pending_work` call and a payload sum per node per
     /// step).
     pub observe: bool,
+    /// Deterministic fault schedule (`None` injects nothing and keeps the
+    /// zero-overhead fast path; `Some` of an empty plan takes the fault
+    /// path but produces bit-identical results to `None`). Honored
+    /// identically by [`Engine::run`] and [`Engine::par_run`].
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for EngineConfig {
@@ -243,6 +322,7 @@ impl Default for EngineConfig {
             link_capacity: LinkCapacity::Unbounded,
             trace: TraceLevel::Off,
             observe: false,
+            faults: None,
         }
     }
 }
@@ -272,18 +352,119 @@ struct NodeStep {
 }
 
 impl NodeStep {
+    /// The step of a node that did not run (stalled by a processor fault).
+    fn idle() -> Self {
+        NodeStep {
+            work_done: 0,
+            cw_messages: 0,
+            cw_payload: 0,
+            ccw_messages: 0,
+            ccw_payload: 0,
+        }
+    }
+
     fn sent_payload(&self) -> u64 {
         self.cw_payload + self.ccw_payload
     }
+}
 
-    fn sent_messages(&self) -> u64 {
-        self.cw_messages + self.ccw_messages
+/// A message staged on a faulty link, waiting to depart.
+struct Staged<M> {
+    /// Earliest step the message may depart (push step + link delay).
+    ready: u64,
+    /// Failed departure attempts so far (drops and bandwidth refusals).
+    attempts: u64,
+    msg: M,
+}
+
+/// One node's per-direction link queue under fault injection. FIFO: faults
+/// reorder nothing, they only hold messages back.
+type LinkQueue<M> = VecDeque<Staged<M>>;
+
+/// What actually left a node's link in one direction during one step, plus
+/// the fault counters observed while draining the queue.
+#[derive(Debug, Clone, Copy, Default)]
+struct LinkDeparture {
+    /// Messages that departed (delivered at `t + 1`).
+    messages: u64,
+    /// Job payload that departed.
+    payload: u64,
+    /// Queued messages refused because the link was dropping.
+    dropped: u64,
+    /// Queued messages held back by a delay epoch or bandwidth backlog.
+    delayed: u64,
+    /// Departed messages that had previously failed at least one attempt.
+    retried: u64,
+}
+
+/// Drains one node's directed link for one step under a fault plan: newly
+/// pushed messages enter the FIFO queue with their delay applied, then the
+/// queue head departs into `dest` while the link is up and within its
+/// bandwidth cap (head-of-line blocking keeps FIFO order), and everything
+/// still eligible but held back is counted as dropped or delayed.
+///
+/// Pure in `(plan, node, dir, t)` and the queue state, so both executors
+/// evaluate it identically. With no active fault this moves every staged
+/// message straight through — bit-identical to the un-faulted engine.
+fn transmit<M: Payload>(
+    plan: &FaultPlan,
+    node: usize,
+    dir: Direction,
+    t: u64,
+    staged: &mut Vec<M>,
+    queue: &mut LinkQueue<M>,
+    dest: &mut Vec<M>,
+) -> LinkDeparture {
+    let delay = plan.link_delay(node, dir, t);
+    for msg in staged.drain(..) {
+        queue.push_back(Staged {
+            ready: t + delay,
+            attempts: 0,
+            msg,
+        });
     }
+    let mut dep = LinkDeparture::default();
+    let down = plan.link_down(node, dir, t);
+    let cap = plan.link_cap(node, dir, t);
+    if !down {
+        while let Some(head) = queue.front() {
+            if head.ready > t {
+                break;
+            }
+            let units = head.msg.job_units();
+            if let Some(cap) = cap {
+                if dep.payload + units > cap {
+                    break;
+                }
+            }
+            let head = queue.pop_front().expect("front was Some");
+            dep.messages += 1;
+            dep.payload += units;
+            if head.attempts > 0 {
+                dep.retried += 1;
+            }
+            dest.push(head.msg);
+        }
+    }
+    for entry in queue.iter_mut() {
+        if entry.ready <= t {
+            entry.attempts += 1;
+            if down {
+                dep.dropped += 1;
+            } else {
+                dep.delayed += 1;
+            }
+        } else {
+            dep.delayed += 1;
+        }
+    }
+    dep
 }
 
 /// Steps one node over the given buffers and enforces the per-node model
 /// rules (unit speed, link capacity), leaving the inbox buffers empty.
 /// Shared verbatim by both executors so they cannot drift.
+#[allow(clippy::too_many_arguments)] // four directed buffers + ctx is the natural shape
 fn drive_node<N: Node>(
     node: &mut N,
     ctx: &NodeCtx,
@@ -292,8 +473,12 @@ fn drive_node<N: Node>(
     to_cw: &mut Vec<N::Msg>,
     to_ccw: &mut Vec<N::Msg>,
     link_capacity: LinkCapacity,
+    audit: Option<&mut Vec<DropRecord>>,
 ) -> Result<NodeStep, SimError> {
     let mut io = StepIo::new(from_ccw, from_cw, to_cw, to_ccw);
+    if let Some(sink) = audit {
+        io.audit = Audit::to(sink);
+    }
     let work_done = node.on_step(ctx, &mut io);
     let step = NodeStep {
         work_done,
@@ -375,10 +560,36 @@ impl<N: Node> Engine<N> {
     }
 
     fn max_steps(&self) -> u64 {
-        self.config
-            .max_steps
-            .unwrap_or_else(|| 4 * (self.total_work + self.topo.len() as u64) + 64)
+        self.config.max_steps.unwrap_or_else(|| {
+            let base = 4 * (self.total_work + self.topo.len() as u64) + 64;
+            // A fault plan can only slow things down while it is active, so
+            // widen the default budget by a multiple of its horizon.
+            let slack = self.config.faults.as_ref().map_or(0, |p| 2 * p.horizon());
+            base + slack
+        })
     }
+
+    /// Replays the finished run through the [`crate::oracle`] and panics on
+    /// any violation — every traced engine run in the test suite is checked
+    /// (the `self-check` feature is enabled by the workspace's
+    /// dev-dependencies, so `cargo test` exercises it while release builds
+    /// stay clean).
+    #[cfg(feature = "self-check")]
+    fn self_check(&self, report: &RunReport) {
+        if !matches!(self.config.trace, TraceLevel::Full) {
+            return;
+        }
+        let violations =
+            crate::oracle::check_report(report, self.topo.len(), self.config.faults.as_ref());
+        assert!(
+            violations.is_empty(),
+            "oracle rejected an engine run: {violations:?}"
+        );
+    }
+
+    #[cfg(not(feature = "self-check"))]
+    #[inline]
+    fn self_check(&self, _report: &RunReport) {}
 
     fn empty_report(&self) -> RunReport {
         let m = self.topo.len();
@@ -412,6 +623,19 @@ impl<N: Node> Engine<N> {
         let mut next_cw: Vec<Vec<N::Msg>> = (0..m).map(|_| Vec::new()).collect();
         let mut next_ccw: Vec<Vec<N::Msg>> = (0..m).map(|_| Vec::new()).collect();
 
+        // Fault state: per-node per-direction link queues plus two scratch
+        // buffers nodes stage their sends into before `transmit` meters them
+        // onto the (possibly degraded) links. Allocated only when a plan is
+        // set; without one the arenas are written directly.
+        let plan = self.config.faults.clone();
+        let qm = if plan.is_some() { m } else { 0 };
+        let mut queue_cw: Vec<LinkQueue<N::Msg>> = (0..qm).map(|_| VecDeque::new()).collect();
+        let mut queue_ccw: Vec<LinkQueue<N::Msg>> = (0..qm).map(|_| VecDeque::new()).collect();
+        let mut stage_cw: Vec<N::Msg> = Vec::new();
+        let mut stage_ccw: Vec<N::Msg> = Vec::new();
+        let record_audit = matches!(self.config.trace, TraceLevel::Full);
+        let mut audit_buf: Vec<DropRecord> = Vec::new();
+
         let mut processed_total: u64 = 0;
         let mut t: u64 = 0;
         loop {
@@ -421,6 +645,18 @@ impl<N: Node> Engine<N> {
                     processed: processed_total,
                     total: self.total_work,
                 });
+            }
+
+            // A stalled processor does not consume its inbox: carry the
+            // undelivered messages over to its next step before anyone
+            // writes this round's sends (so they stay in front).
+            if let Some(plan) = plan.as_ref() {
+                for i in 0..m {
+                    if !plan.node_runs(i, t) {
+                        next_cw[i].append(&mut cur_cw[i]);
+                        next_ccw[i].append(&mut cur_ccw[i]);
+                    }
+                }
             }
 
             let mut inflight_payload: u64 = 0;
@@ -444,16 +680,81 @@ impl<N: Node> Engine<N> {
                 // The four arenas are distinct containers, so borrowing one
                 // element of each is disjoint for every m (including the
                 // self-delivery of a singleton ring).
-                let step = drive_node(
-                    &mut self.nodes[i],
-                    &ctx,
-                    &mut cur_cw[i],
-                    &mut cur_ccw[i],
-                    &mut next_cw[dest_cw],
-                    &mut next_ccw[dest_ccw],
-                    self.config.link_capacity,
-                )?;
+                let (step, dep_cw, dep_ccw) = if let Some(plan) = plan.as_ref() {
+                    let step = if plan.node_runs(i, t) {
+                        drive_node(
+                            &mut self.nodes[i],
+                            &ctx,
+                            &mut cur_cw[i],
+                            &mut cur_ccw[i],
+                            &mut stage_cw,
+                            &mut stage_ccw,
+                            self.config.link_capacity,
+                            record_audit.then_some(&mut audit_buf),
+                        )?
+                    } else {
+                        NodeStep::idle()
+                    };
+                    // Links drain even while their owner is stalled.
+                    let dep_cw = transmit(
+                        plan,
+                        i,
+                        Direction::Cw,
+                        t,
+                        &mut stage_cw,
+                        &mut queue_cw[i],
+                        &mut next_cw[dest_cw],
+                    );
+                    let dep_ccw = transmit(
+                        plan,
+                        i,
+                        Direction::Ccw,
+                        t,
+                        &mut stage_ccw,
+                        &mut queue_ccw[i],
+                        &mut next_ccw[dest_ccw],
+                    );
+                    (step, dep_cw, dep_ccw)
+                } else {
+                    let step = drive_node(
+                        &mut self.nodes[i],
+                        &ctx,
+                        &mut cur_cw[i],
+                        &mut cur_ccw[i],
+                        &mut next_cw[dest_cw],
+                        &mut next_ccw[dest_ccw],
+                        self.config.link_capacity,
+                        record_audit.then_some(&mut audit_buf),
+                    )?;
+                    let dep_cw = LinkDeparture {
+                        messages: step.cw_messages,
+                        payload: step.cw_payload,
+                        ..LinkDeparture::default()
+                    };
+                    let dep_ccw = LinkDeparture {
+                        messages: step.ccw_messages,
+                        payload: step.ccw_payload,
+                        ..LinkDeparture::default()
+                    };
+                    (step, dep_cw, dep_ccw)
+                };
 
+                // Per-cell event order: DroppedOff*, Processed, Sent cw,
+                // Sent ccw (the oracle and the arc merge rely on it).
+                for rec in audit_buf.drain(..) {
+                    trace.record(Event::DroppedOff {
+                        t,
+                        node: i,
+                        bucket: rec.bucket,
+                        units: rec.int,
+                        frac_bits: rec.frac.to_bits(),
+                        cum_drop_frac_bits: rec.cum_drop_frac.to_bits(),
+                        cum_accept_frac_bits: rec.cum_accept_frac.to_bits(),
+                        p_max_bucket: rec.p_max_bucket,
+                        p_max_node: rec.p_max_node,
+                        kind: rec.kind,
+                    });
+                }
                 if step.work_done > 0 {
                     processed_total += step.work_done;
                     metrics.processed_per_node[i] += step.work_done;
@@ -465,37 +766,43 @@ impl<N: Node> Engine<N> {
                         units: step.work_done,
                     });
                 }
-                for (dir, messages, payload) in [
-                    (Direction::Cw, step.cw_messages, step.cw_payload),
-                    (Direction::Ccw, step.ccw_messages, step.ccw_payload),
-                ] {
-                    if messages == 0 {
+                for (dir, dep) in [(Direction::Cw, dep_cw), (Direction::Ccw, dep_ccw)] {
+                    metrics.messages_dropped += dep.dropped;
+                    metrics.messages_delayed += dep.delayed;
+                    metrics.messages_retried += dep.retried;
+                    sample.link_dropped += dep.dropped;
+                    sample.link_delayed += dep.delayed;
+                    sample.link_retried += dep.retried;
+                    if dep.messages == 0 {
                         continue;
                     }
-                    metrics.messages_sent += messages;
-                    metrics.job_hops += payload;
-                    inflight_payload += payload;
+                    metrics.messages_sent += dep.messages;
+                    metrics.job_hops += dep.payload;
+                    inflight_payload += dep.payload;
                     trace.record(Event::Sent {
                         t,
                         node: i,
                         dir,
-                        job_units: payload,
+                        job_units: dep.payload,
                     });
                 }
                 if let Some(o) = obs.as_mut() {
                     o.record_sends(
                         i,
-                        step.cw_messages,
-                        step.cw_payload,
-                        step.ccw_messages,
-                        step.ccw_payload,
+                        dep_cw.messages,
+                        dep_cw.payload,
+                        dep_ccw.messages,
+                        dep_ccw.payload,
                     );
+                    // Drop-off is a *policy* notion (delivered payload the
+                    // node chose to keep), so it is metered on what the node
+                    // pushed, not on what the faulty link let through.
                     let dropped = delivered.saturating_sub(step.sent_payload());
                     o.dropoffs_per_node[i] += dropped;
                     let pending = self.nodes[i].pending_work();
                     sample.delivered_payload += delivered;
-                    sample.sent_payload += step.sent_payload();
-                    sample.messages += step.sent_messages();
+                    sample.sent_payload += dep_cw.payload + dep_ccw.payload;
+                    sample.messages += dep_cw.messages + dep_ccw.messages;
                     sample.processed += step.work_done;
                     sample.dropped_off += dropped;
                     sample.max_pending = sample.max_pending.max(pending);
@@ -526,12 +833,14 @@ impl<N: Node> Engine<N> {
                     "all work processed but a node still reports pending work"
                 );
                 let makespan = metrics.last_busy_step.expect("work was processed") + 1;
-                return Ok(RunReport {
+                let report = RunReport {
                     makespan,
                     metrics,
                     trace,
                     observability: obs,
-                });
+                };
+                self.self_check(&report);
+                return Ok(report);
             }
         }
     }
@@ -572,14 +881,16 @@ impl<N: Node> Engine<N> {
         }
         let max_steps = self.max_steps();
 
-        par::run_sharded(
+        let report = par::run_sharded(
             &mut self.nodes,
             self.topo,
             self.total_work,
             max_steps,
-            self.config,
+            &self.config,
             shards,
-        )
+        )?;
+        self.self_check(&report);
+        Ok(report)
     }
 }
 
@@ -597,6 +908,9 @@ mod par {
         busy_steps_per_node: Vec<u64>,
         messages_sent: u64,
         job_hops: u64,
+        messages_dropped: u64,
+        messages_delayed: u64,
+        messages_retried: u64,
         last_busy: Option<u64>,
         /// Payload this arc put in flight in each round (for the global
         /// per-round peak).
@@ -623,7 +937,7 @@ mod par {
         topo: RingTopology,
         total_work: u64,
         max_steps: u64,
-        config: EngineConfig,
+        config: &EngineConfig,
         shards: usize,
     ) -> Result<RunReport, SimError>
     where
@@ -784,6 +1098,9 @@ mod par {
             metrics.busy_steps_per_node[p.lo..p.lo + k].copy_from_slice(&p.busy_steps_per_node);
             metrics.messages_sent += p.messages_sent;
             metrics.job_hops += p.job_hops;
+            metrics.messages_dropped += p.messages_dropped;
+            metrics.messages_delayed += p.messages_delayed;
+            metrics.messages_retried += p.messages_retried;
             metrics.last_busy_step = metrics.last_busy_step.max(p.last_busy);
             for (round, payload) in p.sent_payload_per_round.iter().enumerate() {
                 inflight_per_round[round] += payload;
@@ -820,7 +1137,7 @@ mod par {
         topo: RingTopology,
         total_work: u64,
         max_steps: u64,
-        config: EngineConfig,
+        config: &EngineConfig,
         barrier: &Barrier,
         processed: &AtomicU64,
         flagged: &Mutex<Option<Flagged>>,
@@ -837,6 +1154,9 @@ mod par {
             busy_steps_per_node: vec![0; len],
             messages_sent: 0,
             job_hops: 0,
+            messages_dropped: 0,
+            messages_delayed: 0,
+            messages_retried: 0,
             last_busy: None,
             sent_payload_per_round: Vec::new(),
             events: Vec::new(),
@@ -848,12 +1168,37 @@ mod par {
         let mut out_cw_boundary: Vec<N::Msg> = Vec::new();
         let mut out_ccw_boundary: Vec<N::Msg> = Vec::new();
 
+        // Fault state for this arc's nodes, mirroring the sequential engine
+        // (see `Engine::run`): link queues per node and direction, staging
+        // buffers, and the audit scratch.
+        let plan = config.faults.as_ref();
+        let qlen = if plan.is_some() { len } else { 0 };
+        let mut queue_cw: Vec<LinkQueue<N::Msg>> = (0..qlen).map(|_| VecDeque::new()).collect();
+        let mut queue_ccw: Vec<LinkQueue<N::Msg>> = (0..qlen).map(|_| VecDeque::new()).collect();
+        let mut stage_cw: Vec<N::Msg> = Vec::new();
+        let mut stage_ccw: Vec<N::Msg> = Vec::new();
+        let mut audit_buf: Vec<DropRecord> = Vec::new();
+
         let mut t: u64 = 0;
         loop {
             // Same budget check as the sequential engine, evaluated
             // identically by every arc — no communication needed.
             if t >= max_steps {
                 break;
+            }
+
+            // Stall carryover first, exactly like the sequential engine:
+            // undelivered messages of non-running nodes move to the front of
+            // their next-round inboxes before any node writes new sends
+            // (boundary mail is appended in phase B, i.e. after — the same
+            // relative order the sequential loop produces).
+            if let Some(plan) = plan {
+                for j in 0..len {
+                    if !plan.node_runs(lo + j, t) {
+                        next_cw[j].append(&mut cur_cw[j]);
+                        next_ccw[j].append(&mut cur_ccw[j]);
+                    }
+                }
             }
 
             // Phase A: step the arc's nodes in ring order.
@@ -885,15 +1230,34 @@ mod par {
                 } else {
                     &mut out_ccw_boundary
                 };
-                let step = match drive_node(
-                    &mut nodes[j],
-                    &ctx,
-                    cur_a,
-                    cur_b,
-                    to_cw,
-                    to_ccw,
-                    config.link_capacity,
-                ) {
+                let driven = if let Some(plan) = plan {
+                    if plan.node_runs(i, t) {
+                        drive_node(
+                            &mut nodes[j],
+                            &ctx,
+                            cur_a,
+                            cur_b,
+                            &mut stage_cw,
+                            &mut stage_ccw,
+                            config.link_capacity,
+                            record.then_some(&mut audit_buf),
+                        )
+                    } else {
+                        Ok(NodeStep::idle())
+                    }
+                } else {
+                    drive_node(
+                        &mut nodes[j],
+                        &ctx,
+                        cur_a,
+                        cur_b,
+                        &mut *to_cw,
+                        &mut *to_ccw,
+                        config.link_capacity,
+                        record.then_some(&mut audit_buf),
+                    )
+                };
+                let step = match driven {
                     Ok(step) => step,
                     Err(err) => {
                         merge_flag(flagged, (t, i, err));
@@ -901,6 +1265,56 @@ mod par {
                         break;
                     }
                 };
+                let (dep_cw, dep_ccw) = if let Some(plan) = plan {
+                    let dep_cw = transmit(
+                        plan,
+                        i,
+                        Direction::Cw,
+                        t,
+                        &mut stage_cw,
+                        &mut queue_cw[j],
+                        to_cw,
+                    );
+                    let dep_ccw = transmit(
+                        plan,
+                        i,
+                        Direction::Ccw,
+                        t,
+                        &mut stage_ccw,
+                        &mut queue_ccw[j],
+                        to_ccw,
+                    );
+                    (dep_cw, dep_ccw)
+                } else {
+                    (
+                        LinkDeparture {
+                            messages: step.cw_messages,
+                            payload: step.cw_payload,
+                            ..LinkDeparture::default()
+                        },
+                        LinkDeparture {
+                            messages: step.ccw_messages,
+                            payload: step.ccw_payload,
+                            ..LinkDeparture::default()
+                        },
+                    )
+                };
+                if record {
+                    for rec in audit_buf.drain(..) {
+                        partial.events.push(Event::DroppedOff {
+                            t,
+                            node: i,
+                            bucket: rec.bucket,
+                            units: rec.int,
+                            frac_bits: rec.frac.to_bits(),
+                            cum_drop_frac_bits: rec.cum_drop_frac.to_bits(),
+                            cum_accept_frac_bits: rec.cum_accept_frac.to_bits(),
+                            p_max_bucket: rec.p_max_bucket,
+                            p_max_node: rec.p_max_node,
+                            kind: rec.kind,
+                        });
+                    }
+                }
                 if step.work_done > 0 {
                     partial.processed_per_node[j] += step.work_done;
                     partial.busy_steps_per_node[j] += 1;
@@ -914,39 +1328,42 @@ mod par {
                         });
                     }
                 }
-                for (dir, messages, payload) in [
-                    (Direction::Cw, step.cw_messages, step.cw_payload),
-                    (Direction::Ccw, step.ccw_messages, step.ccw_payload),
-                ] {
-                    if messages == 0 {
+                for (dir, dep) in [(Direction::Cw, dep_cw), (Direction::Ccw, dep_ccw)] {
+                    partial.messages_dropped += dep.dropped;
+                    partial.messages_delayed += dep.delayed;
+                    partial.messages_retried += dep.retried;
+                    sample.link_dropped += dep.dropped;
+                    sample.link_delayed += dep.delayed;
+                    sample.link_retried += dep.retried;
+                    if dep.messages == 0 {
                         continue;
                     }
-                    partial.messages_sent += messages;
-                    partial.job_hops += payload;
-                    round_sent_payload += payload;
+                    partial.messages_sent += dep.messages;
+                    partial.job_hops += dep.payload;
+                    round_sent_payload += dep.payload;
                     if record {
                         partial.events.push(Event::Sent {
                             t,
                             node: i,
                             dir,
-                            job_units: payload,
+                            job_units: dep.payload,
                         });
                     }
                 }
                 if let Some(o) = partial.obs.as_mut() {
                     o.record_sends(
                         j,
-                        step.cw_messages,
-                        step.cw_payload,
-                        step.ccw_messages,
-                        step.ccw_payload,
+                        dep_cw.messages,
+                        dep_cw.payload,
+                        dep_ccw.messages,
+                        dep_ccw.payload,
                     );
                     let dropped = delivered.saturating_sub(step.sent_payload());
                     o.dropoffs_per_node[j] += dropped;
                     let pending = nodes[j].pending_work();
                     sample.delivered_payload += delivered;
-                    sample.sent_payload += step.sent_payload();
-                    sample.messages += step.sent_messages();
+                    sample.sent_payload += dep_cw.payload + dep_ccw.payload;
+                    sample.messages += dep_cw.messages + dep_ccw.messages;
                     sample.processed += step.work_done;
                     sample.dropped_off += dropped;
                     sample.max_pending = sample.max_pending.max(pending);
@@ -1408,6 +1825,183 @@ mod delivery_tests {
 }
 
 #[cfg(test)]
+mod fault_tests {
+    use super::delivery_tests::relay_ring;
+    use super::*;
+    use crate::fault::{LinkFault, LinkFaultKind, ProcFault, ProcFaultKind};
+
+    fn full_config(plan: FaultPlan) -> EngineConfig {
+        EngineConfig {
+            trace: TraceLevel::Full,
+            observe: true,
+            faults: Some(plan),
+            ..EngineConfig::default()
+        }
+    }
+
+    /// Baseline: relay_ring(6, 3, Cw) delivers the token to node 3 at t=3
+    /// and finishes with makespan 4 (pinned by `delivery_tests`).
+    const BASE_MAKESPAN: u64 = 4;
+
+    #[test]
+    fn empty_plan_is_bit_identical_to_no_plan() {
+        let no_plan = EngineConfig {
+            trace: TraceLevel::Full,
+            observe: true,
+            ..EngineConfig::default()
+        };
+        let a = Engine::new(relay_ring(6, 3, Direction::Cw), 1, no_plan)
+            .run()
+            .unwrap();
+        let b = Engine::new(
+            relay_ring(6, 3, Direction::Cw),
+            1,
+            full_config(FaultPlan::new()),
+        )
+        .run()
+        .unwrap();
+        assert_eq!(a, b);
+        assert_eq!(b.metrics.messages_dropped, 0);
+        assert_eq!(b.metrics.messages_delayed, 0);
+        assert_eq!(b.metrics.messages_retried, 0);
+    }
+
+    #[test]
+    fn dropped_link_holds_the_token_until_it_heals() {
+        let mut plan = FaultPlan::new();
+        plan.add_link_fault(LinkFault {
+            node: 0,
+            dir: Direction::Cw,
+            from: 0,
+            until: 2,
+            kind: LinkFaultKind::Drop,
+        });
+        let report = Engine::new(relay_ring(6, 3, Direction::Cw), 1, full_config(plan))
+            .run()
+            .unwrap();
+        // Refused at t = 0 and 1, departs at t = 2: two steps late.
+        assert_eq!(report.makespan, BASE_MAKESPAN + 2);
+        assert_eq!(report.metrics.messages_dropped, 2);
+        assert_eq!(report.metrics.messages_retried, 1);
+        let obs = report.observability.expect("observe was on");
+        assert_eq!(obs.fault_series()[0], (1, 0, 0));
+        assert_eq!(obs.fault_series()[1], (1, 0, 0));
+        // The retry is booked at the step the message finally departs.
+        assert_eq!(obs.fault_series()[2], (0, 0, 1));
+    }
+
+    #[test]
+    fn delay_epoch_postpones_departure_without_retries() {
+        let mut plan = FaultPlan::new();
+        plan.add_link_fault(LinkFault {
+            node: 0,
+            dir: Direction::Cw,
+            from: 0,
+            until: 1,
+            kind: LinkFaultKind::Delay(3),
+        });
+        let report = Engine::new(relay_ring(6, 3, Direction::Cw), 1, full_config(plan))
+            .run()
+            .unwrap();
+        assert_eq!(report.makespan, BASE_MAKESPAN + 3);
+        assert_eq!(report.metrics.messages_dropped, 0);
+        assert_eq!(report.metrics.messages_delayed, 3);
+        // Never *attempted* early — the delay is known, not a failure.
+        assert_eq!(report.metrics.messages_retried, 0);
+    }
+
+    #[test]
+    fn bandwidth_cap_blocks_and_then_retries() {
+        let mut plan = FaultPlan::new();
+        plan.add_link_fault(LinkFault {
+            node: 0,
+            dir: Direction::Cw,
+            from: 0,
+            until: 2,
+            kind: LinkFaultKind::Bandwidth(0),
+        });
+        let report = Engine::new(relay_ring(6, 3, Direction::Cw), 1, full_config(plan))
+            .run()
+            .unwrap();
+        assert_eq!(report.makespan, BASE_MAKESPAN + 2);
+        assert_eq!(report.metrics.messages_delayed, 2);
+        assert_eq!(report.metrics.messages_retried, 1);
+    }
+
+    #[test]
+    fn stalled_processor_defers_its_work() {
+        let mut plan = FaultPlan::new();
+        plan.add_proc_fault(ProcFault {
+            node: 3,
+            from: 0,
+            until: 6,
+            kind: ProcFaultKind::Stall,
+        });
+        let report = Engine::new(relay_ring(6, 3, Direction::Cw), 1, full_config(plan))
+            .run()
+            .unwrap();
+        // The token reaches node 3 at t = 3 but sits in its carried-over
+        // inbox until the stall lifts at t = 6.
+        assert_eq!(report.makespan, 7);
+        assert_eq!(report.metrics.processed_per_node[3], 1);
+    }
+
+    #[test]
+    fn par_run_matches_run_bit_for_bit_under_faults() {
+        let mut plan = FaultPlan::new();
+        plan.add_link_fault(LinkFault {
+            node: 1,
+            dir: Direction::Cw,
+            from: 1,
+            until: 4,
+            kind: LinkFaultKind::Drop,
+        });
+        plan.add_link_fault(LinkFault {
+            node: 5,
+            dir: Direction::Ccw,
+            from: 0,
+            until: 3,
+            kind: LinkFaultKind::Delay(2),
+        });
+        plan.add_proc_fault(ProcFault {
+            node: 4,
+            from: 2,
+            until: 9,
+            kind: ProcFaultKind::Slowdown(2),
+        });
+        for dir in [Direction::Cw, Direction::Ccw] {
+            let seq = Engine::new(relay_ring(8, 5, dir), 1, full_config(plan.clone()))
+                .run()
+                .unwrap();
+            for shards in [2, 3, 5, 8] {
+                let par = Engine::new(relay_ring(8, 5, dir), 1, full_config(plan.clone()))
+                    .par_run(shards)
+                    .unwrap();
+                assert_eq!(seq, par, "dir={dir:?} shards={shards}");
+            }
+        }
+    }
+
+    #[test]
+    fn fault_budget_widens_with_the_horizon() {
+        // A stall longer than the fault-free default budget must not abort
+        // the run: the derived budget accounts for the plan's horizon.
+        let mut plan = FaultPlan::new();
+        let long = 4 * (1 + 6) + 64 + 10; // beyond the fault-free default
+        plan.add_proc_fault(ProcFault {
+            node: 3,
+            from: 0,
+            until: long,
+            kind: ProcFaultKind::Stall,
+        });
+        let report = Engine::new(relay_ring(6, 3, Direction::Cw), 1, full_config(plan))
+            .run()
+            .unwrap();
+        assert_eq!(report.makespan, long + 1);
+    }
+}
+
+#[cfg(test)]
 mod par_tests {
     use super::delivery_tests::relay_ring;
     use super::*;
@@ -1464,7 +2058,7 @@ mod par_tests {
             max_steps: Some(40),
             ..EngineConfig::default()
         };
-        let seq = Engine::new(mk(), 1, config).run().unwrap_err();
+        let seq = Engine::new(mk(), 1, config.clone()).run().unwrap_err();
         let par = Engine::new(mk(), 1, config).par_run(2).unwrap_err();
         assert_eq!(format!("{seq:?}"), format!("{par:?}"));
     }

@@ -35,20 +35,25 @@
 
 pub mod engine;
 pub mod error;
+pub mod fault;
 pub mod instance;
 pub mod metrics;
+pub mod oracle;
 pub mod topology;
 pub mod trace;
 pub mod validate;
 pub mod viz;
 
 pub use engine::{
-    Engine, EngineConfig, Inbox, LinkCapacity, Node, NodeCtx, Outbox, Payload, RunReport, StepIo,
+    Audit, DropRecord, Engine, EngineConfig, Inbox, LinkCapacity, Node, NodeCtx, Outbox, Payload,
+    RunReport, StepIo,
 };
 pub use error::SimError;
+pub use fault::{FaultPlan, LinkFault, LinkFaultKind, ProcFault, ProcFaultKind};
 pub use instance::{Instance, Job, JobId, SizedInstance};
 pub use metrics::{LinkStats, Metrics, Observability, StepSample};
+pub use oracle::{check_report, check_run, OracleViolation};
 pub use topology::{Direction, RingTopology};
-pub use trace::{Event, Trace, TraceLevel};
+pub use trace::{DropKind, Event, Trace, TraceLevel};
 pub use validate::{validate_run, Violation};
 pub use viz::render_load_timeline;

@@ -26,6 +26,15 @@ pub struct Metrics {
     pub last_busy_step: Option<u64>,
     /// Number of steps actually simulated.
     pub steps: u64,
+    /// Fault injection: message × step drop events on downed links (each
+    /// step a queued message is refused by a dropping link counts once).
+    pub messages_dropped: u64,
+    /// Fault injection: message × step hold events for non-drop reasons
+    /// (delay epochs and bandwidth backlog).
+    pub messages_delayed: u64,
+    /// Fault injection: messages that departed only after at least one
+    /// failed attempt (the retry rule succeeding).
+    pub messages_retried: u64,
 }
 
 impl Metrics {
@@ -80,6 +89,14 @@ pub struct StepSample {
     pub max_pending: u64,
     /// Total resident backlog across all nodes at the end of this step.
     pub total_pending: u64,
+    /// Messages refused by downed links during this step (fault injection).
+    pub link_dropped: u64,
+    /// Messages held back by delay epochs or bandwidth backlog during this
+    /// step (fault injection).
+    pub link_delayed: u64,
+    /// Messages that departed this step after at least one failed attempt
+    /// (fault injection).
+    pub link_retried: u64,
 }
 
 impl StepSample {
@@ -95,6 +112,9 @@ impl StepSample {
         self.dropped_off += other.dropped_off;
         self.max_pending = self.max_pending.max(other.max_pending);
         self.total_pending += other.total_pending;
+        self.link_dropped += other.link_dropped;
+        self.link_delayed += other.link_delayed;
+        self.link_retried += other.link_retried;
     }
 }
 
@@ -226,6 +246,15 @@ impl Observability {
         self.samples.iter().map(|s| s.sent_payload).collect()
     }
 
+    /// Per-step fault dynamics: `(dropped, delayed, retried)` message
+    /// counts for every simulated step (all zeros without a fault plan).
+    pub fn fault_series(&self) -> Vec<(u64, u64, u64)> {
+        self.samples
+            .iter()
+            .map(|s| (s.link_dropped, s.link_delayed, s.link_retried))
+            .collect()
+    }
+
     /// Fraction of steps in which each node's links carried at least one
     /// message, averaged over both directions. Empty runs report all zeros.
     pub fn link_utilization(&self) -> Vec<f64> {
@@ -255,7 +284,8 @@ impl Observability {
                 format!(
                     "{{\"t\":{},\"delivered_payload\":{},\"sent_payload\":{},\
                      \"messages\":{},\"processed\":{},\"dropped_off\":{},\
-                     \"max_pending\":{},\"total_pending\":{}}}",
+                     \"max_pending\":{},\"total_pending\":{},\
+                     \"link_dropped\":{},\"link_delayed\":{},\"link_retried\":{}}}",
                     s.t,
                     s.delivered_payload,
                     s.sent_payload,
@@ -263,7 +293,10 @@ impl Observability {
                     s.processed,
                     s.dropped_off,
                     s.max_pending,
-                    s.total_pending
+                    s.total_pending,
+                    s.link_dropped,
+                    s.link_delayed,
+                    s.link_retried
                 )
             })
             .collect();

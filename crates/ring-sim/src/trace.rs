@@ -18,6 +18,25 @@ pub enum TraceLevel {
     Full,
 }
 
+/// Why a scheduling policy permanently kept (dropped off) work at a node.
+///
+/// Recorded on [`Event::DroppedOff`] so the [`crate::oracle`] knows which
+/// invariant governs the event: `Regular` drops are bound by the paper's
+/// I1/I2 (unit) or A1/A2 (arbitrary-size) rounding constraints; `Balancing`
+/// drops follow the Lemma 5 wrap-around rule instead; `Forced` drops are
+/// exempt from both (spill after a second lap, or a singleton ring keeping
+/// everything).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DropKind {
+    /// A rounding-constrained drop in the bucket's first lap.
+    Regular,
+    /// A Lemma 5 wrap-around balancing drop (bucket lapped the ring).
+    Balancing,
+    /// A drop exempt from the cumulative constraints (spill, singleton
+    /// ring).
+    Forced,
+}
+
 /// One recorded simulation event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Event {
@@ -43,17 +62,49 @@ pub enum Event {
         /// Job payload carried.
         job_units: u64,
     },
+    /// `node` permanently accepted work out of bucket `bucket` during step
+    /// `t`, together with the cumulative ledgers the policy used to justify
+    /// it. Fractional ledgers are stored as [`f64::to_bits`] so the event
+    /// stays `Eq` and merges bit-for-bit across executors.
+    DroppedOff {
+        /// Step index.
+        t: u64,
+        /// Accepting processor.
+        node: usize,
+        /// Identifier of the bucket the work came from (unique per emitted
+        /// bucket within one run).
+        bucket: u64,
+        /// Integral work units accepted by this event.
+        units: u64,
+        /// Fractional (shadow) work accepted by this event, as bits.
+        frac_bits: u64,
+        /// Bucket-cumulative fractional drop after this event, as bits
+        /// (the I1/A1 reference level).
+        cum_drop_frac_bits: u64,
+        /// Node-cumulative fractional acceptance after this event, as bits
+        /// (the I2/A2 reference level).
+        cum_accept_frac_bits: u64,
+        /// Largest job size seen by the bucket so far (0 for unit jobs).
+        p_max_bucket: u64,
+        /// Largest job size seen by the node so far (0 for unit jobs).
+        p_max_node: u64,
+        /// Which invariant family governs this drop.
+        kind: DropKind,
+    },
 }
 
 impl Event {
     /// The `(step, node)` ordering key of engine-order traces. Within one
-    /// `(step, node)` cell the engine emits at most three events in the
-    /// fixed order *Processed, Sent cw, Sent ccw*, so a stable sort by this
-    /// key restores full engine order from any per-node-ordered shuffle —
-    /// which is how [`crate::Engine::par_run`] merges per-arc event logs.
+    /// `(step, node)` cell the engine emits events in the fixed order
+    /// *DroppedOff\*, Processed, Sent cw, Sent ccw*, so a stable sort by
+    /// this key restores full engine order from any per-node-ordered
+    /// shuffle — which is how [`crate::Engine::par_run`] merges per-arc
+    /// event logs.
     pub(crate) fn order_key(&self) -> (u64, usize) {
         match *self {
-            Event::Processed { t, node, .. } | Event::Sent { t, node, .. } => (t, node),
+            Event::Processed { t, node, .. }
+            | Event::Sent { t, node, .. }
+            | Event::DroppedOff { t, node, .. } => (t, node),
         }
     }
 }
@@ -89,6 +140,14 @@ impl Trace {
         Trace { events, level }
     }
 
+    /// Builds a trace directly from an event list. Intended for tests that
+    /// construct (or deliberately corrupt) traces to exercise the
+    /// [`crate::oracle`]; the engine itself only records through the normal
+    /// path.
+    pub fn from_events(level: TraceLevel, events: Vec<Event>) -> Self {
+        Trace { events, level }
+    }
+
     /// The level this trace was recorded at.
     pub fn level(&self) -> TraceLevel {
         self.level
@@ -102,7 +161,9 @@ impl Trace {
     /// Events of a particular step.
     pub fn step_events(&self, t: u64) -> impl Iterator<Item = &Event> {
         self.events.iter().filter(move |e| match e {
-            Event::Processed { t: et, .. } | Event::Sent { t: et, .. } => *et == t,
+            Event::Processed { t: et, .. }
+            | Event::Sent { t: et, .. }
+            | Event::DroppedOff { t: et, .. } => *et == t,
         })
     }
 

@@ -1,9 +1,10 @@
-//! Independent validation of a recorded run.
+//! Independent validation of a recorded run (legacy facade).
 //!
-//! The engine already enforces the machine model online; this module
-//! re-derives the key invariants *from the recorded trace alone*, so that a
-//! bug in a policy (or in the engine's own accounting) that fabricates,
-//! duplicates, or teleports work is caught by an independent code path.
+//! The heavy lifting now lives in [`crate::oracle`], which also understands
+//! fault plans and the I1/I2/A1/A2 drop ledgers. [`validate_run`] remains
+//! the stable, instance-aware entry point used throughout the test suite:
+//! it runs the oracle fault-free and maps the result onto the original
+//! coarse [`Violation`] vocabulary.
 //!
 //! Checks performed (require [`crate::TraceLevel::Full`]):
 //!
@@ -18,8 +19,7 @@
 
 use crate::engine::RunReport;
 use crate::instance::Instance;
-use crate::topology::{Direction, RingTopology};
-use crate::trace::{Event, TraceLevel};
+use crate::oracle::{check_run, OracleViolation};
 
 /// A violation of the machine model found in a trace.
 #[derive(Debug, Clone, PartialEq)]
@@ -93,115 +93,41 @@ impl std::fmt::Display for Violation {
 
 /// Validates a recorded run against its instance. Returns all violations
 /// found (empty = valid).
+///
+/// This is the fault-free facade over [`crate::oracle::check_run`]; oracle
+/// findings outside the legacy vocabulary (ledger overruns, fault
+/// illegality) cannot occur without a fault plan and audited drop events
+/// from a misbehaving policy, and are dropped from the mapping.
 pub fn validate_run(instance: &Instance, report: &RunReport) -> Vec<Violation> {
-    let mut violations = Vec::new();
-    if !matches!(report.trace.level(), TraceLevel::Full) {
-        return vec![Violation::TraceUnavailable];
-    }
-    let m = instance.num_processors();
-    let topo = RingTopology::new(m);
-
-    // Replay. balance[i] = resident work currently at node i.
-    let mut balance: Vec<i128> = instance.loads().iter().map(|&x| x as i128).collect();
-    // Deliveries scheduled for the next step: (node, amount).
-    let mut arriving_now: Vec<i128> = vec![0; m];
-    let mut arriving_next: Vec<i128> = vec![0; m];
-
-    let mut processed_total: u64 = 0;
-    let mut last_busy: Option<u64> = None;
-    let mut current_step: Option<u64> = None;
-    let mut processed_in_step: Vec<u64> = vec![0; m];
-
-    let advance_to = |step: u64,
-                      current_step: &mut Option<u64>,
-                      balance: &mut Vec<i128>,
-                      arriving_now: &mut Vec<i128>,
-                      arriving_next: &mut Vec<i128>,
-                      processed_in_step: &mut Vec<u64>| {
-        // Move time forward to `step`, delivering queued messages at each tick.
-        while current_step.map_or(true, |c| c < step) {
-            let next = current_step.map_or(0, |c| c + 1);
-            if current_step.is_some() {
-                // Deliveries sent in the step we are leaving arrive now.
-                std::mem::swap(arriving_now, arriving_next);
-                for (i, b) in balance.iter_mut().enumerate() {
-                    *b += arriving_now[i];
-                    arriving_now[i] = 0;
-                }
+    check_run(instance, report, None)
+        .into_iter()
+        .filter_map(|v| match v {
+            OracleViolation::TraceUnavailable => Some(Violation::TraceUnavailable),
+            OracleViolation::Overwork { node, step, units } => {
+                Some(Violation::Overwork { node, step, units })
             }
-            processed_in_step.iter_mut().for_each(|c| *c = 0);
-            *current_step = Some(next);
-        }
-    };
-
-    for ev in report.trace.events() {
-        let t = match ev {
-            Event::Processed { t, .. } | Event::Sent { t, .. } => *t,
-        };
-        advance_to(
-            t,
-            &mut current_step,
-            &mut balance,
-            &mut arriving_now,
-            &mut arriving_next,
-            &mut processed_in_step,
-        );
-        match *ev {
-            Event::Processed { t, node, units } => {
-                processed_in_step[node] += units;
-                if processed_in_step[node] > 1 {
-                    violations.push(Violation::Overwork {
-                        node,
-                        step: t,
-                        units: processed_in_step[node],
-                    });
-                }
-                balance[node] -= units as i128;
-                processed_total += units;
-                last_busy = Some(t);
-                if balance[node] < 0 {
-                    violations.push(Violation::NegativeBalance {
-                        node,
-                        step: t,
-                        deficit: balance[node],
-                    });
-                }
-            }
-            Event::Sent {
-                t,
+            OracleViolation::NegativeBalance {
                 node,
-                dir,
-                job_units,
-            } => {
-                balance[node] -= job_units as i128;
-                if balance[node] < 0 {
-                    violations.push(Violation::NegativeBalance {
-                        node,
-                        step: t,
-                        deficit: balance[node],
-                    });
-                }
-                let dest = topo.neighbor(node, dir);
-                let _ = Direction::Cw; // dir already encodes destination side
-                arriving_next[dest] += job_units as i128;
+                step,
+                deficit,
+            } => Some(Violation::NegativeBalance {
+                node,
+                step,
+                deficit,
+            }),
+            OracleViolation::TotalMismatch {
+                processed,
+                expected,
+            } => Some(Violation::TotalMismatch {
+                processed,
+                expected,
+            }),
+            OracleViolation::MakespanMismatch { reported, derived } => {
+                Some(Violation::MakespanMismatch { reported, derived })
             }
-        }
-    }
-
-    if processed_total != instance.total_work() {
-        violations.push(Violation::TotalMismatch {
-            processed: processed_total,
-            expected: instance.total_work(),
-        });
-    }
-    let derived = last_busy.map_or(0, |t| t + 1);
-    if derived != report.makespan {
-        violations.push(Violation::MakespanMismatch {
-            reported: report.makespan,
-            derived,
-        });
-    }
-    violations
+            _ => None,
+        })
+        .collect()
 }
 
 #[cfg(test)]

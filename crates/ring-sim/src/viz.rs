@@ -47,7 +47,9 @@ pub fn render_load_timeline(
         snapshots.push(balance.iter().map(|&b| b.max(0) as u64).collect());
         while let Some(ev) = events.peek() {
             let et = match ev {
-                Event::Processed { t, .. } | Event::Sent { t, .. } => *t,
+                Event::Processed { t, .. }
+                | Event::Sent { t, .. }
+                | Event::DroppedOff { t, .. } => *t,
             };
             if et != t {
                 break;
@@ -63,6 +65,8 @@ pub fn render_load_timeline(
                     balance[node] -= job_units as i64;
                     arriving_next[topo.neighbor(node, dir)] += job_units as i64;
                 }
+                // Drop-offs don't move resident work between nodes.
+                Event::DroppedOff { .. } => {}
             }
             events.next();
         }

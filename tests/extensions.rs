@@ -89,6 +89,45 @@ proptest! {
     }
 }
 
+/// A historical proptest shrink of `dynamic_sanity` (overlapping late
+/// batches on a 12-ring), kept as a deterministic case so the regression
+/// stays covered without a `.proptest-regressions` seed file (the shim's
+/// generator ignores seed files, so the pinned case lives here instead).
+#[test]
+fn dynamic_sanity_regression_overlapping_batches() {
+    let arrivals = vec![
+        Arrival {
+            time: 0,
+            processor: 0,
+            count: 25,
+        },
+        Arrival {
+            time: 33,
+            processor: 2,
+            count: 50,
+        },
+        Arrival {
+            time: 0,
+            processor: 9,
+            count: 54,
+        },
+        Arrival {
+            time: 6,
+            processor: 2,
+            count: 58,
+        },
+    ];
+    let d = DynamicInstance::new(12, arrivals);
+    let run = run_dynamic(&d, &UnitConfig::c1()).unwrap();
+    assert_eq!(run.report.metrics.total_processed(), d.total_work());
+    assert!(
+        run.makespan >= run.lower_bound,
+        "makespan {} < dynamic LB {}",
+        run.makespan,
+        run.lower_bound
+    );
+}
+
 #[test]
 fn dynamic_static_agreement_on_catalog_case() {
     let case = ring_workloads::catalog()

@@ -1,0 +1,66 @@
+//! Golden makespan snapshot: pins the makespan of every §6 algorithm
+//! (`A1 B1 C1 A2 B2 C2`) on every one of the 51 Table 1 catalog cases.
+//!
+//! The algorithms are deterministic, so these numbers are exact across
+//! platforms and executors; any drift means a behavioral change to the
+//! bucket kernel, a variant's target rule, or the engine's delivery model
+//! and must be reviewed (and, if intended, re-blessed).
+//!
+//! To regenerate after an intentional change:
+//!
+//! ```text
+//! RING_BLESS=1 cargo test --test golden_makespans
+//! ```
+
+use ring_sched::unit::{run_unit, UnitConfig};
+use std::fmt::Write as _;
+
+const GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../tests/golden_makespans.txt"
+);
+
+fn current_snapshot() -> String {
+    let mut out = String::from(
+        "# case_id algorithm makespan — regenerate with RING_BLESS=1 (see golden_makespans.rs)\n",
+    );
+    for case in ring_workloads::catalog() {
+        for (name, cfg) in UnitConfig::all_six() {
+            let run = run_unit(&case.instance, &cfg)
+                .unwrap_or_else(|e| panic!("{} under {name}: {e}", case.id));
+            writeln!(out, "{} {} {}", case.id, name, run.makespan).unwrap();
+        }
+    }
+    out
+}
+
+#[test]
+fn catalog_makespans_match_golden_snapshot() {
+    let actual = current_snapshot();
+    if std::env::var("RING_BLESS").is_ok() {
+        std::fs::write(GOLDEN_PATH, &actual).expect("write golden file");
+        eprintln!("blessed {GOLDEN_PATH}");
+        return;
+    }
+    let expected = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("tests/golden_makespans.txt missing — run with RING_BLESS=1 to create it");
+    if actual == expected {
+        return;
+    }
+    let mut diffs = Vec::new();
+    for (a, e) in actual.lines().zip(expected.lines()) {
+        if a != e {
+            diffs.push(format!("  got `{a}`, golden `{e}`"));
+        }
+    }
+    let (na, ne) = (actual.lines().count(), expected.lines().count());
+    if na != ne {
+        diffs.push(format!("  line count changed: {na} vs golden {ne}"));
+    }
+    panic!(
+        "catalog makespans drifted from the golden snapshot ({} differing lines):\n{}\n\
+         If this change is intended, re-bless with RING_BLESS=1.",
+        diffs.len(),
+        diffs.join("\n")
+    );
+}
