@@ -9,7 +9,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use ring_sched::unit::{run_unit, run_unit_par, UnitConfig};
-use ring_sim::Instance;
+use ring_sim::stream::{stream_engine, Representation, StreamSpec};
+use ring_sim::{EngineConfig, Instance};
 use std::hint::black_box;
 
 /// A concentrated load: one source, 16·m unit jobs — the workload shape
@@ -44,6 +45,58 @@ fn run_vs_par_run(c: &mut Criterion) {
     }
 }
 
+fn coalesced_representation(c: &mut Criterion) {
+    // The count-coalesced message axis: the same stream workload with one
+    // arena entry per unit job versus one run per link per step, plus the
+    // drain shape with quiescent-span step compression on and off. The
+    // `ringsched bench` subcommand tracks the same ratios as a JSON
+    // trajectory baseline (BENCH_engine.json).
+    for &m in &[256usize, 1024] {
+        let spread = StreamSpec::spread(m, 48 * m as u64);
+        let drain = StreamSpec::drain(m, 16 * m as u64);
+        let cfg = |compress| EngineConfig {
+            compress,
+            ..EngineConfig::default()
+        };
+        // Equivalence guard, as above: never benchmark variants that
+        // disagree.
+        let base = stream_engine(&spread, Representation::PerUnit, cfg(false))
+            .run()
+            .unwrap();
+        let coal = stream_engine(&spread, Representation::Coalesced, cfg(false))
+            .run()
+            .unwrap();
+        assert_eq!(base, coal, "m={m} representations diverged");
+
+        let mut group = c.benchmark_group(format!("engine/stream/m={m}"));
+        group.throughput(Throughput::Elements(spread.total_work()));
+        for (name, repr) in [
+            ("per_unit", Representation::PerUnit),
+            ("coalesced", Representation::Coalesced),
+        ] {
+            group.bench_function(name, |b| {
+                b.iter(|| {
+                    stream_engine(black_box(&spread), repr, cfg(false))
+                        .run()
+                        .unwrap()
+                        .makespan
+                })
+            });
+        }
+        for (name, compress) in [("drain", false), ("drain_compressed", true)] {
+            group.bench_function(name, |b| {
+                b.iter(|| {
+                    stream_engine(black_box(&drain), Representation::Coalesced, cfg(compress))
+                        .run()
+                        .unwrap()
+                        .makespan
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
 fn observe_overhead(c: &mut Criterion) {
     // The observability series are opt-in; this pins down what turning
     // them on costs relative to a bare run.
@@ -69,6 +122,6 @@ fn observe_overhead(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = run_vs_par_run, observe_overhead
+    targets = run_vs_par_run, coalesced_representation, observe_overhead
 }
 criterion_main!(benches);

@@ -1,0 +1,332 @@
+//! `ringsched bench` — the engine throughput baseline.
+//!
+//! Runs the stream workload (`ring_sim::stream`) over a matrix of ring
+//! sizes, message representations (per-unit vs count-coalesced), and
+//! executors (`run` vs `par_run`), plus the drain shape with and without
+//! quiescent-span step compression. Emits a hand-written JSON report
+//! (`BENCH_engine.json` by convention) with per-case medians and the
+//! machine-independent speedup *ratios* CI's `bench-smoke` job regresses
+//! against.
+//!
+//! The ratios — coalesced over per-unit jobs/sec on the same machine, and
+//! compressed over plain — are what the trajectory tracks: absolute ns/step
+//! numbers shift with hardware, the ratios should not.
+
+use ring_sim::stream::{stream_engine, Representation, StreamSpec};
+use ring_sim::EngineConfig;
+use std::collections::HashMap;
+use std::process::exit;
+use std::time::{Duration, Instant};
+
+/// One cell of the benchmark matrix.
+struct BenchRecord {
+    key: String,
+    m: usize,
+    shape: &'static str,
+    repr: &'static str,
+    executor: String,
+    compress: bool,
+    total_work: u64,
+    steps: u64,
+    reps: usize,
+    median_ns_per_step: f64,
+    jobs_per_sec: f64,
+}
+
+/// A machine-independent speedup ratio between two cells.
+struct SpeedupRecord {
+    key: String,
+    ratio: f64,
+}
+
+fn median(mut xs: Vec<Duration>) -> Duration {
+    xs.sort();
+    xs[xs.len() / 2]
+}
+
+/// Times one configuration `reps` times (after one warmup) and returns the
+/// record for the median run.
+#[allow(clippy::too_many_arguments)]
+fn bench_case(
+    key: String,
+    shape: &'static str,
+    spec: &StreamSpec,
+    repr: Representation,
+    compress: bool,
+    shards: usize,
+    reps: usize,
+) -> BenchRecord {
+    let cfg = EngineConfig {
+        compress,
+        ..EngineConfig::default()
+    };
+    let exec = |spec: &StreamSpec| {
+        let mut engine = stream_engine(spec, repr, cfg.clone());
+        if shards > 1 {
+            engine.par_run(shards)
+        } else {
+            engine.run()
+        }
+    };
+    // Warmup (also captures steps/makespan once; every rep is identical
+    // because the whole pipeline is deterministic).
+    let report = exec(spec).unwrap_or_else(|e| {
+        eprintln!("bench case {key} failed: {e}");
+        exit(1)
+    });
+    let mut times = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let start = Instant::now();
+        let rep = exec(spec).unwrap_or_else(|e| {
+            eprintln!("bench case {key} failed: {e}");
+            exit(1)
+        });
+        times.push(start.elapsed());
+        assert_eq!(rep.makespan, report.makespan, "nondeterministic bench run");
+    }
+    let elapsed = median(times);
+    let ns = elapsed.as_nanos() as f64;
+    let steps = report.metrics.steps;
+    BenchRecord {
+        key,
+        m: spec.initial.len(),
+        shape,
+        repr: match repr {
+            Representation::PerUnit => "per_unit",
+            Representation::Coalesced => "coalesced",
+        },
+        executor: if shards > 1 {
+            format!("par_run({shards})")
+        } else {
+            "run".to_string()
+        },
+        compress,
+        total_work: spec.total_work(),
+        steps,
+        reps,
+        median_ns_per_step: ns / steps.max(1) as f64,
+        jobs_per_sec: spec.total_work() as f64 / elapsed.as_secs_f64(),
+    }
+}
+
+fn record_json(r: &BenchRecord) -> String {
+    format!(
+        "    {{\"key\": \"{}\", \"m\": {}, \"shape\": \"{}\", \"repr\": \"{}\", \"executor\": \"{}\", \"compress\": {}, \"total_work\": {}, \"steps\": {}, \"reps\": {}, \"median_ns_per_step\": {:.1}, \"jobs_per_sec\": {:.1}}}",
+        r.key,
+        r.m,
+        r.shape,
+        r.repr,
+        r.executor,
+        r.compress,
+        r.total_work,
+        r.steps,
+        r.reps,
+        r.median_ns_per_step,
+        r.jobs_per_sec
+    )
+}
+
+fn to_json(results: &[BenchRecord], speedups: &[SpeedupRecord]) -> String {
+    let mut out = String::from("{\n  \"schema\": \"ringsched-bench-v1\",\n  \"results\": [\n");
+    out.push_str(
+        &results
+            .iter()
+            .map(record_json)
+            .collect::<Vec<_>>()
+            .join(",\n"),
+    );
+    out.push_str("\n  ],\n  \"speedups\": [\n");
+    out.push_str(
+        &speedups
+            .iter()
+            .map(|s| format!("    {{\"key\": \"{}\", \"ratio\": {:.3}}}", s.key, s.ratio))
+            .collect::<Vec<_>>()
+            .join(",\n"),
+    );
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// Extracts `key → ratio` pairs from a bench JSON file. Deliberately
+/// line-based (the emitter writes one speedup object per line) so the
+/// offline toolchain needs no JSON parser.
+fn parse_speedups(text: &str) -> HashMap<String, f64> {
+    let mut out = HashMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        let Some(rest) = line.strip_prefix("{\"key\": \"") else {
+            continue;
+        };
+        let Some((key, rest)) = rest.split_once('"') else {
+            continue;
+        };
+        let Some(rest) = rest.strip_prefix(", \"ratio\": ") else {
+            continue;
+        };
+        let num: String = rest
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+            .collect();
+        if let Ok(ratio) = num.parse::<f64>() {
+            out.insert(key.to_string(), ratio);
+        }
+    }
+    out
+}
+
+fn find_jobs_per_sec(results: &[BenchRecord], key: &str) -> f64 {
+    results
+        .iter()
+        .find(|r| r.key == key)
+        .map(|r| r.jobs_per_sec)
+        .unwrap_or_else(|| panic!("missing bench record {key}"))
+}
+
+/// Runs the benchmark matrix and returns (results, speedups).
+fn run_matrix(
+    sizes: &[usize],
+    reps: usize,
+    shards: usize,
+) -> (Vec<BenchRecord>, Vec<SpeedupRecord>) {
+    let mut results = Vec::new();
+    let mut speedups = Vec::new();
+    for &m in sizes {
+        // Spread is the message-bound axis: heavy enough that per-unit arena
+        // traffic (~work·m/2 entries) dominates the fixed per-step cost.
+        // Drain is the quiet-round axis and only needs enough work to make
+        // the drain phase long.
+        let spread_work = 48 * m as u64;
+        let drain_work = 16 * m as u64;
+        let spread = StreamSpec::spread(m, spread_work);
+        let drain = StreamSpec::drain(m, drain_work);
+        eprintln!("benchmarking m={m} (spread work={spread_work}, {reps} reps per cell)...");
+        for (exec_name, s) in [("run", 1usize), ("par", shards)] {
+            for (repr_name, repr) in [
+                ("per_unit", Representation::PerUnit),
+                ("coalesced", Representation::Coalesced),
+            ] {
+                let key = format!("spread-m{m}-{exec_name}-{repr_name}");
+                results.push(bench_case(key, "spread", &spread, repr, false, s, reps));
+            }
+            let per_unit =
+                find_jobs_per_sec(&results, &format!("spread-m{m}-{exec_name}-per_unit"));
+            let coalesced =
+                find_jobs_per_sec(&results, &format!("spread-m{m}-{exec_name}-coalesced"));
+            speedups.push(SpeedupRecord {
+                key: format!("spread-m{m}-{exec_name}"),
+                ratio: coalesced / per_unit,
+            });
+        }
+        for (tag, compress) in [("plain", false), ("compressed", true)] {
+            let key = format!("drain-m{m}-{tag}");
+            results.push(bench_case(
+                key,
+                "drain",
+                &drain,
+                Representation::Coalesced,
+                compress,
+                1,
+                reps,
+            ));
+        }
+        let plain = find_jobs_per_sec(&results, &format!("drain-m{m}-plain"));
+        let compressed = find_jobs_per_sec(&results, &format!("drain-m{m}-compressed"));
+        speedups.push(SpeedupRecord {
+            key: format!("drain-m{m}-compress"),
+            ratio: compressed / plain,
+        });
+    }
+    (results, speedups)
+}
+
+/// Entry point for `ringsched bench`.
+///
+/// Flags: `--json <path>` (write the report), `--sizes 256,1024,4096`,
+/// `--reps <n>`, `--shards <n>`, `--check <baseline.json>` (fail if any
+/// speedup ratio present in both runs dropped below 80% of the baseline).
+pub fn cmd_bench(flags: &HashMap<String, String>) {
+    let sizes: Vec<usize> = flags
+        .get("sizes")
+        .map(String::as_str)
+        .unwrap_or("256,1024,4096")
+        .split(',')
+        .map(|s| {
+            s.trim().parse().unwrap_or_else(|_| {
+                eprintln!("--sizes must be a comma-separated list of ring sizes");
+                exit(2)
+            })
+        })
+        .collect();
+    let reps = flags
+        .get("reps")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3usize)
+        .max(1);
+    let shards = flags
+        .get("shards")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8usize)
+        .max(2);
+
+    let (results, speedups) = run_matrix(&sizes, reps, shards);
+
+    println!(
+        "{:<28} {:>6} {:>10} {:>9} {:>16} {:>14}",
+        "case", "m", "steps", "reps", "ns/step", "jobs/sec"
+    );
+    for r in &results {
+        println!(
+            "{:<28} {:>6} {:>10} {:>9} {:>16.1} {:>14.0}",
+            r.key, r.m, r.steps, r.reps, r.median_ns_per_step, r.jobs_per_sec
+        );
+    }
+    println!();
+    for s in &speedups {
+        println!("speedup {:<24} {:>8.2}x", s.key, s.ratio);
+    }
+
+    let json = to_json(&results, &speedups);
+    if let Some(path) = flags.get("json") {
+        std::fs::write(path, &json).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            exit(1)
+        });
+        println!("\nwrote {path}");
+    }
+
+    if let Some(baseline_path) = flags.get("check") {
+        let text = std::fs::read_to_string(baseline_path).unwrap_or_else(|e| {
+            eprintln!("cannot read baseline {baseline_path}: {e}");
+            exit(1)
+        });
+        let baseline = parse_speedups(&text);
+        let mut compared = 0;
+        let mut failed = false;
+        for s in &speedups {
+            let Some(&base) = baseline.get(&s.key) else {
+                continue;
+            };
+            compared += 1;
+            let floor = 0.8 * base;
+            let ok = s.ratio >= floor;
+            println!(
+                "check {:<24} current {:>7.2}x vs baseline {:>7.2}x (floor {:>6.2}x) {}",
+                s.key,
+                s.ratio,
+                base,
+                floor,
+                if ok { "ok" } else { "REGRESSED" }
+            );
+            failed |= !ok;
+        }
+        if compared == 0 {
+            eprintln!("no speedup keys in common with {baseline_path}; nothing checked");
+            exit(1);
+        }
+        if failed {
+            eprintln!("speedup regression vs {baseline_path} (>20% drop)");
+            exit(1);
+        }
+        println!("all {compared} speedup ratios within 20% of baseline");
+    }
+}

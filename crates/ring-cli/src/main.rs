@@ -11,7 +11,10 @@
 //! ringsched optimal-schedule --m 8 --n 16
 //! ringsched save --workload uniform --m 100 --n 500 --out inst.txt
 //! ringsched run --instance inst.txt --alg a2
+//! ringsched bench --json BENCH_engine.json
 //! ```
+
+mod bench;
 
 use ring_opt::exact::{optimum_capacitated, optimum_uncapacitated, OptResult, SolverBudget};
 use ring_opt::{capacitated_lower_bound, uncapacitated_lower_bound};
@@ -56,6 +59,9 @@ fn usage() -> ! {
          \x20   --workload ... --m --n --out <path>\n\
          \x20 optimal-schedule                print an exact optimal schedule\n\
          \x20   --workload ... --m --n | --case <id> | --instance <path>\n\
+         \x20 bench                           engine throughput baseline\n\
+         \x20   [--json <path>] [--sizes 256,1024,4096] [--reps 3]\n\
+         \x20   [--shards 8] [--check <baseline.json>]\n\
          \n\
          `run`, `capacitated`, and `optimum` also accept --instance <path>\n\
          to load an instance written by `save`."
@@ -433,6 +439,7 @@ fn main() {
         "mesh" => cmd_mesh(&flags),
         "save" => cmd_save(&flags),
         "optimal-schedule" => cmd_optimal_schedule(&flags),
+        "bench" => bench::cmd_bench(&flags),
         _ => usage(),
     }
 }

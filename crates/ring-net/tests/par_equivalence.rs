@@ -15,7 +15,10 @@ use ring_net::run_unit_threaded;
 use ring_sched::unit::{
     build_unit_nodes, run_unit, run_unit_faulty, run_unit_par_faulty, UnitConfig,
 };
-use ring_sim::{check_run, Engine, EngineConfig, FaultPlan, Instance, RunReport, SimError};
+use ring_sim::stream::{stream_engine, Representation, StreamSpec};
+use ring_sim::{
+    check_run, Engine, EngineConfig, FaultPlan, Instance, RunReport, SimError, TraceLevel,
+};
 
 /// Runs a unit-algorithm config through the arc-parallel engine.
 fn par_run_unit(inst: &Instance, cfg: &UnitConfig, shards: usize) -> Result<RunReport, SimError> {
@@ -24,6 +27,7 @@ fn par_run_unit(inst: &Instance, cfg: &UnitConfig, shards: usize) -> Result<RunR
         max_steps: cfg.max_steps,
         trace: cfg.trace,
         observe: cfg.observe,
+        compress: cfg.compress,
         ..EngineConfig::default()
     };
     Engine::new(nodes, inst.total_work(), engine_cfg).par_run(shards)
@@ -135,6 +139,119 @@ proptest! {
                 shards,
                 &plan
             );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(fault_case_count()))]
+
+    /// Quiescent-span step compression is unobservable: for every §6
+    /// algorithm, random instance, and random fault plan, the compressed
+    /// engine produces a `RunReport` bit-identical to the step-by-step one —
+    /// sequentially and across shard counts {1, 2, 3, 7} — and the
+    /// trace-replay oracle accepts the compressed run's expanded trace.
+    #[test]
+    fn compression_is_unobservable_under_fault_plans(
+        loads in prop::collection::vec(0u64..100, 2..20),
+        alg in 0usize..6,
+        seed in 0u64..1_000_000,
+    ) {
+        prop_assume!(loads.iter().sum::<u64>() > 0);
+        let inst = Instance::from_loads(loads);
+        let m = inst.num_processors();
+        let plan = FaultPlan::random(m, 48, seed);
+        let (name, cfg) = UnitConfig::all_six()[alg];
+        let cfg = cfg.with_trace().with_observe();
+        let compressed_cfg = cfg.with_compress();
+
+        let plain = run_unit_faulty(&inst, &cfg, &plan).unwrap();
+        let compressed = run_unit_faulty(&inst, &compressed_cfg, &plan).unwrap();
+        prop_assert_eq!(
+            &plain.report,
+            &compressed.report,
+            "{} compression changed the sequential report under {:?}",
+            name,
+            &plan
+        );
+        let violations = check_run(&inst, &compressed.report, Some(&plan));
+        prop_assert!(
+            violations.is_empty(),
+            "{} oracle rejected the compressed run under {:?}: {:?}",
+            name,
+            &plan,
+            violations
+        );
+        for shards in [1usize, 2, 3, 7] {
+            let par = run_unit_par_faulty(&inst, &compressed_cfg, &plan, shards).unwrap();
+            prop_assert_eq!(
+                &plain.report,
+                &par.report,
+                "{} with {} shards + compression diverged under {:?}",
+                name,
+                shards,
+                &plan
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Count-coalesced runs are unobservable: a random stream workload
+    /// reports bit-identically whether its surplus travels as per-unit
+    /// arena entries or coalesced runs, with and without step compression,
+    /// sequentially and arc-parallel. (Fault-free by design: a bandwidth
+    /// cap can split a per-unit stream mid-step but never a coalesced run,
+    /// so capped links are outside the representation-equivalence contract —
+    /// see DESIGN.md §10.)
+    #[test]
+    fn stream_representations_agree(
+        initial in prop::collection::vec(0u64..60, 2..16),
+        slack in 0u64..40,
+        sink in 0usize..16,
+        shards in 2usize..8,
+    ) {
+        prop_assume!(initial.iter().sum::<u64>() > 0);
+        let m = initial.len();
+        let mut quota = vec![0u64; m];
+        // Quotas cover the work with `slack` extra at one node, so every
+        // unit is eventually accepted and the run terminates.
+        let total: u64 = initial.iter().sum();
+        let base = total / m as u64;
+        let extra = (total % m as u64) as usize;
+        for (i, q) in quota.iter_mut().enumerate() {
+            *q = base + u64::from(i < extra);
+        }
+        quota[sink % m] += slack;
+        let spec = StreamSpec::new(initial, quota);
+
+        let full = |compress| EngineConfig {
+            trace: TraceLevel::Full,
+            observe: true,
+            compress,
+            ..EngineConfig::default()
+        };
+        let base_report = stream_engine(&spec, Representation::PerUnit, full(false))
+            .run()
+            .unwrap();
+        for repr in [Representation::PerUnit, Representation::Coalesced] {
+            for compress in [false, true] {
+                let seq = stream_engine(&spec, repr, full(compress)).run().unwrap();
+                prop_assert_eq!(&base_report, &seq, "run {:?}/{}", repr, compress);
+                let par = stream_engine(&spec, repr, full(compress))
+                    .par_run(shards)
+                    .unwrap();
+                prop_assert_eq!(
+                    &base_report,
+                    &par,
+                    "par_run({}) {:?}/{}",
+                    shards,
+                    repr,
+                    compress
+                );
+            }
         }
     }
 }

@@ -24,7 +24,7 @@
 use crate::bucket::Ledger;
 use crate::{analysis::C_PAPER, ceil_tol, EPS};
 use ring_sim::{
-    Direction, Engine, EngineConfig, Job, Node, NodeCtx, Payload, RunReport, SimError,
+    Direction, Engine, EngineConfig, Job, Node, NodeCtx, Payload, Quiescence, RunReport, SimError,
     SizedInstance, StepIo, TraceLevel,
 };
 use std::collections::VecDeque;
@@ -41,6 +41,10 @@ pub struct ArbitraryConfig {
     pub trace: TraceLevel,
     /// Optional step budget override.
     pub max_steps: Option<u64>,
+    /// Enable the engine's quiescent-span step compression (bit-identical
+    /// results; collapses the long non-preemptive drain tails sized
+    /// instances end with).
+    pub compress: bool,
 }
 
 impl Default for ArbitraryConfig {
@@ -50,6 +54,7 @@ impl Default for ArbitraryConfig {
             bidirectional: false,
             trace: TraceLevel::Off,
             max_steps: None,
+            compress: false,
         }
     }
 }
@@ -304,6 +309,36 @@ impl Node for SizedNode {
     fn pending_work(&self) -> u64 {
         self.current_remaining + self.queue.iter().map(|j| j.size).sum::<u64>()
     }
+
+    fn quiescence(&self, now: u64) -> Option<Quiescence> {
+        // Step 0 is the emission step; from step 1 on the node is purely
+        // reactive and, with empty inboxes, drains one unit per round
+        // (instance job sizes are ≥ 1, so the round that pops a job also
+        // works on it).
+        (now > 0).then_some(Quiescence {
+            span: u64::MAX,
+            backlog: self.pending_work(),
+        })
+    }
+
+    fn fast_forward(&mut self, steps: u64) {
+        // Replays the non-preemptive processing loop: finish the current
+        // job, pop the next, and stop with the pop deferred when a job
+        // completes on the span's last round — exactly the per-round
+        // state.
+        let mut remaining = steps;
+        while remaining > 0 {
+            if self.current_remaining == 0 {
+                match self.queue.pop_front() {
+                    Some(job) => self.current_remaining = job.size,
+                    None => break,
+                }
+            }
+            let d = self.current_remaining.min(remaining);
+            self.current_remaining -= d;
+            remaining -= d;
+        }
+    }
 }
 
 /// Splits a bucket's jobs into two near-equal-work halves (first-fit onto
@@ -384,6 +419,7 @@ pub fn run_arbitrary(
     let engine_cfg = EngineConfig {
         max_steps: cfg.max_steps,
         trace: cfg.trace,
+        compress: cfg.compress,
         ..EngineConfig::default()
     };
     let mut engine = Engine::new(nodes, instance.total_work(), engine_cfg);

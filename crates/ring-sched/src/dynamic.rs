@@ -192,6 +192,25 @@ impl Node for DynamicNode {
     fn pending_work(&self) -> u64 {
         self.inner.pending_work() + self.pending.iter().map(|a| a.count).sum::<u64>()
     }
+
+    fn quiescence(&self, now: u64) -> Option<ring_sim::Quiescence> {
+        // Quiet until the next arrival fires; the inner bucket node is
+        // purely reactive in between (this wrapper never calls its
+        // emit-on-first-step path, so no `emitted` gate is needed).
+        let span = match self.pending.front() {
+            Some(a) if a.time <= now => return None,
+            Some(a) => a.time - now,
+            None => u64::MAX,
+        };
+        Some(ring_sim::Quiescence {
+            span,
+            backlog: self.inner.quiet_backlog(),
+        })
+    }
+
+    fn fast_forward(&mut self, steps: u64) {
+        self.inner.fast_forward_drain(steps);
+    }
 }
 
 /// Outcome of a dynamic run.
@@ -225,6 +244,8 @@ pub fn run_dynamic(instance: &DynamicInstance, cfg: &UnitConfig) -> Result<Dynam
     let engine_cfg = EngineConfig {
         max_steps: Some(4 * (n + instance.num_processors() as u64) + instance.last_arrival() + 64),
         trace: cfg.trace,
+        observe: cfg.observe,
+        compress: cfg.compress,
         ..EngineConfig::default()
     };
     let mut engine = Engine::new(nodes, n, engine_cfg);

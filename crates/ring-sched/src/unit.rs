@@ -38,7 +38,7 @@ use crate::bucket::{drop_balancing, drop_regular, Bucket, DropOutcome, Ledger};
 use crate::EPS;
 use ring_sim::{
     Audit, Direction, DropKind, DropRecord, Engine, EngineConfig, FaultPlan, Instance, Node,
-    NodeCtx, Outbox, RunReport, SimError, StepIo, TraceLevel,
+    NodeCtx, Outbox, Quiescence, RunReport, SimError, StepIo, TraceLevel,
 };
 use serde::{Deserialize, Serialize};
 
@@ -115,6 +115,10 @@ pub struct UnitConfig {
     pub max_steps: Option<u64>,
     /// Collect the engine's per-step observability series.
     pub observe: bool,
+    /// Enable the engine's quiescent-span step compression
+    /// ([`EngineConfig::compress`] — bit-identical results, fewer engine
+    /// rounds on drain-dominated instances).
+    pub compress: bool,
 }
 
 impl UnitConfig {
@@ -139,6 +143,7 @@ impl UnitConfig {
             trace: TraceLevel::Off,
             max_steps: None,
             observe: false,
+            compress: false,
         }
     }
 
@@ -196,6 +201,13 @@ impl UnitConfig {
     /// collection turned on.
     pub fn with_observe(mut self) -> Self {
         self.observe = true;
+        self
+    }
+
+    /// Returns the same configuration with quiescent-span step compression
+    /// turned on.
+    pub fn with_compress(mut self) -> Self {
+        self.compress = true;
         self
     }
 
@@ -387,6 +399,26 @@ impl UnitNode {
         work_done
     }
 
+    /// The integral backlog the node would drain over quiet rounds — the
+    /// [`Quiescence`] backlog for both [`UnitNode`] and
+    /// [`crate::dynamic::DynamicNode`].
+    pub(crate) fn quiet_backlog(&self) -> u64 {
+        self.backlog
+    }
+
+    /// Replays `steps` calls to [`UnitNode::process_tick`] analytically.
+    /// Exact, including the fractional shadow: repeated `(x - 1.0).max(0.0)`
+    /// equals `(x - steps).max(0.0)` bit-for-bit because each unit
+    /// subtraction while `x ≥ 1` is exact for `x < 2^53` (the ledgers sum
+    /// far fewer than 2^53 units) and the first negative result clamps to
+    /// `+0.0` either way. Shared with [`crate::dynamic`].
+    pub(crate) fn fast_forward_drain(&mut self, steps: u64) {
+        let d = self.backlog.min(steps);
+        self.backlog -= d;
+        self.processed += d;
+        self.backlog_frac = (self.backlog_frac - steps as f64).max(0.0);
+    }
+
     /// Accepts a bucket at this node: run the drop-off negotiation and
     /// forward the bucket if it still holds anything.
     fn handle_bucket(
@@ -459,6 +491,21 @@ impl Node for UnitNode {
 
     fn pending_work(&self) -> u64 {
         self.backlog + if self.emitted { 0 } else { self.x }
+    }
+
+    fn quiescence(&self, _now: u64) -> Option<Quiescence> {
+        // After the initial emission the node is purely reactive: with
+        // empty inboxes it neither sends nor audits, it just drains — so
+        // the span is unbounded. Before the emission the first step sends
+        // the initial bucket, so the node declines.
+        self.emitted.then_some(Quiescence {
+            span: u64::MAX,
+            backlog: self.backlog,
+        })
+    }
+
+    fn fast_forward(&mut self, steps: u64) {
+        self.fast_forward_drain(steps);
     }
 }
 
@@ -558,6 +605,7 @@ fn unit_engine(
         trace: cfg.trace,
         observe: cfg.observe,
         faults,
+        compress: cfg.compress,
         ..EngineConfig::default()
     };
     Engine::new(nodes, instance.total_work(), engine_cfg)

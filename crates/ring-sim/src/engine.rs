@@ -54,6 +54,35 @@ pub trait Payload {
     /// Units of job payload carried by this message (0 for pure control
     /// messages such as the load announcements of the §7 algorithm).
     fn job_units(&self) -> u64;
+
+    /// How many *logical* messages this arena entry stands for.
+    ///
+    /// The engine's arenas store count-coalesced runs: one entry may
+    /// represent `run_len()` identical unit messages (pushed via
+    /// [`Outbox::push_n`]). Every meter the engine keeps — `messages_sent`,
+    /// link-capacity enforcement, fault drop/delay/retry counters, the
+    /// observability link series — counts `run_len()` logical messages per
+    /// entry, so a run-coalesced stream reports *identically* to the same
+    /// stream sent one unit message at a time. Defaults to 1 (an ordinary
+    /// message stands for itself); bucket messages keep the default because
+    /// a bucket is one logical message whatever its job count.
+    fn run_len(&self) -> u64 {
+        1
+    }
+}
+
+/// A [`Payload`] that can absorb identical copies of itself into one
+/// count-coalesced arena entry (the run-length message representation).
+///
+/// `coalesce(count)` must return a message equivalent to `count` copies of
+/// `self` sent back-to-back: its [`Payload::job_units`] must be `count ×
+/// self.job_units()` and its [`Payload::run_len`] must be `count ×
+/// self.run_len()`. The engine relies on this to keep metrics, traces, and
+/// observability bit-identical between the per-unit and coalesced
+/// representations.
+pub trait Coalesce: Payload + Sized {
+    /// Folds `count` copies of `self` into one message.
+    fn coalesce(self, count: u64) -> Self;
 }
 
 /// Messages delivered to a node at the start of a step, borrowed from the
@@ -95,20 +124,38 @@ pub struct Outbox<'a, M: Payload> {
 
 impl<M: Payload> Outbox<'_, M> {
     /// Appends a message in the given direction (delivered at `t + 1`).
+    ///
+    /// Meters [`Payload::run_len`] logical messages per call, so a
+    /// count-coalesced entry is indistinguishable — in every counter the
+    /// engine keeps — from the unit messages it stands for.
     pub fn push(&mut self, dir: Direction, msg: M) {
         let units = msg.job_units();
+        let runs = msg.run_len();
         match dir {
             Direction::Cw => {
-                self.cw_messages += 1;
+                self.cw_messages += runs;
                 self.cw_payload += units;
                 self.to_cw.push(msg);
             }
             Direction::Ccw => {
-                self.ccw_messages += 1;
+                self.ccw_messages += runs;
                 self.ccw_payload += units;
                 self.to_ccw.push(msg);
             }
         }
+    }
+
+    /// Appends `count` identical copies of `msg` as **one** count-coalesced
+    /// arena entry (one slot whatever `count` is — the run-length message
+    /// representation). A no-op when `count == 0`.
+    pub fn push_n(&mut self, dir: Direction, msg: M, count: u64)
+    where
+        M: Coalesce,
+    {
+        if count == 0 {
+            return;
+        }
+        self.push(dir, msg.coalesce(count));
     }
 
     /// True iff nothing was sent yet this step.
@@ -276,6 +323,49 @@ pub trait Node {
     /// counting work in flight). Used for diagnostics and the observability
     /// backlog series; termination is detected by global work conservation.
     fn pending_work(&self) -> u64;
+
+    /// Declares how far ahead this node's behavior is a pure drain — the
+    /// contract behind quiescent-span step compression
+    /// ([`EngineConfig::compress`]).
+    ///
+    /// Returning `Some(Quiescence { span, backlog })` at time `now`
+    /// promises that, **given empty inboxes for every round in
+    /// `now..now + span`**, for each such round `now + j` the node:
+    ///
+    /// - sends nothing and audits nothing,
+    /// - processes exactly one unit iff `j < backlog`,
+    /// - reports `pending_work()` after the round equal to its value before
+    ///   the span minus `min(backlog, j + 1)`.
+    ///
+    /// The engine only fast-forwards when *every* node is quiescent and no
+    /// messages are in flight or queued, so the empty-inbox premise holds by
+    /// construction. Returning `None` (the default) opts the node out and
+    /// is always safe.
+    fn quiescence(&self, now: u64) -> Option<Quiescence> {
+        let _ = now;
+        None
+    }
+
+    /// Advances the node's internal state by `steps` quiescent rounds, as
+    /// if [`Node::on_step`] had been called that many times with empty
+    /// inboxes. Called by the engine only after [`Node::quiescence`]
+    /// returned a span of at least `steps`; the default (for nodes that
+    /// never report quiescence) is unreachable and does nothing.
+    fn fast_forward(&mut self, steps: u64) {
+        let _ = steps;
+    }
+}
+
+/// A node's self-reported quiescence window: see [`Node::quiescence`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Quiescence {
+    /// Number of upcoming rounds (starting at `now`) during which, absent
+    /// incoming messages, the node will not send, drop, or change behavior
+    /// other than draining its backlog. `u64::MAX` means "indefinitely".
+    pub span: u64,
+    /// Units of resident work the node will process during the window, one
+    /// per round, starting immediately.
+    pub backlog: u64,
 }
 
 /// Per-link-per-direction-per-step capacity constraints.
@@ -313,6 +403,15 @@ pub struct EngineConfig {
     /// path but produces bit-identical results to `None`). Honored
     /// identically by [`Engine::run`] and [`Engine::par_run`].
     pub faults: Option<FaultPlan>,
+    /// Quiescent-span step compression: when every node reports (via
+    /// [`Node::quiescence`]) that its next state-changing event is `k ≥ 2`
+    /// rounds away, no messages are in flight, and the fault plan is
+    /// exhausted, the engine fast-forwards the span analytically instead of
+    /// looping. Metrics, trace, and observability record the expanded
+    /// per-step view, so the [`RunReport`] is bit-for-bit identical to the
+    /// uncompressed run (asserted by the workspace's equivalence proptests).
+    /// Off by default.
+    pub compress: bool,
 }
 
 impl Default for EngineConfig {
@@ -323,6 +422,7 @@ impl Default for EngineConfig {
             trace: TraceLevel::Off,
             observe: false,
             faults: None,
+            compress: false,
         }
     }
 }
@@ -383,17 +483,22 @@ type LinkQueue<M> = VecDeque<Staged<M>>;
 
 /// What actually left a node's link in one direction during one step, plus
 /// the fault counters observed while draining the queue.
+///
+/// All counters are in *logical* messages ([`Payload::run_len`] per arena
+/// entry), so per-unit and count-coalesced streams meter identically.
 #[derive(Debug, Clone, Copy, Default)]
 struct LinkDeparture {
-    /// Messages that departed (delivered at `t + 1`).
+    /// Logical messages that departed (delivered at `t + 1`).
     messages: u64,
     /// Job payload that departed.
     payload: u64,
-    /// Queued messages refused because the link was dropping.
+    /// Queued logical messages refused because the link was dropping.
     dropped: u64,
-    /// Queued messages held back by a delay epoch or bandwidth backlog.
+    /// Queued logical messages held back by a delay epoch or bandwidth
+    /// backlog.
     delayed: u64,
-    /// Departed messages that had previously failed at least one attempt.
+    /// Departed logical messages that had previously failed at least one
+    /// attempt.
     retried: u64,
 }
 
@@ -438,24 +543,26 @@ fn transmit<M: Payload>(
                 }
             }
             let head = queue.pop_front().expect("front was Some");
-            dep.messages += 1;
+            let runs = head.msg.run_len();
+            dep.messages += runs;
             dep.payload += units;
             if head.attempts > 0 {
-                dep.retried += 1;
+                dep.retried += runs;
             }
             dest.push(head.msg);
         }
     }
     for entry in queue.iter_mut() {
+        let runs = entry.msg.run_len();
         if entry.ready <= t {
             entry.attempts += 1;
             if down {
-                dep.dropped += 1;
+                dep.dropped += runs;
             } else {
-                dep.delayed += 1;
+                dep.delayed += runs;
             }
         } else {
-            dep.delayed += 1;
+            dep.delayed += runs;
         }
     }
     dep
@@ -518,6 +625,226 @@ fn drive_node<N: Node>(
 
 fn payload_of<M: Payload>(msgs: &[M]) -> u64 {
     msgs.iter().map(Payload::job_units).sum()
+}
+
+/// The per-node fault state one step of [`step_node_and_links`] works
+/// through: the plan, the node's two directed link queues, and the two
+/// staging buffers sends are metered out of (shared across nodes — always
+/// drained within the step).
+struct FaultLinks<'a, M> {
+    plan: &'a FaultPlan,
+    queue_cw: &'a mut LinkQueue<M>,
+    queue_ccw: &'a mut LinkQueue<M>,
+    stage_cw: &'a mut Vec<M>,
+    stage_ccw: &'a mut Vec<M>,
+}
+
+/// Steps one node and drains its two directed links for one round — the
+/// single per-node kernel shared by [`Engine::run`] and the arc-parallel
+/// executor (previously copy-adapted between the two).
+///
+/// Without fault state the node writes straight into the destination
+/// arenas and the departures mirror its outbox meters; with fault state the
+/// node stages its sends and [`transmit`] meters them onto the (possibly
+/// degraded) links, which keep draining even while their owner is stalled.
+#[allow(clippy::too_many_arguments)] // the four directed buffers + ctx is the natural shape
+fn step_node_and_links<N: Node>(
+    node: &mut N,
+    ctx: &NodeCtx,
+    from_ccw: &mut Vec<N::Msg>,
+    from_cw: &mut Vec<N::Msg>,
+    to_cw: &mut Vec<N::Msg>,
+    to_ccw: &mut Vec<N::Msg>,
+    link_capacity: LinkCapacity,
+    audit: Option<&mut Vec<DropRecord>>,
+    faults: Option<FaultLinks<'_, N::Msg>>,
+) -> Result<(NodeStep, LinkDeparture, LinkDeparture), SimError> {
+    match faults {
+        Some(f) => {
+            let step = if f.plan.node_runs(ctx.id, ctx.t) {
+                drive_node(
+                    node,
+                    ctx,
+                    from_ccw,
+                    from_cw,
+                    f.stage_cw,
+                    f.stage_ccw,
+                    link_capacity,
+                    audit,
+                )?
+            } else {
+                NodeStep::idle()
+            };
+            // Links drain even while their owner is stalled.
+            let dep_cw = transmit(
+                f.plan,
+                ctx.id,
+                Direction::Cw,
+                ctx.t,
+                f.stage_cw,
+                f.queue_cw,
+                to_cw,
+            );
+            let dep_ccw = transmit(
+                f.plan,
+                ctx.id,
+                Direction::Ccw,
+                ctx.t,
+                f.stage_ccw,
+                f.queue_ccw,
+                to_ccw,
+            );
+            Ok((step, dep_cw, dep_ccw))
+        }
+        None => {
+            let step = drive_node(
+                node,
+                ctx,
+                from_ccw,
+                from_cw,
+                to_cw,
+                to_ccw,
+                link_capacity,
+                audit,
+            )?;
+            let dep_cw = LinkDeparture {
+                messages: step.cw_messages,
+                payload: step.cw_payload,
+                ..LinkDeparture::default()
+            };
+            let dep_ccw = LinkDeparture {
+                messages: step.ccw_messages,
+                payload: step.ccw_payload,
+                ..LinkDeparture::default()
+            };
+            Ok((step, dep_cw, dep_ccw))
+        }
+    }
+}
+
+/// Collects the quiescence declarations of a contiguous run of nodes into
+/// `backlogs` (cleared first; one entry per node). Returns
+/// `(min_span, max_backlog)`, or `None` if any node declines or reports a
+/// zero span — in which case `backlogs` is meaningless.
+fn arc_quiescence<N: Node>(nodes: &[N], now: u64, backlogs: &mut Vec<u64>) -> Option<(u64, u64)> {
+    backlogs.clear();
+    let mut min_span = u64::MAX;
+    let mut max_backlog = 0u64;
+    for n in nodes {
+        let q = n.quiescence(now)?;
+        if q.span == 0 {
+            return None;
+        }
+        min_span = min_span.min(q.span);
+        max_backlog = max_backlog.max(q.backlog);
+        backlogs.push(q.backlog);
+    }
+    Some((min_span, max_backlog))
+}
+
+/// Number of rounds to fast-forward given the merged quiescence state and
+/// the remaining step budget, or `None` when compression is not worth a
+/// span (`k < 2`). Capping at `max_backlog` (when any node still holds
+/// work) makes completion land exactly on the span's last round, so the
+/// post-span conservation check observes the same states the per-round
+/// loop would.
+fn compression_k(min_span: u64, max_backlog: u64, budget: u64) -> Option<u64> {
+    let mut k = min_span.min(budget);
+    if max_backlog > 0 {
+        k = k.min(max_backlog);
+    }
+    (k >= 2).then_some(k)
+}
+
+/// Emits the `Processed` events a compressed span would have recorded:
+/// round-major, node-ascending — exactly the per-round loop's order (quiet
+/// rounds carry no sends or drop-offs). Output-sensitive: total work is
+/// O(events emitted).
+fn synthesize_quiet_trace(
+    t0: u64,
+    k: u64,
+    node_base: usize,
+    backlogs: &[u64],
+    mut emit: impl FnMut(Event),
+) {
+    let mut active: Vec<(usize, u64)> = backlogs
+        .iter()
+        .enumerate()
+        .filter(|&(_, &b)| b > 0)
+        .map(|(i, &b)| (node_base + i, b.min(k)))
+        .collect();
+    for j in 0..k {
+        if active.is_empty() {
+            break;
+        }
+        for &(node, _) in &active {
+            emit(Event::Processed {
+                t: t0 + j,
+                node,
+                units: 1,
+            });
+        }
+        active.retain(|&(_, b)| b > j + 1);
+    }
+}
+
+/// Pushes the `k` per-step observability samples a compressed span would
+/// have recorded. `p0[i]` is node `i`'s `pending_work()` entering the span
+/// (capture it *before* fast-forwarding). Quiet rounds deliver, send, and
+/// drop nothing, so every sample field except `t`, `processed`,
+/// `max_pending`, and `total_pending` is zero; those follow from the
+/// backlogs alone: in round `t0 + j` node `i` has processed
+/// `min(b_i, j + 1)` units. Runs in O(m log m + k + events).
+fn synthesize_quiet_samples(
+    t0: u64,
+    k: u64,
+    p0: &[u64],
+    backlogs: &[u64],
+    samples: &mut Vec<StepSample>,
+) {
+    let m = p0.len();
+    // Per-round processed counts c_j = #{i : b_i > j} via a difference
+    // array over the span.
+    let mut diff = vec![0i64; k as usize + 1];
+    for &b in backlogs {
+        let d = b.min(k);
+        if d > 0 {
+            diff[0] += 1;
+            diff[d as usize] -= 1;
+        }
+    }
+    // For max_pending: with τ = j + 1, node i reports p0_i − τ while still
+    // draining (b_i ≥ τ) and the constant p0_i − b_i once done. Sweep nodes
+    // in backlog order with a suffix max of p0 over the still-draining set.
+    let mut order: Vec<usize> = (0..m).collect();
+    order.sort_unstable_by_key(|&i| backlogs[i]);
+    let mut suffix_max = vec![0u64; m + 1];
+    for idx in (0..m).rev() {
+        suffix_max[idx] = suffix_max[idx + 1].max(p0[order[idx]]);
+    }
+    let total0: u64 = p0.iter().sum();
+    let mut done_max = 0u64;
+    let mut ptr = 0usize;
+    let mut active = 0i64;
+    let mut cum_processed = 0u64;
+    for j in 0..k {
+        active += diff[j as usize];
+        let c = active as u64;
+        cum_processed += c;
+        let tau = j + 1;
+        while ptr < m && backlogs[order[ptr]] < tau {
+            let i = order[ptr];
+            done_max = done_max.max(p0[i].saturating_sub(backlogs[i]));
+            ptr += 1;
+        }
+        samples.push(StepSample {
+            t: t0 + j,
+            processed: c,
+            max_pending: done_max.max(suffix_max[ptr].saturating_sub(tau)),
+            total_pending: total0 - cum_processed,
+            ..StepSample::default()
+        });
+    }
 }
 
 /// The synchronous executor.
@@ -636,6 +963,15 @@ impl<N: Node> Engine<N> {
         let record_audit = matches!(self.config.trace, TraceLevel::Full);
         let mut audit_buf: Vec<DropRecord> = Vec::new();
 
+        // Step-compression state: how many logical messages entered the
+        // arenas last round (sends + stall carryovers; zero means every
+        // inbox is empty this round), the first step at which the fault
+        // plan is provably inert, and a reusable backlog scratch buffer.
+        let compress = self.config.compress;
+        let fault_horizon = plan.as_ref().map_or(0, |p| p.horizon());
+        let mut prev_round_departed: u64 = 0;
+        let mut quiet_backlogs: Vec<u64> = Vec::new();
+
         let mut processed_total: u64 = 0;
         let mut t: u64 = 0;
         loop {
@@ -647,12 +983,81 @@ impl<N: Node> Engine<N> {
                 });
             }
 
+            // Quiescent-span step compression: nothing in flight, no link
+            // queue occupied, the fault plan exhausted, and every node
+            // declaring its future a pure local drain — fast-forward the
+            // span analytically while recording the expanded per-step view
+            // (see DESIGN.md §10). The checks short-circuit, so the common
+            // busy round pays one integer compare.
+            if compress
+                && prev_round_departed == 0
+                && t >= fault_horizon
+                && queue_cw.iter().all(VecDeque::is_empty)
+                && queue_ccw.iter().all(VecDeque::is_empty)
+            {
+                if let Some(k) = arc_quiescence(&self.nodes, t, &mut quiet_backlogs)
+                    .and_then(|(span, max_b)| compression_k(span, max_b, max_steps - t))
+                {
+                    let max_b = quiet_backlogs.iter().copied().max().unwrap_or(0);
+                    if record_audit {
+                        synthesize_quiet_trace(t, k, 0, &quiet_backlogs, |e| trace.record(e));
+                    }
+                    if let Some(o) = obs.as_mut() {
+                        let p0: Vec<u64> = self.nodes.iter().map(|n| n.pending_work()).collect();
+                        synthesize_quiet_samples(t, k, &p0, &quiet_backlogs, &mut o.samples);
+                    }
+                    for (i, &b) in quiet_backlogs.iter().enumerate() {
+                        let d = b.min(k);
+                        if d > 0 {
+                            metrics.processed_per_node[i] += d;
+                            metrics.busy_steps_per_node[i] += d;
+                            processed_total += d;
+                        }
+                    }
+                    if max_b > 0 {
+                        // k ≤ max_b, so the deepest node is busy in every
+                        // compressed round, including the last.
+                        metrics.last_busy_step = Some(t + k - 1);
+                    }
+                    for node in self.nodes.iter_mut() {
+                        node.fast_forward(k);
+                    }
+                    t += k;
+                    metrics.steps = t;
+                    if processed_total > self.total_work {
+                        return Err(SimError::WorkMiscount {
+                            processed: processed_total,
+                            total: self.total_work,
+                        });
+                    }
+                    if processed_total == self.total_work {
+                        debug_assert!(
+                            self.nodes.iter().all(|n| n.pending_work() == 0),
+                            "all work processed but a node still reports pending work"
+                        );
+                        let makespan = metrics.last_busy_step.expect("work was processed") + 1;
+                        let report = RunReport {
+                            makespan,
+                            metrics,
+                            trace,
+                            observability: obs,
+                        };
+                        self.self_check(&report);
+                        return Ok(report);
+                    }
+                    continue;
+                }
+            }
+
+            let mut round_departed: u64 = 0;
+
             // A stalled processor does not consume its inbox: carry the
             // undelivered messages over to its next step before anyone
             // writes this round's sends (so they stay in front).
             if let Some(plan) = plan.as_ref() {
                 for i in 0..m {
                     if !plan.node_runs(i, t) {
+                        round_departed += (cur_cw[i].len() + cur_ccw[i].len()) as u64;
                         next_cw[i].append(&mut cur_cw[i]);
                         next_ccw[i].append(&mut cur_ccw[i]);
                     }
@@ -679,44 +1084,18 @@ impl<N: Node> Engine<N> {
                 let dest_ccw = self.topo.neighbor(i, Direction::Ccw);
                 // The four arenas are distinct containers, so borrowing one
                 // element of each is disjoint for every m (including the
-                // self-delivery of a singleton ring).
-                let (step, dep_cw, dep_ccw) = if let Some(plan) = plan.as_ref() {
-                    let step = if plan.node_runs(i, t) {
-                        drive_node(
-                            &mut self.nodes[i],
-                            &ctx,
-                            &mut cur_cw[i],
-                            &mut cur_ccw[i],
-                            &mut stage_cw,
-                            &mut stage_ccw,
-                            self.config.link_capacity,
-                            record_audit.then_some(&mut audit_buf),
-                        )?
-                    } else {
-                        NodeStep::idle()
-                    };
-                    // Links drain even while their owner is stalled.
-                    let dep_cw = transmit(
+                // self-delivery of a singleton ring). Staging through
+                // `FaultLinks` keeps one writer per destination slot even
+                // when a plan reroutes departures through link queues.
+                let (step, dep_cw, dep_ccw) = {
+                    let faults = plan.as_ref().map(|plan| FaultLinks {
                         plan,
-                        i,
-                        Direction::Cw,
-                        t,
-                        &mut stage_cw,
-                        &mut queue_cw[i],
-                        &mut next_cw[dest_cw],
-                    );
-                    let dep_ccw = transmit(
-                        plan,
-                        i,
-                        Direction::Ccw,
-                        t,
-                        &mut stage_ccw,
-                        &mut queue_ccw[i],
-                        &mut next_ccw[dest_ccw],
-                    );
-                    (step, dep_cw, dep_ccw)
-                } else {
-                    let step = drive_node(
+                        queue_cw: &mut queue_cw[i],
+                        queue_ccw: &mut queue_ccw[i],
+                        stage_cw: &mut stage_cw,
+                        stage_ccw: &mut stage_ccw,
+                    });
+                    step_node_and_links(
                         &mut self.nodes[i],
                         &ctx,
                         &mut cur_cw[i],
@@ -725,19 +1104,11 @@ impl<N: Node> Engine<N> {
                         &mut next_ccw[dest_ccw],
                         self.config.link_capacity,
                         record_audit.then_some(&mut audit_buf),
-                    )?;
-                    let dep_cw = LinkDeparture {
-                        messages: step.cw_messages,
-                        payload: step.cw_payload,
-                        ..LinkDeparture::default()
-                    };
-                    let dep_ccw = LinkDeparture {
-                        messages: step.ccw_messages,
-                        payload: step.ccw_payload,
-                        ..LinkDeparture::default()
-                    };
-                    (step, dep_cw, dep_ccw)
+                        faults,
+                    )?
                 };
+
+                round_departed += dep_cw.messages + dep_ccw.messages;
 
                 // Per-cell event order: DroppedOff*, Processed, Sent cw,
                 // Sent ccw (the oracle and the arc merge rely on it).
@@ -817,6 +1188,7 @@ impl<N: Node> Engine<N> {
             std::mem::swap(&mut cur_cw, &mut next_cw);
             std::mem::swap(&mut cur_ccw, &mut next_ccw);
             // next_* now hold the cleared previous-round vectors.
+            prev_round_departed = round_departed;
 
             t += 1;
             metrics.steps = t;
@@ -919,6 +1291,20 @@ mod par {
         obs: Option<Observability>,
     }
 
+    /// Shared per-round quiescence ballot (see the compression block in
+    /// `run_arc`). Every arc merges its local candidacy under the lock,
+    /// then reads the merged state back after the vote barrier; `tag` is
+    /// the round the entry describes, and the first arc to write a new
+    /// round resets the merge. The span to fast-forward is then a pure
+    /// function of the merged state, so every arc computes the same `k`
+    /// and the per-round barrier counts stay uniform.
+    struct Vote {
+        tag: u64,
+        quiet: bool,
+        min_span: u64,
+        max_backlog: u64,
+    }
+
     /// Error found by an arc, keyed for "first error wins" merging: the
     /// sequential engine fails at the smallest `(step, node)` violation, so
     /// the parallel one must too.
@@ -965,6 +1351,12 @@ mod par {
         let barrier = Barrier::new(shards);
         let processed = AtomicU64::new(0);
         let flagged: Mutex<Option<Flagged>> = Mutex::new(None);
+        let vote: Mutex<Vote> = Mutex::new(Vote {
+            tag: u64::MAX,
+            quiet: false,
+            min_span: u64::MAX,
+            max_backlog: 0,
+        });
 
         // Balanced contiguous partition: the first `m % shards` arcs get one
         // extra node.
@@ -1028,6 +1420,7 @@ mod par {
                     let barrier = &barrier;
                     let processed = &processed;
                     let flagged = &flagged;
+                    let vote = &vote;
                     let mail_cw = &mail_cw;
                     let mail_ccw = &mail_ccw;
                     scope.spawn(move || {
@@ -1048,6 +1441,7 @@ mod par {
                             barrier,
                             processed,
                             flagged,
+                            vote,
                             mail_cw,
                             mail_ccw,
                         )
@@ -1141,6 +1535,7 @@ mod par {
         barrier: &Barrier,
         processed: &AtomicU64,
         flagged: &Mutex<Option<Flagged>>,
+        vote: &Mutex<Vote>,
         mail_cw: &[Mutex<Vec<N::Msg>>],
         mail_ccw: &[Mutex<Vec<N::Msg>>],
     ) -> ArcPartial
@@ -1179,6 +1574,16 @@ mod par {
         let mut stage_ccw: Vec<N::Msg> = Vec::new();
         let mut audit_buf: Vec<DropRecord> = Vec::new();
 
+        // Step-compression state, mirroring the sequential engine: logical
+        // messages this arc put in flight last round (sends + carryovers —
+        // boundary sends are counted by the sending arc, so the votes'
+        // conjunction covers every inbox), the fault-inertness step, and a
+        // backlog scratch buffer.
+        let compress = config.compress;
+        let fault_horizon = config.faults.as_ref().map_or(0, |p| p.horizon());
+        let mut arc_prev_departed: u64 = 0;
+        let mut quiet_backlogs: Vec<u64> = Vec::new();
+
         let mut t: u64 = 0;
         loop {
             // Same budget check as the sequential engine, evaluated
@@ -1186,6 +1591,101 @@ mod par {
             if t >= max_steps {
                 break;
             }
+
+            // Quiescent-span step compression (see `Engine::run` and
+            // DESIGN.md §10). Candidacy is arc-local; the merged ballot
+            // decides globally, and the span `k` is a pure function of the
+            // merged state, so every arc agrees on it — keeping the
+            // per-round barrier count uniform (three with compression on).
+            if compress {
+                let local = if arc_prev_departed == 0
+                    && t >= fault_horizon
+                    && queue_cw.iter().all(VecDeque::is_empty)
+                    && queue_ccw.iter().all(VecDeque::is_empty)
+                {
+                    arc_quiescence(nodes, t, &mut quiet_backlogs)
+                } else {
+                    None
+                };
+                {
+                    let mut v = vote.lock().unwrap_or_else(|e| e.into_inner());
+                    if v.tag != t {
+                        v.tag = t;
+                        v.quiet = true;
+                        v.min_span = u64::MAX;
+                        v.max_backlog = 0;
+                    }
+                    match local {
+                        Some((span, max_b)) => {
+                            v.min_span = v.min_span.min(span);
+                            v.max_backlog = v.max_backlog.max(max_b);
+                        }
+                        None => v.quiet = false,
+                    }
+                }
+                // Vote barrier: every arc contributed before anyone reads
+                // the merge.
+                barrier.wait();
+                let k = {
+                    let v = vote.lock().unwrap_or_else(|e| e.into_inner());
+                    if v.quiet {
+                        compression_k(v.min_span, v.max_backlog, max_steps - t)
+                    } else {
+                        None
+                    }
+                };
+                if let Some(k) = k {
+                    let local_max_b = quiet_backlogs.iter().copied().max().unwrap_or(0);
+                    if record {
+                        synthesize_quiet_trace(t, k, lo, &quiet_backlogs, |e| {
+                            partial.events.push(e)
+                        });
+                    }
+                    if let Some(o) = partial.obs.as_mut() {
+                        let p0: Vec<u64> = nodes.iter().map(|n| n.pending_work()).collect();
+                        synthesize_quiet_samples(t, k, &p0, &quiet_backlogs, &mut o.samples);
+                    }
+                    let mut local_processed: u64 = 0;
+                    for (j, &b) in quiet_backlogs.iter().enumerate() {
+                        let d = b.min(k);
+                        if d > 0 {
+                            partial.processed_per_node[j] += d;
+                            partial.busy_steps_per_node[j] += d;
+                            local_processed += d;
+                        }
+                    }
+                    if local_max_b > 0 {
+                        // The arc holding the global max backlog reaches
+                        // t + k − 1 (k ≤ global max), so the merged maximum
+                        // matches the sequential engine.
+                        partial.last_busy = Some(t + local_max_b.min(k) - 1);
+                    }
+                    for node in nodes.iter_mut() {
+                        node.fast_forward(k);
+                    }
+                    partial
+                        .sent_payload_per_round
+                        .extend(std::iter::repeat(0).take(k as usize));
+                    if local_processed > 0 {
+                        processed.fetch_add(local_processed, Ordering::SeqCst);
+                    }
+                    // Completion barrier: all processed contributions are
+                    // visible before anyone reads the total.
+                    barrier.wait();
+                    let processed_total = processed.load(Ordering::SeqCst);
+                    let stop = processed_total >= total_work;
+                    // Read barrier: everyone sampled the outcome before the
+                    // next round touches the ballot again.
+                    barrier.wait();
+                    if stop {
+                        break;
+                    }
+                    t += k;
+                    continue;
+                }
+            }
+
+            let mut round_departed: u64 = 0;
 
             // Stall carryover first, exactly like the sequential engine:
             // undelivered messages of non-running nodes move to the front of
@@ -1195,6 +1695,7 @@ mod par {
             if let Some(plan) = plan {
                 for j in 0..len {
                     if !plan.node_runs(lo + j, t) {
+                        round_departed += (cur_cw[j].len() + cur_ccw[j].len()) as u64;
                         next_cw[j].append(&mut cur_cw[j]);
                         next_ccw[j].append(&mut cur_ccw[j]);
                     }
@@ -1230,75 +1731,32 @@ mod par {
                 } else {
                     &mut out_ccw_boundary
                 };
-                let driven = if let Some(plan) = plan {
-                    if plan.node_runs(i, t) {
-                        drive_node(
-                            &mut nodes[j],
-                            &ctx,
-                            cur_a,
-                            cur_b,
-                            &mut stage_cw,
-                            &mut stage_ccw,
-                            config.link_capacity,
-                            record.then_some(&mut audit_buf),
-                        )
-                    } else {
-                        Ok(NodeStep::idle())
-                    }
-                } else {
-                    drive_node(
-                        &mut nodes[j],
-                        &ctx,
-                        cur_a,
-                        cur_b,
-                        &mut *to_cw,
-                        &mut *to_ccw,
-                        config.link_capacity,
-                        record.then_some(&mut audit_buf),
-                    )
-                };
-                let step = match driven {
-                    Ok(step) => step,
+                let faults = plan.map(|plan| FaultLinks {
+                    plan,
+                    queue_cw: &mut queue_cw[j],
+                    queue_ccw: &mut queue_ccw[j],
+                    stage_cw: &mut stage_cw,
+                    stage_ccw: &mut stage_ccw,
+                });
+                let (step, dep_cw, dep_ccw) = match step_node_and_links(
+                    &mut nodes[j],
+                    &ctx,
+                    cur_a,
+                    cur_b,
+                    to_cw,
+                    to_ccw,
+                    config.link_capacity,
+                    record.then_some(&mut audit_buf),
+                    faults,
+                ) {
+                    Ok(out) => out,
                     Err(err) => {
                         merge_flag(flagged, (t, i, err));
                         local_error = true;
                         break;
                     }
                 };
-                let (dep_cw, dep_ccw) = if let Some(plan) = plan {
-                    let dep_cw = transmit(
-                        plan,
-                        i,
-                        Direction::Cw,
-                        t,
-                        &mut stage_cw,
-                        &mut queue_cw[j],
-                        to_cw,
-                    );
-                    let dep_ccw = transmit(
-                        plan,
-                        i,
-                        Direction::Ccw,
-                        t,
-                        &mut stage_ccw,
-                        &mut queue_ccw[j],
-                        to_ccw,
-                    );
-                    (dep_cw, dep_ccw)
-                } else {
-                    (
-                        LinkDeparture {
-                            messages: step.cw_messages,
-                            payload: step.cw_payload,
-                            ..LinkDeparture::default()
-                        },
-                        LinkDeparture {
-                            messages: step.ccw_messages,
-                            payload: step.ccw_payload,
-                            ..LinkDeparture::default()
-                        },
-                    )
-                };
+                round_departed += dep_cw.messages + dep_ccw.messages;
                 if record {
                     for rec in audit_buf.drain(..) {
                         partial.events.push(Event::DroppedOff {
@@ -1371,6 +1829,7 @@ mod par {
                 }
             }
             partial.sent_payload_per_round.push(round_sent_payload);
+            arc_prev_departed = round_departed;
             if let Some(o) = partial.obs.as_mut() {
                 o.samples.push(sample);
             }

@@ -39,14 +39,15 @@ pub mod fault;
 pub mod instance;
 pub mod metrics;
 pub mod oracle;
+pub mod stream;
 pub mod topology;
 pub mod trace;
 pub mod validate;
 pub mod viz;
 
 pub use engine::{
-    Audit, DropRecord, Engine, EngineConfig, Inbox, LinkCapacity, Node, NodeCtx, Outbox, Payload,
-    RunReport, StepIo,
+    Audit, Coalesce, DropRecord, Engine, EngineConfig, Inbox, LinkCapacity, Node, NodeCtx, Outbox,
+    Payload, Quiescence, RunReport, StepIo,
 };
 pub use error::SimError;
 pub use fault::{FaultPlan, LinkFault, LinkFaultKind, ProcFault, ProcFaultKind};

@@ -10,7 +10,11 @@ use serde::{Deserialize, Serialize};
 /// [`crate::trace::Trace`] and is opt-in.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Metrics {
-    /// Total number of messages sent over all links and steps.
+    /// Total number of *logical* messages sent over all links and steps. A
+    /// count-coalesced arena entry ([`crate::Coalesce`]) contributes its
+    /// [`crate::Payload::run_len`], so the counter is representation-
+    /// independent: the same stream reports the same number whether it was
+    /// sent one unit message at a time or as run-length entries.
     pub messages_sent: u64,
     /// Total job-units × hops moved. One job travelling `d` hops contributes
     /// `d` (this is the total communication volume of the schedule).
@@ -26,14 +30,15 @@ pub struct Metrics {
     pub last_busy_step: Option<u64>,
     /// Number of steps actually simulated.
     pub steps: u64,
-    /// Fault injection: message × step drop events on downed links (each
-    /// step a queued message is refused by a dropping link counts once).
+    /// Fault injection: logical-message × step drop events on downed links
+    /// (each step a queued message is refused by a dropping link counts
+    /// once; coalesced runs count [`crate::Payload::run_len`]).
     pub messages_dropped: u64,
-    /// Fault injection: message × step hold events for non-drop reasons
-    /// (delay epochs and bandwidth backlog).
+    /// Fault injection: logical-message × step hold events for non-drop
+    /// reasons (delay epochs and bandwidth backlog).
     pub messages_delayed: u64,
-    /// Fault injection: messages that departed only after at least one
-    /// failed attempt (the retry rule succeeding).
+    /// Fault injection: logical messages that departed only after at least
+    /// one failed attempt (the retry rule succeeding).
     pub messages_retried: u64,
 }
 
@@ -77,7 +82,8 @@ pub struct StepSample {
     pub delivered_payload: u64,
     /// Job payload put in flight during this step (delivered at `t + 1`).
     pub sent_payload: u64,
-    /// Messages sent during this step (control and job-carrying alike).
+    /// Logical messages sent during this step (control and job-carrying
+    /// alike; coalesced runs count [`crate::Payload::run_len`] each).
     pub messages: u64,
     /// Work units processed during this step.
     pub processed: u64,
@@ -123,9 +129,12 @@ impl StepSample {
 /// counterclockwise entry the link `i → i - 1`.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct LinkStats {
-    /// Messages sent clockwise by each node.
+    /// Logical messages sent clockwise by each node (a coalesced run counts
+    /// [`crate::Payload::run_len`], not 1 — the series is identical whichever
+    /// representation carried the units).
     pub cw_messages: Vec<u64>,
-    /// Messages sent counterclockwise by each node.
+    /// Logical messages sent counterclockwise by each node (run-length
+    /// weighted, like `cw_messages`).
     pub ccw_messages: Vec<u64>,
     /// Job payload sent clockwise by each node.
     pub cw_payload: Vec<u64>,

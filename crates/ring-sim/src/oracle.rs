@@ -29,6 +29,18 @@
 //! stall epoch, a `Sent` event on a downed link, payload above a bandwidth
 //! cap — each deterministically checkable because the plan is a pure
 //! function of `(node, link, step)`).
+//!
+//! ## Coalescing and step compression
+//!
+//! The oracle needs no special handling for either engine optimization:
+//! `Sent` events aggregate per (node, direction, step) with run-length
+//! weighted message counts, so a coalesced run and the equivalent per-unit
+//! burst produce the same trace; and quiescent-span step compression
+//! synthesizes the *expanded* per-step `Processed` events before fast
+//! forwarding, so a compressed run's trace is indistinguishable from the
+//! step-by-step one. The invariance is proved by the representation- and
+//! compression-equivalence proptests in `ring-net/tests/par_equivalence.rs`,
+//! which run every variant through [`check_run`].
 
 use std::collections::HashMap;
 
