@@ -11,6 +11,8 @@
 //! ringsched optimal-schedule --m 8 --n 16
 //! ringsched save --workload uniform --m 100 --n 500 --out inst.txt
 //! ringsched run --instance inst.txt --alg a2
+//! ringsched run --alg c2 --m 64 --n 4096 --checkpoint-every 50 --checkpoint-dir snaps
+//! ringsched resume snaps/snap-0000000100.ringsnap
 //! ringsched bench --json BENCH_engine.json
 //! ```
 
@@ -19,8 +21,11 @@ mod bench;
 use ring_opt::exact::{optimum_capacitated, optimum_uncapacitated, OptResult, SolverBudget};
 use ring_opt::{capacitated_lower_bound, uncapacitated_lower_bound};
 use ring_sched::capacitated::run_capacitated;
-use ring_sched::unit::{run_unit, run_unit_faulty, run_unit_par, run_unit_par_faulty, UnitConfig};
-use ring_sim::{FaultPlan, Instance, TraceLevel};
+use ring_sched::unit::{
+    resume_unit, run_unit, run_unit_checkpointed, run_unit_faulty, run_unit_par,
+    run_unit_par_faulty, UnitConfig, UnitRun,
+};
+use ring_sim::{FaultPlan, Instance, SimError, Snapshot, TraceLevel};
 use ring_workloads::{catalog, random, section5::Section5, structured};
 use std::collections::HashMap;
 use std::process::exit;
@@ -47,6 +52,11 @@ fn usage() -> ! {
          \x20                                   stall:<node>@<from>..<until>\n\
          \x20                                   slow=<k>:<node>@<from>..<until>\n\
          \x20                                   seed=<s>[@<horizon>]  (random plan)\n\
+         \x20   --checkpoint-every <k>        write a snapshot every k steps\n\
+         \x20   --checkpoint-dir <d>          snapshot directory (default checkpoints/)\n\
+         \x20 resume <snapshot>               continue a checkpointed run\n\
+         \x20   [--par <shards>] [--alg <a>]  (--alg only if the snapshot has no\n\
+         \x20                                 algorithm metadata)\n\
          \x20 capacitated                     run the \u{a7}7 algorithm\n\
          \x20   --m <ring size> --n <jobs> | --case <id>\n\
          \x20 optimum                         exact optimum + lower bounds\n\
@@ -205,6 +215,10 @@ fn cmd_run(flags: &HashMap<String, String>) {
             eprintln!("--faults is not supported by the threaded executor (use --par)");
             exit(2);
         }
+        if flags.contains_key("checkpoint-every") {
+            eprintln!("--checkpoint-every is not supported by the threaded executor (use --par)");
+            exit(2);
+        }
         let run = ring_net::run_unit_threaded(&inst, &cfg).unwrap_or_else(|e| {
             eprintln!("run failed: {e}");
             exit(1)
@@ -217,19 +231,50 @@ fn cmd_run(flags: &HashMap<String, String>) {
         );
         println!("messages sent: {}", run.messages_sent);
     } else {
-        let run = match (flags.get("par"), &faults) {
-            (Some(shards), plan) => {
-                let shards: usize = shards.parse().unwrap_or_else(|_| {
-                    eprintln!("--par must be a shard count");
-                    usage()
-                });
-                match plan {
-                    Some(p) => run_unit_par_faulty(&inst, &cfg, p, shards.max(1)),
-                    None => run_unit_par(&inst, &cfg, shards.max(1)),
-                }
+        let shards = flags.get("par").map(|s| {
+            let s: usize = s.parse().unwrap_or_else(|_| {
+                eprintln!("--par must be a shard count");
+                usage()
+            });
+            s.max(1)
+        });
+        let run = if flags.contains_key("checkpoint-every") {
+            let every = get_u64(flags, "checkpoint-every", 0);
+            if every == 0 {
+                eprintln!("--checkpoint-every must be positive");
+                usage()
             }
-            (None, Some(p)) => run_unit_faulty(&inst, &cfg, p),
-            (None, None) => run_unit(&inst, &cfg),
+            let dir = std::path::PathBuf::from(
+                flags
+                    .get("checkpoint-dir")
+                    .map(String::as_str)
+                    .unwrap_or("checkpoints"),
+            );
+            std::fs::create_dir_all(&dir).unwrap_or_else(|e| {
+                eprintln!("cannot create {}: {e}", dir.display());
+                exit(1)
+            });
+            // The metadata lets `resume` rebuild the policy; `c` travels as
+            // raw bits so the resumed run is bit-identical.
+            let meta = format!(
+                "alg={} c_bits={:016x}",
+                cfg.name().to_lowercase(),
+                cfg.c.to_bits()
+            );
+            println!("checkpointing every {every} steps into {}/", dir.display());
+            let out = dir.clone();
+            run_unit_checkpointed(&inst, &cfg, faults.as_ref(), shards, every, &meta, {
+                move |snap: &Snapshot| {
+                    snap.write_to_file(&out.join(format!("snap-{:010}.ringsnap", snap.t)))
+                }
+            })
+        } else {
+            match (shards, &faults) {
+                (Some(s), Some(p)) => run_unit_par_faulty(&inst, &cfg, p, s),
+                (Some(s), None) => run_unit_par(&inst, &cfg, s),
+                (None, Some(p)) => run_unit_faulty(&inst, &cfg, p),
+                (None, None) => run_unit(&inst, &cfg),
+            }
         }
         .unwrap_or_else(|e| {
             eprintln!("run failed: {e}");
@@ -269,6 +314,70 @@ fn cmd_run(flags: &HashMap<String, String>) {
         if let Some(obs) = &run.report.observability {
             println!("observability: {}", obs.to_json());
         }
+    }
+}
+
+fn cmd_resume(path: &str, flags: &HashMap<String, String>) {
+    let snap = Snapshot::read_from_file(std::path::Path::new(path)).unwrap_or_else(|e| {
+        eprintln!("cannot load snapshot {path}: {e}");
+        exit(1)
+    });
+    println!("snapshot: {}", snap.summary());
+    let mut alg = None;
+    let mut c_bits = None;
+    for tok in snap.app_meta.split_whitespace() {
+        if let Some(v) = tok.strip_prefix("alg=") {
+            alg = Some(v.to_string());
+        } else if let Some(v) = tok.strip_prefix("c_bits=") {
+            c_bits = u64::from_str_radix(v, 16).ok();
+        }
+    }
+    let alg = flags.get("alg").cloned().or(alg).unwrap_or_else(|| {
+        eprintln!("snapshot carries no algorithm metadata; pass --alg");
+        exit(2)
+    });
+    let mut cfg = UnitConfig::from_name(&alg).unwrap_or_else(|| {
+        eprintln!("unknown algorithm {alg} in snapshot metadata");
+        exit(2)
+    });
+    if let Some(bits) = c_bits {
+        cfg = cfg.with_c(f64::from_bits(bits));
+    }
+    let shards = flags.get("par").map(|s| {
+        let s: usize = s.parse().unwrap_or_else(|_| {
+            eprintln!("--par must be a shard count");
+            usage()
+        });
+        s.max(1)
+    });
+    let run: UnitRun = resume_unit(&cfg, &snap, shards).unwrap_or_else(|e: SimError| {
+        eprintln!("resume failed: {e}");
+        exit(1)
+    });
+    println!(
+        "resumed algorithm {} from step {} on m={}",
+        cfg.name(),
+        snap.t,
+        snap.m
+    );
+    println!("makespan: {}", run.makespan);
+    println!(
+        "bucket travel max: {} hops; wrapped: {}; messages: {}; job-hops: {}",
+        run.max_bucket_travel,
+        run.wrapped,
+        run.report.metrics.messages_sent,
+        run.report.metrics.job_hops
+    );
+    if snap.faults.is_some() {
+        println!(
+            "faults: dropped {} delayed {} retried {}",
+            run.report.metrics.messages_dropped,
+            run.report.metrics.messages_delayed,
+            run.report.metrics.messages_retried
+        );
+    }
+    if let Some(obs) = &run.report.observability {
+        println!("observability: {}", obs.to_json());
     }
 }
 
@@ -429,6 +538,15 @@ fn cmd_save(flags: &HashMap<String, String>) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else { usage() };
+    if cmd == "resume" {
+        // `resume` takes the snapshot path as a positional argument.
+        let Some(path) = args.get(1).filter(|p| !p.starts_with("--")) else {
+            eprintln!("resume needs a snapshot path");
+            usage()
+        };
+        cmd_resume(path, &parse_flags(&args[2..]));
+        return;
+    }
     let flags = parse_flags(&args[1..]);
     match cmd.as_str() {
         "catalog" => cmd_catalog(),

@@ -13,12 +13,15 @@
 use proptest::prelude::*;
 use ring_net::run_unit_threaded;
 use ring_sched::unit::{
-    build_unit_nodes, run_unit, run_unit_faulty, run_unit_par_faulty, UnitConfig,
+    build_unit_nodes, resume_unit, run_unit, run_unit_checkpointed, run_unit_faulty,
+    run_unit_par_faulty, UnitConfig,
 };
 use ring_sim::stream::{stream_engine, Representation, StreamSpec};
 use ring_sim::{
-    check_run, Engine, EngineConfig, FaultPlan, Instance, RunReport, SimError, TraceLevel,
+    check_run, CheckpointError, Engine, EngineConfig, FaultPlan, Instance, RunReport, SimError,
+    Snapshot, TraceLevel,
 };
+use std::sync::{Arc, Mutex};
 
 /// Runs a unit-algorithm config through the arc-parallel engine.
 fn par_run_unit(inst: &Instance, cfg: &UnitConfig, shards: usize) -> Result<RunReport, SimError> {
@@ -193,6 +196,169 @@ proptest! {
                 &plan
             );
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(fault_case_count()))]
+
+    /// Checkpoint/restore is exact: for every §6 algorithm, random
+    /// instance, and random fault plan, a run checkpointed every `every`
+    /// steps reports bit-identically to the plain run; a snapshot taken at
+    /// a random boundary — round-tripped through its byte encoding —
+    /// resumes to the *same* bit-identical `RunReport`, with save and
+    /// restore shard counts drawn independently from {1, 2, 3, 7} (or the
+    /// sequential engine), and the trace-replay oracle accepts the stitched
+    /// full trace.
+    #[test]
+    fn resume_is_bit_identical_under_fault_plans(
+        loads in prop::collection::vec(0u64..100, 2..20),
+        alg in 0usize..6,
+        seed in 0u64..1_000_000,
+        every in 1u64..16,
+        save_shards in 0usize..4,
+        restore_shards in 0usize..5,
+        pick in 0usize..64,
+    ) {
+        prop_assume!(loads.iter().sum::<u64>() > 0);
+        const SHARDS: [usize; 4] = [1, 2, 3, 7];
+        let inst = Instance::from_loads(loads);
+        let m = inst.num_processors();
+        let plan = FaultPlan::random(m, 48, seed);
+        let (name, cfg) = UnitConfig::all_six()[alg];
+        let cfg = cfg.with_trace().with_observe();
+
+        let base = run_unit_faulty(&inst, &cfg, &plan).unwrap();
+        let snaps = Arc::new(Mutex::new(Vec::new()));
+        let log = Arc::clone(&snaps);
+        let checkpointed = run_unit_checkpointed(
+            &inst,
+            &cfg,
+            Some(&plan),
+            Some(SHARDS[save_shards]),
+            every,
+            "",
+            move |s: &Snapshot| -> Result<(), CheckpointError> {
+                log.lock().unwrap().push(s.clone());
+                Ok(())
+            },
+        )
+        .unwrap();
+        prop_assert_eq!(
+            &base.report,
+            &checkpointed.report,
+            "{} checkpointing every {} on {} shards changed the report under {:?}",
+            name,
+            every,
+            SHARDS[save_shards],
+            &plan
+        );
+
+        let snaps = snaps.lock().unwrap();
+        if snaps.is_empty() {
+            // The run finished before the first boundary — nothing to resume.
+            return Ok(());
+        }
+        let snap = &snaps[pick % snaps.len()];
+        // Round-trip through the byte encoding, like a real recovery would.
+        let snap = Snapshot::from_bytes(&snap.to_bytes()).unwrap();
+        let restore = (restore_shards < 4).then(|| SHARDS[restore_shards]);
+        let resumed = resume_unit(&cfg, &snap, restore).unwrap();
+        prop_assert_eq!(
+            &base.report,
+            &resumed.report,
+            "{} resumed from t={} (saved on {} shards, restored on {:?}) diverged under {:?}",
+            name,
+            snap.t,
+            SHARDS[save_shards],
+            restore,
+            &plan
+        );
+        let violations = check_run(&inst, &resumed.report, Some(&plan));
+        prop_assert!(
+            violations.is_empty(),
+            "{} oracle rejected the resumed run's stitched trace under {:?}: {:?}",
+            name,
+            &plan,
+            violations
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(fault_case_count()))]
+
+    /// Checkpoint boundaries split compressed quiescent spans (the engine
+    /// caps each span at the next boundary so snapshots land exactly on
+    /// `t % every == 0`); the split must be unobservable: with compression
+    /// on and a random cadence, the report still matches the plain
+    /// uncompressed run bit-for-bit — sequentially and arc-parallel, with
+    /// and without a fault plan — and resuming from a random boundary of
+    /// the compressed run reproduces it again.
+    #[test]
+    fn checkpoint_cadence_is_unobservable_under_compression(
+        loads in prop::collection::vec(0u64..100, 2..20),
+        alg in 0usize..6,
+        seed in 0u64..1_000_000,
+        every in 1u64..24,
+        shards in 0usize..5,
+        faulty in 0u8..2,
+        pick in 0usize..64,
+    ) {
+        prop_assume!(loads.iter().sum::<u64>() > 0);
+        const SHARDS: [usize; 4] = [1, 2, 3, 7];
+        let inst = Instance::from_loads(loads);
+        let m = inst.num_processors();
+        let plan = (faulty == 1).then(|| FaultPlan::random(m, 48, seed));
+        let (name, cfg) = UnitConfig::all_six()[alg];
+        let cfg = cfg.with_trace().with_observe();
+
+        let base = match &plan {
+            Some(p) => run_unit_faulty(&inst, &cfg, p),
+            None => run_unit(&inst, &cfg),
+        }
+        .unwrap();
+
+        let compressed_cfg = cfg.with_compress();
+        let snaps = Arc::new(Mutex::new(Vec::new()));
+        let log = Arc::clone(&snaps);
+        let run = run_unit_checkpointed(
+            &inst,
+            &compressed_cfg,
+            plan.as_ref(),
+            (shards < 4).then(|| SHARDS[shards]),
+            every,
+            "",
+            move |s: &Snapshot| -> Result<(), CheckpointError> {
+                log.lock().unwrap().push(s.clone());
+                Ok(())
+            },
+        )
+        .unwrap();
+        prop_assert_eq!(
+            &base.report,
+            &run.report,
+            "{} compression + checkpoint_every({}) changed the report under {:?}",
+            name,
+            every,
+            &plan
+        );
+
+        let snaps = snaps.lock().unwrap();
+        if snaps.is_empty() {
+            return Ok(());
+        }
+        let snap = &snaps[pick % snaps.len()];
+        prop_assert_eq!(snap.t % every, 0, "snapshot off the cadence boundary");
+        let resumed = resume_unit(&compressed_cfg, snap, None).unwrap();
+        prop_assert_eq!(
+            &base.report,
+            &resumed.report,
+            "{} resumed from the compressed run's t={} diverged under {:?}",
+            name,
+            snap.t,
+            &plan
+        );
     }
 }
 

@@ -23,6 +23,7 @@
 
 use crate::bucket::Ledger;
 use crate::{analysis::C_PAPER, ceil_tol, EPS};
+use ring_sim::checkpoint::{CheckpointError, Decoder, Encoder, Persist};
 use ring_sim::{
     Direction, Engine, EngineConfig, Job, Node, NodeCtx, Payload, Quiescence, RunReport, SimError,
     SizedInstance, StepIo, TraceLevel,
@@ -130,6 +131,56 @@ impl Payload for SizedBucket {
     fn job_units(&self) -> u64 {
         self.work
     }
+}
+
+impl Persist for SizedBucket {
+    fn save(&self, enc: &mut Encoder) {
+        enc.usize(self.origin);
+        self.dir.save(enc);
+        save_jobs(&self.jobs, enc);
+        enc.u64(self.work);
+        enc.f64(self.frac);
+        enc.u64(self.seen_work);
+        enc.f64(self.dropped_frac);
+        enc.u64(self.dropped_work);
+        enc.u64(self.p_max_seen);
+        enc.u64(self.hops);
+        enc.bool(self.balancing);
+        enc.u64(self.total_work);
+    }
+
+    fn load(dec: &mut Decoder<'_>) -> Result<Self, CheckpointError> {
+        Ok(SizedBucket {
+            origin: dec.usize()?,
+            dir: Direction::load(dec)?,
+            jobs: load_jobs(dec)?,
+            work: dec.u64()?,
+            frac: dec.f64()?,
+            seen_work: dec.u64()?,
+            dropped_frac: dec.f64()?,
+            dropped_work: dec.u64()?,
+            p_max_seen: dec.u64()?,
+            hops: dec.u64()?,
+            balancing: dec.bool()?,
+            total_work: dec.u64()?,
+        })
+    }
+}
+
+fn save_jobs(jobs: &[Job], enc: &mut Encoder) {
+    enc.usize(jobs.len());
+    for job in jobs {
+        job.save(enc);
+    }
+}
+
+fn load_jobs(dec: &mut Decoder<'_>) -> Result<Vec<Job>, CheckpointError> {
+    let n = dec.usize()?;
+    let mut jobs = Vec::with_capacity(n);
+    for _ in 0..n {
+        jobs.push(Job::load(dec)?);
+    }
+    Ok(jobs)
 }
 
 /// Per-processor policy state for the arbitrary-size algorithm.
@@ -338,6 +389,41 @@ impl Node for SizedNode {
             self.current_remaining -= d;
             remaining -= d;
         }
+    }
+
+    // `c` and `bidirectional` are configuration, rebuilt on restore.
+    fn save_state(&self, enc: &mut Encoder) -> Result<(), CheckpointError> {
+        save_jobs(&self.initial, enc);
+        enc.u64(self.x);
+        enc.usize(self.queue.len());
+        for job in &self.queue {
+            job.save(enc);
+        }
+        enc.u64(self.current_remaining);
+        self.ledger.save(enc);
+        enc.u64(self.p_max_seen);
+        enc.u64(self.accepted_jobs);
+        enc.u64(self.max_travel_seen);
+        enc.bool(self.saw_balancing);
+        Ok(())
+    }
+
+    fn restore_state(&mut self, dec: &mut Decoder<'_>) -> Result<(), CheckpointError> {
+        self.initial = load_jobs(dec)?;
+        self.x = dec.u64()?;
+        let n = dec.usize()?;
+        let mut queue = VecDeque::with_capacity(n);
+        for _ in 0..n {
+            queue.push_back(Job::load(dec)?);
+        }
+        self.queue = queue;
+        self.current_remaining = dec.u64()?;
+        self.ledger = Ledger::load(dec)?;
+        self.p_max_seen = dec.u64()?;
+        self.accepted_jobs = dec.u64()?;
+        self.max_travel_seen = dec.u64()?;
+        self.saw_balancing = dec.bool()?;
+        Ok(())
     }
 }
 

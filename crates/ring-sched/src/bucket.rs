@@ -19,6 +19,7 @@
 //! processor up to the average load `ceil(n/m)`.
 
 use crate::{ceil_tol, EPS};
+use ring_sim::checkpoint::{CheckpointError, Decoder, Encoder, Persist};
 use ring_sim::{Direction, Payload};
 
 /// A travelling bucket of unit jobs plus its fractional shadow.
@@ -152,6 +153,42 @@ impl Payload for Bucket {
     }
 }
 
+impl Persist for Bucket {
+    fn save(&self, enc: &mut Encoder) {
+        enc.u64(self.id);
+        enc.usize(self.origin);
+        self.dir.save(enc);
+        enc.u64(self.jobs);
+        enc.f64(self.frac);
+        enc.u64(self.seen_work);
+        enc.f64(self.dropped_frac);
+        enc.u64(self.dropped_int);
+        enc.u64(self.hops);
+        enc.f64(self.best_lb);
+        enc.bool(self.balancing);
+        enc.u64(self.total_work);
+        enc.u64(self.spill);
+    }
+
+    fn load(dec: &mut Decoder<'_>) -> Result<Self, CheckpointError> {
+        Ok(Bucket {
+            id: dec.u64()?,
+            origin: dec.usize()?,
+            dir: Direction::load(dec)?,
+            jobs: dec.u64()?,
+            frac: dec.f64()?,
+            seen_work: dec.u64()?,
+            dropped_frac: dec.f64()?,
+            dropped_int: dec.u64()?,
+            hops: dec.u64()?,
+            best_lb: dec.f64()?,
+            balancing: dec.bool()?,
+            total_work: dec.u64()?,
+            spill: dec.u64()?,
+        })
+    }
+}
+
 /// Per-processor acceptance ledger: everything a processor must remember
 /// about past drops to run the algorithm (all local state).
 #[derive(Debug, Clone, Default)]
@@ -165,6 +202,24 @@ pub struct Ledger {
     pub passed_frac: f64,
     /// Variant A: whole jobs that have passed (diagnostics).
     pub passed_int: u64,
+}
+
+impl Persist for Ledger {
+    fn save(&self, enc: &mut Encoder) {
+        enc.f64(self.accepted_frac);
+        enc.u64(self.accepted_int);
+        enc.f64(self.passed_frac);
+        enc.u64(self.passed_int);
+    }
+
+    fn load(dec: &mut Decoder<'_>) -> Result<Self, CheckpointError> {
+        Ok(Ledger {
+            accepted_frac: dec.f64()?,
+            accepted_int: dec.u64()?,
+            passed_frac: dec.f64()?,
+            passed_int: dec.u64()?,
+        })
+    }
 }
 
 /// What one drop-off deposited.

@@ -25,6 +25,7 @@
 //! *unknown* and no jobs are passed (passing requires positive evidence
 //! that the neighbor is nearly idle).
 
+use ring_sim::checkpoint::{CheckpointError, Decoder, Encoder, Persist};
 use ring_sim::{
     Direction, Engine, EngineConfig, Instance, LinkCapacity, Node, NodeCtx, Payload, RunReport,
     SimError, StepIo, TraceLevel,
@@ -52,6 +53,31 @@ impl Payload for CapMsg {
         match self {
             CapMsg::Job | CapMsg::JobWithCount(_) => 1,
             CapMsg::Count(_) => 0,
+        }
+    }
+}
+
+impl Persist for CapMsg {
+    fn save(&self, enc: &mut Encoder) {
+        match self {
+            CapMsg::Job => enc.u8(0),
+            CapMsg::Count(c) => {
+                enc.u8(1);
+                enc.u64(*c);
+            }
+            CapMsg::JobWithCount(c) => {
+                enc.u8(2);
+                enc.u64(*c);
+            }
+        }
+    }
+
+    fn load(dec: &mut Decoder<'_>) -> Result<Self, CheckpointError> {
+        match dec.u8()? {
+            0 => Ok(CapMsg::Job),
+            1 => Ok(CapMsg::Count(dec.u64()?)),
+            2 => Ok(CapMsg::JobWithCount(dec.u64()?)),
+            _ => Err(CheckpointError::Corrupt("bad CapMsg tag")),
         }
     }
 }
@@ -173,6 +199,42 @@ impl Node for CapacitatedNode {
     fn pending_work(&self) -> u64 {
         self.jobs
     }
+
+    // `piggyback` is a message-layout choice (the two layouts schedule
+    // identically), so it is rebuilt from configuration, not persisted.
+    fn save_state(&self, enc: &mut Encoder) -> Result<(), CheckpointError> {
+        enc.u64(self.jobs);
+        save_opt_count(enc, self.left);
+        save_opt_count(enc, self.right);
+        enc.bool(self.reached_low);
+        enc.u64(self.max_load_after_low);
+        enc.u64(self.processed);
+        Ok(())
+    }
+
+    fn restore_state(&mut self, dec: &mut Decoder<'_>) -> Result<(), CheckpointError> {
+        self.jobs = dec.u64()?;
+        self.left = load_opt_count(dec)?;
+        self.right = load_opt_count(dec)?;
+        self.reached_low = dec.bool()?;
+        self.max_load_after_low = dec.u64()?;
+        self.processed = dec.u64()?;
+        Ok(())
+    }
+}
+
+fn save_opt_count(enc: &mut Encoder, v: Option<u64>) {
+    match v {
+        Some(c) => {
+            enc.bool(true);
+            enc.u64(c);
+        }
+        None => enc.bool(false),
+    }
+}
+
+fn load_opt_count(dec: &mut Decoder<'_>) -> Result<Option<u64>, CheckpointError> {
+    Ok(if dec.bool()? { Some(dec.u64()?) } else { None })
 }
 
 /// Outcome of a capacitated run.

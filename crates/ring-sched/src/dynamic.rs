@@ -23,6 +23,7 @@
 //!   work arriving *at or after* `r` (that work cannot start before `r`).
 
 use crate::unit::{UnitConfig, UnitNode};
+use ring_sim::checkpoint::{CheckpointError, Decoder, Encoder};
 use ring_sim::{Engine, EngineConfig, Instance, Node, NodeCtx, RunReport, SimError, StepIo};
 
 /// A batch of unit jobs arriving at a processor at a point in time.
@@ -210,6 +211,32 @@ impl Node for DynamicNode {
 
     fn fast_forward(&mut self, steps: u64) {
         self.inner.fast_forward_drain(steps);
+    }
+
+    fn save_state(&self, enc: &mut Encoder) -> Result<(), CheckpointError> {
+        self.inner.save_mut_state(enc);
+        enc.usize(self.pending.len());
+        for a in &self.pending {
+            enc.u64(a.time);
+            enc.usize(a.processor);
+            enc.u64(a.count);
+        }
+        Ok(())
+    }
+
+    fn restore_state(&mut self, dec: &mut Decoder<'_>) -> Result<(), CheckpointError> {
+        self.inner.restore_mut_state(dec)?;
+        let n = dec.usize()?;
+        let mut pending = std::collections::VecDeque::with_capacity(n);
+        for _ in 0..n {
+            pending.push_back(Arrival {
+                time: dec.u64()?,
+                processor: dec.usize()?,
+                count: dec.u64()?,
+            });
+        }
+        self.pending = pending;
+        Ok(())
     }
 }
 

@@ -36,6 +36,7 @@
 use crate::analysis::C_PAPER;
 use crate::bucket::{drop_balancing, drop_regular, Bucket, DropOutcome, Ledger};
 use crate::EPS;
+use ring_sim::checkpoint::{CheckpointError, Decoder, Encoder, Persist, Snapshot};
 use ring_sim::{
     Audit, Direction, DropKind, DropRecord, Engine, EngineConfig, FaultPlan, Instance, Node,
     NodeCtx, Outbox, Quiescence, RunReport, SimError, StepIo, TraceLevel,
@@ -170,6 +171,21 @@ impl UnitConfig {
     /// Algorithm C2 (§6): variant C, bidirectional.
     pub fn c2() -> Self {
         Self::new(Variant::C, Directionality::Bi)
+    }
+
+    /// Parses a paper name (`"c1"`, `"A2"`, …) back into a configuration —
+    /// the inverse of [`UnitConfig::name`], used by `ringsched resume` to
+    /// rebuild the policy from a snapshot's metadata.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name.to_lowercase().as_str() {
+            "a1" => Some(Self::a1()),
+            "b1" => Some(Self::b1()),
+            "c1" => Some(Self::c1()),
+            "a2" => Some(Self::a2()),
+            "b2" => Some(Self::b2()),
+            "c2" => Some(Self::c2()),
+            _ => None,
+        }
     }
 
     /// All six §6 algorithms with their paper names.
@@ -419,6 +435,39 @@ impl UnitNode {
         self.backlog_frac = (self.backlog_frac - steps as f64).max(0.0);
     }
 
+    /// Serializes the node's mutable state (the algorithm constants —
+    /// variant, directionality, `c` — come from the rebuilt configuration
+    /// on restore, so they are not written). Shared with
+    /// [`crate::dynamic::DynamicNode`], which wraps a `UnitNode`.
+    pub(crate) fn save_mut_state(&self, enc: &mut Encoder) {
+        enc.u64(self.x);
+        enc.u64(self.backlog);
+        enc.u64(self.processed);
+        enc.f64(self.backlog_frac);
+        self.ledger.save(enc);
+        enc.u64(self.max_travel_seen);
+        enc.bool(self.saw_balancing);
+        enc.bool(self.emitted);
+        enc.u64(self.emit_serial);
+    }
+
+    /// Inverse of [`UnitNode::save_mut_state`].
+    pub(crate) fn restore_mut_state(
+        &mut self,
+        dec: &mut Decoder<'_>,
+    ) -> Result<(), CheckpointError> {
+        self.x = dec.u64()?;
+        self.backlog = dec.u64()?;
+        self.processed = dec.u64()?;
+        self.backlog_frac = dec.f64()?;
+        self.ledger = Ledger::load(dec)?;
+        self.max_travel_seen = dec.u64()?;
+        self.saw_balancing = dec.bool()?;
+        self.emitted = dec.bool()?;
+        self.emit_serial = dec.u64()?;
+        Ok(())
+    }
+
     /// Accepts a bucket at this node: run the drop-off negotiation and
     /// forward the bucket if it still holds anything.
     fn handle_bucket(
@@ -507,6 +556,15 @@ impl Node for UnitNode {
     fn fast_forward(&mut self, steps: u64) {
         self.fast_forward_drain(steps);
     }
+
+    fn save_state(&self, enc: &mut Encoder) -> Result<(), CheckpointError> {
+        self.save_mut_state(enc);
+        Ok(())
+    }
+
+    fn restore_state(&mut self, dec: &mut Decoder<'_>) -> Result<(), CheckpointError> {
+        self.restore_mut_state(dec)
+    }
 }
 
 /// Builds the per-processor policy nodes for an instance — used by
@@ -591,6 +649,79 @@ pub fn run_unit_par_faulty(
 ) -> Result<UnitRun, SimError> {
     let mut engine = unit_engine(instance, cfg, Some(plan.clone()));
     let report = engine.par_run(shards)?;
+    Ok(finish_unit_run(engine, report))
+}
+
+/// Runs a unit-job algorithm with snapshotting: `sink` receives a
+/// [`Snapshot`] at every `every`-step boundary (the CLI writes them to
+/// disk). `shards` of `None` runs the sequential engine, `Some(s)` the
+/// arc-parallel one — the snapshots and the final [`UnitRun`] are
+/// bit-identical either way, and identical to the uncheckpointed run.
+pub fn run_unit_checkpointed<F>(
+    instance: &Instance,
+    cfg: &UnitConfig,
+    plan: Option<&FaultPlan>,
+    shards: Option<usize>,
+    every: u64,
+    meta: &str,
+    sink: F,
+) -> Result<UnitRun, SimError>
+where
+    F: FnMut(&Snapshot) -> Result<(), CheckpointError> + Send + 'static,
+{
+    let nodes = build_unit_nodes(instance, cfg);
+    let engine_cfg = EngineConfig {
+        max_steps: cfg.max_steps,
+        trace: cfg.trace,
+        observe: cfg.observe,
+        faults: plan.cloned(),
+        compress: cfg.compress,
+        checkpoint_meta: meta.to_string(),
+        ..EngineConfig::default()
+    }
+    .checkpoint_every(every);
+    let mut engine = Engine::new(nodes, instance.total_work(), engine_cfg);
+    engine.on_checkpoint(sink);
+    let report = match shards {
+        Some(s) => engine.par_run(s)?,
+        None => engine.run()?,
+    };
+    Ok(finish_unit_run(engine, report))
+}
+
+/// Resumes a unit-job run from a [`Snapshot`] and runs it to completion.
+///
+/// The policy configuration (`variant`, `directionality`, `c`) is rebuilt
+/// from `cfg` — it is deliberately not in the snapshot — while everything
+/// the interrupted run had computed (node state, in-flight messages, the
+/// fault plan with its staged queues, metrics, trace, observability) is
+/// restored from the snapshot. The completed [`UnitRun`] is bit-for-bit
+/// identical to the uninterrupted run's, whatever `shards` is here or was
+/// at save time.
+pub fn resume_unit(
+    cfg: &UnitConfig,
+    snap: &Snapshot,
+    shards: Option<usize>,
+) -> Result<UnitRun, SimError> {
+    // Initial loads only seed node state, which the snapshot overwrites;
+    // the ring size is taken from the snapshot itself.
+    let nodes: Vec<UnitNode> = (0..snap.m).map(|_| UnitNode::new(cfg, 0)).collect();
+    let engine_cfg = EngineConfig {
+        max_steps: cfg.max_steps,
+        trace: cfg.trace,
+        observe: cfg.observe,
+        compress: cfg.compress,
+        ..EngineConfig::default()
+    };
+    let mut engine =
+        Engine::resume(nodes, engine_cfg, snap).map_err(|error| SimError::Checkpoint {
+            step: snap.t,
+            error,
+        })?;
+    let report = match shards {
+        Some(s) => engine.par_run(s)?,
+        None => engine.run()?,
+    };
     Ok(finish_unit_run(engine, report))
 }
 

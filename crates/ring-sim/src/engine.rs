@@ -39,6 +39,7 @@
 
 use std::collections::VecDeque;
 
+use crate::checkpoint::{self, CheckpointError, Decoder, Encoder, Persist, Snapshot, StagedBlob};
 use crate::error::SimError;
 use crate::fault::FaultPlan;
 use crate::metrics::{Metrics, Observability, StepSample};
@@ -354,6 +355,32 @@ pub trait Node {
     fn fast_forward(&mut self, steps: u64) {
         let _ = steps;
     }
+
+    /// Serializes this node's complete policy state into a checkpoint
+    /// ([`Engine::on_checkpoint`]). The round-trip contract is bit-exactness:
+    /// after [`Node::restore_state`] on a freshly constructed node of the
+    /// same configuration, every subsequent step must behave identically —
+    /// including `f64` bookkeeping, which must travel as bit patterns
+    /// ([`Encoder::f64`]).
+    ///
+    /// The default refuses ([`CheckpointError::Unsupported`]); nodes opt in.
+    /// Plain runs never call this, so opting out costs nothing.
+    fn save_state(&self, enc: &mut Encoder) -> Result<(), CheckpointError> {
+        let _ = enc;
+        Err(CheckpointError::Unsupported(
+            "node type does not implement save_state",
+        ))
+    }
+
+    /// Restores the state written by [`Node::save_state`] into `self` (a
+    /// freshly constructed node of the same configuration), consuming
+    /// exactly the bytes that were written. See [`Engine::resume`].
+    fn restore_state(&mut self, dec: &mut Decoder<'_>) -> Result<(), CheckpointError> {
+        let _ = dec;
+        Err(CheckpointError::Unsupported(
+            "node type does not implement restore_state",
+        ))
+    }
 }
 
 /// A node's self-reported quiescence window: see [`Node::quiescence`].
@@ -412,6 +439,31 @@ pub struct EngineConfig {
     /// uncompressed run (asserted by the workspace's equivalence proptests).
     /// Off by default.
     pub compress: bool,
+    /// Snapshot cadence: request a checkpoint at every step boundary `t`
+    /// divisible by this value (and after the resume point). Only effective
+    /// once a sink is installed via [`Engine::on_checkpoint`]; with the
+    /// cadence set, quiescent-span compression caps its spans so fast-
+    /// forwarding always lands exactly on the next boundary (the split is
+    /// unobservable in the report — see DESIGN.md §11). `None` (default)
+    /// never checkpoints.
+    pub checkpoint_every: Option<u64>,
+    /// Free-form metadata embedded in every snapshot ([`Snapshot::app_meta`]).
+    /// The engine never interprets it; the CLI stores the flags needed to
+    /// rebuild the policy nodes at resume time.
+    pub checkpoint_meta: String,
+}
+
+impl EngineConfig {
+    /// Builder-style setter for [`EngineConfig::checkpoint_every`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every == 0` (a zero cadence is meaningless).
+    pub fn checkpoint_every(mut self, every: u64) -> Self {
+        assert!(every > 0, "checkpoint cadence must be positive");
+        self.checkpoint_every = Some(every);
+        self
+    }
 }
 
 impl Default for EngineConfig {
@@ -423,6 +475,8 @@ impl Default for EngineConfig {
             observe: false,
             faults: None,
             compress: false,
+            checkpoint_every: None,
+            checkpoint_meta: String::new(),
         }
     }
 }
@@ -847,12 +901,40 @@ fn synthesize_quiet_samples(
     }
 }
 
+/// The snapshot-sink callback installed by [`Engine::on_checkpoint`].
+type SnapshotSink = dyn FnMut(&Snapshot) -> Result<(), CheckpointError> + Send;
+
+/// The installed checkpoint hook: a monomorphized message serializer
+/// (captured as a plain fn pointer so [`Node::Msg`]`: Persist` is required
+/// only at installation, never on plain runs) plus the snapshot sink.
+struct CheckpointHook<M> {
+    save_msg: fn(&M, &mut Encoder),
+    sink: Box<SnapshotSink>,
+}
+
+/// Mid-run state decoded from a [`Snapshot`], consumed by the next
+/// [`Engine::run`] / [`Engine::par_run`] call in place of the fresh-start
+/// initialization.
+struct ResumeState<M> {
+    t0: u64,
+    prev_round_departed: u64,
+    cur_cw: Vec<Vec<M>>,
+    cur_ccw: Vec<Vec<M>>,
+    queue_cw: Vec<LinkQueue<M>>,
+    queue_ccw: Vec<LinkQueue<M>>,
+    metrics: Metrics,
+    trace: Trace,
+    obs: Option<Observability>,
+}
+
 /// The synchronous executor.
 pub struct Engine<N: Node> {
     topo: RingTopology,
     nodes: Vec<N>,
     total_work: u64,
     config: EngineConfig,
+    checkpoint: Option<CheckpointHook<N::Msg>>,
+    resume: Option<ResumeState<N::Msg>>,
 }
 
 impl<N: Node> Engine<N> {
@@ -872,7 +954,144 @@ impl<N: Node> Engine<N> {
             nodes,
             total_work,
             config,
+            checkpoint: None,
+            resume: None,
         }
+    }
+
+    /// Installs a checkpoint sink. Together with
+    /// [`EngineConfig::checkpoint_every`], this makes [`Engine::run`] and
+    /// [`Engine::par_run`] hand a canonical [`Snapshot`] to `sink` at every
+    /// cadence boundary; a sink error aborts the run with
+    /// [`SimError::Checkpoint`] rather than continue past a missing
+    /// snapshot. Both executors produce byte-identical snapshots at the same
+    /// boundary, whatever the shard count.
+    pub fn on_checkpoint<F>(&mut self, sink: F) -> &mut Self
+    where
+        N::Msg: Persist,
+        F: FnMut(&Snapshot) -> Result<(), CheckpointError> + Send + 'static,
+    {
+        fn save_via_persist<M: Persist>(msg: &M, enc: &mut Encoder) {
+            msg.save(enc);
+        }
+        self.checkpoint = Some(CheckpointHook {
+            save_msg: save_via_persist::<N::Msg>,
+            sink: Box::new(sink),
+        });
+        self
+    }
+
+    /// Reconstructs an engine mid-run from a [`Snapshot`].
+    ///
+    /// `nodes` must be freshly constructed with the same configuration as
+    /// the interrupted run (the CLI rebuilds them from
+    /// [`Snapshot::app_meta`]); their mutable state is overwritten via
+    /// [`Node::restore_state`]. The snapshot is self-describing for
+    /// everything that must match bit-for-bit — trace level, observability,
+    /// and the fault plan are taken from it, overriding `config` — while
+    /// executor-only choices (`max_steps`, `compress`, `link_capacity`,
+    /// `checkpoint_every`) stay with the caller.
+    ///
+    /// The subsequent [`Engine::run`] or [`Engine::par_run`] (any shard
+    /// count, independent of the saving run's) continues from step
+    /// [`Snapshot::t`] and returns a [`RunReport`] **bit-for-bit identical**
+    /// to the uninterrupted run's.
+    pub fn resume(
+        nodes: Vec<N>,
+        config: EngineConfig,
+        snap: &Snapshot,
+    ) -> Result<Self, CheckpointError>
+    where
+        N::Msg: Persist,
+    {
+        let m = snap.m;
+        if nodes.len() != m {
+            return Err(CheckpointError::Mismatch(format!(
+                "snapshot is for a {m}-node ring, got {} nodes",
+                nodes.len()
+            )));
+        }
+        if snap.nodes.len() != m
+            || snap.arena_cw.len() != m
+            || snap.arena_ccw.len() != m
+            || snap.queue_cw.len() != m
+            || snap.queue_ccw.len() != m
+            || snap.metrics.processed_per_node.len() != m
+            || snap.metrics.busy_steps_per_node.len() != m
+        {
+            return Err(CheckpointError::Corrupt(
+                "snapshot vectors disagree with its ring size",
+            ));
+        }
+        if snap.processed >= snap.total_work {
+            return Err(CheckpointError::Mismatch(format!(
+                "snapshot describes a finished run ({}/{} units processed)",
+                snap.processed, snap.total_work
+            )));
+        }
+        if snap.metrics.total_processed() != snap.processed || snap.metrics.steps != snap.t {
+            return Err(CheckpointError::Corrupt(
+                "snapshot metrics disagree with its header",
+            ));
+        }
+        let mut nodes = nodes;
+        for (node, blob) in nodes.iter_mut().zip(&snap.nodes) {
+            let mut dec = Decoder::new(blob);
+            node.restore_state(&mut dec)?;
+            dec.finish()?;
+        }
+        let mut config = config;
+        config.trace = snap.trace_level;
+        config.observe = snap.observability.is_some();
+        config.faults = snap.faults.clone();
+
+        let mut cur_cw = Vec::with_capacity(m);
+        for cell in &snap.arena_cw {
+            cur_cw.push(checkpoint::load_msgs::<N::Msg>(cell)?);
+        }
+        let mut cur_ccw = Vec::with_capacity(m);
+        for cell in &snap.arena_ccw {
+            cur_ccw.push(checkpoint::load_msgs::<N::Msg>(cell)?);
+        }
+        let mut queue_cw: Vec<LinkQueue<N::Msg>> = Vec::new();
+        let mut queue_ccw: Vec<LinkQueue<N::Msg>> = Vec::new();
+        if config.faults.is_some() {
+            for cell in &snap.queue_cw {
+                queue_cw.push(load_link_queue::<N::Msg>(cell)?);
+            }
+            for cell in &snap.queue_ccw {
+                queue_ccw.push(load_link_queue::<N::Msg>(cell)?);
+            }
+        } else if snap
+            .queue_cw
+            .iter()
+            .chain(&snap.queue_ccw)
+            .any(|cell| !cell.is_empty())
+        {
+            return Err(CheckpointError::Corrupt(
+                "snapshot stages fault-queue messages but carries no fault plan",
+            ));
+        }
+
+        let resume = ResumeState {
+            t0: snap.t,
+            prev_round_departed: snap.prev_round_departed,
+            cur_cw,
+            cur_ccw,
+            queue_cw,
+            queue_ccw,
+            metrics: snap.metrics.clone(),
+            trace: Trace::from_events(snap.trace_level, snap.events.clone()),
+            obs: snap.observability.clone(),
+        };
+        Ok(Engine {
+            topo: RingTopology::new(m),
+            nodes,
+            total_work: snap.total_work,
+            config,
+            checkpoint: None,
+            resume: Some(resume),
+        })
     }
 
     /// Immutable access to the nodes (e.g. to inspect final policy state).
@@ -932,23 +1151,10 @@ impl<N: Node> Engine<N> {
     pub fn run(&mut self) -> Result<RunReport, SimError> {
         let m = self.topo.len();
         let max_steps = self.max_steps();
-        let mut metrics = Metrics::new(m);
-        let mut trace = Trace::new(self.config.trace);
-        let mut obs = self.config.observe.then(|| Observability::new(m));
 
         if self.total_work == 0 {
             return Ok(self.empty_report());
         }
-
-        // Double-buffered message arenas, indexed by *receiving* node:
-        // `cur_cw[i]` holds clockwise-travelling messages node `i` receives
-        // this round (sent by `i - 1` last round); `next_*` collect this
-        // round's sends. The pairs swap roles each round; every vector keeps
-        // its capacity, so the steady-state loop does not allocate.
-        let mut cur_cw: Vec<Vec<N::Msg>> = (0..m).map(|_| Vec::new()).collect();
-        let mut cur_ccw: Vec<Vec<N::Msg>> = (0..m).map(|_| Vec::new()).collect();
-        let mut next_cw: Vec<Vec<N::Msg>> = (0..m).map(|_| Vec::new()).collect();
-        let mut next_ccw: Vec<Vec<N::Msg>> = (0..m).map(|_| Vec::new()).collect();
 
         // Fault state: per-node per-direction link queues plus two scratch
         // buffers nodes stage their sends into before `transmit` meters them
@@ -956,8 +1162,50 @@ impl<N: Node> Engine<N> {
         // set; without one the arenas are written directly.
         let plan = self.config.faults.clone();
         let qm = if plan.is_some() { m } else { 0 };
-        let mut queue_cw: Vec<LinkQueue<N::Msg>> = (0..qm).map(|_| VecDeque::new()).collect();
-        let mut queue_ccw: Vec<LinkQueue<N::Msg>> = (0..qm).map(|_| VecDeque::new()).collect();
+
+        // Double-buffered message arenas, indexed by *receiving* node:
+        // `cur_cw[i]` holds clockwise-travelling messages node `i` receives
+        // this round (sent by `i - 1` last round); `next_*` collect this
+        // round's sends. The pairs swap roles each round; every vector keeps
+        // its capacity, so the steady-state loop does not allocate. A resume
+        // replaces the fresh-start state with the snapshot's mid-run image;
+        // `next_*` are empty at every step boundary, so they always start
+        // fresh.
+        let resume = self.resume.take();
+        let start_t = resume.as_ref().map_or(0, |r| r.t0);
+        let mut next_cw: Vec<Vec<N::Msg>> = (0..m).map(|_| Vec::new()).collect();
+        let mut next_ccw: Vec<Vec<N::Msg>> = (0..m).map(|_| Vec::new()).collect();
+        let (
+            mut metrics,
+            mut trace,
+            mut obs,
+            mut cur_cw,
+            mut cur_ccw,
+            mut queue_cw,
+            mut queue_ccw,
+            mut prev_round_departed,
+        ) = match resume {
+            Some(r) => (
+                r.metrics,
+                r.trace,
+                r.obs,
+                r.cur_cw,
+                r.cur_ccw,
+                r.queue_cw,
+                r.queue_ccw,
+                r.prev_round_departed,
+            ),
+            None => (
+                Metrics::new(m),
+                Trace::new(self.config.trace),
+                self.config.observe.then(|| Observability::new(m)),
+                (0..m).map(|_| Vec::new()).collect(),
+                (0..m).map(|_| Vec::new()).collect(),
+                (0..qm).map(|_| VecDeque::new()).collect(),
+                (0..qm).map(|_| VecDeque::new()).collect(),
+                0u64,
+            ),
+        };
         let mut stage_cw: Vec<N::Msg> = Vec::new();
         let mut stage_ccw: Vec<N::Msg> = Vec::new();
         let record_audit = matches!(self.config.trace, TraceLevel::Full);
@@ -969,11 +1217,16 @@ impl<N: Node> Engine<N> {
         // plan is provably inert, and a reusable backlog scratch buffer.
         let compress = self.config.compress;
         let fault_horizon = plan.as_ref().map_or(0, |p| p.horizon());
-        let mut prev_round_departed: u64 = 0;
         let mut quiet_backlogs: Vec<u64> = Vec::new();
 
-        let mut processed_total: u64 = 0;
-        let mut t: u64 = 0;
+        // Checkpoints fire only when both a cadence and a sink are set.
+        let cp_every = match (self.config.checkpoint_every, self.checkpoint.as_ref()) {
+            (Some(k), Some(_)) => Some(k),
+            _ => None,
+        };
+
+        let mut processed_total: u64 = metrics.total_processed();
+        let mut t: u64 = start_t;
         loop {
             if t >= max_steps {
                 return Err(SimError::ExceededMaxSteps {
@@ -981,6 +1234,36 @@ impl<N: Node> Engine<N> {
                     processed: processed_total,
                     total: self.total_work,
                 });
+            }
+
+            // Checkpoint boundary: every state the loop carries is exactly
+            // the step-`t` image here (next arenas empty, metrics.steps == t,
+            // all trace events < t), so the snapshot is self-contained.
+            if let Some(every) = cp_every {
+                if t > start_t && t % every == 0 {
+                    let hook = self.checkpoint.as_mut().expect("gated on hook presence");
+                    let snap = build_snapshot(
+                        hook.save_msg,
+                        &self.nodes,
+                        self.total_work,
+                        t,
+                        prev_round_departed,
+                        self.config.trace,
+                        plan.as_ref(),
+                        &metrics,
+                        trace.events(),
+                        obs.as_ref(),
+                        &cur_cw,
+                        &cur_ccw,
+                        &queue_cw,
+                        &queue_ccw,
+                        &self.config.checkpoint_meta,
+                    );
+                    let result = snap.and_then(|snap| (hook.sink)(&snap));
+                    if let Err(error) = result {
+                        return Err(SimError::Checkpoint { step: t, error });
+                    }
+                }
             }
 
             // Quiescent-span step compression: nothing in flight, no link
@@ -995,8 +1278,17 @@ impl<N: Node> Engine<N> {
                 && queue_cw.iter().all(VecDeque::is_empty)
                 && queue_ccw.iter().all(VecDeque::is_empty)
             {
+                // A compressed span must not jump over a checkpoint
+                // boundary, so its budget is additionally capped at the
+                // distance to the next one; a boundary landing inside a
+                // quiescent span simply splits it, which the synthesized
+                // trace/metrics make unobservable in the final report.
+                let mut budget = max_steps - t;
+                if let Some(every) = cp_every {
+                    budget = budget.min(every - t % every);
+                }
                 if let Some(k) = arc_quiescence(&self.nodes, t, &mut quiet_backlogs)
-                    .and_then(|(span, max_b)| compression_k(span, max_b, max_steps - t))
+                    .and_then(|(span, max_b)| compression_k(span, max_b, budget))
                 {
                     let max_b = quiet_backlogs.iter().copied().max().unwrap_or(0);
                     if record_audit {
@@ -1252,6 +1544,7 @@ impl<N: Node> Engine<N> {
             return Ok(self.empty_report());
         }
         let max_steps = self.max_steps();
+        let resume = self.resume.take();
 
         let report = par::run_sharded(
             &mut self.nodes,
@@ -1260,10 +1553,102 @@ impl<N: Node> Engine<N> {
             max_steps,
             &self.config,
             shards,
+            resume,
+            self.checkpoint.as_mut(),
         )?;
         self.self_check(&report);
         Ok(report)
     }
+}
+
+/// Decodes one snapshot link queue back into the engine's staged form.
+fn load_link_queue<M: Persist>(blobs: &[StagedBlob]) -> Result<LinkQueue<M>, CheckpointError> {
+    Ok(checkpoint::load_queue::<M>(blobs)?
+        .into_iter()
+        .map(|(ready, attempts, msg)| Staged {
+            ready,
+            attempts,
+            msg,
+        })
+        .collect())
+}
+
+/// Serializes the complete engine state at a step boundary into a canonical
+/// [`Snapshot`]. Shared by the sequential executor (whole-ring call) and —
+/// piecewise, via `par::arc_image` + `par::stitch_snapshot` — the parallel
+/// one, which is why the per-collection encodings live in
+/// [`crate::checkpoint`] rather than inline here.
+#[allow(clippy::too_many_arguments)]
+fn build_snapshot<N: Node>(
+    save_msg: fn(&N::Msg, &mut Encoder),
+    nodes: &[N],
+    total_work: u64,
+    t: u64,
+    prev_round_departed: u64,
+    trace_level: TraceLevel,
+    faults: Option<&FaultPlan>,
+    metrics: &Metrics,
+    events: &[Event],
+    obs: Option<&Observability>,
+    cur_cw: &[Vec<N::Msg>],
+    cur_ccw: &[Vec<N::Msg>],
+    queue_cw: &[LinkQueue<N::Msg>],
+    queue_ccw: &[LinkQueue<N::Msg>],
+    app_meta: &str,
+) -> Result<Snapshot, CheckpointError> {
+    let m = nodes.len();
+    let mut node_blobs = Vec::with_capacity(m);
+    for node in nodes {
+        let mut enc = Encoder::new();
+        node.save_state(&mut enc)?;
+        node_blobs.push(enc.into_bytes());
+    }
+    let arena = |cells: &[Vec<N::Msg>]| -> Vec<Vec<Vec<u8>>> {
+        cells
+            .iter()
+            .map(|cell| {
+                cell.iter()
+                    .map(|msg| checkpoint::save_msg_blob(save_msg, msg))
+                    .collect()
+            })
+            .collect()
+    };
+    let queues = |queues: &[LinkQueue<N::Msg>]| -> Vec<Vec<StagedBlob>> {
+        let mut out: Vec<Vec<StagedBlob>> = queues
+            .iter()
+            .map(|q| {
+                q.iter()
+                    .map(|s| StagedBlob {
+                        ready: s.ready,
+                        attempts: s.attempts,
+                        msg: checkpoint::save_msg_blob(save_msg, &s.msg),
+                    })
+                    .collect()
+            })
+            .collect();
+        // The fault-free path allocates no queues; the snapshot still
+        // carries one (empty) entry per node so its shape is canonical.
+        out.resize_with(m, Vec::new);
+        out
+    };
+    Ok(Snapshot {
+        m,
+        total_work,
+        t,
+        processed: metrics.total_processed(),
+        prev_round_departed,
+        trace_level,
+        faults: faults.cloned(),
+        metrics: metrics.clone(),
+        events: events.to_vec(),
+        observability: obs.cloned(),
+        nodes: node_blobs,
+        arena_cw: arena(cur_cw),
+        arena_ccw: arena(cur_ccw),
+        queue_cw: queues(queue_cw),
+        queue_ccw: queues(queue_ccw),
+        app_meta: app_meta.to_string(),
+    })
 }
 
 /// The arc-parallel executor internals.
@@ -1273,7 +1658,9 @@ mod par {
     use std::sync::{Barrier, Mutex};
 
     /// Everything one arc accumulates locally; merged deterministically
-    /// after the threads join.
+    /// after the threads join. `Clone` because a checkpoint boundary
+    /// snapshots the partial mid-run (see `arc_image`).
+    #[derive(Clone)]
     struct ArcPartial {
         lo: usize,
         processed_per_node: Vec<u64>,
@@ -1318,6 +1705,221 @@ mod par {
         }
     }
 
+    /// The run prefix a resumed parallel run continues from (fresh-start
+    /// runs use the zero prefix): needed by both the final merge and every
+    /// mid-run checkpoint stitch, since per-arc partials only describe the
+    /// delta since `t0`.
+    struct BaseCtx<'e> {
+        t0: u64,
+        metrics: &'e Metrics,
+        events: &'e [Event],
+        obs: Option<&'e Observability>,
+    }
+
+    /// Shared checkpoint coordination state for one parallel run. Every
+    /// boundary round, each arc serializes its slice into `images`; after a
+    /// barrier, arc 0 stitches them into one canonical [`Snapshot`] —
+    /// byte-identical to the sequential engine's at the same step, whatever
+    /// the shard count — and hands it to the sink.
+    struct ParCheckpoint<'e, M> {
+        every: u64,
+        start_t: u64,
+        save_msg: fn(&M, &mut Encoder),
+        app_meta: &'e str,
+        images: Mutex<Vec<Option<ArcImage>>>,
+        sink: Mutex<&'e mut SnapshotSink>,
+        base: BaseCtx<'e>,
+    }
+
+    /// One arc's serialized slice of a checkpoint: its nodes, arena cells
+    /// and link queues (already encoded, so the stitch is pure
+    /// concatenation) plus a clone of its running partial.
+    struct ArcImage {
+        nodes: Vec<Vec<u8>>,
+        arena_cw: Vec<Vec<Vec<u8>>>,
+        arena_ccw: Vec<Vec<Vec<u8>>>,
+        queue_cw: Vec<Vec<StagedBlob>>,
+        queue_ccw: Vec<Vec<StagedBlob>>,
+        prev_departed: u64,
+        partial: ArcPartial,
+    }
+
+    /// Serializes one arc's state at a step boundary. On failure returns
+    /// the *global* index of the offending node so "first error wins"
+    /// matches the sequential engine's node order exactly.
+    #[allow(clippy::too_many_arguments)]
+    fn arc_image<N: Node>(
+        cp: &ParCheckpoint<'_, N::Msg>,
+        lo: usize,
+        nodes: &[N],
+        cur_cw: &[Vec<N::Msg>],
+        cur_ccw: &[Vec<N::Msg>],
+        queue_cw: &[LinkQueue<N::Msg>],
+        queue_ccw: &[LinkQueue<N::Msg>],
+        prev_departed: u64,
+        partial: &ArcPartial,
+    ) -> Result<ArcImage, (usize, CheckpointError)> {
+        let mut node_blobs = Vec::with_capacity(nodes.len());
+        for (j, node) in nodes.iter().enumerate() {
+            let mut enc = Encoder::new();
+            node.save_state(&mut enc).map_err(|e| (lo + j, e))?;
+            node_blobs.push(enc.into_bytes());
+        }
+        let arena = |cells: &[Vec<N::Msg>]| -> Vec<Vec<Vec<u8>>> {
+            cells
+                .iter()
+                .map(|cell| {
+                    cell.iter()
+                        .map(|msg| checkpoint::save_msg_blob(cp.save_msg, msg))
+                        .collect()
+                })
+                .collect()
+        };
+        let queues = |queues: &[LinkQueue<N::Msg>]| -> Vec<Vec<StagedBlob>> {
+            queues
+                .iter()
+                .map(|q| {
+                    q.iter()
+                        .map(|s| StagedBlob {
+                            ready: s.ready,
+                            attempts: s.attempts,
+                            msg: checkpoint::save_msg_blob(cp.save_msg, &s.msg),
+                        })
+                        .collect()
+                })
+                .collect()
+        };
+        Ok(ArcImage {
+            nodes: node_blobs,
+            arena_cw: arena(cur_cw),
+            arena_ccw: arena(cur_ccw),
+            queue_cw: queues(queue_cw),
+            queue_ccw: queues(queue_ccw),
+            prev_departed,
+            partial: partial.clone(),
+        })
+    }
+
+    /// Concatenates the per-arc images into one canonical [`Snapshot`],
+    /// using the same merge algebra as the end-of-run report
+    /// (`merge_partials`) — which is exactly why the stitched snapshot is
+    /// byte-identical to the sequential engine's.
+    fn stitch_snapshot<M>(
+        cp: &ParCheckpoint<'_, M>,
+        t: u64,
+        m: usize,
+        total_work: u64,
+        config: &EngineConfig,
+        images: Vec<ArcImage>,
+    ) -> Snapshot {
+        let mut nodes = Vec::with_capacity(m);
+        let mut arena_cw = Vec::with_capacity(m);
+        let mut arena_ccw = Vec::with_capacity(m);
+        let mut queue_cw = Vec::with_capacity(m);
+        let mut queue_ccw = Vec::with_capacity(m);
+        let mut prev_round_departed: u64 = 0;
+        let mut partials = Vec::with_capacity(images.len());
+        for img in images {
+            nodes.extend(img.nodes);
+            arena_cw.extend(img.arena_cw);
+            arena_ccw.extend(img.arena_ccw);
+            queue_cw.extend(img.queue_cw);
+            queue_ccw.extend(img.queue_ccw);
+            prev_round_departed += img.prev_departed;
+            partials.push(img.partial);
+        }
+        // Fault-free arcs carry no queues; keep the snapshot shape canonical
+        // (one entry per node), matching `build_snapshot`.
+        queue_cw.resize_with(m, Vec::new);
+        queue_ccw.resize_with(m, Vec::new);
+        let (metrics, events, observability) = merge_partials(
+            cp.base.t0,
+            cp.base.metrics,
+            cp.base.events,
+            cp.base.obs,
+            config.trace,
+            partials,
+        );
+        Snapshot {
+            m,
+            total_work,
+            t,
+            processed: metrics.total_processed(),
+            prev_round_departed,
+            trace_level: config.trace,
+            faults: config.faults.clone(),
+            metrics,
+            events,
+            observability,
+            nodes,
+            arena_cw,
+            arena_ccw,
+            queue_cw,
+            queue_ccw,
+            app_meta: cp.app_meta.to_string(),
+        }
+    }
+
+    /// Deterministic merge of per-arc partials on top of a run prefix:
+    /// per-node vectors add slice-wise, counters sum, the trace delta is
+    /// order-restored by a stable `(step, node)` sort and appended to the
+    /// prefix (every prefix event is at `t < t0`, so concatenation is
+    /// order-correct). Shared by the end-of-run merge and the mid-run
+    /// checkpoint stitch so both produce the same bytes.
+    fn merge_partials(
+        t0: u64,
+        base_metrics: &Metrics,
+        base_events: &[Event],
+        base_obs: Option<&Observability>,
+        trace_level: TraceLevel,
+        partials: Vec<ArcPartial>,
+    ) -> (Metrics, Vec<Event>, Option<Observability>) {
+        let rounds = partials
+            .iter()
+            .map(|p| p.sent_payload_per_round.len())
+            .max()
+            .unwrap_or(0);
+        let mut metrics = base_metrics.clone();
+        metrics.steps = t0 + rounds as u64;
+        let mut inflight_per_round = vec![0u64; rounds];
+        let mut obs = base_obs.cloned();
+        let mut event_logs: Vec<Vec<Event>> = Vec::with_capacity(partials.len());
+        for p in partials {
+            let k = p.processed_per_node.len();
+            for (dst, src) in metrics.processed_per_node[p.lo..p.lo + k]
+                .iter_mut()
+                .zip(&p.processed_per_node)
+            {
+                *dst += src;
+            }
+            for (dst, src) in metrics.busy_steps_per_node[p.lo..p.lo + k]
+                .iter_mut()
+                .zip(&p.busy_steps_per_node)
+            {
+                *dst += src;
+            }
+            metrics.messages_sent += p.messages_sent;
+            metrics.job_hops += p.job_hops;
+            metrics.messages_dropped += p.messages_dropped;
+            metrics.messages_delayed += p.messages_delayed;
+            metrics.messages_retried += p.messages_retried;
+            metrics.last_busy_step = metrics.last_busy_step.max(p.last_busy);
+            for (round, payload) in p.sent_payload_per_round.iter().enumerate() {
+                inflight_per_round[round] += payload;
+            }
+            if let (Some(o), Some(po)) = (obs.as_mut(), p.obs.as_ref()) {
+                o.absorb_arc_at(p.lo, po, t0);
+            }
+            event_logs.push(p.events);
+        }
+        let delta_peak = inflight_per_round.iter().copied().max().unwrap_or(0);
+        metrics.peak_inflight_jobs = metrics.peak_inflight_jobs.max(delta_peak);
+        let mut events = base_events.to_vec();
+        events.extend(Trace::merge_arcs(trace_level, event_logs).into_events());
+        (metrics, events, obs)
+    }
+
+    #[allow(clippy::too_many_arguments)]
     pub(super) fn run_sharded<N>(
         nodes: &mut [N],
         topo: RingTopology,
@@ -1325,6 +1927,8 @@ mod par {
         max_steps: u64,
         config: &EngineConfig,
         shards: usize,
+        resume: Option<ResumeState<N::Msg>>,
+        checkpoint: Option<&mut CheckpointHook<N::Msg>>,
     ) -> Result<RunReport, SimError>
     where
         N: Node + Send,
@@ -1332,11 +1936,43 @@ mod par {
     {
         let m = topo.len();
 
+        // The run prefix: zero for a fresh start, the snapshot's mid-run
+        // image on resume. Arcs carry only deltas relative to it.
+        let base = resume.unwrap_or_else(|| ResumeState {
+            t0: 0,
+            prev_round_departed: 0,
+            cur_cw: (0..m).map(|_| Vec::new()).collect(),
+            cur_ccw: (0..m).map(|_| Vec::new()).collect(),
+            queue_cw: Vec::new(),
+            queue_ccw: Vec::new(),
+            metrics: Metrics::new(m),
+            trace: Trace::new(config.trace),
+            obs: config.observe.then(|| Observability::new(m)),
+        });
+        let ResumeState {
+            t0,
+            prev_round_departed: base_prev_departed,
+            mut cur_cw,
+            mut cur_ccw,
+            queue_cw: mut base_queue_cw,
+            queue_ccw: mut base_queue_ccw,
+            metrics: base_metrics,
+            trace: base_trace,
+            obs: base_obs,
+        } = base;
+
         // Whole-ring arenas, split below into per-arc slices.
-        let mut cur_cw: Vec<Vec<N::Msg>> = (0..m).map(|_| Vec::new()).collect();
-        let mut cur_ccw: Vec<Vec<N::Msg>> = (0..m).map(|_| Vec::new()).collect();
         let mut next_cw: Vec<Vec<N::Msg>> = (0..m).map(|_| Vec::new()).collect();
         let mut next_ccw: Vec<Vec<N::Msg>> = (0..m).map(|_| Vec::new()).collect();
+
+        // Per-node link queues exist only under a fault plan; a fresh
+        // faulty start allocates them here so the per-arc split below is
+        // uniform.
+        let plan_active = config.faults.is_some();
+        if plan_active && base_queue_cw.is_empty() {
+            base_queue_cw = (0..m).map(|_| VecDeque::new()).collect();
+            base_queue_ccw = (0..m).map(|_| VecDeque::new()).collect();
+        }
 
         // Boundary mailboxes. `mail_cw[a]` holds the clockwise messages
         // entering arc `a` (addressed to its first node); it is written by
@@ -1349,7 +1985,7 @@ mod par {
             (0..shards).map(|_| Mutex::new(Vec::new())).collect();
 
         let barrier = Barrier::new(shards);
-        let processed = AtomicU64::new(0);
+        let processed = AtomicU64::new(base_metrics.total_processed());
         let flagged: Mutex<Option<Flagged>> = Mutex::new(None);
         let vote: Mutex<Vote> = Mutex::new(Vote {
             tag: u64::MAX,
@@ -1412,11 +2048,53 @@ mod par {
             }
         }
 
+        // Hand each arc its contiguous slice of the (possibly resumed) link
+        // queues. Queue state is per-node, so the split is independent of
+        // the shard count the saving run used.
+        type ArcQueues<M> = Vec<(Vec<LinkQueue<M>>, Vec<LinkQueue<M>>)>;
+        let arc_queues: ArcQueues<N::Msg> = if plan_active {
+            let mut qcw = base_queue_cw.into_iter();
+            let mut qccw = base_queue_ccw.into_iter();
+            bounds
+                .iter()
+                .map(|&(lo, hi)| {
+                    (
+                        qcw.by_ref().take(hi - lo).collect(),
+                        qccw.by_ref().take(hi - lo).collect(),
+                    )
+                })
+                .collect()
+        } else {
+            bounds.iter().map(|_| (Vec::new(), Vec::new())).collect()
+        };
+
+        // Checkpoint coordination, shared by all arcs (None when no cadence
+        // or no sink is installed).
+        let cp: Option<ParCheckpoint<'_, N::Msg>> = match (config.checkpoint_every, checkpoint) {
+            (Some(every), Some(hook)) => Some(ParCheckpoint {
+                every,
+                start_t: t0,
+                save_msg: hook.save_msg,
+                app_meta: config.checkpoint_meta.as_str(),
+                images: Mutex::new((0..shards).map(|_| None).collect()),
+                sink: Mutex::new(&mut *hook.sink),
+                base: BaseCtx {
+                    t0,
+                    metrics: &base_metrics,
+                    events: base_trace.events(),
+                    obs: base_obs.as_ref(),
+                },
+            }),
+            _ => None,
+        };
+        let cp = cp.as_ref();
+
         let partials: Vec<ArcPartial> = std::thread::scope(|scope| {
             let handles: Vec<_> = arcs
                 .into_iter()
+                .zip(arc_queues)
                 .enumerate()
-                .map(|(a, bufs)| {
+                .map(|(a, (bufs, (arc_queue_cw, arc_queue_ccw)))| {
                     let barrier = &barrier;
                     let processed = &processed;
                     let flagged = &flagged;
@@ -1444,6 +2122,11 @@ mod par {
                             vote,
                             mail_cw,
                             mail_ccw,
+                            t0,
+                            base_prev_departed,
+                            arc_queue_cw,
+                            arc_queue_ccw,
+                            cp,
                         )
                     })
                 })
@@ -1475,37 +2158,17 @@ mod par {
             });
         }
 
-        // Deterministic merge of the per-arc partials.
-        let rounds = partials
-            .iter()
-            .map(|p| p.sent_payload_per_round.len())
-            .max()
-            .unwrap_or(0);
-        let mut metrics = Metrics::new(m);
-        metrics.steps = rounds as u64;
-        let mut inflight_per_round = vec![0u64; rounds];
-        let mut obs = config.observe.then(|| Observability::new(m));
-        let mut event_logs: Vec<Vec<Event>> = Vec::with_capacity(shards);
-        for p in partials {
-            let k = p.processed_per_node.len();
-            metrics.processed_per_node[p.lo..p.lo + k].copy_from_slice(&p.processed_per_node);
-            metrics.busy_steps_per_node[p.lo..p.lo + k].copy_from_slice(&p.busy_steps_per_node);
-            metrics.messages_sent += p.messages_sent;
-            metrics.job_hops += p.job_hops;
-            metrics.messages_dropped += p.messages_dropped;
-            metrics.messages_delayed += p.messages_delayed;
-            metrics.messages_retried += p.messages_retried;
-            metrics.last_busy_step = metrics.last_busy_step.max(p.last_busy);
-            for (round, payload) in p.sent_payload_per_round.iter().enumerate() {
-                inflight_per_round[round] += payload;
-            }
-            if let (Some(o), Some(po)) = (obs.as_mut(), p.obs.as_ref()) {
-                o.absorb_arc(p.lo, po);
-            }
-            event_logs.push(p.events);
-        }
-        metrics.peak_inflight_jobs = inflight_per_round.iter().copied().max().unwrap_or(0);
-        let trace = Trace::merge_arcs(config.trace, event_logs);
+        // Deterministic merge of the per-arc partials onto the run prefix —
+        // the same algebra the mid-run checkpoint stitch uses.
+        let (metrics, events, obs) = merge_partials(
+            t0,
+            &base_metrics,
+            base_trace.events(),
+            base_obs.as_ref(),
+            config.trace,
+            partials,
+        );
+        let trace = Trace::from_events(config.trace, events);
         let makespan = metrics.last_busy_step.expect("work was processed") + 1;
         Ok(RunReport {
             makespan,
@@ -1538,6 +2201,11 @@ mod par {
         vote: &Mutex<Vote>,
         mail_cw: &[Mutex<Vec<N::Msg>>],
         mail_ccw: &[Mutex<Vec<N::Msg>>],
+        t0: u64,
+        start_prev_departed: u64,
+        mut queue_cw: Vec<LinkQueue<N::Msg>>,
+        mut queue_ccw: Vec<LinkQueue<N::Msg>>,
+        cp: Option<&ParCheckpoint<'_, N::Msg>>,
     ) -> ArcPartial
     where
         N: Node,
@@ -1564,12 +2232,10 @@ mod par {
         let mut out_ccw_boundary: Vec<N::Msg> = Vec::new();
 
         // Fault state for this arc's nodes, mirroring the sequential engine
-        // (see `Engine::run`): link queues per node and direction, staging
-        // buffers, and the audit scratch.
+        // (see `Engine::run`): link queues per node and direction (handed
+        // in by the caller, pre-loaded on resume), staging buffers, and the
+        // audit scratch.
         let plan = config.faults.as_ref();
-        let qlen = if plan.is_some() { len } else { 0 };
-        let mut queue_cw: Vec<LinkQueue<N::Msg>> = (0..qlen).map(|_| VecDeque::new()).collect();
-        let mut queue_ccw: Vec<LinkQueue<N::Msg>> = (0..qlen).map(|_| VecDeque::new()).collect();
         let mut stage_cw: Vec<N::Msg> = Vec::new();
         let mut stage_ccw: Vec<N::Msg> = Vec::new();
         let mut audit_buf: Vec<DropRecord> = Vec::new();
@@ -1578,18 +2244,79 @@ mod par {
         // messages this arc put in flight last round (sends + carryovers —
         // boundary sends are counted by the sending arc, so the votes'
         // conjunction covers every inbox), the fault-inertness step, and a
-        // backlog scratch buffer.
+        // backlog scratch buffer. On resume every arc seeds its counter
+        // with the snapshot's *global* value: the quiescence gate only
+        // tests it against zero, and global zero iff every arc-local count
+        // is zero, so the vote outcome is preserved.
         let compress = config.compress;
         let fault_horizon = config.faults.as_ref().map_or(0, |p| p.horizon());
-        let mut arc_prev_departed: u64 = 0;
+        let mut arc_prev_departed: u64 = start_prev_departed;
         let mut quiet_backlogs: Vec<u64> = Vec::new();
 
-        let mut t: u64 = 0;
+        let mut t: u64 = t0;
         loop {
             // Same budget check as the sequential engine, evaluated
             // identically by every arc — no communication needed.
             if t >= max_steps {
                 break;
+            }
+
+            // Checkpoint boundary — a pure function of `t`, so every arc
+            // takes these barriers together. Each arc serializes its slice,
+            // then arc 0 stitches the canonical snapshot and feeds the
+            // sink; any failure is flagged with the sequential engine's
+            // `(step, node)` key and stops all arcs at the boundary.
+            if let Some(cp) = cp {
+                if t > cp.start_t && t % cp.every == 0 {
+                    match arc_image(
+                        cp,
+                        lo,
+                        nodes,
+                        cur_cw,
+                        cur_ccw,
+                        &queue_cw,
+                        &queue_ccw,
+                        arc_prev_departed,
+                        &partial,
+                    ) {
+                        Ok(img) => {
+                            let mut images = cp.images.lock().unwrap_or_else(|e| e.into_inner());
+                            images[a] = Some(img);
+                        }
+                        Err((node, error)) => {
+                            merge_flag(flagged, (t, node, SimError::Checkpoint { step: t, error }));
+                        }
+                    }
+                    // Image barrier: every arc stored its slice (or flagged
+                    // an error) before arc 0 reads them.
+                    barrier.wait();
+                    if a == 0 {
+                        let clean = flagged.lock().unwrap_or_else(|e| e.into_inner()).is_none();
+                        if clean {
+                            let images: Vec<ArcImage> = {
+                                let mut slot = cp.images.lock().unwrap_or_else(|e| e.into_inner());
+                                slot.iter_mut()
+                                    .map(|s| s.take().expect("every arc stored an image"))
+                                    .collect()
+                            };
+                            let snap =
+                                stitch_snapshot(cp, t, topo.len(), total_work, config, images);
+                            let mut sink = cp.sink.lock().unwrap_or_else(|e| e.into_inner());
+                            if let Err(error) = (**sink)(&snap) {
+                                merge_flag(
+                                    flagged,
+                                    (t, 0, SimError::Checkpoint { step: t, error }),
+                                );
+                            }
+                        }
+                    }
+                    // Outcome barrier: the snapshot reached the sink (or a
+                    // flag) before any arc enters round `t`.
+                    barrier.wait();
+                    if flagged.lock().unwrap_or_else(|e| e.into_inner()).is_some() {
+                        break;
+                    }
+                }
             }
 
             // Quiescent-span step compression (see `Engine::run` and
@@ -1629,7 +2356,14 @@ mod par {
                 let k = {
                     let v = vote.lock().unwrap_or_else(|e| e.into_inner());
                     if v.quiet {
-                        compression_k(v.min_span, v.max_backlog, max_steps - t)
+                        // Same checkpoint-boundary cap as the sequential
+                        // engine; pure in `t`, so every arc computes the
+                        // same `k`.
+                        let mut budget = max_steps - t;
+                        if let Some(cp) = cp {
+                            budget = budget.min(cp.every - t % cp.every);
+                        }
+                        compression_k(v.min_span, v.max_backlog, budget)
                     } else {
                         None
                     }
@@ -2205,6 +2939,14 @@ mod delivery_tests {
         }
     }
 
+    impl Persist for Token {
+        fn save(&self, _enc: &mut Encoder) {}
+
+        fn load(_dec: &mut Decoder<'_>) -> Result<Self, CheckpointError> {
+            Ok(Token)
+        }
+    }
+
     impl Node for Relay {
         type Msg = Token;
 
@@ -2232,6 +2974,19 @@ mod delivery_tests {
 
         fn pending_work(&self) -> u64 {
             self.held
+        }
+
+        // `sink` and `dir` are topology configuration, rebuilt on restore.
+        fn save_state(&self, enc: &mut Encoder) -> Result<(), CheckpointError> {
+            enc.bool(self.emit_at_start);
+            enc.u64(self.held);
+            Ok(())
+        }
+
+        fn restore_state(&mut self, dec: &mut Decoder<'_>) -> Result<(), CheckpointError> {
+            self.emit_at_start = dec.bool()?;
+            self.held = dec.u64()?;
+            Ok(())
         }
     }
 
@@ -2520,5 +3275,224 @@ mod par_tests {
         let seq = Engine::new(mk(), 1, config.clone()).run().unwrap_err();
         let par = Engine::new(mk(), 1, config).par_run(2).unwrap_err();
         assert_eq!(format!("{seq:?}"), format!("{par:?}"));
+    }
+}
+
+#[cfg(test)]
+mod checkpoint_tests {
+    use super::delivery_tests::{relay_ring, Relay};
+    use super::*;
+    use crate::fault::{LinkFault, LinkFaultKind, ProcFault, ProcFaultKind};
+    use std::sync::{Arc, Mutex};
+
+    fn full_config() -> EngineConfig {
+        EngineConfig {
+            trace: TraceLevel::Full,
+            observe: true,
+            ..EngineConfig::default()
+        }
+    }
+
+    /// Installs a capturing sink and returns the shared snapshot log.
+    fn capture(engine: &mut Engine<Relay>) -> Arc<Mutex<Vec<Snapshot>>> {
+        let snaps = Arc::new(Mutex::new(Vec::new()));
+        let log = Arc::clone(&snaps);
+        engine.on_checkpoint(move |s| {
+            log.lock().unwrap().push(s.clone());
+            Ok(())
+        });
+        snaps
+    }
+
+    #[test]
+    fn checkpointing_does_not_change_the_report() {
+        let base = Engine::new(relay_ring(8, 5, Direction::Cw), 1, full_config())
+            .run()
+            .unwrap();
+        for every in [1, 2, 3, 7] {
+            let mut engine = Engine::new(
+                relay_ring(8, 5, Direction::Cw),
+                1,
+                full_config().checkpoint_every(every),
+            );
+            let snaps = capture(&mut engine);
+            assert_eq!(base, engine.run().unwrap(), "every={every}");
+            // A cadence beyond the makespan legitimately never fires.
+            if every < base.makespan {
+                assert!(!snaps.lock().unwrap().is_empty(), "every={every}");
+            }
+        }
+    }
+
+    #[test]
+    fn resume_from_every_boundary_is_bit_identical() {
+        let base = Engine::new(relay_ring(8, 5, Direction::Cw), 1, full_config())
+            .run()
+            .unwrap();
+        let mut engine = Engine::new(
+            relay_ring(8, 5, Direction::Cw),
+            1,
+            full_config().checkpoint_every(2),
+        );
+        let snaps = capture(&mut engine);
+        assert_eq!(base, engine.run().unwrap());
+        let snaps = snaps.lock().unwrap();
+        assert!(snaps.len() >= 2, "expected several boundaries");
+        for snap in snaps.iter() {
+            // A snapshot round-trips through bytes before resuming, like a
+            // real recovery would.
+            let bytes = snap.to_bytes();
+            let snap = Snapshot::from_bytes(&bytes).unwrap();
+            let resumed = Engine::resume(relay_ring(8, 5, Direction::Cw), full_config(), &snap)
+                .unwrap()
+                .run()
+                .unwrap();
+            assert_eq!(base, resumed, "resumed from t={}", snap.t);
+        }
+    }
+
+    #[test]
+    fn resume_is_bit_identical_under_faults() {
+        let mut plan = FaultPlan::new();
+        plan.add_link_fault(LinkFault {
+            node: 1,
+            dir: Direction::Cw,
+            from: 1,
+            until: 5,
+            kind: LinkFaultKind::Drop,
+        });
+        plan.add_link_fault(LinkFault {
+            node: 6,
+            dir: Direction::Ccw,
+            from: 0,
+            until: 4,
+            kind: LinkFaultKind::Delay(2),
+        });
+        plan.add_proc_fault(ProcFault {
+            node: 4,
+            from: 2,
+            until: 9,
+            kind: ProcFaultKind::Slowdown(2),
+        });
+        let faulty = || EngineConfig {
+            faults: Some(plan.clone()),
+            ..full_config()
+        };
+        let base = Engine::new(relay_ring(8, 5, Direction::Cw), 1, faulty())
+            .run()
+            .unwrap();
+        let mut engine = Engine::new(
+            relay_ring(8, 5, Direction::Cw),
+            1,
+            faulty().checkpoint_every(3),
+        );
+        let snaps = capture(&mut engine);
+        assert_eq!(base, engine.run().unwrap());
+        for snap in snaps.lock().unwrap().iter() {
+            // The snapshot carries the fault plan and staged queues itself;
+            // resume with a fault-free config to prove they are restored.
+            let resumed = Engine::resume(relay_ring(8, 5, Direction::Cw), full_config(), snap)
+                .unwrap()
+                .run()
+                .unwrap();
+            assert_eq!(base, resumed, "resumed from t={}", snap.t);
+        }
+    }
+
+    #[test]
+    fn par_checkpoints_are_identical_to_sequential_ones() {
+        let mut seq_engine = Engine::new(
+            relay_ring(9, 6, Direction::Cw),
+            1,
+            full_config().checkpoint_every(2),
+        );
+        let seq_snaps = capture(&mut seq_engine);
+        let base = seq_engine.run().unwrap();
+        for shards in [1usize, 2, 3, 7] {
+            let mut par_engine = Engine::new(
+                relay_ring(9, 6, Direction::Cw),
+                1,
+                full_config().checkpoint_every(2),
+            );
+            let par_snaps = capture(&mut par_engine);
+            assert_eq!(base, par_engine.par_run(shards).unwrap(), "shards={shards}");
+            assert_eq!(
+                *seq_snaps.lock().unwrap(),
+                *par_snaps.lock().unwrap(),
+                "shards={shards}"
+            );
+        }
+    }
+
+    #[test]
+    fn resume_shard_count_is_independent_of_save_shard_count() {
+        let base = Engine::new(relay_ring(9, 6, Direction::Cw), 1, full_config())
+            .run()
+            .unwrap();
+        let mut engine = Engine::new(
+            relay_ring(9, 6, Direction::Cw),
+            1,
+            full_config().checkpoint_every(3),
+        );
+        let snaps = capture(&mut engine);
+        assert_eq!(base, engine.par_run(3).unwrap());
+        let snaps = snaps.lock().unwrap();
+        assert!(!snaps.is_empty());
+        for snap in snaps.iter() {
+            for shards in [1usize, 2, 7] {
+                let resumed = Engine::resume(relay_ring(9, 6, Direction::Cw), full_config(), snap)
+                    .unwrap()
+                    .par_run(shards)
+                    .unwrap();
+                assert_eq!(base, resumed, "t={} shards={shards}", snap.t);
+            }
+            let resumed = Engine::resume(relay_ring(9, 6, Direction::Cw), full_config(), snap)
+                .unwrap()
+                .run()
+                .unwrap();
+            assert_eq!(base, resumed, "t={} sequential", snap.t);
+        }
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_ring_size() {
+        let mut engine = Engine::new(
+            relay_ring(8, 5, Direction::Cw),
+            1,
+            full_config().checkpoint_every(2),
+        );
+        let snaps = capture(&mut engine);
+        engine.run().unwrap();
+        let snap = snaps.lock().unwrap()[0].clone();
+        let err = match Engine::resume(relay_ring(6, 3, Direction::Cw), full_config(), &snap) {
+            Err(err) => err,
+            Ok(_) => panic!("resume accepted a mismatched ring size"),
+        };
+        assert!(matches!(err, CheckpointError::Mismatch(_)), "{err:?}");
+    }
+
+    #[test]
+    fn sink_errors_surface_as_checkpoint_sim_errors() {
+        let mk = || {
+            Engine::new(
+                relay_ring(8, 5, Direction::Cw),
+                1,
+                full_config().checkpoint_every(2),
+            )
+        };
+        let mut seq = mk();
+        seq.on_checkpoint(|_| Err(CheckpointError::Io("disk full".into())));
+        let err = seq.run().unwrap_err();
+        match &err {
+            SimError::Checkpoint { step, error } => {
+                assert_eq!(*step, 2);
+                assert_eq!(*error, CheckpointError::Io("disk full".into()));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        let mut par = mk();
+        par.on_checkpoint(|_| Err(CheckpointError::Io("disk full".into())));
+        let par_err = par.par_run(3).unwrap_err();
+        assert_eq!(format!("{err:?}"), format!("{par_err:?}"));
     }
 }

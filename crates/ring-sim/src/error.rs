@@ -1,5 +1,7 @@
 //! Simulation error types.
 
+use crate::checkpoint::CheckpointError;
+
 /// Errors produced by the [`crate::Engine`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SimError {
@@ -43,6 +45,16 @@ pub enum SimError {
         /// Total work in the instance.
         total: u64,
     },
+    /// A requested checkpoint could not be written: a node or message type
+    /// does not support persistence, or the snapshot sink failed. The run
+    /// stops at the boundary rather than continue past a silently missing
+    /// snapshot.
+    Checkpoint {
+        /// The step boundary the snapshot was requested at.
+        step: u64,
+        /// What went wrong.
+        error: CheckpointError,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -74,6 +86,9 @@ impl std::fmt::Display for SimError {
                 f,
                 "run processed {processed} units but the instance only contains {total}"
             ),
+            SimError::Checkpoint { step, error } => {
+                write!(f, "checkpoint at step {step} failed: {error}")
+            }
         }
     }
 }

@@ -33,6 +33,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod engine;
 pub mod error;
 pub mod fault;
@@ -45,6 +46,9 @@ pub mod trace;
 pub mod validate;
 pub mod viz;
 
+pub use checkpoint::{
+    CheckpointError, Decoder, Encoder, Persist, Snapshot, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
+};
 pub use engine::{
     Audit, Coalesce, DropRecord, Engine, EngineConfig, Inbox, LinkCapacity, Node, NodeCtx, Outbox,
     Payload, Quiescence, RunReport, StepIo,

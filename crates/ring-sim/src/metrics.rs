@@ -212,27 +212,33 @@ impl Observability {
         }
     }
 
-    /// Merges a per-arc partial (covering nodes `lo..lo + k`) into this
-    /// record. Samples are summed per step; per-node vectors are stitched.
-    pub(crate) fn absorb_arc(&mut self, lo: usize, part: &Observability) {
-        while self.samples.len() < part.samples.len() {
+    /// Merges a per-arc partial whose first sample describes global step
+    /// `t_base` (a resumed run's arcs start mid-timeline). All counters are
+    /// *added*, so the base may already carry the pre-`t_base` history; on a
+    /// fresh merge (`t_base == 0` into an empty record) this is identical to
+    /// stitching.
+    pub(crate) fn absorb_arc_at(&mut self, lo: usize, part: &Observability, t_base: u64) {
+        let t_base = t_base as usize;
+        while self.samples.len() < t_base + part.samples.len() {
             let t = self.samples.len() as u64;
             self.samples.push(StepSample {
                 t,
                 ..StepSample::default()
             });
         }
-        for (mine, theirs) in self.samples.iter_mut().zip(&part.samples) {
+        for (mine, theirs) in self.samples[t_base..].iter_mut().zip(&part.samples) {
             mine.absorb(theirs);
         }
         let k = part.dropoffs_per_node.len();
-        self.dropoffs_per_node[lo..lo + k].copy_from_slice(&part.dropoffs_per_node);
-        self.links.cw_messages[lo..lo + k].copy_from_slice(&part.links.cw_messages);
-        self.links.ccw_messages[lo..lo + k].copy_from_slice(&part.links.ccw_messages);
-        self.links.cw_payload[lo..lo + k].copy_from_slice(&part.links.cw_payload);
-        self.links.ccw_payload[lo..lo + k].copy_from_slice(&part.links.ccw_payload);
-        self.links.cw_busy_steps[lo..lo + k].copy_from_slice(&part.links.cw_busy_steps);
-        self.links.ccw_busy_steps[lo..lo + k].copy_from_slice(&part.links.ccw_busy_steps);
+        for (i, j) in (lo..lo + k).zip(0..k) {
+            self.dropoffs_per_node[i] += part.dropoffs_per_node[j];
+            self.links.cw_messages[i] += part.links.cw_messages[j];
+            self.links.ccw_messages[i] += part.links.ccw_messages[j];
+            self.links.cw_payload[i] += part.links.cw_payload[j];
+            self.links.ccw_payload[i] += part.links.ccw_payload[j];
+            self.links.cw_busy_steps[i] += part.links.cw_busy_steps[j];
+            self.links.ccw_busy_steps[i] += part.links.ccw_busy_steps[j];
+        }
     }
 
     /// Per-step load imbalance: `max_i pending_i − mean pending` at the end
@@ -387,8 +393,8 @@ mod tests {
             total_pending: 7,
             ..StepSample::default()
         });
-        whole.absorb_arc(0, &left);
-        whole.absorb_arc(2, &right);
+        whole.absorb_arc_at(0, &left, 0);
+        whole.absorb_arc_at(2, &right, 0);
         assert_eq!(whole.samples[0].sent_payload, 6);
         assert_eq!(whole.samples[0].max_pending, 7);
         assert_eq!(whole.samples[0].total_pending, 11);

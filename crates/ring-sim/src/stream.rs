@@ -17,6 +17,7 @@
 //! run is one arena entry carrying many job units, which the §7
 //! [`crate::engine::LinkCapacity::UnitJobs`] rule would reject.
 
+use crate::checkpoint::{CheckpointError, Decoder, Encoder, Persist};
 use crate::engine::{Coalesce, Engine, EngineConfig, Node, NodeCtx, Payload, Quiescence, StepIo};
 use crate::topology::Direction;
 
@@ -39,6 +40,16 @@ impl Payload for StreamMsg {
 impl Coalesce for StreamMsg {
     fn coalesce(self, count: u64) -> Self {
         StreamMsg(self.0 * count)
+    }
+}
+
+impl Persist for StreamMsg {
+    fn save(&self, enc: &mut Encoder) {
+        enc.u64(self.0);
+    }
+
+    fn load(dec: &mut Decoder<'_>) -> Result<Self, CheckpointError> {
+        Ok(StreamMsg(dec.u64()?))
     }
 }
 
@@ -188,6 +199,27 @@ impl Node for StreamNode {
 
     fn fast_forward(&mut self, steps: u64) {
         self.backlog -= self.backlog.min(steps);
+    }
+
+    // `repr` is deliberately not persisted: it is a message-layout choice,
+    // and the two layouts report bit-identically, so a resumed run may even
+    // switch it.
+    fn save_state(&self, enc: &mut Encoder) -> Result<(), CheckpointError> {
+        enc.u64(self.quota);
+        enc.u64(self.accepted);
+        enc.u64(self.backlog);
+        enc.u64(self.initial);
+        enc.bool(self.emitted);
+        Ok(())
+    }
+
+    fn restore_state(&mut self, dec: &mut Decoder<'_>) -> Result<(), CheckpointError> {
+        self.quota = dec.u64()?;
+        self.accepted = dec.u64()?;
+        self.backlog = dec.u64()?;
+        self.initial = dec.u64()?;
+        self.emitted = dec.bool()?;
+        Ok(())
     }
 }
 

@@ -148,6 +148,12 @@ impl Trace {
         Trace { events, level }
     }
 
+    /// Consumes the trace, returning its event list (used by the checkpoint
+    /// stitch, which concatenates a base prefix with merged arc deltas).
+    pub(crate) fn into_events(self) -> Vec<Event> {
+        self.events
+    }
+
     /// The level this trace was recorded at.
     pub fn level(&self) -> TraceLevel {
         self.level

@@ -1,0 +1,114 @@
+//! Golden snapshot-format test: pins the on-disk checkpoint encoding.
+//!
+//! The snapshot format is versioned and self-describing (`RINGSNAP` magic,
+//! little-endian version word, FNV-1a checksum trailer); old snapshots must
+//! keep loading as the engine evolves. This test pins (a) the header
+//! constants and (b) the complete byte image of one small canonical
+//! snapshot, hex-dumped for reviewable diffs.
+//!
+//! An intentional format change means bumping `SNAPSHOT_VERSION` and
+//! re-blessing:
+//!
+//! ```text
+//! RING_BLESS=1 cargo test --test checkpoint_format
+//! ```
+
+use ring_sched::unit::{run_unit_checkpointed, UnitConfig};
+use ring_sim::{CheckpointError, Instance, Snapshot, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+const GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../tests/checkpoint_format.hex"
+);
+
+/// The canonical snapshot: algorithm C1 on a tiny fixed instance, full
+/// trace and observability, second 2-step boundary. Everything feeding it
+/// is deterministic, so its bytes are exact across platforms.
+fn canonical_snapshot() -> Snapshot {
+    let inst = Instance::from_loads(vec![9, 0, 3, 0, 1]);
+    let cfg = UnitConfig::c1().with_trace().with_observe();
+    let snaps: Arc<Mutex<Vec<Snapshot>>> = Arc::new(Mutex::new(Vec::new()));
+    let log = Arc::clone(&snaps);
+    run_unit_checkpointed(
+        &inst,
+        &cfg,
+        None,
+        None,
+        2,
+        "alg=c1 canonical",
+        move |s: &Snapshot| -> Result<(), CheckpointError> {
+            log.lock().unwrap().push(s.clone());
+            Ok(())
+        },
+    )
+    .expect("canonical run");
+    let snaps = snaps.lock().unwrap();
+    assert!(snaps.len() >= 2, "canonical run too short");
+    snaps[1].clone()
+}
+
+fn hex_dump(bytes: &[u8]) -> String {
+    let mut out = String::from(
+        "# canonical checkpoint image, 32 bytes/line — regenerate with RING_BLESS=1\n",
+    );
+    for chunk in bytes.chunks(32) {
+        for b in chunk {
+            write!(out, "{b:02x}").unwrap();
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn header_constants_are_pinned() {
+    assert_eq!(SNAPSHOT_MAGIC, *b"RINGSNAP");
+    assert_eq!(SNAPSHOT_VERSION, 1);
+    let bytes = canonical_snapshot().to_bytes();
+    // Layout: 8-byte magic, then the little-endian version word.
+    assert_eq!(&bytes[..8], b"RINGSNAP");
+    assert_eq!(
+        u32::from_le_bytes(bytes[8..12].try_into().unwrap()),
+        SNAPSHOT_VERSION
+    );
+}
+
+#[test]
+fn canonical_snapshot_bytes_match_golden_image() {
+    let snap = canonical_snapshot();
+    assert_eq!(snap.t, 4);
+    assert_eq!(snap.m, 5);
+    assert_eq!(snap.app_meta, "alg=c1 canonical");
+    let actual = hex_dump(&snap.to_bytes());
+    if std::env::var("RING_BLESS").is_ok() {
+        std::fs::write(GOLDEN_PATH, &actual).expect("write golden file");
+        eprintln!("blessed {GOLDEN_PATH}");
+        return;
+    }
+    let expected = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("tests/checkpoint_format.hex missing — run with RING_BLESS=1 to create it");
+    assert_eq!(
+        actual, expected,
+        "the snapshot byte image drifted from the golden dump.\n\
+         A format change must bump SNAPSHOT_VERSION (keeping old images\n\
+         loadable) and re-bless with RING_BLESS=1."
+    );
+    // And the golden image itself must still decode to the same snapshot.
+    let bytes: Vec<u8> = expected
+        .lines()
+        .filter(|l| !l.starts_with('#'))
+        .flat_map(|l| {
+            (0..l.len())
+                .step_by(2)
+                .map(|i| u8::from_str_radix(&l[i..i + 2], 16).expect("hex digit pair"))
+                .collect::<Vec<u8>>()
+        })
+        .collect();
+    let decoded = Snapshot::from_bytes(&bytes).expect("golden image decodes");
+    assert_eq!(
+        decoded, snap,
+        "golden image decodes to a different snapshot"
+    );
+}

@@ -12,7 +12,8 @@
 //! RING_BLESS=1 cargo test --test golden_makespans
 //! ```
 
-use ring_sched::unit::{run_unit, UnitConfig};
+use ring_sched::unit::{run_unit, run_unit_checkpointed, UnitConfig};
+use ring_sim::{CheckpointError, Snapshot};
 use std::fmt::Write as _;
 
 const GOLDEN_PATH: &str = concat!(
@@ -63,4 +64,40 @@ fn catalog_makespans_match_golden_snapshot() {
         diffs.len(),
         diffs.join("\n")
     );
+}
+
+/// Checkpointing is free of observable effects: every one of the 306 golden
+/// (case × algorithm) runs reports bit-identically with `checkpoint_every`
+/// engaged, over a spread of cadences.
+#[test]
+fn checkpointing_never_changes_catalog_makespans() {
+    let mut idx = 0u64;
+    for case in ring_workloads::catalog() {
+        for (name, cfg) in UnitConfig::all_six() {
+            idx += 1;
+            let every = 1 + (idx % 13);
+            let base = run_unit(&case.instance, &cfg)
+                .unwrap_or_else(|e| panic!("{} under {name}: {e}", case.id));
+            let checkpointed = run_unit_checkpointed(
+                &case.instance,
+                &cfg,
+                None,
+                None,
+                every,
+                "",
+                |_: &Snapshot| -> Result<(), CheckpointError> { Ok(()) },
+            )
+            .unwrap_or_else(|e| panic!("{} under {name} (every={every}): {e}", case.id));
+            assert_eq!(
+                base.makespan, checkpointed.makespan,
+                "{} under {name}: checkpoint_every({every}) changed the makespan",
+                case.id
+            );
+            assert_eq!(
+                base.report, checkpointed.report,
+                "{} under {name}: checkpoint_every({every}) changed the report",
+                case.id
+            );
+        }
+    }
 }
