@@ -33,10 +33,12 @@ struct BenchRecord {
     jobs_per_sec: f64,
 }
 
-/// A machine-independent speedup ratio between two cells.
-struct SpeedupRecord {
-    key: String,
-    ratio: f64,
+/// A machine-independent speedup ratio between two cells (also used by
+/// `bench-service` for its deterministic tail-latency and completion
+/// ratios).
+pub(crate) struct SpeedupRecord {
+    pub(crate) key: String,
+    pub(crate) ratio: f64,
 }
 
 fn median(mut xs: Vec<Duration>) -> Duration {
@@ -136,15 +138,19 @@ fn to_json(results: &[BenchRecord], speedups: &[SpeedupRecord]) -> String {
             .join(",\n"),
     );
     out.push_str("\n  ],\n  \"speedups\": [\n");
-    out.push_str(
-        &speedups
-            .iter()
-            .map(|s| format!("    {{\"key\": \"{}\", \"ratio\": {:.3}}}", s.key, s.ratio))
-            .collect::<Vec<_>>()
-            .join(",\n"),
-    );
+    out.push_str(&speedups_json(speedups));
     out.push_str("\n  ]\n}\n");
     out
+}
+
+/// Renders the `"speedups"` array body, one object per line, matching what
+/// [`parse_speedups`] reads back.
+pub(crate) fn speedups_json(speedups: &[SpeedupRecord]) -> String {
+    speedups
+        .iter()
+        .map(|s| format!("    {{\"key\": \"{}\", \"ratio\": {:.3}}}", s.key, s.ratio))
+        .collect::<Vec<_>>()
+        .join(",\n")
 }
 
 /// Extracts `key → ratio` pairs from a bench JSON file. Deliberately
@@ -295,38 +301,45 @@ pub fn cmd_bench(flags: &HashMap<String, String>) {
     }
 
     if let Some(baseline_path) = flags.get("check") {
-        let text = std::fs::read_to_string(baseline_path).unwrap_or_else(|e| {
-            eprintln!("cannot read baseline {baseline_path}: {e}");
-            exit(1)
-        });
-        let baseline = parse_speedups(&text);
-        let mut compared = 0;
-        let mut failed = false;
-        for s in &speedups {
-            let Some(&base) = baseline.get(&s.key) else {
-                continue;
-            };
-            compared += 1;
-            let floor = 0.8 * base;
-            let ok = s.ratio >= floor;
-            println!(
-                "check {:<24} current {:>7.2}x vs baseline {:>7.2}x (floor {:>6.2}x) {}",
-                s.key,
-                s.ratio,
-                base,
-                floor,
-                if ok { "ok" } else { "REGRESSED" }
-            );
-            failed |= !ok;
-        }
-        if compared == 0 {
-            eprintln!("no speedup keys in common with {baseline_path}; nothing checked");
-            exit(1);
-        }
-        if failed {
-            eprintln!("speedup regression vs {baseline_path} (>20% drop)");
-            exit(1);
-        }
-        println!("all {compared} speedup ratios within 20% of baseline");
+        check_speedups(&speedups, baseline_path);
     }
+}
+
+/// Compares current speedup ratios against a checked-in baseline file and
+/// exits non-zero on a >20% regression (shared by `bench` and
+/// `bench-service`).
+pub(crate) fn check_speedups(speedups: &[SpeedupRecord], baseline_path: &str) {
+    let text = std::fs::read_to_string(baseline_path).unwrap_or_else(|e| {
+        eprintln!("cannot read baseline {baseline_path}: {e}");
+        exit(1)
+    });
+    let baseline = parse_speedups(&text);
+    let mut compared = 0;
+    let mut failed = false;
+    for s in speedups {
+        let Some(&base) = baseline.get(&s.key) else {
+            continue;
+        };
+        compared += 1;
+        let floor = 0.8 * base;
+        let ok = s.ratio >= floor;
+        println!(
+            "check {:<24} current {:>7.2}x vs baseline {:>7.2}x (floor {:>6.2}x) {}",
+            s.key,
+            s.ratio,
+            base,
+            floor,
+            if ok { "ok" } else { "REGRESSED" }
+        );
+        failed |= !ok;
+    }
+    if compared == 0 {
+        eprintln!("no speedup keys in common with {baseline_path}; nothing checked");
+        exit(1);
+    }
+    if failed {
+        eprintln!("speedup regression vs {baseline_path} (>20% drop)");
+        exit(1);
+    }
+    println!("all {compared} speedup ratios within 20% of baseline");
 }

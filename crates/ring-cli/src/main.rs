@@ -14,13 +14,19 @@
 //! ringsched run --alg c2 --m 64 --n 4096 --checkpoint-every 50 --checkpoint-dir snaps
 //! ringsched resume snaps/snap-0000000100.ringsnap
 //! ringsched bench --json BENCH_engine.json
+//! ringsched run --arrivals "0@0:500;40@21:160" --m 64
+//! ringsched serve --m 64 --arrivals "0@0:500;40@21:160" --queue-cap 800
+//! ringsched loadgen --mode closed --clients 8 --m 256 --seed 7
+//! ringsched bench-service --json BENCH_service.json
 //! ```
 
 mod bench;
+mod service_cmd;
 
 use ring_opt::exact::{optimum_capacitated, optimum_uncapacitated, OptResult, SolverBudget};
 use ring_opt::{capacitated_lower_bound, uncapacitated_lower_bound};
 use ring_sched::capacitated::run_capacitated;
+use ring_sched::dynamic::{parse_arrivals, run_dynamic, run_dynamic_par, DynamicInstance};
 use ring_sched::unit::{
     resume_unit, run_unit, run_unit_checkpointed, run_unit_faulty, run_unit_par,
     run_unit_par_faulty, UnitConfig, UnitRun,
@@ -54,6 +60,9 @@ fn usage() -> ! {
          \x20                                   seed=<s>[@<horizon>]  (random plan)\n\
          \x20   --checkpoint-every <k>        write a snapshot every k steps\n\
          \x20   --checkpoint-dir <d>          snapshot directory (default checkpoints/)\n\
+         \x20   --arrivals <spec>             dynamic model: jobs released online,\n\
+         \x20                                 entries <time>@<processor>:<count>\n\
+         \x20                                 separated by ';' (uses --m, --alg, --par)\n\
          \x20 resume <snapshot>               continue a checkpointed run\n\
          \x20   [--par <shards>] [--alg <a>]  (--alg only if the snapshot has no\n\
          \x20                                 algorithm metadata)\n\
@@ -72,6 +81,18 @@ fn usage() -> ! {
          \x20 bench                           engine throughput baseline\n\
          \x20   [--json <path>] [--sizes 256,1024,4096] [--reps 3]\n\
          \x20   [--shards 8] [--check <baseline.json>]\n\
+         \x20 serve                           online job-submission service\n\
+         \x20   --m <ring size> [--alg <a>] [--epoch <e>] [--queue-cap <j>]\n\
+         \x20   [--slo <steps>] [--par <shards>] [--arrivals <spec>]\n\
+         \x20   [--drain-at <t> [--snapshot <path>]]   drain into a snapshot\n\
+         \x20   [--resume <snapshot>]                  continue a drained service\n\
+         \x20 loadgen                         seeded service load generator\n\
+         \x20   [--mode open|closed] [--clients <k>] [--batches <b>]\n\
+         \x20   [--max-batch <j>] [--spacing <s>] [--seed <s>]\n\
+         \x20   plus the `serve` service flags (--m --alg --epoch ...)\n\
+         \x20 bench-service                   service throughput + tail latency\n\
+         \x20   [--json <path>] [--sizes 256,1024,4096] [--shards 8]\n\
+         \x20   [--check <baseline.json>]\n\
          \n\
          `run`, `capacitated`, and `optimum` also accept --instance <path>\n\
          to load an instance written by `save`."
@@ -101,7 +122,7 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
     flags
 }
 
-fn get_u64(flags: &HashMap<String, String>, key: &str, default: u64) -> u64 {
+pub(crate) fn get_u64(flags: &HashMap<String, String>, key: &str, default: u64) -> u64 {
     flags
         .get(key)
         .map(|v| {
@@ -152,7 +173,7 @@ fn build_instance(flags: &HashMap<String, String>) -> Instance {
     }
 }
 
-fn alg_config(flags: &HashMap<String, String>) -> UnitConfig {
+pub(crate) fn alg_config(flags: &HashMap<String, String>) -> UnitConfig {
     let mut cfg = match flags
         .get("alg")
         .map(|s| s.to_lowercase())
@@ -191,7 +212,76 @@ fn cmd_catalog() {
     }
 }
 
+/// `run --arrivals <spec>`: the dynamic (online-release) model. Jobs are
+/// injected at their release steps and the makespan is compared against
+/// the release-time-aware lower bound.
+fn cmd_run_arrivals(spec: &str, flags: &HashMap<String, String>) {
+    for bad in [
+        "threaded",
+        "faults",
+        "checkpoint-every",
+        "instance",
+        "case",
+        "workload",
+    ] {
+        if flags.contains_key(bad) {
+            eprintln!("--arrivals runs the dynamic model; --{bad} is not supported with it");
+            exit(2);
+        }
+    }
+    let m = get_u64(flags, "m", 64) as usize;
+    let arrivals = parse_arrivals(spec, m).unwrap_or_else(|e| {
+        eprintln!("bad --arrivals spec: {e}");
+        usage()
+    });
+    let inst = DynamicInstance::new(m, arrivals);
+    let mut cfg = alg_config(flags);
+    if flags.contains_key("observe") {
+        cfg = cfg.with_observe();
+    }
+    println!(
+        "dynamic instance: m={} n={} over {} arrivals (last release {}) | algorithm {}",
+        inst.num_processors(),
+        inst.total_work(),
+        inst.arrivals().len(),
+        inst.last_arrival(),
+        cfg.name()
+    );
+    let shards = flags.get("par").map(|s| {
+        let s: usize = s.parse().unwrap_or_else(|_| {
+            eprintln!("--par must be a shard count");
+            usage()
+        });
+        s.max(1)
+    });
+    let run = match shards {
+        Some(s) => run_dynamic_par(&inst, &cfg, s),
+        None => run_dynamic(&inst, &cfg),
+    }
+    .unwrap_or_else(|e| {
+        eprintln!("run failed: {e}");
+        exit(1)
+    });
+    println!(
+        "makespan: {} (dynamic lower bound {}, ratio <= {:.3})",
+        run.makespan,
+        run.lower_bound,
+        run.makespan as f64 / run.lower_bound.max(1) as f64
+    );
+    println!(
+        "messages: {}; job-hops: {}",
+        run.report.metrics.messages_sent, run.report.metrics.job_hops
+    );
+    if let Some(obs) = &run.report.observability {
+        println!("observability: {}", obs.to_json());
+    }
+}
+
 fn cmd_run(flags: &HashMap<String, String>) {
+    if let Some(spec) = flags.get("arrivals") {
+        cmd_run_arrivals(spec, flags);
+        return;
+    }
     let inst = build_instance(flags);
     let mut cfg = alg_config(flags);
     if flags.contains_key("observe") {
@@ -558,6 +648,9 @@ fn main() {
         "save" => cmd_save(&flags),
         "optimal-schedule" => cmd_optimal_schedule(&flags),
         "bench" => bench::cmd_bench(&flags),
+        "serve" => service_cmd::cmd_serve(&flags),
+        "loadgen" => service_cmd::cmd_loadgen(&flags),
+        "bench-service" => service_cmd::cmd_bench_service(&flags),
         _ => usage(),
     }
 }

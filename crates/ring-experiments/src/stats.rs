@@ -1,89 +1,24 @@
 //! Small summary-statistics helpers for experiment reports.
+//!
+//! The implementation lives in the shared [`ring_stats`] crate — both the
+//! experiment tables and the service latency tracker quote the same
+//! nearest-rank quantile definition; this module re-exports it under the
+//! crate's historical path.
 
-/// Summary statistics of a sample of factors.
-#[derive(Debug, Clone, PartialEq)]
-pub struct Summary {
-    /// Sample size.
-    pub count: usize,
-    /// Minimum.
-    pub min: f64,
-    /// Maximum.
-    pub max: f64,
-    /// Arithmetic mean.
-    pub mean: f64,
-    /// Median (lower median for even sizes).
-    pub median: f64,
-    /// 90th percentile (nearest-rank).
-    pub p90: f64,
-}
-
-impl Summary {
-    /// Computes summary statistics; returns `None` for an empty sample.
-    pub fn of(values: &[f64]) -> Option<Summary> {
-        if values.is_empty() {
-            return None;
-        }
-        let mut sorted = values.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("factors are finite"));
-        let count = sorted.len();
-        let rank = |q: f64| -> f64 {
-            let idx = ((q * count as f64).ceil() as usize).clamp(1, count) - 1;
-            sorted[idx]
-        };
-        Some(Summary {
-            count,
-            min: sorted[0],
-            max: sorted[count - 1],
-            mean: sorted.iter().sum::<f64>() / count as f64,
-            median: rank(0.5),
-            p90: rank(0.9),
-        })
-    }
-}
-
-impl std::fmt::Display for Summary {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "n={} min={:.3} median={:.3} mean={:.3} p90={:.3} max={:.3}",
-            self.count, self.min, self.median, self.mean, self.p90, self.max
-        )
-    }
-}
+pub use ring_stats::Summary;
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    // The implementation's own unit tests live in `ring-stats`; this pins
+    // the re-export and the nearest-rank convention at the historical path.
     #[test]
-    fn empty_sample() {
-        assert_eq!(Summary::of(&[]), None);
-    }
-
-    #[test]
-    fn single_value() {
-        let s = Summary::of(&[2.5]).unwrap();
-        assert_eq!(s.min, 2.5);
-        assert_eq!(s.max, 2.5);
-        assert_eq!(s.median, 2.5);
-        assert_eq!(s.p90, 2.5);
-    }
-
-    #[test]
-    fn known_sample() {
-        let s = Summary::of(&[1.0, 3.0, 2.0, 4.0, 5.0]).unwrap();
-        assert_eq!(s.min, 1.0);
-        assert_eq!(s.max, 5.0);
-        assert_eq!(s.median, 3.0);
-        assert!((s.mean - 3.0).abs() < 1e-12);
-        assert_eq!(s.p90, 5.0);
-    }
-
-    #[test]
-    fn percentile_is_nearest_rank() {
+    fn summary_uses_nearest_rank_percentiles() {
         let values: Vec<f64> = (1..=100).map(f64::from).collect();
         let s = Summary::of(&values).unwrap();
         assert_eq!(s.p90, 90.0);
         assert_eq!(s.median, 50.0);
+        assert_eq!(s.count, 100);
     }
 }

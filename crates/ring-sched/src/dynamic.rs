@@ -108,7 +108,8 @@ impl DynamicInstance {
 
     /// The dynamic lower bound: for every release time `r`, `r` plus the
     /// static lower bound of everything arriving at or after `r`
-    /// (including `r = 0`, the full aggregate bound).
+    /// (including `r = 0`, the full aggregate bound). Quadratic in the ring
+    /// size — use [`quick_clearance_bound`] where this runs on a hot path.
     pub fn lower_bound(&self) -> u64 {
         let mut best = self.arrivals.iter().map(|a| a.time + 1).max().unwrap_or(0);
         let mut release_times: Vec<u64> = self.arrivals.iter().map(|a| a.time).collect();
@@ -159,12 +160,131 @@ mod ring_opt_free {
     }
 }
 
+/// An O(m) relaxation of the static core of [`DynamicInstance::lower_bound`]:
+/// `max(⌈N/m⌉, max_i ⌈√load_i⌉)` over per-origin outstanding loads. Every
+/// term is among the candidates the full window scan maximizes over (the
+/// average and each single-node window), so the result is always `<=` the
+/// full bound while remaining a true lower bound on clearance time — cheap
+/// enough for per-epoch admission decisions at `m = 4096`, where the full
+/// O(m²) scan is not.
+pub fn quick_clearance_bound(loads: &[u64]) -> u64 {
+    if loads.is_empty() {
+        return 0;
+    }
+    let n: u64 = loads.iter().sum();
+    let mut best = n.div_ceil(loads.len() as u64);
+    for &x in loads {
+        best = best.max(ceil_sqrt(x));
+    }
+    best
+}
+
+/// Smallest `r` with `r² >= x`.
+fn ceil_sqrt(x: u64) -> u64 {
+    let mut r = (x as f64).sqrt() as u64;
+    while (r as u128) * (r as u128) < x as u128 {
+        r += 1;
+    }
+    while r > 0 && ((r - 1) as u128) * ((r - 1) as u128) >= x as u128 {
+        r -= 1;
+    }
+    r
+}
+
+/// Parses the CLI arrival-spec grammar into a time-sorted arrival list.
+/// `m` is the ring size, used for index validation.
+///
+/// Entries are separated by `;`, each `<time>@<processor>:<count>`:
+///
+/// ```text
+/// 0@0:100;10@8:50;25@4:30
+/// ```
+///
+/// releases 100 jobs on processor 0 at step 0, 50 on processor 8 at step
+/// 10, and 30 on processor 4 at step 25.
+pub fn parse_arrivals(spec: &str, m: usize) -> Result<Vec<Arrival>, String> {
+    let mut arrivals = Vec::new();
+    for raw in spec.split(';') {
+        let entry = raw.trim();
+        if entry.is_empty() {
+            continue;
+        }
+        let (time_s, rest) = entry
+            .split_once('@')
+            .ok_or_else(|| format!("`{entry}`: expected `<time>@<processor>:<count>`"))?;
+        let (proc_s, count_s) = rest
+            .split_once(':')
+            .ok_or_else(|| format!("`{entry}`: expected `<processor>:<count>` after `@`"))?;
+        let time: u64 = time_s
+            .trim()
+            .parse()
+            .map_err(|_| format!("`{entry}`: bad time `{time_s}`"))?;
+        let processor: usize = proc_s
+            .trim()
+            .parse()
+            .map_err(|_| format!("`{entry}`: bad processor `{proc_s}`"))?;
+        let count: u64 = count_s
+            .trim()
+            .parse()
+            .map_err(|_| format!("`{entry}`: bad count `{count_s}`"))?;
+        if processor >= m {
+            return Err(format!(
+                "`{entry}`: processor {processor} out of range (m = {m})"
+            ));
+        }
+        if count == 0 {
+            return Err(format!("`{entry}`: a batch must carry at least one job"));
+        }
+        arrivals.push(Arrival {
+            time,
+            processor,
+            count,
+        });
+    }
+    arrivals.sort_by_key(|a| a.time);
+    Ok(arrivals)
+}
+
 /// The dynamic policy: a static [`UnitNode`] plus this node's arrival
 /// schedule.
 pub struct DynamicNode {
     inner: UnitNode,
     /// This node's arrivals, sorted by time, consumed front to back.
     pending: std::collections::VecDeque<Arrival>,
+}
+
+impl DynamicNode {
+    /// Schedules a future arrival batch on this node, keeping the pending
+    /// stream time-sorted (equal-time batches stay in insertion order).
+    /// A serving layer calls this between engine spans — while the engine
+    /// is paused at a step boundary `B`, injecting batches with
+    /// `time >= B` — and must declare the added jobs through
+    /// [`ring_sim::Engine::add_work`].
+    pub fn inject(&mut self, a: Arrival) {
+        let pos = self.pending.partition_point(|b| b.time <= a.time);
+        self.pending.insert(pos, a);
+    }
+
+    /// Jobs delivered to this node (locally released or received in a
+    /// bucket) and not yet processed — excludes scheduled future arrivals.
+    pub fn resident_work(&self) -> u64 {
+        self.inner.pending_work()
+    }
+}
+
+/// Builds one idle dynamic node per processor (no scheduled arrivals).
+/// Arrivals are then attached with [`DynamicNode::inject`] — up front, as
+/// [`run_dynamic`] does, or between engine spans, as the serving layer
+/// does.
+pub fn build_dynamic_nodes(m: usize, cfg: &UnitConfig) -> Vec<DynamicNode> {
+    let empty = Instance::empty(m);
+    crate::unit::build_unit_nodes(&empty, cfg)
+        .into_iter()
+        .map(|inner| DynamicNode {
+            inner,
+            pending: std::collections::VecDeque::new(),
+        })
+        .collect()
 }
 
 impl Node for DynamicNode {
@@ -251,21 +371,12 @@ pub struct DynamicRun {
     pub lower_bound: u64,
 }
 
-/// Runs a unit-job bucket algorithm on a dynamic instance.
-pub fn run_dynamic(instance: &DynamicInstance, cfg: &UnitConfig) -> Result<DynamicRun, SimError> {
-    let empty = Instance::empty(instance.num_processors());
-    let mut nodes: Vec<DynamicNode> = crate::unit::build_unit_nodes(&empty, cfg)
-        .into_iter()
-        .map(|inner| DynamicNode {
-            inner,
-            pending: std::collections::VecDeque::new(),
-        })
-        .collect();
+/// Builds the engine for a dynamic instance: nodes with the arrival
+/// schedule attached and a step budget widened by the release horizon.
+fn dynamic_engine(instance: &DynamicInstance, cfg: &UnitConfig) -> Engine<DynamicNode> {
+    let mut nodes = build_dynamic_nodes(instance.num_processors(), cfg);
     for &a in instance.arrivals() {
-        nodes[a.processor].pending.push_back(a);
-    }
-    for node in &mut nodes {
-        node.pending.make_contiguous().sort_by_key(|a| a.time);
+        nodes[a.processor].inject(a);
     }
     let n = instance.total_work();
     let engine_cfg = EngineConfig {
@@ -275,8 +386,30 @@ pub fn run_dynamic(instance: &DynamicInstance, cfg: &UnitConfig) -> Result<Dynam
         compress: cfg.compress,
         ..EngineConfig::default()
     };
-    let mut engine = Engine::new(nodes, n, engine_cfg);
+    Engine::new(nodes, n, engine_cfg)
+}
+
+/// Runs a unit-job bucket algorithm on a dynamic instance.
+pub fn run_dynamic(instance: &DynamicInstance, cfg: &UnitConfig) -> Result<DynamicRun, SimError> {
+    let mut engine = dynamic_engine(instance, cfg);
     let report = engine.run()?;
+    Ok(DynamicRun {
+        makespan: report.makespan,
+        lower_bound: instance.lower_bound(),
+        report,
+    })
+}
+
+/// Runs a unit-job bucket algorithm on a dynamic instance through the
+/// arc-parallel engine (bit-identical to [`run_dynamic`], like
+/// `run_unit_par` is to `run_unit`).
+pub fn run_dynamic_par(
+    instance: &DynamicInstance,
+    cfg: &UnitConfig,
+    shards: usize,
+) -> Result<DynamicRun, SimError> {
+    let mut engine = dynamic_engine(instance, cfg);
+    let report = engine.par_run(shards)?;
     Ok(DynamicRun {
         makespan: report.makespan,
         lower_bound: instance.lower_bound(),
@@ -392,6 +525,141 @@ mod tests {
                 ring_opt::uncapacitated_lower_bound(&inst)
             );
         }
+    }
+
+    #[test]
+    fn par_run_matches_sequential_on_dynamic_instances() {
+        let d = DynamicInstance::new(
+            16,
+            vec![
+                Arrival {
+                    time: 0,
+                    processor: 2,
+                    count: 80,
+                },
+                Arrival {
+                    time: 7,
+                    processor: 11,
+                    count: 33,
+                },
+                Arrival {
+                    time: 40,
+                    processor: 2,
+                    count: 5,
+                },
+            ],
+        );
+        for (name, cfg) in UnitConfig::all_six() {
+            let seq = run_dynamic(&d, &cfg).unwrap();
+            for shards in [2, 3, 7] {
+                let par = run_dynamic_par(&d, &cfg, shards).unwrap();
+                assert_eq!(seq.report, par.report, "{name} shards={shards}");
+            }
+        }
+    }
+
+    #[test]
+    fn quick_bound_never_exceeds_the_full_bound() {
+        let cases: Vec<Vec<u64>> = vec![
+            vec![0; 8],
+            vec![100, 0, 0, 0, 7],
+            vec![3; 9],
+            vec![0, 50, 0, 50, 0, 0, 0, 0, 0, 0, 0, 0],
+            vec![1, 2, 3, 4, 5, 6, 7, 8],
+            vec![10_000],
+            (0..64).map(|i| (i * i) % 97).collect(),
+        ];
+        for loads in cases {
+            let quick = quick_clearance_bound(&loads);
+            let full = super::ring_opt_free::uncapacitated_lower_bound(&Instance::from_loads(
+                loads.clone(),
+            ));
+            assert!(quick <= full, "quick {quick} > full {full} for {loads:?}");
+            // Both are bounded below by the average and the deepest √load.
+            let n: u64 = loads.iter().sum();
+            assert!(quick >= n.div_ceil(loads.len() as u64));
+        }
+    }
+
+    #[test]
+    fn quick_bound_pins_known_values() {
+        assert_eq!(quick_clearance_bound(&[]), 0);
+        assert_eq!(quick_clearance_bound(&[0, 0, 0]), 0);
+        // 16 jobs on one of 8 nodes: √16 = 4 beats ⌈16/8⌉ = 2.
+        assert_eq!(quick_clearance_bound(&[16, 0, 0, 0, 0, 0, 0, 0]), 4);
+        // Perfectly spread: the average dominates.
+        assert_eq!(quick_clearance_bound(&[9, 9, 9]), 9);
+        // Non-square burst rounds up.
+        assert_eq!(quick_clearance_bound(&[17, 0, 0, 0, 0, 0, 0, 0]), 5);
+    }
+
+    #[test]
+    fn ceil_sqrt_is_exact() {
+        for x in 0..2000u64 {
+            let r = super::ceil_sqrt(x);
+            assert!(r * r >= x);
+            assert!(r == 0 || (r - 1) * (r - 1) < x);
+        }
+        assert_eq!(super::ceil_sqrt(u64::MAX), 1 << 32);
+    }
+
+    #[test]
+    fn parse_arrivals_round_trips_the_grammar() {
+        let spec = "10@8:50; 0@0:100 ;25@4:30";
+        let arrivals = parse_arrivals(spec, 16).unwrap();
+        assert_eq!(
+            arrivals,
+            vec![
+                Arrival {
+                    time: 0,
+                    processor: 0,
+                    count: 100
+                },
+                Arrival {
+                    time: 10,
+                    processor: 8,
+                    count: 50
+                },
+                Arrival {
+                    time: 25,
+                    processor: 4,
+                    count: 30
+                },
+            ]
+        );
+        assert_eq!(parse_arrivals("", 4).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn parse_arrivals_rejects_malformed_specs() {
+        for bad in [
+            "5:3",   // missing @
+            "5@3",   // missing :count
+            "x@3:1", // bad time
+            "5@x:1", // bad processor
+            "5@3:x", // bad count
+            "5@9:1", // processor out of range (m = 4)
+            "5@0:0", // empty batch
+        ] {
+            assert!(parse_arrivals(bad, 4).is_err(), "accepted `{bad}`");
+        }
+    }
+
+    #[test]
+    fn inject_keeps_the_pending_stream_time_sorted() {
+        let mut nodes = build_dynamic_nodes(4, &UnitConfig::c1());
+        for (time, count) in [(30, 1), (10, 2), (20, 3), (10, 4)] {
+            nodes[0].inject(Arrival {
+                time,
+                processor: 0,
+                count,
+            });
+        }
+        let times: Vec<(u64, u64)> = nodes[0].pending.iter().map(|a| (a.time, a.count)).collect();
+        // Sorted by time; the two t=10 batches keep insertion order.
+        assert_eq!(times, vec![(10, 2), (10, 4), (20, 3), (30, 1)]);
+        assert_eq!(nodes[0].pending_work(), 10);
+        assert_eq!(nodes[0].resident_work(), 0);
     }
 
     #[test]

@@ -1,0 +1,155 @@
+//! Seeded load generator: open- and closed-loop clients driving a
+//! [`Service`] over real threads. All randomness comes from per-client
+//! `StdRng` streams derived from one seed, and all scheduling decisions
+//! run on the service's virtual clock, so a fixed seed reproduces the
+//! completion log (and its digest) bit-for-bit — across runs, executors,
+//! and shard counts.
+
+use crate::report::{log_digest, ServiceReport};
+use crate::service::{Handle, Service};
+use crate::types::{Admission, LogEntry, ServiceConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// How clients pace themselves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadMode {
+    /// Fire-and-forget on a random virtual-time schedule
+    /// ([`Handle::try_submit`]); outcomes are claimed at the end. Keeps
+    /// pushing under overload, exercising the shed path.
+    Open,
+    /// One batch in flight per client: submit with backpressure
+    /// ([`Handle::submit`]), await completion, think, repeat. Never sheds
+    /// under overload — it slows down instead.
+    Closed,
+}
+
+impl LoadMode {
+    /// Stable short name (CLI/JSON).
+    pub fn name(self) -> &'static str {
+        match self {
+            LoadMode::Open => "open",
+            LoadMode::Closed => "closed",
+        }
+    }
+}
+
+/// Load-generator parameters.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Pacing discipline.
+    pub mode: LoadMode,
+    /// Concurrent client handles (each on its own OS thread).
+    pub clients: usize,
+    /// Batches submitted per client.
+    pub batches: u64,
+    /// Jobs per batch, drawn uniformly from `1..=max_batch`.
+    pub max_batch: u64,
+    /// Pacing scale in virtual steps: open-loop inter-arrival gaps and
+    /// closed-loop think times are drawn from `1..=2·spacing` and
+    /// `1..=spacing` respectively.
+    pub spacing: u64,
+    /// Master seed; client `i` uses an independent stream derived from it.
+    pub seed: u64,
+}
+
+impl LoadgenConfig {
+    /// A small, fast default mix: 4 open-loop clients, 32 batches each.
+    pub fn new(mode: LoadMode) -> LoadgenConfig {
+        LoadgenConfig {
+            mode,
+            clients: 4,
+            batches: 32,
+            max_batch: 16,
+            spacing: 8,
+            seed: 1994,
+        }
+    }
+}
+
+/// Outcome of one load-generator run.
+#[derive(Debug, Clone)]
+pub struct LoadgenReport {
+    /// The service's final accounting.
+    pub service: ServiceReport,
+    /// The full completion log (terminal outcomes in deterministic
+    /// boundary order).
+    pub log: Vec<LogEntry>,
+    /// Reproducibility digest of the completion log (seed-determined).
+    pub digest: u64,
+    /// Wall-clock seconds for the whole run (machine-dependent).
+    pub wall_secs: f64,
+    /// Completed jobs per wall-clock second (machine-dependent).
+    pub jobs_per_sec: f64,
+}
+
+fn client_rng(seed: u64, client: usize) -> StdRng {
+    // Independent per-client streams: splitmix-style spacing of the seed.
+    StdRng::seed_from_u64(
+        seed.wrapping_add((client as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+    )
+}
+
+fn drive_open(handle: &Handle, cfg: &LoadgenConfig, m: usize, rng: &mut StdRng) {
+    let mut t = 0u64;
+    let mut tickets = Vec::with_capacity(cfg.batches as usize);
+    for _ in 0..cfg.batches {
+        t += rng.gen_range(1..=2 * cfg.spacing.max(1));
+        let processor = rng.gen_range(0..m);
+        let count = rng.gen_range(1..=cfg.max_batch.max(1));
+        handle.advance_to(t);
+        tickets.push(handle.try_submit(processor, count));
+    }
+    for ticket in tickets {
+        handle.wait(ticket);
+    }
+    handle.close();
+}
+
+fn drive_closed(handle: &Handle, cfg: &LoadgenConfig, m: usize, rng: &mut StdRng) {
+    for _ in 0..cfg.batches {
+        let processor = rng.gen_range(0..m);
+        let count = rng.gen_range(1..=cfg.max_batch.max(1));
+        let (ticket, admission) = handle.submit(processor, count);
+        if matches!(admission, Admission::Admitted { .. }) {
+            handle.wait(ticket);
+        }
+        let think = rng.gen_range(1..=cfg.spacing.max(1));
+        handle.advance_to(handle.now() + think);
+    }
+    handle.close();
+}
+
+/// Runs the load generator against a fresh [`Service`], waits for the ring
+/// to go idle, and reports. The returned digest depends only on
+/// `(service_cfg, load_cfg)` — never on thread timing.
+pub fn run_loadgen(service_cfg: ServiceConfig, load_cfg: &LoadgenConfig) -> LoadgenReport {
+    let m = service_cfg.m;
+    let start = Instant::now();
+    let (service, handles) = Service::start(service_cfg, load_cfg.clients);
+    std::thread::scope(|scope| {
+        for (client, handle) in handles.iter().enumerate() {
+            let cfg = load_cfg;
+            scope.spawn(move || {
+                let mut rng = client_rng(cfg.seed, client);
+                match cfg.mode {
+                    LoadMode::Open => drive_open(handle, cfg, m, &mut rng),
+                    LoadMode::Closed => drive_closed(handle, cfg, m, &mut rng),
+                }
+            });
+        }
+    });
+    service.await_idle();
+    let log = service.completion_log();
+    let report = service.report();
+    drop(handles);
+    let wall = start.elapsed().as_secs_f64();
+    LoadgenReport {
+        digest: log_digest(&log),
+        jobs_per_sec: report.completed_jobs as f64 / wall.max(1e-9),
+        wall_secs: wall,
+        service: report,
+        log,
+    }
+}

@@ -1,0 +1,187 @@
+//! The service bookkeeping carried in [`ring_sim::Snapshot::app_meta`]
+//! across a drain: virtual clock, generation base offset, and the FIFO of
+//! admitted-but-unresolved tickets. A plain line format (like the CLI's
+//! `alg=... c_bits=...` metadata) keeps the offline toolchain free of a
+//! serialization dependency.
+
+use crate::types::Ticket;
+use std::collections::VecDeque;
+
+/// Header line identifying (and versioning) service metadata.
+const HEADER: &str = "ringsvc-meta v1";
+
+/// An admitted batch still in flight inside a generation engine, in FIFO
+/// admission order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct MetaTicket {
+    pub ticket: Ticket,
+    pub processor: usize,
+    pub jobs: u64,
+    /// Generation-cumulative injected-job count at which this batch is
+    /// complete (see the epoch loop's FIFO completion attribution).
+    pub cum_end: u64,
+    /// Submission tag, preserved so post-resume sojourns stay exact.
+    pub tag: u64,
+}
+
+/// Everything the service must remember across drain/resume that the
+/// engine snapshot does not already carry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct ServiceMeta {
+    /// Last processed epoch boundary (virtual step).
+    pub now: u64,
+    /// Virtual-time offset of the live generation (`virtual = base +
+    /// engine step`); equal to `now` when no generation was live.
+    pub base: u64,
+    /// Epoch length of the drained service (validated on resume: the
+    /// boundary grid must be preserved for bit-identical continuation).
+    pub epoch: u64,
+    /// Outstanding tickets in admission order.
+    pub tickets: VecDeque<MetaTicket>,
+}
+
+impl ServiceMeta {
+    /// Renders the metadata into the `app_meta` string.
+    pub fn encode(&self) -> String {
+        let mut out = String::from(HEADER);
+        out.push('\n');
+        out.push_str(&format!(
+            "now={} base={} epoch={}\n",
+            self.now, self.base, self.epoch
+        ));
+        for t in &self.tickets {
+            out.push_str(&format!(
+                "t client={} seq={} processor={} jobs={} cum_end={} tag={}\n",
+                t.ticket.client, t.ticket.seq, t.processor, t.jobs, t.cum_end, t.tag
+            ));
+        }
+        out
+    }
+
+    /// Parses metadata written by [`ServiceMeta::encode`].
+    pub fn decode(text: &str) -> Result<ServiceMeta, String> {
+        let mut lines = text.lines();
+        match lines.next() {
+            Some(h) if h.trim() == HEADER => {}
+            other => {
+                return Err(format!(
+                    "snapshot does not carry service metadata (header {other:?})"
+                ))
+            }
+        }
+        let fields = lines
+            .next()
+            .ok_or_else(|| "missing service clock line".to_string())?;
+        let mut now = None;
+        let mut base = None;
+        let mut epoch = None;
+        for tok in fields.split_whitespace() {
+            let (key, val) = tok
+                .split_once('=')
+                .ok_or_else(|| format!("bad clock token `{tok}`"))?;
+            let val: u64 = val.parse().map_err(|_| format!("bad value in `{tok}`"))?;
+            match key {
+                "now" => now = Some(val),
+                "base" => base = Some(val),
+                "epoch" => epoch = Some(val),
+                other => return Err(format!("unknown clock field `{other}`")),
+            }
+        }
+        let (Some(now), Some(base), Some(epoch)) = (now, base, epoch) else {
+            return Err("clock line is missing now/base/epoch".to_string());
+        };
+        let mut tickets = VecDeque::new();
+        for line in lines {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let rest = line
+                .strip_prefix("t ")
+                .ok_or_else(|| format!("unexpected metadata line `{line}`"))?;
+            let get = |key: &str, tok: Option<&str>| -> Result<u64, String> {
+                let tok = tok.ok_or_else(|| format!("truncated ticket line `{line}`"))?;
+                let val = tok
+                    .strip_prefix(key)
+                    .and_then(|v| v.strip_prefix('='))
+                    .ok_or_else(|| format!("expected `{key}=` in `{line}`"))?;
+                val.parse().map_err(|_| format!("bad number in `{line}`"))
+            };
+            let mut toks = rest.split_whitespace();
+            let client = get("client", toks.next())? as usize;
+            let seq = get("seq", toks.next())?;
+            let processor = get("processor", toks.next())? as usize;
+            let jobs = get("jobs", toks.next())?;
+            let cum_end = get("cum_end", toks.next())?;
+            let tag = get("tag", toks.next())?;
+            tickets.push_back(MetaTicket {
+                ticket: Ticket { client, seq },
+                processor,
+                jobs,
+                cum_end,
+                tag,
+            });
+        }
+        Ok(ServiceMeta {
+            now,
+            base,
+            epoch,
+            tickets,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_through_the_line_format() {
+        let meta = ServiceMeta {
+            now: 96,
+            base: 64,
+            epoch: 32,
+            tickets: VecDeque::from(vec![
+                MetaTicket {
+                    ticket: Ticket { client: 0, seq: 3 },
+                    processor: 5,
+                    jobs: 40,
+                    cum_end: 40,
+                    tag: 70,
+                },
+                MetaTicket {
+                    ticket: Ticket { client: 2, seq: 0 },
+                    processor: 0,
+                    jobs: 7,
+                    cum_end: 47,
+                    tag: 95,
+                },
+            ]),
+        };
+        let text = meta.encode();
+        assert_eq!(ServiceMeta::decode(&text).unwrap(), meta);
+    }
+
+    #[test]
+    fn empty_ticket_list_round_trips() {
+        let meta = ServiceMeta {
+            now: 0,
+            base: 0,
+            epoch: 16,
+            tickets: VecDeque::new(),
+        };
+        assert_eq!(ServiceMeta::decode(&meta.encode()).unwrap(), meta);
+    }
+
+    #[test]
+    fn rejects_foreign_and_corrupt_metadata() {
+        assert!(ServiceMeta::decode("").is_err());
+        assert!(ServiceMeta::decode("alg=c1 c_bits=0000000000000000").is_err());
+        assert!(ServiceMeta::decode("ringsvc-meta v1\nnow=1 base=1").is_err());
+        assert!(ServiceMeta::decode("ringsvc-meta v1\nnow=1 base=1 epoch=8\nt client=0").is_err());
+        assert!(
+            ServiceMeta::decode("ringsvc-meta v1\nnow=x base=1 epoch=8").is_err(),
+            "non-numeric clock"
+        );
+    }
+}

@@ -496,6 +496,28 @@ pub struct RunReport {
     pub observability: Option<Observability>,
 }
 
+/// Outcome of a bounded engine span ([`Engine::run_span`] /
+/// [`Engine::par_run_span`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpanOutcome {
+    /// Every unit of `total_work` has been processed; the engine is finished
+    /// and must not be stepped again. Boxed: a [`RunReport`] dwarfs the
+    /// `Paused` variant, and spans pause far more often than they finish.
+    Done(Box<RunReport>),
+    /// The engine reached the requested step boundary with work still
+    /// outstanding. All loop-carried state (arenas, link queues, metrics,
+    /// trace, observability) is retained in memory — exactly the state a
+    /// checkpoint at this boundary would serialize — so the next
+    /// `run_span`/`par_run_span`/`run`/`par_run` call continues
+    /// bit-identically, and [`Engine::snapshot`] can persist it.
+    Paused {
+        /// The step boundary the engine paused at.
+        t: u64,
+        /// Cumulative units of work processed so far.
+        processed: u64,
+    },
+}
+
 /// What one node did in one metered step (internal).
 struct NodeStep {
     work_done: u64,
@@ -935,6 +957,10 @@ pub struct Engine<N: Node> {
     config: EngineConfig,
     checkpoint: Option<CheckpointHook<N::Msg>>,
     resume: Option<ResumeState<N::Msg>>,
+    /// Set when a run completed (a [`RunReport`] was produced): the nodes
+    /// are drained and the loop-carried state is gone, so stepping or
+    /// snapshotting again would silently fabricate a fresh-start image.
+    finished: bool,
 }
 
 impl<N: Node> Engine<N> {
@@ -956,6 +982,7 @@ impl<N: Node> Engine<N> {
             config,
             checkpoint: None,
             resume: None,
+            finished: false,
         }
     }
 
@@ -1091,6 +1118,7 @@ impl<N: Node> Engine<N> {
             config,
             checkpoint: None,
             resume: Some(resume),
+            finished: false,
         })
     }
 
@@ -1149,11 +1177,175 @@ impl<N: Node> Engine<N> {
 
     /// Runs the simulation to completion on the calling thread.
     pub fn run(&mut self) -> Result<RunReport, SimError> {
+        match self.run_bounded(None)? {
+            SpanOutcome::Done(report) => Ok(*report),
+            SpanOutcome::Paused { .. } => unreachable!("unbounded run cannot pause"),
+        }
+    }
+
+    /// The step the engine will execute next: 0 for a fresh engine, the
+    /// boundary step for one paused by [`Engine::run_span`] or reconstructed
+    /// by [`Engine::resume`]. Meaningless after a run completed.
+    pub fn t(&self) -> u64 {
+        self.resume.as_ref().map_or(0, |r| r.t0)
+    }
+
+    /// Units of work processed so far (0 for a fresh engine; meaningful while
+    /// paused or resumed, before the run completes).
+    pub fn processed(&self) -> u64 {
+        self.resume
+            .as_ref()
+            .map_or(0, |r| r.metrics.total_processed())
+    }
+
+    /// The total work the run terminates at (see [`Engine::add_work`]).
+    pub fn total_work(&self) -> u64 {
+        self.total_work
+    }
+
+    /// Mutable access to the nodes. Intended for callers driving the engine
+    /// in bounded spans ([`Engine::run_span`]): between spans — i.e. while
+    /// the engine is paused at a step boundary — a serving layer may fold
+    /// newly admitted work into the policy nodes (e.g.
+    /// `DynamicNode` arrival injection). Every unit of resident work added
+    /// this way MUST be declared through [`Engine::add_work`], or the run
+    /// will fail its conservation checks.
+    pub fn nodes_mut(&mut self) -> &mut [N] {
+        &mut self.nodes
+    }
+
+    /// Raises the termination target by `delta` units, matching work injected
+    /// into the nodes between spans (see [`Engine::nodes_mut`]).
+    pub fn add_work(&mut self, delta: u64) {
+        self.total_work += delta;
+    }
+
+    /// Replaces the `app_meta` string recorded in subsequently produced
+    /// snapshots (cadence checkpoints and [`Engine::snapshot`]). Long-lived
+    /// callers use this to keep application bookkeeping current right
+    /// before snapshotting at a drain boundary.
+    pub fn set_checkpoint_meta(&mut self, meta: String) {
+        self.config.checkpoint_meta = meta;
+    }
+
+    /// Serializes the engine's complete state at its current step boundary
+    /// into a canonical [`Snapshot`] — the same bytes a cadence checkpoint
+    /// there would produce ([`EngineConfig::checkpoint_every`]), so
+    /// [`Engine::resume`] restores it bit-identically. Valid while the
+    /// engine is paused ([`SpanOutcome::Paused`], or reconstructed by
+    /// [`Engine::resume`] and not yet stepped) and on a fresh, never-run
+    /// engine (the step-0 image). Fails with
+    /// [`CheckpointError::Unsupported`] once a run has completed: the
+    /// nodes are drained and there is no mid-run state left to save.
+    pub fn snapshot(&self) -> Result<Snapshot, CheckpointError>
+    where
+        N::Msg: Persist,
+    {
+        fn save_via_persist<M: Persist>(msg: &M, enc: &mut Encoder) {
+            msg.save(enc);
+        }
+        if self.finished {
+            return Err(CheckpointError::Unsupported(
+                "the run has completed; there is no mid-run state to snapshot",
+            ));
+        }
+        let snap = |t0: u64,
+                    prev: u64,
+                    metrics: &Metrics,
+                    events: &[Event],
+                    obs: Option<&Observability>,
+                    cur_cw: &[Vec<N::Msg>],
+                    cur_ccw: &[Vec<N::Msg>],
+                    queue_cw: &[LinkQueue<N::Msg>],
+                    queue_ccw: &[LinkQueue<N::Msg>]| {
+            build_snapshot(
+                save_via_persist::<N::Msg>,
+                &self.nodes,
+                self.total_work,
+                t0,
+                prev,
+                self.config.trace,
+                self.config.faults.as_ref(),
+                metrics,
+                events,
+                obs,
+                cur_cw,
+                cur_ccw,
+                queue_cw,
+                queue_ccw,
+                &self.config.checkpoint_meta,
+            )
+        };
+        match self.resume.as_ref() {
+            Some(r) => snap(
+                r.t0,
+                r.prev_round_departed,
+                &r.metrics,
+                r.trace.events(),
+                r.obs.as_ref(),
+                &r.cur_cw,
+                &r.cur_ccw,
+                &r.queue_cw,
+                &r.queue_ccw,
+            ),
+            None => {
+                // Never stepped: the fresh-start image, mirroring what
+                // `run_bounded` would initialize at t = 0.
+                let m = self.topo.len();
+                let qm = if self.config.faults.is_some() { m } else { 0 };
+                let empty_cw: Vec<Vec<N::Msg>> = (0..m).map(|_| Vec::new()).collect();
+                let empty_ccw: Vec<Vec<N::Msg>> = (0..m).map(|_| Vec::new()).collect();
+                let queues_cw: Vec<LinkQueue<N::Msg>> = (0..qm).map(|_| VecDeque::new()).collect();
+                let queues_ccw: Vec<LinkQueue<N::Msg>> = (0..qm).map(|_| VecDeque::new()).collect();
+                let metrics = Metrics::new(m);
+                let obs = self.config.observe.then(|| Observability::new(m));
+                snap(
+                    0,
+                    0,
+                    &metrics,
+                    &[],
+                    obs.as_ref(),
+                    &empty_cw,
+                    &empty_ccw,
+                    &queues_cw,
+                    &queues_ccw,
+                )
+            }
+        }
+    }
+
+    /// Runs the simulation on the calling thread until either every unit of
+    /// work is processed or step `pause_at` is reached, whichever comes
+    /// first. On pause the engine retains its complete mid-run state in
+    /// memory (the in-memory analogue of a checkpoint at that boundary) and
+    /// the next `run_span`/`run` call continues from it — the eventual
+    /// [`RunReport`] is **bit-for-bit identical** to an uninterrupted run,
+    /// however many pauses were taken (asserted by the workspace's
+    /// span-equivalence proptests). A `pause_at` at or before the current
+    /// step pauses immediately without simulating.
+    pub fn run_span(&mut self, pause_at: u64) -> Result<SpanOutcome, SimError> {
+        if self.total_work == 0 {
+            return Ok(SpanOutcome::Done(Box::new(self.empty_report())));
+        }
+        if pause_at <= self.t() {
+            return Ok(SpanOutcome::Paused {
+                t: self.t(),
+                processed: self.processed(),
+            });
+        }
+        self.run_bounded(Some(pause_at))
+    }
+
+    fn run_bounded(&mut self, pause_at: Option<u64>) -> Result<SpanOutcome, SimError> {
+        assert!(
+            !self.finished,
+            "engine already completed a run; construct a new one"
+        );
         let m = self.topo.len();
         let max_steps = self.max_steps();
 
         if self.total_work == 0 {
-            return Ok(self.empty_report());
+            return Ok(SpanOutcome::Done(Box::new(self.empty_report())));
         }
 
         // Fault state: per-node per-direction link queues plus two scratch
@@ -1236,6 +1428,29 @@ impl<N: Node> Engine<N> {
                 });
             }
 
+            // Span boundary: pack the loop-carried state back into the
+            // engine (the in-memory analogue of the checkpoint below — the
+            // loop state here *is* the step-`t` image) and hand control back
+            // to the caller. Completion is checked at the end of round t-1,
+            // so a finished run never pauses.
+            if pause_at == Some(t) {
+                self.resume = Some(ResumeState {
+                    t0: t,
+                    prev_round_departed,
+                    cur_cw,
+                    cur_ccw,
+                    queue_cw,
+                    queue_ccw,
+                    metrics,
+                    trace,
+                    obs,
+                });
+                return Ok(SpanOutcome::Paused {
+                    t,
+                    processed: processed_total,
+                });
+            }
+
             // Checkpoint boundary: every state the loop carries is exactly
             // the step-`t` image here (next arenas empty, metrics.steps == t,
             // all trace events < t), so the snapshot is self-contained.
@@ -1287,6 +1502,11 @@ impl<N: Node> Engine<N> {
                 if let Some(every) = cp_every {
                     budget = budget.min(every - t % every);
                 }
+                if let Some(p) = pause_at {
+                    // A quiet span must likewise land exactly on the pause
+                    // boundary (p > t here: the pause check above returned).
+                    budget = budget.min(p - t);
+                }
                 if let Some(k) = arc_quiescence(&self.nodes, t, &mut quiet_backlogs)
                     .and_then(|(span, max_b)| compression_k(span, max_b, budget))
                 {
@@ -1335,7 +1555,8 @@ impl<N: Node> Engine<N> {
                             observability: obs,
                         };
                         self.self_check(&report);
-                        return Ok(report);
+                        self.finished = true;
+                        return Ok(SpanOutcome::Done(Box::new(report)));
                     }
                     continue;
                 }
@@ -1504,7 +1725,8 @@ impl<N: Node> Engine<N> {
                     observability: obs,
                 };
                 self.self_check(&report);
-                return Ok(report);
+                self.finished = true;
+                return Ok(SpanOutcome::Done(Box::new(report)));
             }
         }
     }
@@ -1534,19 +1756,67 @@ impl<N: Node> Engine<N> {
         N: Send,
         N::Msg: Send,
     {
+        match self.par_run_bounded(None, shards)? {
+            SpanOutcome::Done(report) => Ok(*report),
+            SpanOutcome::Paused { .. } => unreachable!("unbounded run cannot pause"),
+        }
+    }
+
+    /// The parallel counterpart of [`Engine::run_span`]: advances the ring
+    /// on `shards` scoped threads until completion or step `pause_at`,
+    /// whichever comes first. Pausing, like checkpointing, happens at a
+    /// barrier-aligned step boundary; the reassembled whole-ring state is
+    /// identical to what a sequential span leaves behind, so spans may
+    /// freely alternate executors and shard counts — the eventual report is
+    /// bit-for-bit identical regardless (asserted by the workspace's
+    /// span-equivalence proptests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn par_run_span(&mut self, pause_at: u64, shards: usize) -> Result<SpanOutcome, SimError>
+    where
+        N: Send,
+        N::Msg: Send,
+    {
+        if self.total_work == 0 {
+            return Ok(SpanOutcome::Done(Box::new(self.empty_report())));
+        }
+        if pause_at <= self.t() {
+            return Ok(SpanOutcome::Paused {
+                t: self.t(),
+                processed: self.processed(),
+            });
+        }
+        self.par_run_bounded(Some(pause_at), shards)
+    }
+
+    fn par_run_bounded(
+        &mut self,
+        pause_at: Option<u64>,
+        shards: usize,
+    ) -> Result<SpanOutcome, SimError>
+    where
+        N: Send,
+        N::Msg: Send,
+    {
         assert!(shards > 0, "need at least one shard");
+        assert!(
+            !self.finished,
+            "engine already completed a run; construct a new one"
+        );
         let m = self.topo.len();
         let shards = shards.min(m);
         if shards == 1 {
-            return self.run();
+            return self.run_bounded(pause_at);
         }
         if self.total_work == 0 {
-            return Ok(self.empty_report());
+            return Ok(SpanOutcome::Done(Box::new(self.empty_report())));
         }
         let max_steps = self.max_steps();
         let resume = self.resume.take();
 
-        let report = par::run_sharded(
+        match par::run_sharded(
             &mut self.nodes,
             self.topo,
             self.total_work,
@@ -1555,9 +1825,20 @@ impl<N: Node> Engine<N> {
             shards,
             resume,
             self.checkpoint.as_mut(),
-        )?;
-        self.self_check(&report);
-        Ok(report)
+            pause_at,
+        )? {
+            par::Sharded::Done(report) => {
+                self.self_check(&report);
+                self.finished = true;
+                Ok(SpanOutcome::Done(Box::new(report)))
+            }
+            par::Sharded::Paused(state) => {
+                let t = state.t0;
+                let processed = state.metrics.total_processed();
+                self.resume = Some(state);
+                Ok(SpanOutcome::Paused { t, processed })
+            }
+        }
     }
 }
 
@@ -1676,6 +1957,27 @@ mod par {
         sent_payload_per_round: Vec<u64>,
         events: Vec<Event>,
         obs: Option<Observability>,
+    }
+
+    /// What `run_sharded` resolved to: a finished report, or — when a
+    /// `pause_at` boundary was reached first — the whole-ring mid-run image
+    /// the engine keeps for the next span (the same state a checkpoint at
+    /// that boundary would serialize).
+    pub(super) enum Sharded<M> {
+        Done(RunReport),
+        Paused(ResumeState<M>),
+    }
+
+    /// Everything one arc hands back when its loop exits: the metric/trace
+    /// partial plus the loop-carried state (`run_sharded` needs the link
+    /// queues and departure count to rebuild a [`ResumeState`] on pause;
+    /// completed runs drop them).
+    struct ArcOutcome<M> {
+        partial: ArcPartial,
+        queue_cw: Vec<LinkQueue<M>>,
+        queue_ccw: Vec<LinkQueue<M>>,
+        prev_departed: u64,
+        paused: bool,
     }
 
     /// Shared per-round quiescence ballot (see the compression block in
@@ -1929,7 +2231,8 @@ mod par {
         shards: usize,
         resume: Option<ResumeState<N::Msg>>,
         checkpoint: Option<&mut CheckpointHook<N::Msg>>,
-    ) -> Result<RunReport, SimError>
+        pause_at: Option<u64>,
+    ) -> Result<Sharded<N::Msg>, SimError>
     where
         N: Node + Send,
         N::Msg: Send,
@@ -2089,7 +2392,7 @@ mod par {
         };
         let cp = cp.as_ref();
 
-        let partials: Vec<ArcPartial> = std::thread::scope(|scope| {
+        let outcomes: Vec<ArcOutcome<N::Msg>> = std::thread::scope(|scope| {
             let handles: Vec<_> = arcs
                 .into_iter()
                 .zip(arc_queues)
@@ -2127,6 +2430,7 @@ mod par {
                             arc_queue_cw,
                             arc_queue_ccw,
                             cp,
+                            pause_at,
                         )
                     })
                 })
@@ -2139,7 +2443,10 @@ mod par {
 
         // Resolve the outcome with the sequential engine's precedence:
         // in-round violations first, then the round-end conservation check,
-        // then the budget.
+        // then pause, then the budget. The pause predicate is a pure
+        // function of `t`, so every arc agrees on it; completion wins over
+        // pause because the stop check at barrier 2 of round t-1 precedes
+        // the pause check at round t.
         if let Some((_, _, err)) = flagged.into_inner().unwrap_or_else(|e| e.into_inner()) {
             return Err(err);
         }
@@ -2149,6 +2456,49 @@ mod par {
                 processed: processed_total,
                 total: total_work,
             });
+        }
+        let paused = outcomes.iter().any(|o| o.paused);
+        if paused {
+            debug_assert!(outcomes.iter().all(|o| o.paused), "arcs disagree on pause");
+            // Reassemble the whole-ring mid-run image. Arena slices were
+            // swapped in place by the arcs, so `cur_cw`/`cur_ccw` already
+            // hold the step-`t` inbound state; queues and partials
+            // concatenate in arc order (fault-free runs carry no queues,
+            // matching the sequential engine's empty-queue convention).
+            // `prev_round_departed` sums per-arc counts — valid because the
+            // caller guarantees at least one round ran since resume
+            // whenever the resumed value was nonzero (`par_run_span` never
+            // re-enters at the boundary it paused on).
+            let t = pause_at.expect("arcs pause only at the requested boundary");
+            let mut queue_cw = Vec::new();
+            let mut queue_ccw = Vec::new();
+            let mut prev_round_departed: u64 = 0;
+            let mut partials = Vec::with_capacity(outcomes.len());
+            for o in outcomes {
+                queue_cw.extend(o.queue_cw);
+                queue_ccw.extend(o.queue_ccw);
+                prev_round_departed += o.prev_departed;
+                partials.push(o.partial);
+            }
+            let (metrics, events, obs) = merge_partials(
+                t0,
+                &base_metrics,
+                base_trace.events(),
+                base_obs.as_ref(),
+                config.trace,
+                partials,
+            );
+            return Ok(Sharded::Paused(ResumeState {
+                t0: t,
+                prev_round_departed,
+                cur_cw,
+                cur_ccw,
+                queue_cw,
+                queue_ccw,
+                metrics,
+                trace: Trace::from_events(config.trace, events),
+                obs,
+            }));
         }
         if processed_total < total_work {
             return Err(SimError::ExceededMaxSteps {
@@ -2166,16 +2516,16 @@ mod par {
             base_trace.events(),
             base_obs.as_ref(),
             config.trace,
-            partials,
+            outcomes.into_iter().map(|o| o.partial).collect(),
         );
         let trace = Trace::from_events(config.trace, events);
         let makespan = metrics.last_busy_step.expect("work was processed") + 1;
-        Ok(RunReport {
+        Ok(Sharded::Done(RunReport {
             makespan,
             metrics,
             trace,
             observability: obs,
-        })
+        }))
     }
 
     /// The per-arc worker loop. Arc `a` owns nodes `lo..hi`; all slice
@@ -2206,7 +2556,8 @@ mod par {
         mut queue_cw: Vec<LinkQueue<N::Msg>>,
         mut queue_ccw: Vec<LinkQueue<N::Msg>>,
         cp: Option<&ParCheckpoint<'_, N::Msg>>,
-    ) -> ArcPartial
+        pause_at: Option<u64>,
+    ) -> ArcOutcome<N::Msg>
     where
         N: Node,
     {
@@ -2254,10 +2605,21 @@ mod par {
         let mut quiet_backlogs: Vec<u64> = Vec::new();
 
         let mut t: u64 = t0;
+        let mut paused = false;
         loop {
             // Same budget check as the sequential engine, evaluated
             // identically by every arc — no communication needed.
             if t >= max_steps {
+                break;
+            }
+
+            // Span boundary — also a pure function of `t`, so every arc
+            // breaks here together (before any of the round's barriers,
+            // keeping the counts uniform). Checked before the checkpoint
+            // block, like the sequential engine: pause wins at a shared
+            // boundary and no snapshot is emitted for it.
+            if pause_at == Some(t) {
+                paused = true;
                 break;
             }
 
@@ -2362,6 +2724,11 @@ mod par {
                         let mut budget = max_steps - t;
                         if let Some(cp) = cp {
                             budget = budget.min(cp.every - t % cp.every);
+                        }
+                        if let Some(p) = pause_at {
+                            // Land exactly on the span boundary (p > t:
+                            // the pause check above did not fire).
+                            budget = budget.min(p - t);
                         }
                         compression_k(v.min_span, v.max_backlog, budget)
                     } else {
@@ -2617,7 +2984,13 @@ mod par {
             }
             t += 1;
         }
-        partial
+        ArcOutcome {
+            partial,
+            queue_cw,
+            queue_ccw,
+            prev_departed: arc_prev_departed,
+            paused,
+        }
     }
 
     /// Disjoint `&mut` borrows of `cw[j]` and `ccw[j]` (two different

@@ -1,0 +1,122 @@
+//! Fixed-width approximation-factor histograms (the format of Figures 2–7).
+//!
+//! The figures bucket empirical factors in 0.1-wide bins starting at 1.0
+//! (the exact axis labels are illegible in the surviving scan; the bin
+//! width is our documented choice — DESIGN.md §5).
+
+/// A histogram over `[1.0, ∞)` with fixed-width bins.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    width: f64,
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Builds a histogram of `factors` with the given bin width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width <= 0` or any factor is below `1 - 1e-9` (factors
+    /// below 1 indicate a broken denominator).
+    pub fn new(factors: &[f64], width: f64) -> Self {
+        assert!(width > 0.0, "bin width must be positive");
+        let mut counts = Vec::new();
+        for &f in factors {
+            assert!(f >= 1.0 - 1e-9, "approximation factor {f} below 1");
+            // The small epsilon keeps exact boundary values (e.g. 1.1 with
+            // width 0.1, which divides to 0.99999…) in their intended bin.
+            let bin = ((f - 1.0) / width + 1e-9).floor().max(0.0) as usize;
+            if counts.len() <= bin {
+                counts.resize(bin + 1, 0);
+            }
+            counts[bin] += 1;
+        }
+        Histogram { width, counts }
+    }
+
+    /// The paper-style histogram: 0.1-wide bins from 1.0.
+    pub fn paper_style(factors: &[f64]) -> Self {
+        Histogram::new(factors, 0.1)
+    }
+
+    /// Total number of samples.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// The count in the bin covering `[1 + i·w, 1 + (i+1)·w)`.
+    pub fn count(&self, bin: usize) -> u64 {
+        self.counts.get(bin).copied().unwrap_or(0)
+    }
+
+    /// Number of non-empty leading bins.
+    pub fn num_bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Samples with factor below `threshold` (e.g. 1.2 for the paper's
+    /// "many of the experiments had an approximation factor of 1.2 or
+    /// less").
+    pub fn below(&self, threshold: f64) -> u64 {
+        let full_bins = ((threshold - 1.0) / self.width).round() as usize;
+        self.counts.iter().take(full_bins).sum()
+    }
+
+    /// Renders an ASCII bar chart, one row per bin.
+    pub fn render(&self) -> String {
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, &c) in self.counts.iter().enumerate() {
+            let lo = 1.0 + i as f64 * self.width;
+            let hi = lo + self.width;
+            let bar_len = (c * 50).div_ceil(max) as usize;
+            let bar: String = "#".repeat(if c > 0 { bar_len } else { 0 });
+            out.push_str(&format!("[{lo:4.2}, {hi:4.2})  {c:3}  {bar}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_cover_half_open_intervals() {
+        let h = Histogram::paper_style(&[1.0, 1.05, 1.1, 1.19, 1.2, 2.0]);
+        assert_eq!(h.count(0), 2); // [1.0, 1.1)
+        assert_eq!(h.count(1), 2); // [1.1, 1.2)
+        assert_eq!(h.count(2), 1); // [1.2, 1.3)
+        assert_eq!(h.count(10), 1); // [2.0, 2.1)
+        assert_eq!(h.total(), 6);
+    }
+
+    #[test]
+    fn below_counts_leading_mass() {
+        let h = Histogram::paper_style(&[1.0, 1.05, 1.15, 1.25, 3.0]);
+        assert_eq!(h.below(1.2), 3);
+        assert_eq!(h.below(1.1), 2);
+    }
+
+    #[test]
+    fn render_is_nonempty_and_row_per_bin() {
+        let h = Histogram::paper_style(&[1.0, 1.5]);
+        let s = h.render();
+        assert_eq!(s.lines().count(), h.num_bins());
+        assert!(s.contains('#'));
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::paper_style(&[]);
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.num_bins(), 0);
+        assert_eq!(h.render(), "");
+    }
+
+    #[test]
+    #[should_panic(expected = "below 1")]
+    fn rejects_subunit_factors() {
+        let _ = Histogram::paper_style(&[0.5]);
+    }
+}

@@ -1,0 +1,186 @@
+//! Exact integer-valued latency histogram.
+//!
+//! Sojourn times in the ring service are integers (simulated steps), so the
+//! histogram stores exact per-value counts in an ordered map — no binning
+//! error, memory proportional to the number of *distinct* latencies, and
+//! deterministic iteration order. Quantiles use the same nearest-rank
+//! definition as [`crate::nearest_rank`], walked over the cumulative
+//! counts, so a reported p99 is always an actually-observed latency.
+
+use std::collections::BTreeMap;
+
+use crate::percentile::nearest_rank_index;
+
+/// An exact histogram of integer latencies (simulated steps).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    counts: BTreeMap<u64, u64>,
+    total: u64,
+    sum: u128,
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Records `n` observations of the same value (e.g. a batch of jobs
+    /// completing at one epoch boundary with equal sojourn).
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        *self.counts.entry(value).or_insert(0) += n;
+        self.total += n;
+        self.sum += value as u128 * n as u128;
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (&v, &n) in &other.counts {
+            self.record_n(v, n);
+        }
+    }
+
+    /// Number of observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Smallest observed value; `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        self.counts.keys().next().copied()
+    }
+
+    /// Largest observed value; `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        self.counts.keys().next_back().copied()
+    }
+
+    /// Arithmetic mean; `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.total > 0).then(|| self.sum as f64 / self.total as f64)
+    }
+
+    /// The nearest-rank `q`-quantile: the value at 1-indexed rank
+    /// `⌈q·total⌉` of the sorted observations. `None` when empty.
+    pub fn percentile(&self, q: f64) -> Option<u64> {
+        if self.total == 0 {
+            return None;
+        }
+        let count = usize::try_from(self.total).expect("sample count fits usize");
+        let rank = nearest_rank_index(count, q) as u64;
+        let mut seen: u64 = 0;
+        for (&v, &n) in &self.counts {
+            seen += n;
+            if seen > rank {
+                return Some(v);
+            }
+        }
+        unreachable!("rank is clamped below the total count")
+    }
+
+    /// Median (nearest-rank p50).
+    pub fn p50(&self) -> Option<u64> {
+        self.percentile(0.50)
+    }
+
+    /// Nearest-rank p95.
+    pub fn p95(&self) -> Option<u64> {
+        self.percentile(0.95)
+    }
+
+    /// Nearest-rank p99.
+    pub fn p99(&self) -> Option<u64> {
+        self.percentile(0.99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.p50(), None);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+    }
+
+    #[test]
+    fn pins_p50_p95_p99_on_uniform_1_to_100() {
+        // One observation of each of 1..=100: the q-quantile is 100q.
+        let mut h = LatencyHistogram::new();
+        for v in 1..=100 {
+            h.record(v);
+        }
+        assert_eq!(h.p50(), Some(50));
+        assert_eq!(h.p95(), Some(95));
+        assert_eq!(h.p99(), Some(99));
+        assert_eq!(h.percentile(1.0), Some(100));
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.max(), Some(100));
+        assert_eq!(h.mean(), Some(50.5));
+    }
+
+    #[test]
+    fn pins_quantiles_on_heavy_tail() {
+        // 990 fast observations and 10 slow ones: p99 is the last fast
+        // value, everything past rank 990 is slow.
+        let mut h = LatencyHistogram::new();
+        h.record_n(3, 990);
+        h.record_n(1000, 10);
+        assert_eq!(h.p50(), Some(3));
+        assert_eq!(h.p95(), Some(3));
+        assert_eq!(h.p99(), Some(3));
+        assert_eq!(h.percentile(0.991), Some(1000));
+        assert_eq!(h.max(), Some(1000));
+    }
+
+    #[test]
+    fn matches_sorted_vector_nearest_rank() {
+        // Cross-check against the shared f64 implementation on an
+        // arbitrary multiset.
+        let values: Vec<u64> = vec![5, 1, 9, 9, 9, 2, 2, 7, 30, 4, 4, 4, 4];
+        let mut h = LatencyHistogram::new();
+        let mut sorted: Vec<f64> = Vec::new();
+        for &v in &values {
+            h.record(v);
+            sorted.push(v as f64);
+        }
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for q in [0.01, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0] {
+            assert_eq!(
+                h.percentile(q),
+                Some(crate::nearest_rank(&sorted, q) as u64),
+                "q={q}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_in_one() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut all = LatencyHistogram::new();
+        for v in [4u64, 8, 8, 2, 100] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [1u64, 8, 50] {
+            b.record(v);
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+    }
+}

@@ -1,0 +1,22 @@
+//! Shared statistics machinery: fixed-width factor histograms (the format
+//! of the paper's Figures 2–7), nearest-rank percentiles, and an exact
+//! integer latency histogram.
+//!
+//! One implementation serves both consumers in the workspace — the
+//! `ring-experiments` report generators (approximation-factor summaries and
+//! figures) and the `ring-service` sojourn-latency tracker — so a quantile
+//! quoted in a paper table and one quoted in a service SLO report mean the
+//! same thing: **nearest-rank** on the sorted sample, `x_⌈q·n⌉` (1-indexed).
+//! Nearest-rank always returns an observed sample (never an interpolation),
+//! is exact on integer data, and is monotone in `q`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod histogram;
+mod latency;
+mod percentile;
+
+pub use histogram::Histogram;
+pub use latency::LatencyHistogram;
+pub use percentile::{nearest_rank, nearest_rank_index, Summary};

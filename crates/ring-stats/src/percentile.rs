@@ -1,0 +1,136 @@
+//! Nearest-rank percentiles and the sample summary built on them.
+
+/// The 0-based index of the nearest-rank `q`-quantile of a sample of size
+/// `count`: `⌈q·count⌉ − 1`, clamped into the sample. The workspace-wide
+/// quantile definition (see the crate docs).
+///
+/// # Panics
+///
+/// Panics if `count == 0`.
+pub fn nearest_rank_index(count: usize, q: f64) -> usize {
+    assert!(count > 0, "quantile of an empty sample");
+    ((q * count as f64).ceil() as usize).clamp(1, count) - 1
+}
+
+/// The nearest-rank `q`-quantile of an ascending-sorted sample.
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty.
+pub fn nearest_rank(sorted: &[f64], q: f64) -> f64 {
+    sorted[nearest_rank_index(sorted.len(), q)]
+}
+
+/// Summary statistics of a sample of factors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub count: usize,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (lower median for even sizes).
+    pub median: f64,
+    /// 90th percentile (nearest-rank).
+    pub p90: f64,
+}
+
+impl Summary {
+    /// Computes summary statistics; returns `None` for an empty sample.
+    pub fn of(values: &[f64]) -> Option<Summary> {
+        if values.is_empty() {
+            return None;
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("factors are finite"));
+        let count = sorted.len();
+        Some(Summary {
+            count,
+            min: sorted[0],
+            max: sorted[count - 1],
+            mean: sorted.iter().sum::<f64>() / count as f64,
+            median: nearest_rank(&sorted, 0.5),
+            p90: nearest_rank(&sorted, 0.9),
+        })
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} min={:.3} median={:.3} mean={:.3} p90={:.3} max={:.3}",
+            self.count, self.min, self.median, self.mean, self.p90, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sample() {
+        assert_eq!(Summary::of(&[]), None);
+    }
+
+    #[test]
+    fn single_value() {
+        let s = Summary::of(&[2.5]).unwrap();
+        assert_eq!(s.min, 2.5);
+        assert_eq!(s.max, 2.5);
+        assert_eq!(s.median, 2.5);
+        assert_eq!(s.p90, 2.5);
+    }
+
+    #[test]
+    fn known_sample() {
+        let s = Summary::of(&[1.0, 3.0, 2.0, 4.0, 5.0]).unwrap();
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.median, 3.0);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+        assert_eq!(s.p90, 5.0);
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let values: Vec<f64> = (1..=100).map(f64::from).collect();
+        let s = Summary::of(&values).unwrap();
+        assert_eq!(s.p90, 90.0);
+        assert_eq!(s.median, 50.0);
+    }
+
+    #[test]
+    fn nearest_rank_pins_p50_p95_p99_on_known_distributions() {
+        // 1..=100: the q-quantile is exactly 100q.
+        let v: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(nearest_rank(&v, 0.50), 50.0);
+        assert_eq!(nearest_rank(&v, 0.95), 95.0);
+        assert_eq!(nearest_rank(&v, 0.99), 99.0);
+        assert_eq!(nearest_rank(&v, 1.0), 100.0);
+        // Ten equal samples with one outlier: p99 lands on the outlier,
+        // p50/p95 on the mass.
+        let mut w = vec![7.0; 99];
+        w.push(1000.0);
+        assert_eq!(nearest_rank(&w, 0.50), 7.0);
+        assert_eq!(nearest_rank(&w, 0.95), 7.0);
+        assert_eq!(nearest_rank(&w, 0.99), 7.0);
+        assert_eq!(nearest_rank(&w, 0.995), 1000.0);
+        // Small sample: ranks clamp into the sample.
+        let s = [3.0, 9.0];
+        assert_eq!(nearest_rank(&s, 0.0), 3.0);
+        assert_eq!(nearest_rank(&s, 0.50), 3.0);
+        assert_eq!(nearest_rank(&s, 0.51), 9.0);
+        assert_eq!(nearest_rank(&s, 0.99), 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn nearest_rank_rejects_empty() {
+        let _ = nearest_rank(&[], 0.5);
+    }
+}
