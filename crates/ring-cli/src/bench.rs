@@ -4,7 +4,8 @@
 //! sizes, message representations (per-unit vs count-coalesced), and
 //! executors (`run` vs `par_run`), plus the drain shape with and without
 //! quiescent-span step compression. Emits a hand-written JSON report
-//! (`BENCH_engine.json` by convention) with per-case medians and the
+//! (`BENCH_engine.json` by convention) with per-case best-of-reps timings
+//! and the
 //! machine-independent speedup *ratios* CI's `bench-smoke` job regresses
 //! against.
 //!
@@ -13,10 +14,24 @@
 //! numbers shift with hardware, the ratios should not.
 
 use ring_sim::stream::{stream_engine, Representation, StreamSpec};
-use ring_sim::EngineConfig;
+use ring_sim::{EngineConfig, SpanOutcome};
 use std::collections::HashMap;
 use std::process::exit;
 use std::time::{Duration, Instant};
+
+/// Rings larger than this are benchmarked in fixed-span mode: running the
+/// stream to completion costs O(m²) node steps, which at 2^16+ nodes is
+/// minutes per rep, while a fixed span still exposes the per-round sweep
+/// cost the large-m axis is there to measure.
+const SPAN_ONLY_ABOVE: usize = 8192;
+
+/// Rounds simulated per rep in fixed-span mode.
+const SPAN_ROUNDS: u64 = 256;
+
+/// The executor gate (`--gate-par`): at this ring size and above, the
+/// sharded executor must out-run the sequential reference on every shape
+/// that has both cells — ratio strictly above 1.0.
+const PAR_GATE_MIN_M: usize = 1024;
 
 /// One cell of the benchmark matrix.
 struct BenchRecord {
@@ -29,7 +44,7 @@ struct BenchRecord {
     total_work: u64,
     steps: u64,
     reps: usize,
-    median_ns_per_step: f64,
+    best_ns_per_step: f64,
     jobs_per_sec: f64,
 }
 
@@ -41,13 +56,18 @@ pub(crate) struct SpeedupRecord {
     pub(crate) ratio: f64,
 }
 
-fn median(mut xs: Vec<Duration>) -> Duration {
+/// Best-of-reps: every run is deterministic, so timing differences are
+/// pure measurement noise (scheduler preemption, cache pollution from the
+/// previous cell) and noise is strictly additive — the minimum is the
+/// least-contaminated estimate. Medians made the strict `--gate-par`
+/// comparison flaky on loaded single-core runners.
+fn best(mut xs: Vec<Duration>) -> Duration {
     xs.sort();
-    xs[xs.len() / 2]
+    xs[0]
 }
 
 /// Times one configuration `reps` times (after one warmup) and returns the
-/// record for the median run.
+/// record for the best run.
 #[allow(clippy::too_many_arguments)]
 fn bench_case(
     key: String,
@@ -86,7 +106,7 @@ fn bench_case(
         times.push(start.elapsed());
         assert_eq!(rep.makespan, report.makespan, "nondeterministic bench run");
     }
-    let elapsed = median(times);
+    let elapsed = best(times);
     let ns = elapsed.as_nanos() as f64;
     let steps = report.metrics.steps;
     BenchRecord {
@@ -106,14 +126,65 @@ fn bench_case(
         total_work: spec.total_work(),
         steps,
         reps,
-        median_ns_per_step: ns / steps.max(1) as f64,
+        best_ns_per_step: ns / steps.max(1) as f64,
         jobs_per_sec: spec.total_work() as f64 / elapsed.as_secs_f64(),
+    }
+}
+
+/// Times the fixed-span shape: `SPAN_ROUNDS` rounds of the spread stream
+/// on a large ring, paused mid-flight. Both executors pause on the same
+/// round boundary with bit-identical processed counts (asserted below), so
+/// the cells are directly comparable; throughput is jobs processed within
+/// the span. Only the coalesced representation runs here — per-unit arena
+/// traffic at these sizes measures allocator churn, not the sweep.
+fn bench_span_case(key: String, spec: &StreamSpec, shards: usize, reps: usize) -> BenchRecord {
+    let exec = |spec: &StreamSpec| {
+        let mut engine = stream_engine(spec, Representation::Coalesced, EngineConfig::default());
+        let out = if shards > 1 {
+            engine.par_run_span(SPAN_ROUNDS, shards)
+        } else {
+            engine.run_span(SPAN_ROUNDS)
+        };
+        match out {
+            Ok(SpanOutcome::Paused { processed, .. }) => processed,
+            Ok(SpanOutcome::Done(report)) => report.metrics.total_processed(),
+            Err(e) => {
+                eprintln!("bench case {key} failed: {e}");
+                exit(1)
+            }
+        }
+    };
+    let processed = exec(spec);
+    let mut times = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let start = Instant::now();
+        let p = exec(spec);
+        times.push(start.elapsed());
+        assert_eq!(p, processed, "nondeterministic bench run");
+    }
+    let elapsed = best(times);
+    BenchRecord {
+        key,
+        m: spec.initial.len(),
+        shape: "span",
+        repr: "coalesced",
+        executor: if shards > 1 {
+            format!("par_run({shards})")
+        } else {
+            "run".to_string()
+        },
+        compress: false,
+        total_work: processed,
+        steps: SPAN_ROUNDS,
+        reps,
+        best_ns_per_step: elapsed.as_nanos() as f64 / SPAN_ROUNDS as f64,
+        jobs_per_sec: processed as f64 / elapsed.as_secs_f64(),
     }
 }
 
 fn record_json(r: &BenchRecord) -> String {
     format!(
-        "    {{\"key\": \"{}\", \"m\": {}, \"shape\": \"{}\", \"repr\": \"{}\", \"executor\": \"{}\", \"compress\": {}, \"total_work\": {}, \"steps\": {}, \"reps\": {}, \"median_ns_per_step\": {:.1}, \"jobs_per_sec\": {:.1}}}",
+        "    {{\"key\": \"{}\", \"m\": {}, \"shape\": \"{}\", \"repr\": \"{}\", \"executor\": \"{}\", \"compress\": {}, \"total_work\": {}, \"steps\": {}, \"reps\": {}, \"best_ns_per_step\": {:.1}, \"jobs_per_sec\": {:.1}}}",
         r.key,
         r.m,
         r.shape,
@@ -123,7 +194,7 @@ fn record_json(r: &BenchRecord) -> String {
         r.total_work,
         r.steps,
         r.reps,
-        r.median_ns_per_step,
+        r.best_ns_per_step,
         r.jobs_per_sec
     )
 }
@@ -204,6 +275,20 @@ fn run_matrix(
         let spread_work = 48 * m as u64;
         let drain_work = 16 * m as u64;
         let spread = StreamSpec::spread(m, spread_work);
+        if m > SPAN_ONLY_ABOVE {
+            eprintln!("benchmarking m={m} (fixed span of {SPAN_ROUNDS} rounds, {reps} reps)...");
+            for (exec_name, s) in [("run", 1usize), ("par", shards)] {
+                let key = format!("span-m{m}-{exec_name}");
+                results.push(bench_span_case(key, &spread, s, reps));
+            }
+            let run_jps = find_jobs_per_sec(&results, &format!("span-m{m}-run"));
+            let par_jps = find_jobs_per_sec(&results, &format!("span-m{m}-par"));
+            speedups.push(SpeedupRecord {
+                key: format!("span-m{m}-par-over-run"),
+                ratio: par_jps / run_jps,
+            });
+            continue;
+        }
         let drain = StreamSpec::drain(m, drain_work);
         eprintln!("benchmarking m={m} (spread work={spread_work}, {reps} reps per cell)...");
         for (exec_name, s) in [("run", 1usize), ("par", shards)] {
@@ -221,6 +306,20 @@ fn run_matrix(
             speedups.push(SpeedupRecord {
                 key: format!("spread-m{m}-{exec_name}"),
                 ratio: coalesced / per_unit,
+            });
+        }
+        // The executor ratio tracks the production representation; the
+        // per-unit cells above keep the seed's cost model visible but
+        // benchmark arena churn more than the executors. Below the gate
+        // threshold the ratio is dominated by thread start-up on rings
+        // that finish in microseconds — too noisy to be a baseline, so
+        // it is not recorded at all.
+        if m >= PAR_GATE_MIN_M {
+            let run_c = find_jobs_per_sec(&results, &format!("spread-m{m}-run-coalesced"));
+            let par_c = find_jobs_per_sec(&results, &format!("spread-m{m}-par-coalesced"));
+            speedups.push(SpeedupRecord {
+                key: format!("spread-m{m}-par-over-run"),
+                ratio: par_c / run_c,
             });
         }
         for (tag, compress) in [("plain", false), ("compressed", true)] {
@@ -247,14 +346,17 @@ fn run_matrix(
 
 /// Entry point for `ringsched bench`.
 ///
-/// Flags: `--json <path>` (write the report), `--sizes 256,1024,4096`,
-/// `--reps <n>`, `--shards <n>`, `--check <baseline.json>` (fail if any
-/// speedup ratio present in both runs dropped below 80% of the baseline).
+/// Flags: `--json <path>` (write the report), `--sizes 256,1024,4096`
+/// (sizes above 8192 run in fixed-span mode), `--reps <n>`, `--shards
+/// <n>`, `--check <baseline.json>` (fail if any speedup ratio present in
+/// both runs dropped below 80% of the baseline), `--gate-par` (fail
+/// unless the sharded executor beats the sequential reference on every
+/// shape of at least 1024 nodes).
 pub fn cmd_bench(flags: &HashMap<String, String>) {
     let sizes: Vec<usize> = flags
         .get("sizes")
         .map(String::as_str)
-        .unwrap_or("256,1024,4096")
+        .unwrap_or("256,1024,4096,65536,1048576")
         .split(',')
         .map(|s| {
             s.trim().parse().unwrap_or_else(|_| {
@@ -283,7 +385,7 @@ pub fn cmd_bench(flags: &HashMap<String, String>) {
     for r in &results {
         println!(
             "{:<28} {:>6} {:>10} {:>9} {:>16.1} {:>14.0}",
-            r.key, r.m, r.steps, r.reps, r.median_ns_per_step, r.jobs_per_sec
+            r.key, r.m, r.steps, r.reps, r.best_ns_per_step, r.jobs_per_sec
         );
     }
     println!();
@@ -300,9 +402,60 @@ pub fn cmd_bench(flags: &HashMap<String, String>) {
         println!("\nwrote {path}");
     }
 
+    if flags.contains_key("gate-par") {
+        gate_par_over_run(&speedups);
+    }
+
     if let Some(baseline_path) = flags.get("check") {
         check_speedups(&speedups, baseline_path);
     }
+}
+
+/// Enforces the executor gate: every `*-par-over-run` ratio measured on a
+/// ring of at least [`PAR_GATE_MIN_M`] nodes must be strictly above 1.0 —
+/// the locality-windowed executor has to *beat* the sequential reference,
+/// not tie it, even on a single-core runner (where it wins by skipping
+/// quiescent nodes the reference sweeps). Exits non-zero on failure.
+fn gate_par_over_run(speedups: &[SpeedupRecord]) {
+    let mut gated = 0;
+    let mut failed = false;
+    for s in speedups {
+        if !s.key.ends_with("-par-over-run") {
+            continue;
+        }
+        let m: usize = s
+            .key
+            .split("-m")
+            .nth(1)
+            .and_then(|rest| rest.split('-').next())
+            .and_then(|digits| digits.parse().ok())
+            .unwrap_or_else(|| panic!("malformed speedup key {}", s.key));
+        if m < PAR_GATE_MIN_M {
+            continue;
+        }
+        gated += 1;
+        let ok = s.ratio > 1.0;
+        println!(
+            "gate {:<28} {:>8.2}x {}",
+            s.key,
+            s.ratio,
+            if ok {
+                "ok"
+            } else {
+                "FAILED (par_run must beat run)"
+            }
+        );
+        failed |= !ok;
+    }
+    if gated == 0 {
+        eprintln!("--gate-par needs at least one size of {PAR_GATE_MIN_M}+ nodes");
+        exit(1);
+    }
+    if failed {
+        eprintln!("executor gate failed: par_run did not beat run at m >= {PAR_GATE_MIN_M}");
+        exit(1);
+    }
+    println!("executor gate: par_run beats run on all {gated} gated shapes");
 }
 
 /// Compares current speedup ratios against a checked-in baseline file and

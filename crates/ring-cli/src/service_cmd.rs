@@ -205,8 +205,13 @@ struct ServiceBenchRecord {
 }
 
 fn service_record_json(r: &ServiceBenchRecord) -> String {
+    // `wall_micros` is the canonical duration (integer microseconds —
+    // rounding a sub-millisecond cell to 3 decimals used to put ~25%
+    // quantization error into any rate derived from the file); `wall_secs`
+    // is serialized at full precision and `jobs_per_sec` is derived from
+    // the unrounded duration upstream, never from the printed value.
     format!(
-        "    {{\"key\": \"{}\", \"m\": {}, \"executor\": \"{}\", \"submitted\": {}, \"completed\": {}, \"shed\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \"digest\": \"{:016x}\", \"wall_secs\": {:.3}, \"jobs_per_sec\": {:.1}}}",
+        "    {{\"key\": \"{}\", \"m\": {}, \"executor\": \"{}\", \"submitted\": {}, \"completed\": {}, \"shed\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \"digest\": \"{:016x}\", \"wall_micros\": {}, \"wall_secs\": {}, \"jobs_per_sec\": {:.1}}}",
         r.key,
         r.m,
         r.executor,
@@ -217,6 +222,7 @@ fn service_record_json(r: &ServiceBenchRecord) -> String {
         r.p95,
         r.p99,
         r.digest,
+        (r.wall_secs * 1e6).round() as u64,
         r.wall_secs,
         r.jobs_per_sec
     )

@@ -31,10 +31,16 @@ fn par_run_unit(inst: &Instance, cfg: &UnitConfig, shards: usize) -> Result<RunR
         trace: cfg.trace,
         observe: cfg.observe,
         compress: cfg.compress,
+        window: cfg.window,
         ..EngineConfig::default()
     };
     Engine::new(nodes, inst.total_work(), engine_cfg).par_run(shards)
 }
+
+/// The locality-window sweep every parallel equivalence case is run under:
+/// degenerate (1 — a boundary handshake every round), tiny, prime-offset,
+/// and `u64::MAX` ("L": as large as the shortest arc lets it be).
+const WINDOWS: [u64; 4] = [1, 2, 7, u64::MAX];
 
 fn cases() -> Vec<Instance> {
     vec![
@@ -56,13 +62,15 @@ fn all_six_configs_agree_across_all_three_executors() {
             let cfg = cfg.with_trace().with_observe();
             let seq = run_unit(&inst, &cfg).unwrap();
             for shards in [2, 3, 7] {
-                let par = par_run_unit(&inst, &cfg, shards).unwrap();
-                assert_eq!(
-                    seq.report,
-                    par,
-                    "{name}/{shards} shards diverged on {:?}",
-                    inst.loads()
-                );
+                for window in WINDOWS {
+                    let par = par_run_unit(&inst, &cfg.with_window(window), shards).unwrap();
+                    assert_eq!(
+                        seq.report,
+                        par,
+                        "{name}/{shards} shards/window {window} diverged on {:?}",
+                        inst.loads()
+                    );
+                }
             }
             let thr = run_unit_threaded(&inst, &cfg).unwrap();
             assert_eq!(seq.makespan, thr.makespan, "{name} on {:?}", inst.loads());
@@ -108,13 +116,14 @@ proptest! {
         loads in prop::collection::vec(0u64..100, 2..20),
         alg in 0usize..6,
         seed in 0u64..1_000_000,
+        window in 0usize..4,
     ) {
         prop_assume!(loads.iter().sum::<u64>() > 0);
         let inst = Instance::from_loads(loads);
         let m = inst.num_processors();
         let plan = FaultPlan::random(m, 48, seed);
         let (name, cfg) = UnitConfig::all_six()[alg];
-        let cfg = cfg.with_trace().with_observe();
+        let cfg = cfg.with_trace().with_observe().with_window(WINDOWS[window]);
 
         let seq = run_unit_faulty(&inst, &cfg, &plan).unwrap();
         prop_assert_eq!(
@@ -159,6 +168,7 @@ proptest! {
         loads in prop::collection::vec(0u64..100, 2..20),
         alg in 0usize..6,
         seed in 0u64..1_000_000,
+        window in 0usize..4,
     ) {
         prop_assume!(loads.iter().sum::<u64>() > 0);
         let inst = Instance::from_loads(loads);
@@ -166,7 +176,7 @@ proptest! {
         let plan = FaultPlan::random(m, 48, seed);
         let (name, cfg) = UnitConfig::all_six()[alg];
         let cfg = cfg.with_trace().with_observe();
-        let compressed_cfg = cfg.with_compress();
+        let compressed_cfg = cfg.with_compress().with_window(WINDOWS[window]);
 
         let plain = run_unit_faulty(&inst, &cfg, &plan).unwrap();
         let compressed = run_unit_faulty(&inst, &compressed_cfg, &plan).unwrap();
@@ -219,6 +229,7 @@ proptest! {
         save_shards in 0usize..4,
         restore_shards in 0usize..5,
         pick in 0usize..64,
+        window in 0usize..4,
     ) {
         prop_assume!(loads.iter().sum::<u64>() > 0);
         const SHARDS: [usize; 4] = [1, 2, 3, 7];
@@ -226,7 +237,7 @@ proptest! {
         let m = inst.num_processors();
         let plan = FaultPlan::random(m, 48, seed);
         let (name, cfg) = UnitConfig::all_six()[alg];
-        let cfg = cfg.with_trace().with_observe();
+        let cfg = cfg.with_trace().with_observe().with_window(WINDOWS[window]);
 
         let base = run_unit_faulty(&inst, &cfg, &plan).unwrap();
         let snaps = Arc::new(Mutex::new(Vec::new()));
@@ -304,6 +315,7 @@ proptest! {
         shards in 0usize..5,
         faulty in 0u8..2,
         pick in 0usize..64,
+        window in 0usize..4,
     ) {
         prop_assume!(loads.iter().sum::<u64>() > 0);
         const SHARDS: [usize; 4] = [1, 2, 3, 7];
@@ -311,7 +323,7 @@ proptest! {
         let m = inst.num_processors();
         let plan = (faulty == 1).then(|| FaultPlan::random(m, 48, seed));
         let (name, cfg) = UnitConfig::all_six()[alg];
-        let cfg = cfg.with_trace().with_observe();
+        let cfg = cfg.with_trace().with_observe().with_window(WINDOWS[window]);
 
         let base = match &plan {
             Some(p) => run_unit_faulty(&inst, &cfg, p),
@@ -378,6 +390,7 @@ proptest! {
         slack in 0u64..40,
         sink in 0usize..16,
         shards in 2usize..8,
+        window in 0usize..4,
     ) {
         prop_assume!(initial.iter().sum::<u64>() > 0);
         let m = initial.len();
@@ -397,6 +410,7 @@ proptest! {
             trace: TraceLevel::Full,
             observe: true,
             compress,
+            window: Some(WINDOWS[window]),
             ..EngineConfig::default()
         };
         let base_report = stream_engine(&spec, Representation::PerUnit, full(false))
@@ -433,11 +447,12 @@ proptest! {
         loads in prop::collection::vec(0u64..120, 1..24),
         alg in 0usize..6,
         shards in 2usize..9,
+        window in 0usize..4,
     ) {
         prop_assume!(loads.iter().sum::<u64>() > 0);
         let inst = Instance::from_loads(loads);
         let (name, cfg) = UnitConfig::all_six()[alg];
-        let cfg = cfg.with_trace().with_observe();
+        let cfg = cfg.with_trace().with_observe().with_window(WINDOWS[window]);
 
         let seq = run_unit(&inst, &cfg).unwrap();
         let par = par_run_unit(&inst, &cfg, shards).unwrap();

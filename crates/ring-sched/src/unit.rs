@@ -120,6 +120,10 @@ pub struct UnitConfig {
     /// ([`EngineConfig::compress`] — bit-identical results, fewer engine
     /// rounds on drain-dominated instances).
     pub compress: bool,
+    /// Locality-window override for the arc-parallel executor
+    /// ([`EngineConfig::window`] — bit-identical results for every value;
+    /// `None` defers to `RING_WINDOW` / the engine default).
+    pub window: Option<u64>,
 }
 
 impl UnitConfig {
@@ -145,6 +149,7 @@ impl UnitConfig {
             max_steps: None,
             observe: false,
             compress: false,
+            window: None,
         }
     }
 
@@ -224,6 +229,14 @@ impl UnitConfig {
     /// turned on.
     pub fn with_compress(mut self) -> Self {
         self.compress = true;
+        self
+    }
+
+    /// Returns the same configuration with an explicit locality window for
+    /// the arc-parallel executor (`u64::MAX` means "as large as the
+    /// shortest arc").
+    pub fn with_window(mut self, window: u64) -> Self {
+        self.window = Some(window);
         self
     }
 
@@ -676,6 +689,7 @@ where
         observe: cfg.observe,
         faults: plan.cloned(),
         compress: cfg.compress,
+        window: cfg.window,
         checkpoint_meta: meta.to_string(),
         ..EngineConfig::default()
     }
@@ -711,6 +725,7 @@ pub fn resume_unit(
         trace: cfg.trace,
         observe: cfg.observe,
         compress: cfg.compress,
+        window: cfg.window,
         ..EngineConfig::default()
     };
     let mut engine =
@@ -737,6 +752,7 @@ fn unit_engine(
         observe: cfg.observe,
         faults,
         compress: cfg.compress,
+        window: cfg.window,
         ..EngineConfig::default()
     };
     Engine::new(nodes, instance.total_work(), engine_cfg)

@@ -200,6 +200,37 @@ mod tests {
     }
 
     #[test]
+    fn overload_latency_tail_separates_p99_from_p95() {
+        // One 400-job batch on a 4-ring with a tiny epoch: the ring drains
+        // at most 4 jobs per step, so completions trickle out across ~50
+        // boundaries and per-job sojourns form a real distribution. The
+        // old accounting recorded the whole batch at its final boundary,
+        // collapsing the histogram to a single value (p50 == p95 == p99).
+        let cfg = ServiceConfig::new(4).with_epoch(2);
+        let (service, handles) = Service::start(cfg, 1);
+        let h = &handles[0];
+        let ticket = h.try_submit(0, 400);
+        h.close();
+        assert!(matches!(h.wait(ticket), Resolution::Completed { .. }));
+        service.await_idle();
+        let report = service.report();
+        assert_eq!(report.completed_jobs, 400);
+        assert_eq!(report.latency.count, 400);
+        assert!(
+            report.latency.p50 < report.latency.p95,
+            "body must separate: p50={} p95={}",
+            report.latency.p50,
+            report.latency.p95
+        );
+        assert!(
+            report.latency.p95 < report.latency.p99,
+            "tail must separate: p95={} p99={}",
+            report.latency.p95,
+            report.latency.p99
+        );
+    }
+
+    #[test]
     fn drain_and_resume_complete_the_remaining_work() {
         // Submit a slow burst, advance the clock just far enough that the
         // work is admitted but unfinished, and drain mid-flight.

@@ -82,6 +82,12 @@ struct Generation {
     engine: Engine<DynamicNode>,
     /// Outstanding batches in admission (= attribution) order.
     fifo: VecDeque<GenTicket>,
+    /// Generation-cumulative processed count already attributed to the
+    /// latency histogram (the engine's processed total at the previous
+    /// epoch boundary): attribution resumes from here each boundary, so
+    /// every job is recorded exactly once, at the boundary where the
+    /// engine actually processed it.
+    attributed: u64,
 }
 
 impl Generation {
@@ -94,6 +100,7 @@ impl Generation {
                 generation_config(),
             ),
             fifo: VecDeque::new(),
+            attributed: 0,
         }
     }
 }
@@ -283,18 +290,35 @@ impl Shared {
                 None => gen.engine.run_span(pause_at),
             }
             .expect("generation engines run without faults or step budgets");
-            match outcome {
+            let processed = match &outcome {
                 SpanOutcome::Paused { t, processed } => {
                     rounds_here = t - before;
-                    while gen.fifo.front().is_some_and(|g| g.cum_end <= processed) {
-                        finished.push(gen.fifo.pop_front().expect("front checked"));
-                    }
+                    *processed
                 }
                 SpanOutcome::Done(report) => {
                     rounds_here = report.metrics.steps.saturating_sub(before);
-                    finished.extend(gen.fifo.drain(..));
                     generation_done = true;
+                    report.metrics.total_processed()
                 }
+            };
+            // Sub-batch latency attribution: a job's sojourn ends at the
+            // boundary where the engine actually processed it — located by
+            // its FIFO position against the cumulative injection counts —
+            // not at the boundary where its whole batch resolves. A batch
+            // straddling several epochs spreads over them instead of
+            // collapsing onto one histogram value, which is what keeps the
+            // overload tail (p99 > p95) visible in the report.
+            for gt in gen.fifo.iter() {
+                let start = (gt.cum_end - gt.jobs).max(gen.attributed);
+                if start >= processed {
+                    break;
+                }
+                self.latency
+                    .record_n(b - gt.tag, gt.cum_end.min(processed) - start);
+            }
+            gen.attributed = processed;
+            while gen.fifo.front().is_some_and(|g| g.cum_end <= processed) {
+                finished.push(gen.fifo.pop_front().expect("front checked"));
             }
         }
         if generation_done {
@@ -304,7 +328,6 @@ impl Shared {
             self.outstanding -= g.jobs;
             completed_here += g.jobs;
             self.completed_jobs += g.jobs;
-            self.latency.record_n(b - g.tag, g.jobs);
             self.finish(
                 LogEntry {
                     ticket: g.ticket,
@@ -745,6 +768,10 @@ impl Service {
                         tag: t.tag,
                     })
                     .collect(),
+                // Jobs processed before the drain were attributed at the
+                // pre-drain boundaries; the resumed run picks up from the
+                // snapshot's processed count.
+                attributed: snap.processed,
             })
         } else {
             if !meta.tickets.is_empty() {

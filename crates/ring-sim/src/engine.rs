@@ -451,6 +451,17 @@ pub struct EngineConfig {
     /// The engine never interprets it; the CLI stores the flags needed to
     /// rebuild the policy nodes at resume time.
     pub checkpoint_meta: String,
+    /// Locality window for the arc-parallel executor: how many rounds each
+    /// arc steps between global synchronization points. Within a window,
+    /// arcs exchange boundary messages through round-tagged halo mailboxes
+    /// (a neighbor handshake, no global barrier); completion, errors,
+    /// checkpoints, compression votes and span pauses are all resolved at
+    /// window boundaries, which the engine aligns so the report stays
+    /// bit-for-bit identical to [`Engine::run`] for *every* window size.
+    /// `None` (default) reads the `RING_WINDOW` environment variable
+    /// (`"L"` means "as large as the shortest arc") and otherwise uses a
+    /// built-in default. Ignored by the sequential executor.
+    pub window: Option<u64>,
 }
 
 impl EngineConfig {
@@ -477,6 +488,7 @@ impl Default for EngineConfig {
             compress: false,
             checkpoint_every: None,
             checkpoint_meta: String::new(),
+            window: None,
         }
     }
 }
@@ -1734,16 +1746,21 @@ impl<N: Node> Engine<N> {
     /// Runs the simulation to completion on `shards` scoped threads, each
     /// owning one contiguous arc of the ring.
     ///
-    /// Per round each thread steps its own nodes against the shared arena
-    /// layout, exchanging only the two messages streams that cross its arc
-    /// boundaries (through per-boundary mailboxes); two barriers per round
-    /// realize the model's global clock. Because message delivery is
+    /// The executor exploits ring locality: a message moves one hop per
+    /// round, so inside a *locality window* of `k` rounds (see
+    /// [`EngineConfig::window`]) each thread only ever synchronizes with
+    /// its two neighbors, through round-tagged halo mailboxes carrying the
+    /// boundary send history — no global barrier. Global coordination
+    /// (completion detection, error resolution, checkpoint snapshots,
+    /// compression votes) happens at window boundaries, which the engine
+    /// aligns with every barrier-based protocol's cadence; rounds computed
+    /// past a completion are rolled back. Because message delivery is
     /// round-delayed, node evaluation order is unobservable, and every
     /// arena slot still has exactly one writer per round — so the result is
-    /// **bit-for-bit identical** to [`Engine::run`]: same [`RunReport`]
-    /// (metrics, trace and observability included), same error on invalid
-    /// policies. The equivalence is asserted across the paper's §6
-    /// algorithm catalog by the workspace's property tests.
+    /// **bit-for-bit identical** to [`Engine::run`] for every window size:
+    /// same [`RunReport`] (metrics, trace and observability included), same
+    /// error on invalid policies. The equivalence is asserted across the
+    /// paper's §6 algorithm catalog by the workspace's property tests.
     ///
     /// `shards` is clamped to the ring size; `shards <= 1` delegates to
     /// [`Engine::run`].
@@ -2005,6 +2022,268 @@ mod par {
             Some((t, node, _)) if (*t, *node) <= (cand.0, cand.1) => {}
             _ => *slot = Some(cand),
         }
+    }
+
+    /// Pads its contents to a cache line so independently-written shared
+    /// counters (the halo round counters) do not false-share.
+    #[repr(align(64))]
+    struct CachePadded<T>(T);
+
+    /// One direction of one arc boundary: a round-tagged halo mailbox.
+    ///
+    /// The producer arc appends its boundary-crossing sends for round `t`
+    /// (when there are any) and then publishes `done = t + 1`; the consumer
+    /// spins (then yields) until `done` covers the round it needs and
+    /// drains every entry tagged `<= t` into its inbox. Adjacent arcs are
+    /// mutually rate-limited through these counters — neither can start
+    /// round `t + 1` before the other has finished `t` — so the queue never
+    /// holds more than two undrained entries, and the `free` list recycles
+    /// their buffers to keep the steady state allocation-free. An arc that
+    /// stops mid-window (in-round error) publishes `u64::MAX` so neighbors
+    /// never block on it; whatever they compute past the error round is
+    /// discarded with the rest of the run at the window boundary.
+    struct Halo<M> {
+        done: CachePadded<AtomicU64>,
+        slots: Mutex<HaloSlots<M>>,
+    }
+
+    struct HaloSlots<M> {
+        queue: VecDeque<(u64, Vec<M>)>,
+        free: Vec<Vec<M>>,
+    }
+
+    impl<M> Halo<M> {
+        fn new(t0: u64) -> Self {
+            Halo {
+                done: CachePadded(AtomicU64::new(t0)),
+                slots: Mutex::new(HaloSlots {
+                    queue: VecDeque::new(),
+                    free: Vec::new(),
+                }),
+            }
+        }
+
+        /// Producer side: round `t` is complete; `out` held its boundary
+        /// sends (drained here, capacity kept).
+        fn publish(&self, t: u64, out: &mut Vec<M>) {
+            if !out.is_empty() {
+                let mut slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
+                let mut buf = slots.free.pop().unwrap_or_default();
+                buf.append(out);
+                slots.queue.push_back((t, buf));
+            }
+            self.done.0.store(t + 1, Ordering::Release);
+        }
+
+        /// Producer side: stop publishing without ever blocking the
+        /// consumer.
+        fn abandon(&self) {
+            self.done.0.store(u64::MAX, Ordering::Release);
+        }
+
+        /// Consumer side: wait until the producer has finished round `t`.
+        fn await_round(&self, t: u64) {
+            let need = t + 1;
+            let mut spins = 0u32;
+            while self.done.0.load(Ordering::Acquire) < need {
+                spins = spins.wrapping_add(1);
+                if spins < 64 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+
+        /// Consumer side: move every entry for rounds `<= t` into `dest`.
+        fn drain_into(&self, t: u64, dest: &mut Vec<M>) {
+            let mut slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
+            while slots.queue.front().is_some_and(|e| e.0 <= t) {
+                let (_, mut buf) = slots.queue.pop_front().expect("front checked");
+                dest.append(&mut buf);
+                if slots.free.len() < 4 {
+                    slots.free.push(buf);
+                }
+            }
+        }
+    }
+
+    /// The shared completion ledger: per-round processed sums for the
+    /// current window plus the committed total (`cum_base`) of every window
+    /// before it. Written once per arc per *window* (not per round — this
+    /// replaces the old per-step shared atomic); the boundary scan over it
+    /// reproduces the sequential engine's end-of-round bookkeeping exactly.
+    /// Tagged like the compression ballot: the first arc committing a new
+    /// window folds the previous one into `cum_base` and resets.
+    struct Ledger {
+        tag: u64,
+        cum_base: u64,
+        rounds: Vec<u64>,
+    }
+
+    impl Ledger {
+        fn commit(&mut self, win_start: u64, round_processed: &[u64]) {
+            if self.tag != win_start {
+                self.cum_base += self.rounds.drain(..).sum::<u64>();
+                self.tag = win_start;
+            }
+            if self.rounds.len() < round_processed.len() {
+                self.rounds.resize(round_processed.len(), 0);
+            }
+            for (dst, src) in self.rounds.iter_mut().zip(round_processed) {
+                *dst += src;
+            }
+        }
+    }
+
+    /// What a window boundary resolved to. Every arc computes this from the
+    /// same post-barrier ledger and flag state, so all arcs agree without
+    /// reading each other's conclusion.
+    #[derive(Clone, Copy, PartialEq, Eq, Debug)]
+    enum Boundary {
+        /// No terminal event inside the window; open the next one.
+        Advance,
+        /// All work accounted for at the end of round `last_round`; rounds
+        /// after it are overrun and must be rolled back.
+        Done { last_round: u64 },
+        /// An in-round error stops the run; the shared flag holds it.
+        Fail,
+        /// Work conservation violated at a round boundary; `processed` is
+        /// the cumulative total the sequential engine would report.
+        Miscount { processed: u64 },
+    }
+
+    /// Resolves the window `[win_start, win_start + rounds.len())` with the
+    /// sequential engine's per-round precedence: an in-round error at round
+    /// `t` beats that round's end-of-round checks, and the conservation
+    /// check (`> total`) precedes the completion check (`== total`). A flag
+    /// at a round *after* completion is an overrun artifact — the
+    /// sequential engine would have stopped before reaching it — and is
+    /// voided by the caller. Returns the resolution plus the processed
+    /// total at the stopping point (or the window end).
+    fn resolve_window(
+        win_start: u64,
+        cum_base: u64,
+        rounds: &[u64],
+        flag: Option<(u64, usize)>,
+        total_work: u64,
+    ) -> (Boundary, u64) {
+        let mut cum = cum_base;
+        for (r, &p) in rounds.iter().enumerate() {
+            let t = win_start + r as u64;
+            if flag.is_some_and(|(ft, _)| ft == t) {
+                return (Boundary::Fail, cum);
+            }
+            cum += p;
+            if cum > total_work {
+                return (Boundary::Miscount { processed: cum }, cum);
+            }
+            if cum == total_work {
+                return (Boundary::Done { last_round: t }, cum);
+            }
+        }
+        debug_assert!(flag.is_none(), "error flag past its own window");
+        (Boundary::Advance, cum)
+    }
+
+    /// Per-round rollback frame, ring-buffered over the current window.
+    ///
+    /// Completion is only detected at the window boundary, so an arc may
+    /// overrun the completing round by up to a window. Overrun rounds can
+    /// still touch observable state — zero-payload control messages (load
+    /// probes) keep circulating after the last unit of work is done — so
+    /// each round logs what it changed: scalar counter snapshots (restored
+    /// wholesale from the first discarded frame) plus sparse per-node
+    /// deltas (reverse-applied frame by frame). Work deltas are logged too,
+    /// defensively: for contract-abiding policies no overrun round
+    /// processes anything.
+    #[derive(Default)]
+    struct RoundUndo {
+        events_len: usize,
+        samples_len: usize,
+        rounds_len: usize,
+        messages_sent: u64,
+        job_hops: u64,
+        messages_dropped: u64,
+        messages_delayed: u64,
+        messages_retried: u64,
+        last_busy: Option<u64>,
+        /// `(arc-local node, units processed)` — one busy step each.
+        work: Vec<(u32, u64)>,
+        /// `(arc-local node, cw msgs, cw payload, ccw msgs, ccw payload,
+        /// dropped-off payload)` — mirrors `Observability::record_sends`
+        /// and the drop-off meter; recorded only when observing.
+        sends: Vec<(u32, u64, u64, u64, u64, u64)>,
+    }
+
+    /// Rolls an arc partial back to the end of the round before frame
+    /// `keep`, discarding everything the overrun rounds recorded.
+    fn roll_back(partial: &mut ArcPartial, undo: &[RoundUndo], keep: usize) {
+        let Some(first) = undo.get(keep) else { return };
+        partial.events.truncate(first.events_len);
+        partial.sent_payload_per_round.truncate(first.rounds_len);
+        partial.messages_sent = first.messages_sent;
+        partial.job_hops = first.job_hops;
+        partial.messages_dropped = first.messages_dropped;
+        partial.messages_delayed = first.messages_delayed;
+        partial.messages_retried = first.messages_retried;
+        partial.last_busy = first.last_busy;
+        if let Some(o) = partial.obs.as_mut() {
+            o.samples.truncate(first.samples_len);
+        }
+        for frame in &undo[keep..] {
+            for &(j, units) in &frame.work {
+                let j = j as usize;
+                partial.processed_per_node[j] -= units;
+                partial.busy_steps_per_node[j] -= 1;
+            }
+            if let Some(o) = partial.obs.as_mut() {
+                for &(j, cw_m, cw_p, ccw_m, ccw_p, dropped) in &frame.sends {
+                    let j = j as usize;
+                    if cw_m > 0 {
+                        o.links.cw_messages[j] -= cw_m;
+                        o.links.cw_payload[j] -= cw_p;
+                        o.links.cw_busy_steps[j] -= 1;
+                    }
+                    if ccw_m > 0 {
+                        o.links.ccw_messages[j] -= ccw_m;
+                        o.links.ccw_payload[j] -= ccw_p;
+                        o.links.ccw_busy_steps[j] -= 1;
+                    }
+                    o.dropoffs_per_node[j] -= dropped;
+                }
+            }
+        }
+    }
+
+    /// Default locality window: long enough to amortize the two boundary
+    /// barriers, short enough that the per-window bookkeeping stays small.
+    const DEFAULT_WINDOW: u64 = 64;
+    /// Hard cap on one window's length, bounding the ledger / undo-ring
+    /// footprint. Purely an implementation bound: boundaries are
+    /// unobservable, so splitting a longer request changes nothing.
+    const MAX_WINDOW: u64 = 4096;
+
+    /// Resolves the configured window size: explicit config, else the
+    /// `RING_WINDOW` environment variable (a round count, or `"L"` for "as
+    /// long as the shortest arc"), else [`DEFAULT_WINDOW`]; clamped to
+    /// `1..=MAX_WINDOW`.
+    fn window_size(config: &EngineConfig, min_arc: usize) -> u64 {
+        let requested = config.window.or_else(|| {
+            let raw = std::env::var("RING_WINDOW").ok()?;
+            let raw = raw.trim();
+            if raw.eq_ignore_ascii_case("l") {
+                Some(u64::MAX)
+            } else {
+                raw.parse().ok()
+            }
+        });
+        let requested = match requested {
+            Some(u64::MAX) => min_arc.max(1) as u64,
+            Some(w) => w,
+            None => DEFAULT_WINDOW,
+        };
+        requested.clamp(1, MAX_WINDOW)
     }
 
     /// The run prefix a resumed parallel run continues from (fresh-start
@@ -2277,15 +2556,13 @@ mod par {
             base_queue_ccw = (0..m).map(|_| VecDeque::new()).collect();
         }
 
-        // Boundary mailboxes. `mail_cw[a]` holds the clockwise messages
-        // entering arc `a` (addressed to its first node); it is written by
-        // arc `a - 1` and drained by arc `a`, in phases separated by the
-        // round barriers, so each lock is uncontended and taken once per
-        // round per side.
-        let mail_cw: Vec<Mutex<Vec<N::Msg>>> =
-            (0..shards).map(|_| Mutex::new(Vec::new())).collect();
-        let mail_ccw: Vec<Mutex<Vec<N::Msg>>> =
-            (0..shards).map(|_| Mutex::new(Vec::new())).collect();
+        // Round-tagged halo mailboxes. `halo_cw[a]` carries the clockwise
+        // messages entering arc `a` (addressed to its first node); it is
+        // written round-by-round by arc `a - 1` and drained by arc `a` when
+        // its own clock reaches the matching round — the only inter-arc
+        // coupling inside a locality window.
+        let halo_cw: Vec<Halo<N::Msg>> = (0..shards).map(|_| Halo::new(t0)).collect();
+        let halo_ccw: Vec<Halo<N::Msg>> = (0..shards).map(|_| Halo::new(t0)).collect();
 
         let barrier = Barrier::new(shards);
         let processed = AtomicU64::new(base_metrics.total_processed());
@@ -2295,6 +2572,11 @@ mod par {
             quiet: false,
             min_span: u64::MAX,
             max_backlog: 0,
+        });
+        let ledger: Mutex<Ledger> = Mutex::new(Ledger {
+            tag: u64::MAX,
+            cum_base: base_metrics.total_processed(),
+            rounds: Vec::new(),
         });
 
         // Balanced contiguous partition: the first `m % shards` arcs get one
@@ -2309,6 +2591,8 @@ mod par {
                 Some(range)
             })
             .collect();
+        let min_arc = bounds.iter().map(|&(lo, hi)| hi - lo).min().unwrap_or(1);
+        let window = window_size(config, min_arc);
 
         // Hand each arc its slice of every arena.
         struct ArcBufs<'a, N: Node> {
@@ -2402,8 +2686,9 @@ mod par {
                     let processed = &processed;
                     let flagged = &flagged;
                     let vote = &vote;
-                    let mail_cw = &mail_cw;
-                    let mail_ccw = &mail_ccw;
+                    let ledger = &ledger;
+                    let halo_cw = &halo_cw;
+                    let halo_ccw = &halo_ccw;
                     scope.spawn(move || {
                         run_arc(
                             a,
@@ -2423,8 +2708,10 @@ mod par {
                             processed,
                             flagged,
                             vote,
-                            mail_cw,
-                            mail_ccw,
+                            ledger,
+                            halo_cw,
+                            halo_ccw,
+                            window,
                             t0,
                             base_prev_departed,
                             arc_queue_cw,
@@ -2530,6 +2817,17 @@ mod par {
 
     /// The per-arc worker loop. Arc `a` owns nodes `lo..hi`; all slice
     /// arguments are indexed arc-locally (`i - lo`).
+    ///
+    /// The loop advances in *locality windows* of up to `window` rounds:
+    /// inside a window the only inter-arc coupling is the per-round halo
+    /// handshake with the two adjacent arcs (a message moves one hop per
+    /// round, so nothing an arc computes in a window can depend on a
+    /// non-adjacent arc's rounds). Completion, conservation violations and
+    /// in-round errors are resolved at window boundaries from the shared
+    /// round ledger, with the sequential engine's exact precedence; rounds
+    /// computed past a completion are rolled back frame by frame, which is
+    /// what keeps the merged report bit-identical to [`Engine::run`] for
+    /// every window size.
     #[allow(clippy::too_many_arguments)]
     fn run_arc<N>(
         a: usize,
@@ -2549,8 +2847,10 @@ mod par {
         processed: &AtomicU64,
         flagged: &Mutex<Option<Flagged>>,
         vote: &Mutex<Vote>,
-        mail_cw: &[Mutex<Vec<N::Msg>>],
-        mail_ccw: &[Mutex<Vec<N::Msg>>],
+        ledger: &Mutex<Ledger>,
+        halo_cw: &[Halo<N::Msg>],
+        halo_ccw: &[Halo<N::Msg>],
+        window: u64,
         t0: u64,
         start_prev_departed: u64,
         mut queue_cw: Vec<LinkQueue<N::Msg>>,
@@ -2578,9 +2878,44 @@ mod par {
         };
         let record = matches!(config.trace, TraceLevel::Full);
         // Thread-local buffers for the two streams that leave this arc;
-        // swapped into the neighbor mailboxes once per round.
+        // published into the neighbor halos once per round.
         let mut out_cw_boundary: Vec<N::Msg> = Vec::new();
         let mut out_ccw_boundary: Vec<N::Msg> = Vec::new();
+
+        // Halo wiring: this arc consumes `halo_cw[a]` / `halo_ccw[a]` and
+        // produces into its clockwise / counterclockwise neighbor's inbox.
+        let in_cw = &halo_cw[a];
+        let in_ccw = &halo_ccw[a];
+        let out_cw = &halo_cw[(a + 1) % shards];
+        let out_ccw = &halo_ccw[(a + shards - 1) % shards];
+
+        // Window-scoped bookkeeping, reused across windows: this arc's
+        // per-round processed counts (committed to the shared ledger once
+        // per window) and the per-round rollback frames.
+        let mut round_processed: Vec<u64> = Vec::new();
+        let mut undo: Vec<RoundUndo> = Vec::new();
+
+        // Quiescent-node short-circuit: `quiet_until[j] > t` caches node
+        // `lo + j`'s own promise (`Node::quiescence` with `backlog == 0`)
+        // that, given empty inboxes, every round before `quiet_until[j]` is
+        // a total no-op — no sends, no processing, no audits, no state
+        // change. Such rounds skip `step_node_and_links` entirely, which is
+        // what lets the sharded executor beat the sequential reference on
+        // sparse rings: `Engine::run` sweeps all `m` nodes every round,
+        // the arc loop only touches the active frontier. The cache is
+        // invalidated whenever the node actually steps; a delivery makes
+        // the inbox non-empty, which disables the skip on its own.
+        //
+        // A skipped round is still a round to the node's *internal* drain
+        // state (`process_tick` advances the fractional shadow even at
+        // zero backlog, and variant-A reference levels read it), so every
+        // skip accrues one round of `quiet_debt` that is settled with
+        // `fast_forward` — defined as exactly that many empty-inbox steps
+        // — before the node next steps, and for all nodes before any
+        // window-boundary protocol (pause, checkpoint, compression) can
+        // read or serialize node state.
+        let mut quiet_until: Vec<u64> = vec![0; len];
+        let mut quiet_debt: Vec<u64> = vec![0; len];
 
         // Fault state for this arc's nodes, mirroring the sequential engine
         // (see `Engine::run`): link queues per node and direction (handed
@@ -2607,6 +2942,17 @@ mod par {
         let mut t: u64 = t0;
         let mut paused = false;
         loop {
+            // Settle the skipped-round drain debt before anything at this
+            // boundary (pause snapshot, checkpoint image, compression
+            // vote's `fast_forward`, or the final join) can observe node
+            // state mid-replay.
+            for (j, debt) in quiet_debt.iter_mut().enumerate() {
+                if *debt > 0 {
+                    nodes[j].fast_forward(*debt);
+                    *debt = 0;
+                }
+            }
+
             // Same budget check as the sequential engine, evaluated
             // identically by every arc — no communication needed.
             if t >= max_steps {
@@ -2767,18 +3113,43 @@ mod par {
                     partial
                         .sent_payload_per_round
                         .extend(std::iter::repeat(0).take(k as usize));
-                    if local_processed > 0 {
-                        processed.fetch_add(local_processed, Ordering::SeqCst);
+                    // Commit the span as a single-entry ledger window and
+                    // resolve it like one: the same conservation and
+                    // completion checks the sequential engine runs at the
+                    // end of a compressed span. No rollback can be needed —
+                    // `k` never overshoots the largest backlog, so
+                    // completion lands exactly on the span end.
+                    {
+                        let mut l = ledger.lock().unwrap_or_else(|e| e.into_inner());
+                        l.commit(t, &[local_processed]);
                     }
-                    // Completion barrier: all processed contributions are
-                    // visible before anyone reads the total.
+                    // Commit barrier: every arc's contribution is in the
+                    // ledger before anyone reads the total.
                     barrier.wait();
-                    let processed_total = processed.load(Ordering::SeqCst);
-                    let stop = processed_total >= total_work;
-                    // Read barrier: everyone sampled the outcome before the
-                    // next round touches the ballot again.
+                    let cum = {
+                        let l = ledger.lock().unwrap_or_else(|e| e.into_inner());
+                        l.cum_base + l.rounds.iter().sum::<u64>()
+                    };
+                    if a == 0 {
+                        processed.store(cum, Ordering::SeqCst);
+                        if cum > total_work {
+                            merge_flag(
+                                flagged,
+                                (
+                                    t,
+                                    0,
+                                    SimError::WorkMiscount {
+                                        processed: cum,
+                                        total: total_work,
+                                    },
+                                ),
+                            );
+                        }
+                    }
+                    // Read barrier: the outcome is materialized before the
+                    // next boundary touches the ballot or ledger again.
                     barrier.wait();
-                    if stop {
+                    if cum >= total_work {
                         break;
                     }
                     t += k;
@@ -2786,203 +3157,326 @@ mod par {
                 }
             }
 
-            let mut round_departed: u64 = 0;
-
-            // Stall carryover first, exactly like the sequential engine:
-            // undelivered messages of non-running nodes move to the front of
-            // their next-round inboxes before any node writes new sends
-            // (boundary mail is appended in phase B, i.e. after — the same
-            // relative order the sequential loop produces).
-            if let Some(plan) = plan {
-                for j in 0..len {
-                    if !plan.node_runs(lo + j, t) {
-                        round_departed += (cur_cw[j].len() + cur_ccw[j].len()) as u64;
-                        next_cw[j].append(&mut cur_cw[j]);
-                        next_ccw[j].append(&mut cur_ccw[j]);
-                    }
-                }
+            // Open a locality window. Its length is a pure function of `t`
+            // and the run configuration, so every arc computes the same
+            // boundary — the next global synchronization point. Checkpoint
+            // cadence, span pauses and the step budget all cap it, which is
+            // what makes those barrier-aligned protocols land exactly on
+            // window boundaries.
+            let mut w = window.min(max_steps - t);
+            if let Some(cp) = cp {
+                w = w.min(cp.every - t % cp.every);
+            }
+            if let Some(p) = pause_at {
+                w = w.min(p - t);
+            }
+            let w = w.max(1);
+            let win_start = t;
+            round_processed.clear();
+            if undo.len() < w as usize {
+                undo.resize_with(w as usize, RoundUndo::default);
             }
 
-            // Phase A: step the arc's nodes in ring order.
-            let mut round_sent_payload: u64 = 0;
-            let mut sample = StepSample {
-                t,
-                ..StepSample::default()
-            };
-            let mut local_error = false;
-            for i in lo..hi {
-                let j = i - lo;
-                let ctx = NodeCtx { id: i, t, topo };
-                let delivered = if partial.obs.is_some() {
-                    payload_of(&cur_cw[j]) + payload_of(&cur_ccw[j])
-                } else {
-                    0
-                };
-                // Clockwise sends land at i + 1: arc-internal unless this is
-                // the last node; counterclockwise at i - 1: internal unless
-                // this is the first.
-                let (cur_a, cur_b) = split_two(cur_cw, cur_ccw, j);
-                let to_cw: &mut Vec<N::Msg> = if i + 1 < hi {
-                    &mut next_cw[j + 1]
-                } else {
-                    &mut out_cw_boundary
-                };
-                let to_ccw: &mut Vec<N::Msg> = if i > lo {
-                    &mut next_ccw[j - 1]
-                } else {
-                    &mut out_ccw_boundary
-                };
-                let faults = plan.map(|plan| FaultLinks {
-                    plan,
-                    queue_cw: &mut queue_cw[j],
-                    queue_ccw: &mut queue_ccw[j],
-                    stage_cw: &mut stage_cw,
-                    stage_ccw: &mut stage_ccw,
-                });
-                let (step, dep_cw, dep_ccw) = match step_node_and_links(
-                    &mut nodes[j],
-                    &ctx,
-                    cur_a,
-                    cur_b,
-                    to_cw,
-                    to_ccw,
-                    config.link_capacity,
-                    record.then_some(&mut audit_buf),
-                    faults,
-                ) {
-                    Ok(out) => out,
-                    Err(err) => {
-                        merge_flag(flagged, (t, i, err));
-                        local_error = true;
-                        break;
-                    }
-                };
-                round_departed += dep_cw.messages + dep_ccw.messages;
-                if record {
-                    for rec in audit_buf.drain(..) {
-                        partial.events.push(Event::DroppedOff {
-                            t,
-                            node: i,
-                            bucket: rec.bucket,
-                            units: rec.int,
-                            frac_bits: rec.frac.to_bits(),
-                            cum_drop_frac_bits: rec.cum_drop_frac.to_bits(),
-                            cum_accept_frac_bits: rec.cum_accept_frac.to_bits(),
-                            p_max_bucket: rec.p_max_bucket,
-                            p_max_node: rec.p_max_node,
-                            kind: rec.kind,
-                        });
+            for r in 0..w {
+                // Rollback frame: scalar state before this round; the
+                // sparse delta logs fill in as the round records.
+                let frame = &mut undo[r as usize];
+                frame.events_len = partial.events.len();
+                frame.samples_len = partial.obs.as_ref().map_or(0, |o| o.samples.len());
+                frame.rounds_len = partial.sent_payload_per_round.len();
+                frame.messages_sent = partial.messages_sent;
+                frame.job_hops = partial.job_hops;
+                frame.messages_dropped = partial.messages_dropped;
+                frame.messages_delayed = partial.messages_delayed;
+                frame.messages_retried = partial.messages_retried;
+                frame.last_busy = partial.last_busy;
+                frame.work.clear();
+                frame.sends.clear();
+
+                let mut round_departed: u64 = 0;
+
+                // Stall carryover first, exactly like the sequential
+                // engine: undelivered messages of non-running nodes move to
+                // the front of their next-round inboxes before any node
+                // writes new sends (boundary mail is appended at the round
+                // handshake, i.e. after — the same relative order the
+                // sequential loop produces).
+                if let Some(plan) = plan {
+                    for j in 0..len {
+                        if !plan.node_runs(lo + j, t) {
+                            round_departed += (cur_cw[j].len() + cur_ccw[j].len()) as u64;
+                            next_cw[j].append(&mut cur_cw[j]);
+                            next_ccw[j].append(&mut cur_ccw[j]);
+                        }
                     }
                 }
-                if step.work_done > 0 {
-                    partial.processed_per_node[j] += step.work_done;
-                    partial.busy_steps_per_node[j] += 1;
-                    partial.last_busy = Some(t);
-                    processed.fetch_add(step.work_done, Ordering::SeqCst);
+
+                // Step the arc's nodes in ring order.
+                let mut round_sent_payload: u64 = 0;
+                let mut round_work: u64 = 0;
+                let mut sample = StepSample {
+                    t,
+                    ..StepSample::default()
+                };
+                let mut local_error = false;
+                for i in lo..hi {
+                    let j = i - lo;
+                    // Skip provably-inert nodes (fault plans route sends
+                    // through per-node link queues that must drain even on
+                    // idle rounds, so the skip is gated on having no plan).
+                    if plan.is_none() && cur_cw[j].is_empty() && cur_ccw[j].is_empty() {
+                        let quiet = t < quiet_until[j] || {
+                            match nodes[j].quiescence(t) {
+                                Some(q) if q.backlog == 0 && q.span >= 1 => {
+                                    quiet_until[j] = t.saturating_add(q.span);
+                                    true
+                                }
+                                _ => false,
+                            }
+                        };
+                        if quiet {
+                            quiet_debt[j] += 1;
+                            // The contract still owes the backlog series its
+                            // (unchanged) pending figure.
+                            if partial.obs.is_some() {
+                                let pending = nodes[j].pending_work();
+                                sample.max_pending = sample.max_pending.max(pending);
+                                sample.total_pending += pending;
+                            }
+                            continue;
+                        }
+                    }
+                    quiet_until[j] = 0;
+                    if quiet_debt[j] > 0 {
+                        nodes[j].fast_forward(std::mem::take(&mut quiet_debt[j]));
+                    }
+                    let ctx = NodeCtx { id: i, t, topo };
+                    let delivered = if partial.obs.is_some() {
+                        payload_of(&cur_cw[j]) + payload_of(&cur_ccw[j])
+                    } else {
+                        0
+                    };
+                    // Clockwise sends land at i + 1: arc-internal unless
+                    // this is the last node; counterclockwise at i - 1:
+                    // internal unless this is the first.
+                    let (cur_a, cur_b) = split_two(cur_cw, cur_ccw, j);
+                    let to_cw: &mut Vec<N::Msg> = if i + 1 < hi {
+                        &mut next_cw[j + 1]
+                    } else {
+                        &mut out_cw_boundary
+                    };
+                    let to_ccw: &mut Vec<N::Msg> = if i > lo {
+                        &mut next_ccw[j - 1]
+                    } else {
+                        &mut out_ccw_boundary
+                    };
+                    let faults = plan.map(|plan| FaultLinks {
+                        plan,
+                        queue_cw: &mut queue_cw[j],
+                        queue_ccw: &mut queue_ccw[j],
+                        stage_cw: &mut stage_cw,
+                        stage_ccw: &mut stage_ccw,
+                    });
+                    let (step, dep_cw, dep_ccw) = match step_node_and_links(
+                        &mut nodes[j],
+                        &ctx,
+                        cur_a,
+                        cur_b,
+                        to_cw,
+                        to_ccw,
+                        config.link_capacity,
+                        record.then_some(&mut audit_buf),
+                        faults,
+                    ) {
+                        Ok(out) => out,
+                        Err(err) => {
+                            merge_flag(flagged, (t, i, err));
+                            local_error = true;
+                            break;
+                        }
+                    };
+                    round_departed += dep_cw.messages + dep_ccw.messages;
                     if record {
-                        partial.events.push(Event::Processed {
-                            t,
-                            node: i,
-                            units: step.work_done,
-                        });
+                        for rec in audit_buf.drain(..) {
+                            partial.events.push(Event::DroppedOff {
+                                t,
+                                node: i,
+                                bucket: rec.bucket,
+                                units: rec.int,
+                                frac_bits: rec.frac.to_bits(),
+                                cum_drop_frac_bits: rec.cum_drop_frac.to_bits(),
+                                cum_accept_frac_bits: rec.cum_accept_frac.to_bits(),
+                                p_max_bucket: rec.p_max_bucket,
+                                p_max_node: rec.p_max_node,
+                                kind: rec.kind,
+                            });
+                        }
+                    }
+                    if step.work_done > 0 {
+                        partial.processed_per_node[j] += step.work_done;
+                        partial.busy_steps_per_node[j] += 1;
+                        partial.last_busy = Some(t);
+                        round_work += step.work_done;
+                        frame.work.push((j as u32, step.work_done));
+                        if record {
+                            partial.events.push(Event::Processed {
+                                t,
+                                node: i,
+                                units: step.work_done,
+                            });
+                        }
+                    }
+                    for (dir, dep) in [(Direction::Cw, dep_cw), (Direction::Ccw, dep_ccw)] {
+                        partial.messages_dropped += dep.dropped;
+                        partial.messages_delayed += dep.delayed;
+                        partial.messages_retried += dep.retried;
+                        sample.link_dropped += dep.dropped;
+                        sample.link_delayed += dep.delayed;
+                        sample.link_retried += dep.retried;
+                        if dep.messages == 0 {
+                            continue;
+                        }
+                        partial.messages_sent += dep.messages;
+                        partial.job_hops += dep.payload;
+                        round_sent_payload += dep.payload;
+                        if record {
+                            partial.events.push(Event::Sent {
+                                t,
+                                node: i,
+                                dir,
+                                job_units: dep.payload,
+                            });
+                        }
+                    }
+                    if let Some(o) = partial.obs.as_mut() {
+                        o.record_sends(
+                            j,
+                            dep_cw.messages,
+                            dep_cw.payload,
+                            dep_ccw.messages,
+                            dep_ccw.payload,
+                        );
+                        let dropped = delivered.saturating_sub(step.sent_payload());
+                        o.dropoffs_per_node[j] += dropped;
+                        if dep_cw.messages > 0 || dep_ccw.messages > 0 || dropped > 0 {
+                            frame.sends.push((
+                                j as u32,
+                                dep_cw.messages,
+                                dep_cw.payload,
+                                dep_ccw.messages,
+                                dep_ccw.payload,
+                                dropped,
+                            ));
+                        }
+                        let pending = nodes[j].pending_work();
+                        sample.delivered_payload += delivered;
+                        sample.sent_payload += dep_cw.payload + dep_ccw.payload;
+                        sample.messages += dep_cw.messages + dep_ccw.messages;
+                        sample.processed += step.work_done;
+                        sample.dropped_off += dropped;
+                        sample.max_pending = sample.max_pending.max(pending);
+                        sample.total_pending += pending;
                     }
                 }
-                for (dir, dep) in [(Direction::Cw, dep_cw), (Direction::Ccw, dep_ccw)] {
-                    partial.messages_dropped += dep.dropped;
-                    partial.messages_delayed += dep.delayed;
-                    partial.messages_retried += dep.retried;
-                    sample.link_dropped += dep.dropped;
-                    sample.link_delayed += dep.delayed;
-                    sample.link_retried += dep.retried;
-                    if dep.messages == 0 {
-                        continue;
-                    }
-                    partial.messages_sent += dep.messages;
-                    partial.job_hops += dep.payload;
-                    round_sent_payload += dep.payload;
-                    if record {
-                        partial.events.push(Event::Sent {
-                            t,
-                            node: i,
-                            dir,
-                            job_units: dep.payload,
-                        });
-                    }
-                }
+                partial.sent_payload_per_round.push(round_sent_payload);
+                arc_prev_departed = round_departed;
                 if let Some(o) = partial.obs.as_mut() {
-                    o.record_sends(
-                        j,
-                        dep_cw.messages,
-                        dep_cw.payload,
-                        dep_ccw.messages,
-                        dep_ccw.payload,
-                    );
-                    let dropped = delivered.saturating_sub(step.sent_payload());
-                    o.dropoffs_per_node[j] += dropped;
-                    let pending = nodes[j].pending_work();
-                    sample.delivered_payload += delivered;
-                    sample.sent_payload += dep_cw.payload + dep_ccw.payload;
-                    sample.messages += dep_cw.messages + dep_ccw.messages;
-                    sample.processed += step.work_done;
-                    sample.dropped_off += dropped;
-                    sample.max_pending = sample.max_pending.max(pending);
-                    sample.total_pending += pending;
+                    o.samples.push(sample);
+                }
+                round_processed.push(round_work);
+
+                if local_error {
+                    // Keep the neighbors running — they too must reach the
+                    // window boundary. Whatever they compute past this
+                    // round is discarded with the rest of the run when the
+                    // boundary scan lands on the flag.
+                    out_cw.abandon();
+                    out_ccw.abandon();
+                    break;
+                }
+
+                // The round handshake: hand this round's boundary streams
+                // to the neighbors and take delivery of theirs. This
+                // pairwise exchange replaces the old pair of global
+                // barriers; non-adjacent arcs never synchronize inside a
+                // window.
+                out_cw.publish(t, &mut out_cw_boundary);
+                out_ccw.publish(t, &mut out_ccw_boundary);
+                in_cw.await_round(t);
+                in_ccw.await_round(t);
+                in_cw.drain_into(t, &mut next_cw[0]);
+                in_ccw.drain_into(t, &mut next_ccw[len - 1]);
+                for j in 0..len {
+                    std::mem::swap(&mut cur_cw[j], &mut next_cw[j]);
+                    std::mem::swap(&mut cur_ccw[j], &mut next_ccw[j]);
+                }
+                t += 1;
+            }
+
+            // ---- Window boundary: the only global synchronization. ----
+            {
+                let mut l = ledger.lock().unwrap_or_else(|e| e.into_inner());
+                l.commit(win_start, &round_processed);
+            }
+            // Commit barrier: every arc's per-round counts (and any error
+            // flags) are in before anyone resolves the window.
+            barrier.wait();
+            let (resolution, cum) = {
+                let flag = flagged
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .as_ref()
+                    .map(|&(ft, fnode, _)| (ft, fnode));
+                let l = ledger.lock().unwrap_or_else(|e| e.into_inner());
+                resolve_window(win_start, l.cum_base, &l.rounds, flag, total_work)
+            };
+            if a == 0 {
+                // One arc materializes the agreed outcome into the shared
+                // slots `run_sharded` reads after the join: the committed
+                // processed total, plus the flag fixups the resolution
+                // implies — a conservation miscount outranks a flag at a
+                // later round, and completion before the flagged round
+                // voids the flag entirely (the sequential engine would
+                // have stopped before reaching it).
+                processed.store(cum, Ordering::SeqCst);
+                match resolution {
+                    Boundary::Miscount { processed: p } => {
+                        let mut slot = flagged.lock().unwrap_or_else(|e| e.into_inner());
+                        *slot = Some((
+                            win_start,
+                            0,
+                            SimError::WorkMiscount {
+                                processed: p,
+                                total: total_work,
+                            },
+                        ));
+                    }
+                    Boundary::Done { .. } => {
+                        let mut slot = flagged.lock().unwrap_or_else(|e| e.into_inner());
+                        *slot = None;
+                    }
+                    Boundary::Advance | Boundary::Fail => {}
                 }
             }
-            partial.sent_payload_per_round.push(round_sent_payload);
-            arc_prev_departed = round_departed;
-            if let Some(o) = partial.obs.as_mut() {
-                o.samples.push(sample);
-            }
-
-            // Ship this round's boundary streams to the neighbor arcs. The
-            // receiving mailbox is empty here (drained last round before the
-            // second barrier), so this is a pointer swap, not a copy.
-            {
-                let mut slot = mail_cw[(a + 1) % shards]
-                    .lock()
-                    .unwrap_or_else(|e| e.into_inner());
-                std::mem::swap(&mut *slot, &mut out_cw_boundary);
-            }
-            {
-                let mut slot = mail_ccw[(a + shards - 1) % shards]
-                    .lock()
-                    .unwrap_or_else(|e| e.into_inner());
-                std::mem::swap(&mut *slot, &mut out_ccw_boundary);
-            }
-
-            // Barrier 1: all sends (arena writes, mailbox swaps, shared
-            // counters, error flags) for round `t` are complete.
+            // Resolution barrier: the fixups are visible (and the ledger
+            // settled) before any arc opens the next window — or returns.
             barrier.wait();
-
-            // Phase B: take delivery of the boundary streams, read the
-            // shared round outcome, and flip the arc's arena buffers.
-            {
-                let mut slot = mail_cw[a].lock().unwrap_or_else(|e| e.into_inner());
-                next_cw[0].append(&mut slot);
+            match resolution {
+                Boundary::Advance => {
+                    t = win_start + w;
+                }
+                Boundary::Done { last_round } => {
+                    // Roll this arc back to the completing round; overrun
+                    // rounds (up to a window's worth) vanish from the
+                    // partial as if never stepped. Only the frames this
+                    // window actually recorded participate — the buffer is
+                    // reused across windows and its tail can be stale.
+                    let keep = (last_round + 1 - win_start) as usize;
+                    roll_back(&mut partial, &undo[..round_processed.len()], keep);
+                    break;
+                }
+                Boundary::Fail | Boundary::Miscount { .. } => break,
             }
-            {
-                let mut slot = mail_ccw[a].lock().unwrap_or_else(|e| e.into_inner());
-                next_ccw[len - 1].append(&mut slot);
-            }
-            for j in 0..len {
-                std::mem::swap(&mut cur_cw[j], &mut next_cw[j]);
-                std::mem::swap(&mut cur_ccw[j], &mut next_ccw[j]);
-            }
-            let processed_total = processed.load(Ordering::SeqCst);
-            let any_error =
-                local_error || flagged.lock().unwrap_or_else(|e| e.into_inner()).is_some();
-            let stop = any_error || processed_total >= total_work;
-
-            // Barrier 2: everyone has read the round outcome (and emptied
-            // the mailboxes) before the next round starts writing. All
-            // threads computed `stop` from the same post-barrier-1 state, so
-            // they agree.
-            barrier.wait();
-            if stop {
-                break;
-            }
-            t += 1;
         }
         ArcOutcome {
             partial,

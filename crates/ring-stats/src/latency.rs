@@ -168,6 +168,69 @@ mod tests {
     }
 
     #[test]
+    fn degenerate_quantiles_clamp_into_the_sample() {
+        // q ≤ 0 pins the minimum, q > 1 clamps to the maximum: the rank
+        // ⌈q·n⌉ is clamped into [1, n] before indexing, so no quantile
+        // request can fall outside the observed range.
+        let mut h = LatencyHistogram::new();
+        for v in [10u64, 20, 30, 40] {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(0.0), Some(10));
+        assert_eq!(h.percentile(-1.0), Some(10));
+        assert_eq!(h.percentile(1.0), Some(40));
+        assert_eq!(h.percentile(1.5), Some(40));
+        assert_eq!(h.percentile(f64::INFINITY), Some(40));
+    }
+
+    #[test]
+    fn single_sample_answers_every_quantile() {
+        let mut h = LatencyHistogram::new();
+        h.record(17);
+        for q in [0.0, 0.01, 0.5, 0.95, 0.99, 1.0, 2.0] {
+            assert_eq!(h.percentile(q), Some(17), "q={q}");
+        }
+        assert_eq!(h.min(), Some(17));
+        assert_eq!(h.max(), Some(17));
+        assert_eq!(h.mean(), Some(17.0));
+    }
+
+    #[test]
+    fn record_n_batches_pin_quantiles_at_rank_boundaries() {
+        // 95 observations of one value then 5 of another: rank ⌈0.95·100⌉
+        // = 95 is the *last* fast observation, so p95 stays fast while any
+        // q past 0.95 crosses into the slow mass. This is exactly the
+        // boundary the service's batched record_n writes sit on.
+        let mut h = LatencyHistogram::new();
+        h.record_n(8, 95);
+        h.record_n(64, 5);
+        assert_eq!(h.percentile(0.95), Some(8));
+        assert_eq!(h.percentile(0.950001), Some(64));
+        assert_eq!(h.p99(), Some(64));
+
+        // Cross-check batched recording against the sorted-vector oracle
+        // at ranks straddling each batch edge.
+        let mut sorted: Vec<f64> = Vec::new();
+        sorted.extend(std::iter::repeat(8.0).take(95));
+        sorted.extend(std::iter::repeat(64.0).take(5));
+        for q in [0.01, 0.94, 0.95, 0.951, 0.96, 0.99, 1.0] {
+            assert_eq!(
+                h.percentile(q),
+                Some(crate::nearest_rank(&sorted, q) as u64),
+                "q={q}"
+            );
+        }
+    }
+
+    #[test]
+    fn record_n_of_zero_is_a_no_op() {
+        let mut h = LatencyHistogram::new();
+        h.record_n(5, 0);
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.p50(), None);
+    }
+
+    #[test]
     fn merge_equals_recording_everything_in_one() {
         let mut a = LatencyHistogram::new();
         let mut b = LatencyHistogram::new();

@@ -133,4 +133,31 @@ mod tests {
     fn nearest_rank_rejects_empty() {
         let _ = nearest_rank(&[], 0.5);
     }
+
+    #[test]
+    fn nearest_rank_index_clamps_degenerate_q() {
+        // q ≤ 0 → rank clamps up to 1 (index 0); q > 1 → rank clamps down
+        // to count (index count − 1). No q can index out of bounds.
+        assert_eq!(nearest_rank_index(10, 0.0), 0);
+        assert_eq!(nearest_rank_index(10, -0.5), 0);
+        assert_eq!(nearest_rank_index(10, 1.0), 9);
+        assert_eq!(nearest_rank_index(10, 1.5), 9);
+        assert_eq!(nearest_rank_index(10, f64::INFINITY), 9);
+        // Single-element samples answer every quantile with index 0.
+        for q in [0.0, 0.01, 0.5, 0.99, 1.0, 7.0] {
+            assert_eq!(nearest_rank_index(1, q), 0, "q={q}");
+        }
+    }
+
+    #[test]
+    fn nearest_rank_index_steps_exactly_at_rank_boundaries() {
+        // With count = 20, rank ⌈q·20⌉ increments as q crosses each k/20:
+        // q = 0.95 is still rank 19 (index 18); the first q past it is
+        // rank 20 (index 19).
+        assert_eq!(nearest_rank_index(20, 0.90), 17);
+        assert_eq!(nearest_rank_index(20, 0.9000001), 18);
+        assert_eq!(nearest_rank_index(20, 0.95), 18);
+        assert_eq!(nearest_rank_index(20, 0.9500001), 19);
+        assert_eq!(nearest_rank_index(20, 0.99), 19);
+    }
 }
