@@ -18,9 +18,11 @@
 //! ringsched serve --m 64 --arrivals "0@0:500;40@21:160" --queue-cap 800
 //! ringsched loadgen --mode closed --clients 8 --m 256 --seed 7
 //! ringsched bench-service --json BENCH_service.json
+//! ringsched compete --case sec5-j-w60-z3-m48 --policy mig
 //! ```
 
 mod bench;
+mod compete_cmd;
 mod service_cmd;
 
 use ring_opt::exact::{optimum_capacitated, optimum_uncapacitated, OptResult, SolverBudget};
@@ -93,6 +95,10 @@ fn usage() -> ! {
          \x20 bench-service                   service throughput + tail latency\n\
          \x20   [--json <path>] [--sizes 256,1024,4096] [--shards 8]\n\
          \x20   [--check <baseline.json>]\n\
+         \x20 compete                         competitive ratios vs exact optimum\n\
+         \x20   [--case <id>]                 one adversarial-catalog case\n\
+         \x20   [--arrivals <spec> --m <m>]   a custom dynamic script\n\
+         \x20   [--policy a1|b1|c1|a2|b2|c2|mig|ml] [--par <shards>]\n\
          \n\
          `run`, `capacitated`, and `optimum` also accept --instance <path>\n\
          to load an instance written by `save`."
@@ -651,6 +657,7 @@ fn main() {
         "serve" => service_cmd::cmd_serve(&flags),
         "loadgen" => service_cmd::cmd_loadgen(&flags),
         "bench-service" => service_cmd::cmd_bench_service(&flags),
+        "compete" => compete_cmd::cmd_compete(&flags),
         _ => usage(),
     }
 }

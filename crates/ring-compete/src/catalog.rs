@@ -1,0 +1,104 @@
+//! The adversarial script catalog: the fixed, named instances the golden
+//! ratio table and the `ringsched compete` subcommand measure.
+//!
+//! Every case is deterministic (seeded generators only) and sized so the
+//! exact offline solver answers in well under a second per release wave —
+//! the catalog is a regression gate, not a stress test. It covers the
+//! adversary families this crate ships: §3 spike trains, the §5 I/J
+//! indistinguishability pair behind the 1.06 distributed lower bound,
+//! migration-punishing alternations, page-migration hotspot walks, plus
+//! two sanity anchors (a concentrated burst and a uniform random wave)
+//! whose denominators are exact by construction.
+
+use crate::harness::Script;
+use ring_workloads::adversary::{migration_punisher, section5_pair, spike_train};
+use ring_workloads::pagemig::PageMigration;
+
+/// Builds the full adversarial catalog, in fixed report order.
+pub fn compete_catalog() -> Vec<Script> {
+    let (sec5_i, sec5_j) = section5_pair(60, 3, 48);
+    vec![
+        Script::new("burst-m32-n400", 32, &[(0, 0, 400)]),
+        Script::new("uniform-m24-w40-s5", 24, &uniform_wave(24, 40, 5)),
+        Script::new("spike-m32-l4-k8-w3-p20", 32, &spike_train(32, 4, 8, 3, 20)),
+        Script::new(
+            "spike-m64-l6-k16-w4-p30",
+            64,
+            &spike_train(64, 6, 16, 4, 30),
+        ),
+        Script::new("sec5-i-w60-z3-m48", 48, &sec5_i),
+        Script::new("sec5-j-w60-z3-m48", 48, &sec5_j),
+        Script::new(
+            "punish-m32-b60-w4-s10",
+            32,
+            &migration_punisher(32, 60, 4, 10),
+        ),
+        Script::new(
+            "punish-m16-b40-w6-s4",
+            16,
+            &migration_punisher(16, 40, 6, 4),
+        ),
+        Script::new(
+            "pagemig-m32-w6-p12-b48-s7",
+            32,
+            &PageMigration::new(32, 6, 12, 48).script(7),
+        ),
+        Script::new(
+            "pagemig-m64-w5-p16-b80-s11",
+            64,
+            &PageMigration::new(64, 5, 16, 80).script(11),
+        ),
+    ]
+}
+
+/// A single t = 0 wave of seeded uniform random loads (exact-denominator
+/// sanity anchor: one release wave means the offline solver answers
+/// exactly).
+fn uniform_wave(m: usize, per_processor_max: u64, seed: u64) -> Vec<(u64, usize, u64)> {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..m)
+        .filter_map(|p| {
+            let c = rng.gen_range(0..=per_processor_max);
+            (c > 0).then_some((0, p, c))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn catalog_is_deterministic_and_named_uniquely() {
+        let a = compete_catalog();
+        let b = compete_catalog();
+        let names: BTreeSet<&str> = a.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names.len(), a.len(), "duplicate catalog names");
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.arrivals, y.arrivals, "{}", x.name);
+            assert_eq!(x.m, y.m, "{}", x.name);
+        }
+    }
+
+    #[test]
+    fn catalog_covers_every_adversary_family() {
+        let names: Vec<String> = compete_catalog().iter().map(|s| s.name.clone()).collect();
+        for family in ["burst", "uniform", "spike", "sec5", "punish", "pagemig"] {
+            assert!(
+                names.iter().any(|n| n.starts_with(family)),
+                "family {family} missing from {names:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn catalog_cases_are_nonempty_and_in_range() {
+        for s in compete_catalog() {
+            assert!(s.total_work() > 0, "{} is empty", s.name);
+            assert!(s.arrivals.iter().all(|a| a.processor < s.m), "{}", s.name);
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Competitive-ratio tables: the adversarial catalog measured for every
+//! online scheduler, rendered for EXPERIMENTS.md.
+//!
+//! The numbers come straight from `ring-compete`: each cell is
+//! `online makespan / offline optimum`, with lower-bound denominators
+//! flagged `*` (those ratios are upper estimates, as in the paper's §6.2
+//! substitution). This module only pivots the flat measurement rows into
+//! a case × policy markdown grid.
+
+use ring_compete::{compete_catalog, measure_suite, policy_suite, CaseRatio, Policy};
+
+/// Measures the full adversarial catalog against the whole policy suite.
+pub fn ratio_table(shards: Option<usize>) -> Vec<CaseRatio> {
+    compete_catalog()
+        .iter()
+        .flat_map(|script| measure_suite(script, shards))
+        .collect()
+}
+
+/// Pivots flat measurement rows into a markdown case × policy grid of
+/// ratios (lower-bound denominators flagged `*`).
+pub fn markdown_table(rows: &[CaseRatio]) -> String {
+    let policies: Vec<String> = policy_suite().iter().map(Policy::name).collect();
+    let mut cases: Vec<&str> = Vec::new();
+    for r in rows {
+        if !cases.contains(&r.case.as_str()) {
+            cases.push(&r.case);
+        }
+    }
+    let mut out = String::from("| case |");
+    for p in &policies {
+        out.push_str(&format!(" {p} |"));
+    }
+    out.push_str("\n|------|");
+    out.push_str(&"-----:|".repeat(policies.len()));
+    out.push('\n');
+    for case in cases {
+        out.push_str(&format!("| `{case}` |"));
+        for p in &policies {
+            let cell = rows
+                .iter()
+                .find(|r| r.case == case && &r.policy == p)
+                .map(|r| format!("{:.3}{}", r.ratio, if r.exact { "" } else { "\\*" }))
+                .unwrap_or_else(|| "—".to_string());
+            out.push_str(&format!(" {cell} |"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_pivot_has_one_row_per_case_and_one_column_per_policy() {
+        // Pivot a small synthetic report rather than re-measuring the whole
+        // catalog (the golden test already pins the real numbers).
+        let rows = vec![
+            CaseRatio {
+                case: "x".into(),
+                policy: "C1".into(),
+                online: 4,
+                denominator: 4,
+                exact: true,
+                ratio: 1.0,
+            },
+            CaseRatio {
+                case: "x".into(),
+                policy: "ML".into(),
+                online: 5,
+                denominator: 4,
+                exact: false,
+                ratio: 1.25,
+            },
+        ];
+        let md = markdown_table(&rows);
+        assert!(md.contains("| `x` |"), "{md}");
+        assert!(md.contains("1.000"), "{md}");
+        assert!(md.contains("1.250\\*"), "{md}");
+        assert!(md.contains("| MIG |") || md.contains(" MIG |"), "{md}");
+        // Unmeasured cells render as dashes, not panics.
+        assert!(md.contains("—"), "{md}");
+    }
+}

@@ -22,12 +22,14 @@
 //! * [`capacitated`] — the §7 experiment;
 //! * [`ablation`] — sweeps of the drop-off constant `c` and
 //!   uni-vs-bidirectional comparisons (design-choice ablations);
+//! * [`compete`] — competitive-ratio tables for the adversarial catalog
+//!   (online schedulers vs the exact offline optimum, via `ring-compete`);
 //! * [`observability`] — per-step dynamics (imbalance decay, in-flight
 //!   payload, link utilization) from the engine's `observe` mode;
 //! * [`report`] — markdown rendering for EXPERIMENTS.md.
 //!
 //! Binaries: `figures`, `table1`, `capacitated`, `ablation`,
-//! `communication`, `observability`.
+//! `communication`, `observability`, `compete`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,6 +37,7 @@
 pub mod ablation;
 pub mod capacitated;
 pub mod communication;
+pub mod compete;
 pub mod figures;
 pub mod histogram;
 pub mod observability;

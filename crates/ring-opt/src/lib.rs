@@ -40,6 +40,7 @@ pub mod assignment;
 pub mod bounds;
 pub mod exact;
 pub mod flow;
+pub mod release;
 pub mod sized;
 pub mod staircase;
 pub mod timeexp;
@@ -50,4 +51,5 @@ pub use bounds::{
     uncapacitated_lower_bound,
 };
 pub use exact::{optimum_capacitated, optimum_uncapacitated, OptResult, SolverBudget};
+pub use release::{competitive_ratio, offline_optimum, OfflineOptimum, Release};
 pub use sized::{branch_and_bound_sized, greedy_sized_makespan, SizedOpt};

@@ -41,6 +41,7 @@ pub mod bucket;
 pub mod capacitated;
 pub mod dynamic;
 pub mod fractional;
+pub mod online;
 pub mod scaled;
 pub mod unit;
 

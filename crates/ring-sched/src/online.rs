@@ -1,0 +1,446 @@
+//! Online scheduling policies with known competitive ratios — the
+//! comparison suite for the competitive-analysis harness.
+//!
+//! The six §6 bucket algorithms are *distributed* online algorithms: they
+//! learn about work from passing buckets. This module adds two
+//! *centralized* online policies from the follow-up literature (see
+//! PAPERS.md), adapted to the ring's distance model, so the harness can
+//! report ratios for algorithms whose competitive ratios are known:
+//!
+//! * [`OnlinePolicy::MigrationBudget`] — Albers–Hellwig scheduling with
+//!   job migration: each arrival batch buys a migration allowance
+//!   proportional to its size, spent rebalancing already-assigned (but
+//!   unstarted) work away from the most loaded processor.
+//! * [`OnlinePolicy::MultiList`] — Dwibedy–Mohanty's 2-competitive
+//!   largest-job/least-loaded multi-list rule: within an arrival wave,
+//!   batches are placed largest-first on the processor with the smallest
+//!   resulting completion time.
+//!
+//! ## The ring adaptation (and why ratios stay ≥ 1)
+//!
+//! Both papers schedule on identical machines with free dispatch; a ring
+//! charges one step per hop. The adaptation charges assignment of work
+//! released at processor `p` at time `r` to processor `q` a start bound of
+//! `r + dist(p, q)` in addition to `q`'s queue. Concretely, each processor
+//! keeps a committed-finish time `f_q` (initially 0) and a unit assigned
+//! to `q` executes in step `max(f_q, r + dist(p, q)) + 1`, updating `f_q`.
+//! This is exactly a feasible schedule of the paper's *offline*
+//! uncapacitated model — one unit per processor per step, one hop per
+//! step, links uncontended — so the resulting makespan is never below the
+//! exact offline optimum, and every empirical competitive ratio the
+//! harness reports for these policies is a true ratio ≥ 1.
+//!
+//! Neither policy peeks at future arrivals: decisions for a wave at time
+//! `t` read only the arrivals with `time ≤ t` (enforced by processing
+//! waves in release order), which is what makes the measured number a
+//! *competitive* ratio rather than an approximation factor.
+
+use crate::dynamic::Arrival;
+
+/// The online policies of this module.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OnlinePolicy {
+    /// Albers–Hellwig migration-budget scheduling: a batch of `s` jobs
+    /// buys `⌊budget · s⌋` unit migrations, spent greedily moving queued
+    /// units off the processor with the largest committed finish time.
+    /// `budget = 0.0` degenerates to plain greedy least-finish placement.
+    MigrationBudget {
+        /// Migration allowance per released job (the paper's β).
+        budget: f64,
+    },
+    /// Dwibedy–Mohanty largest-job/least-loaded multi-list: each arrival
+    /// wave is sorted largest batch first and every batch is placed,
+    /// whole, on the processor minimizing its completion time. Keeping
+    /// batches whole mirrors the paper's jobs (our unit jobs arrive in
+    /// batches; the batch is the job).
+    MultiList,
+}
+
+impl OnlinePolicy {
+    /// Stable short name (used in ratio tables and golden files).
+    pub fn name(&self) -> &'static str {
+        match self {
+            OnlinePolicy::MigrationBudget { .. } => "MIG",
+            OnlinePolicy::MultiList => "ML",
+        }
+    }
+
+    /// The default suite the harness reports alongside the six §6
+    /// algorithms: migration-budget at the paper's illustrative β = 1 and
+    /// the multi-list rule.
+    pub fn suite() -> [(&'static str, OnlinePolicy); 2] {
+        [
+            ("MIG", OnlinePolicy::MigrationBudget { budget: 1.0 }),
+            ("ML", OnlinePolicy::MultiList),
+        ]
+    }
+}
+
+/// Outcome of an online-policy run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OnlineRun {
+    /// Completion time of the last unit.
+    pub makespan: u64,
+    /// Units assigned (= total released work).
+    pub assigned: u64,
+    /// Unit migrations actually performed (0 for [`OnlinePolicy::MultiList`]).
+    pub migrations: u64,
+}
+
+/// Ring distance between processors `a` and `b` on an `m`-ring.
+fn dist(a: usize, b: usize, m: usize) -> u64 {
+    let d = a.abs_diff(b);
+    d.min(m - d) as u64
+}
+
+/// One queued-but-unstarted unit: where it came from and when, so a
+/// migration can re-derive its start bound at the new processor.
+#[derive(Debug, Clone, Copy)]
+struct QueuedUnit {
+    origin: usize,
+    release: u64,
+}
+
+/// Per-processor committed schedule: finish time plus the queue of units
+/// that have not started by the current decision time (eligible to
+/// migrate).
+struct Machine {
+    finish: u64,
+    queue: Vec<QueuedUnit>,
+}
+
+impl Machine {
+    /// Completion time of one more unit from `origin` released at `r`.
+    fn completion_of(&self, origin: usize, r: u64, q: usize, m: usize) -> u64 {
+        self.finish.max(r + dist(origin, q, m)) + 1
+    }
+}
+
+fn assign_unit(machines: &mut [Machine], origin: usize, release: u64, m: usize) {
+    let q = (0..m)
+        .min_by_key(|&q| {
+            (
+                machines[q].completion_of(origin, release, q, m),
+                dist(origin, q, m),
+                q,
+            )
+        })
+        .expect("at least one processor");
+    machines[q].finish = machines[q].completion_of(origin, release, q, m);
+    machines[q].queue.push(QueuedUnit { origin, release });
+}
+
+/// Drops units that have started by `now` from every queue: a unit that is
+/// already executing (or done) can no longer migrate. Queues are FIFO in
+/// assignment order and a machine with finish `f` and `k` queued units
+/// runs them in its last `k` committed steps, so the first
+/// `len - still_pending` entries are the started ones — a conservative
+/// prefix estimate keeps the model simple and only ever *shrinks* the
+/// migratable set.
+fn retire_started(machines: &mut [Machine], now: u64) {
+    for mach in machines.iter_mut() {
+        let pending = mach.finish.saturating_sub(now).min(mach.queue.len() as u64) as usize;
+        let started = mach.queue.len() - pending;
+        if started > 0 {
+            mach.queue.drain(..started);
+        }
+    }
+}
+
+/// Spends up to `allowance` unit migrations: repeatedly take a queued unit
+/// off the processor with the largest committed finish and re-place it
+/// where it completes earliest (movement restarts from the unit's current
+/// holder — migrating is not free positioning). Stops early when no move
+/// lowers the donor's finish.
+///
+/// Feasibility of the charge: the migrated unit first completes its
+/// committed journey to the donor (arriving at
+/// `release + dist(origin, donor)`, or is already there), then re-travels
+/// donor→target — so its start bound at the target is
+/// `max(now, release + dist(origin, donor)) + dist(donor, target)`, a
+/// journey an offline schedule could genuinely route. The re-enqueued
+/// unit's `(origin, release)` is rewritten to `(donor, depart)` so any
+/// *second* migration prices its travel from the leg it actually took.
+fn migrate(machines: &mut [Machine], allowance: u64, now: u64, m: usize) -> u64 {
+    let mut spent = 0;
+    while spent < allowance {
+        let donor = match (0..m)
+            .filter(|&q| !machines[q].queue.is_empty())
+            .max_by_key(|&q| (machines[q].finish, q))
+        {
+            Some(q) => q,
+            None => break,
+        };
+        let unit = *machines[donor].queue.last().expect("non-empty queue");
+        let depart = now.max(unit.release + dist(unit.origin, donor, m));
+        let target = match (0..m)
+            .filter(|&q| q != donor)
+            .min_by_key(|&q| (machines[q].completion_of(donor, depart, q, m), q))
+        {
+            Some(q) => q,
+            None => break,
+        };
+        let new_completion = machines[target].completion_of(donor, depart, target, m);
+        // A move only helps if the unit finishes strictly before the
+        // donor's current finish (the donor's last queued unit is its
+        // marginal one).
+        if new_completion >= machines[donor].finish {
+            break;
+        }
+        machines[donor].queue.pop();
+        machines[donor].finish -= 1;
+        machines[target].finish = new_completion;
+        machines[target].queue.push(QueuedUnit {
+            origin: donor,
+            release: depart,
+        });
+        spent += 1;
+    }
+    spent
+}
+
+/// Runs an online policy over a time-sorted arrival script.
+///
+/// # Panics
+///
+/// Panics if `m == 0`, any arrival names a processor `>= m`, or the script
+/// is not sorted by release time (build it with
+/// [`crate::dynamic::DynamicInstance::new`] to get sorting for free).
+pub fn run_online(m: usize, arrivals: &[Arrival], policy: &OnlinePolicy) -> OnlineRun {
+    assert!(m > 0, "need at least one processor");
+    assert!(
+        arrivals.windows(2).all(|w| w[0].time <= w[1].time),
+        "arrival script must be time-sorted"
+    );
+    assert!(
+        arrivals.iter().all(|a| a.processor < m),
+        "arrival processor out of range"
+    );
+    let mut machines: Vec<Machine> = (0..m)
+        .map(|_| Machine {
+            finish: 0,
+            queue: Vec::new(),
+        })
+        .collect();
+    let mut assigned = 0u64;
+    let mut migrations = 0u64;
+    let mut i = 0usize;
+    while i < arrivals.len() {
+        let now = arrivals[i].time;
+        let mut wave_end = i;
+        while wave_end < arrivals.len() && arrivals[wave_end].time == now {
+            wave_end += 1;
+        }
+        let mut wave: Vec<Arrival> = arrivals[i..wave_end].to_vec();
+        i = wave_end;
+        retire_started(&mut machines, now);
+        match *policy {
+            OnlinePolicy::MigrationBudget { budget } => {
+                let wave_size: u64 = wave.iter().map(|a| a.count).sum();
+                for a in &wave {
+                    for _ in 0..a.count {
+                        assign_unit(&mut machines, a.processor, a.time, m);
+                    }
+                }
+                assigned += wave_size;
+                let allowance = (budget * wave_size as f64).floor().max(0.0) as u64;
+                migrations += migrate(&mut machines, allowance, now, m);
+            }
+            OnlinePolicy::MultiList => {
+                // Largest job first; ties broken by processor index so the
+                // run is deterministic whatever order the script listed
+                // equal-time batches in.
+                wave.sort_by_key(|a| (std::cmp::Reverse(a.count), a.processor));
+                for a in &wave {
+                    // The whole batch goes to one processor — the batch is
+                    // the "job". Least resulting completion time wins.
+                    let q = (0..m)
+                        .min_by_key(|&q| {
+                            (
+                                machines[q].finish.max(a.time + dist(a.processor, q, m)) + a.count,
+                                dist(a.processor, q, m),
+                                q,
+                            )
+                        })
+                        .expect("at least one processor");
+                    let start = machines[q].finish.max(a.time + dist(a.processor, q, m));
+                    machines[q].finish = start + a.count;
+                    for _ in 0..a.count {
+                        machines[q].queue.push(QueuedUnit {
+                            origin: a.processor,
+                            release: a.time,
+                        });
+                    }
+                    assigned += a.count;
+                }
+            }
+        }
+    }
+    OnlineRun {
+        makespan: machines.iter().map(|mach| mach.finish).max().unwrap_or(0),
+        assigned,
+        migrations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arr(time: u64, processor: usize, count: u64) -> Arrival {
+        Arrival {
+            time,
+            processor,
+            count,
+        }
+    }
+
+    fn greedy() -> OnlinePolicy {
+        OnlinePolicy::MigrationBudget { budget: 0.0 }
+    }
+
+    #[test]
+    fn empty_script_is_zero() {
+        for (_, p) in OnlinePolicy::suite() {
+            let run = run_online(8, &[], &p);
+            assert_eq!(run.makespan, 0);
+            assert_eq!(run.assigned, 0);
+        }
+    }
+
+    #[test]
+    fn single_unit_costs_one_step() {
+        for (_, p) in OnlinePolicy::suite() {
+            let run = run_online(8, &[arr(0, 3, 1)], &p);
+            assert_eq!(run.makespan, 1, "{}", p.name());
+        }
+    }
+
+    #[test]
+    fn release_time_shifts_the_schedule() {
+        for (_, p) in OnlinePolicy::suite() {
+            let run = run_online(8, &[arr(40, 3, 1)], &p);
+            assert_eq!(run.makespan, 41, "{}", p.name());
+        }
+    }
+
+    #[test]
+    fn greedy_spreads_a_heap_optimally() {
+        // 16 jobs on one node of an 8-ring: the offline optimum is 4 and
+        // greedy least-finish reproduces it (it is exactly the optimal
+        // water-filling by distance).
+        let run = run_online(8, &[arr(0, 0, 16)], &greedy());
+        assert_eq!(run.makespan, 4);
+        assert_eq!(run.assigned, 16);
+    }
+
+    #[test]
+    fn migration_never_hurts_on_two_phase_adversary() {
+        // A burst at p=0, then a burst at the antipode: migration may move
+        // queued units; the makespan must never exceed the no-migration run.
+        let script = [arr(0, 0, 60), arr(2, 8, 60)];
+        let base = run_online(16, &script, &greedy());
+        for budget in [0.25, 0.5, 1.0, 2.0] {
+            let run = run_online(16, &script, &OnlinePolicy::MigrationBudget { budget });
+            assert!(
+                run.makespan <= base.makespan,
+                "budget {budget}: {} > {}",
+                run.makespan,
+                base.makespan
+            );
+        }
+    }
+
+    #[test]
+    fn migration_budget_is_respected() {
+        let script = [arr(0, 0, 40), arr(1, 1, 40)];
+        for budget in [0.0, 0.1, 0.5, 1.0] {
+            let run = run_online(8, &script, &OnlinePolicy::MigrationBudget { budget });
+            let allowance = (budget * 40.0).floor() as u64 * 2;
+            assert!(
+                run.migrations <= allowance,
+                "budget {budget}: {} migrations > allowance {allowance}",
+                run.migrations
+            );
+        }
+    }
+
+    #[test]
+    fn multi_list_places_largest_first() {
+        // Two batches at t = 0 on a 2-ring: the larger one must land alone.
+        let run = run_online(2, &[arr(0, 0, 3), arr(0, 1, 10)], &OnlinePolicy::MultiList);
+        // Largest (10) placed first on its origin (finish 10); the 3-batch
+        // then prefers the other machine: max(0, 0+ d) + 3.
+        assert_eq!(run.makespan, 10);
+    }
+
+    #[test]
+    fn multi_list_keeps_batches_whole() {
+        // One 9-batch on a 4-ring cannot be split: makespan is the full 9
+        // even though spreading would finish in ~3.
+        let run = run_online(4, &[arr(0, 0, 9)], &OnlinePolicy::MultiList);
+        assert_eq!(run.makespan, 9);
+    }
+
+    #[test]
+    fn policies_never_beat_the_offline_optimum() {
+        use ring_opt::{offline_optimum, Release, SolverBudget};
+        let scripts: Vec<(usize, Vec<Arrival>)> = vec![
+            (8, vec![arr(0, 0, 16)]),
+            (16, vec![arr(0, 0, 60), arr(2, 8, 60)]),
+            (12, vec![arr(0, 3, 25), arr(10, 9, 25), arr(20, 0, 10)]),
+            (4, vec![arr(0, 0, 9), arr(0, 2, 9), arr(3, 1, 5)]),
+        ];
+        for (m, script) in scripts {
+            let releases: Vec<Release> = script
+                .iter()
+                .map(|a| Release {
+                    time: a.time,
+                    processor: a.processor,
+                    count: a.count,
+                })
+                .collect();
+            for (name, p) in OnlinePolicy::suite() {
+                let run = run_online(m, &script, &p);
+                let denom = offline_optimum(m, &releases, None, &SolverBudget::default());
+                assert!(
+                    run.makespan >= denom.value(),
+                    "{name} on m={m}: {} < {}",
+                    run.makespan,
+                    denom.value()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let script = [arr(0, 0, 30), arr(0, 5, 17), arr(4, 11, 23), arr(9, 2, 8)];
+        for (_, p) in OnlinePolicy::suite() {
+            let a = run_online(16, &script, &p);
+            let b = run_online(16, &script, &p);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn conservation_of_assigned_units() {
+        let script = [arr(0, 1, 12), arr(5, 7, 30), arr(5, 3, 4)];
+        for (_, p) in OnlinePolicy::suite() {
+            let run = run_online(8, &script, &p);
+            assert_eq!(run.assigned, 46, "{}", p.name());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "time-sorted")]
+    fn unsorted_scripts_are_rejected() {
+        let _ = run_online(4, &[arr(5, 0, 1), arr(0, 1, 1)], &greedy());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_processor_rejected() {
+        let _ = run_online(4, &[arr(0, 9, 1)], &greedy());
+    }
+}

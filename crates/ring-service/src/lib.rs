@@ -26,11 +26,13 @@
 mod meta;
 
 pub mod loadgen;
+pub mod replay;
 pub mod report;
 pub mod service;
 pub mod types;
 
 pub use loadgen::{run_loadgen, LoadMode, LoadgenConfig, LoadgenReport};
+pub use replay::{online_makespan, revealed_script};
 pub use report::{log_digest, EpochSample, LatencySummary, ServiceReport};
 pub use service::{Handle, Service};
 pub use types::{Admission, LogEntry, Outcome, Resolution, ServiceConfig, ShedReason, Ticket};

@@ -1,0 +1,90 @@
+//! Log replay: turning a completion log back into the instance the
+//! adversary revealed.
+//!
+//! The service's virtual-time protocol makes the completion log a pure
+//! function of the submission script — so the log alone carries everything
+//! a competitive-analysis harness needs, and replay requires **no engine
+//! re-run**: every completed entry records its submission tag (the release
+//! time the adversary chose), its processor, its batch size, and the
+//! boundary the service finished it at. The revealed instance is the list
+//! of completed `(tag, processor, jobs)` triples; the online cost is the
+//! largest completion boundary. Shed batches are excluded — the service
+//! never did their work, so charging the offline optimum for them would
+//! deflate the ratio (the shed counters in [`crate::ServiceReport`] keep
+//! them honest separately).
+
+use crate::types::{LogEntry, Outcome};
+
+/// The arrival script a completion log reveals: time-sorted
+/// `(release step, processor, jobs)` triples over the *completed* entries.
+/// Matches `ring_workloads::ArrivalScript` / `ring_sched::dynamic::Arrival`
+/// shape for direct harness consumption.
+pub fn revealed_script(log: &[LogEntry]) -> Vec<(u64, usize, u64)> {
+    let mut script: Vec<(u64, usize, u64)> = log
+        .iter()
+        .filter(|e| e.outcome == Outcome::Completed)
+        .map(|e| (e.tag, e.processor, e.jobs))
+        .collect();
+    script.sort_by_key(|&(t, p, _)| (t, p));
+    script
+}
+
+/// The online makespan the log records: the last completion boundary
+/// (0 for a log with no completions).
+pub fn online_makespan(log: &[LogEntry]) -> u64 {
+    log.iter()
+        .filter(|e| e.outcome == Outcome::Completed)
+        .map(|e| e.at)
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{ShedReason, Ticket};
+
+    fn entry(tag: u64, processor: usize, jobs: u64, at: u64, outcome: Outcome) -> LogEntry {
+        LogEntry {
+            ticket: Ticket {
+                client: 0,
+                seq: tag,
+            },
+            processor,
+            jobs,
+            tag,
+            at,
+            outcome,
+        }
+    }
+
+    #[test]
+    fn sheds_are_excluded_from_the_revealed_script() {
+        let log = vec![
+            entry(0, 3, 10, 32, Outcome::Completed),
+            entry(5, 1, 99, 16, Outcome::Shed(ShedReason::QueueOverflow)),
+            entry(2, 0, 7, 48, Outcome::Completed),
+        ];
+        assert_eq!(revealed_script(&log), vec![(0, 3, 10), (2, 0, 7)]);
+        assert_eq!(online_makespan(&log), 48);
+    }
+
+    #[test]
+    fn empty_or_all_shed_logs_reveal_nothing() {
+        assert_eq!(revealed_script(&[]), vec![]);
+        assert_eq!(online_makespan(&[]), 0);
+        let log = vec![entry(0, 0, 5, 16, Outcome::Shed(ShedReason::Draining))];
+        assert_eq!(revealed_script(&log), vec![]);
+        assert_eq!(online_makespan(&log), 0);
+    }
+
+    #[test]
+    fn script_is_sorted_whatever_the_log_order() {
+        let log = vec![
+            entry(9, 2, 1, 64, Outcome::Completed),
+            entry(0, 7, 2, 32, Outcome::Completed),
+            entry(0, 1, 3, 32, Outcome::Completed),
+        ];
+        assert_eq!(revealed_script(&log), vec![(0, 1, 3), (0, 7, 2), (9, 2, 1)]);
+    }
+}

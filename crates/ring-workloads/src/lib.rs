@@ -8,7 +8,12 @@
 //!   random background);
 //! * [`random`] — uniform random loads;
 //! * [`adversary`] — instances built by the §3 "evil adversary" strategy
-//!   (every prefix window saturated at `M_k = L² + (k−1)L`);
+//!   (every prefix window saturated at `M_k = L² + (k−1)L`), plus
+//!   adversarial *arrival scripts* for the online suite (spike trains, the
+//!   §5 indistinguishability pair, migration punishers);
+//! * [`pagemig`] — ring page migration request streams
+//!   (Khorramian–Matsubayashi): a seeded hotspot walk with background
+//!   noise;
 //! * [`section5`] — the two-instance construction behind the 1.06
 //!   distributed lower bound (Theorem 2);
 //! * [`sized`] — arbitrary-job-size workloads for the §4.2 algorithm;
@@ -24,9 +29,11 @@
 pub mod adversary;
 pub mod catalog;
 pub mod io;
+pub mod pagemig;
 pub mod random;
 pub mod section5;
 pub mod sized;
 pub mod structured;
 
+pub use adversary::ArrivalScript;
 pub use catalog::{catalog, CatalogCase, Part};

@@ -105,6 +105,31 @@ fn drained_and_resumed_log_is_bit_identical_to_the_uninterrupted_run() {
 }
 
 #[test]
+fn recovery_preserves_the_competitive_ratio() {
+    // A drained-and-resumed run is the same *online algorithm* as the
+    // uninterrupted one: replaying both logs through the competitive
+    // harness must produce the same ratio against the same revealed
+    // instance — recovery may not make the service look better or worse
+    // than it was.
+    let full = uninterrupted();
+    let (pre, _, post) = interrupted(cfg());
+    let mut stitched = pre;
+    stitched.extend(post.iter().copied());
+
+    let baseline = ring_compete::ratio_from_log(8, &full);
+    let recovered = ring_compete::ratio_from_log(8, &stitched);
+    assert_eq!(
+        baseline, recovered,
+        "recovery changed the measured competitive ratio"
+    );
+    // And the measurement itself is meaningful: real completed work,
+    // online cost dominating a sound denominator.
+    assert!(baseline.completed_jobs > 0);
+    assert!(baseline.online >= baseline.denominator);
+    assert!(baseline.ratio >= 1.0);
+}
+
+#[test]
 fn recovery_is_executor_independent() {
     let (pre_seq, _, post_seq) = interrupted(cfg());
     let (pre_par, _, post_par) = interrupted(cfg().with_shards(3));
