@@ -11,7 +11,8 @@
 use crate::bench::{check_speedups, speedups_json, SpeedupRecord};
 use ring_sched::dynamic::parse_arrivals;
 use ring_service::{
-    run_loadgen, LoadMode, LoadgenConfig, LoadgenReport, Outcome, Service, ServiceConfig,
+    run_loadgen, ExecutorMode, LoadMode, LoadgenConfig, LoadgenReport, Outcome, Service,
+    ServiceConfig,
 };
 use ring_sim::Snapshot;
 use std::collections::HashMap;
@@ -30,8 +31,13 @@ fn service_config(flags: &HashMap<String, String>) -> ServiceConfig {
     if flags.contains_key("slo") {
         cfg = cfg.with_slo_horizon(crate::get_u64(flags, "slo", u64::MAX));
     }
-    if flags.contains_key("par") {
-        cfg = cfg.with_shards(crate::get_u64(flags, "par", 8).max(1) as usize);
+    // Executor selection: the default is `auto` (parallel only where the
+    // ring is big enough to win); `--par <n>` forces n shards, `--par seq`
+    // forces the sequential executor.
+    match flags.get("par").map(String::as_str) {
+        None | Some("auto") => {}
+        Some("seq") | Some("0") => cfg = cfg.with_executor(ExecutorMode::Sequential),
+        Some(_) => cfg = cfg.with_shards(crate::get_u64(flags, "par", 8).max(1) as usize),
     }
     cfg
 }
@@ -249,22 +255,19 @@ fn bench_load(m: usize) -> (ServiceConfig, LoadgenConfig) {
     (cfg, load)
 }
 
-fn service_bench_cell(m: usize, shards: Option<usize>) -> ServiceBenchRecord {
-    let (mut cfg, load) = bench_load(m);
-    let executor = match shards {
-        Some(s) => {
-            cfg = cfg.with_shards(s);
-            format!("par_run({s})")
-        }
+fn service_bench_cell(m: usize, mode: ExecutorMode, label: &str) -> ServiceBenchRecord {
+    let (cfg, load) = bench_load(m);
+    let cfg = cfg.with_executor(mode);
+    // Record what the mode *resolves to* on this machine so the auto cell
+    // documents its pick.
+    let executor = match mode.shards_for(m) {
+        Some(s) => format!("par_run({s})"),
         None => "run".to_string(),
     };
     let out: LoadgenReport = run_loadgen(cfg, &load);
     let r = &out.service;
     ServiceBenchRecord {
-        key: format!(
-            "service-m{m}-{}",
-            if shards.is_some() { "par" } else { "run" }
-        ),
+        key: format!("service-m{m}-{label}"),
         m,
         executor,
         submitted: r.submitted_jobs,
@@ -305,11 +308,16 @@ pub fn cmd_bench_service(flags: &HashMap<String, String>) {
     let mut speedups = Vec::new();
     for &m in &sizes {
         eprintln!("benchmarking service on m={m}...");
-        let seq = service_bench_cell(m, None);
-        let par = service_bench_cell(m, Some(shards));
+        let seq = service_bench_cell(m, ExecutorMode::Sequential, "run");
+        let par = service_bench_cell(m, ExecutorMode::Parallel(shards), "par");
+        let auto = service_bench_cell(m, ExecutorMode::Auto, "auto");
         assert_eq!(
             seq.digest, par.digest,
             "executor choice changed the m={m} completion log"
+        );
+        assert_eq!(
+            seq.digest, auto.digest,
+            "auto executor selection changed the m={m} completion log"
         );
         speedups.push(SpeedupRecord {
             key: format!("service-m{m}-tail-spread"),
@@ -321,6 +329,7 @@ pub fn cmd_bench_service(flags: &HashMap<String, String>) {
         });
         results.push(seq);
         results.push(par);
+        results.push(auto);
     }
 
     println!(

@@ -18,8 +18,8 @@ use ring_sched::unit::{
 };
 use ring_sim::stream::{stream_engine, Representation, StreamSpec};
 use ring_sim::{
-    check_run, CheckpointError, Engine, EngineConfig, FaultPlan, Instance, RunReport, SimError,
-    Snapshot, TraceLevel,
+    check_run, CheckpointError, Engine, EngineConfig, FaultPlan, Instance, ParConfig, ParStrategy,
+    RunReport, SimError, Snapshot, TraceLevel,
 };
 use std::sync::{Arc, Mutex};
 
@@ -32,9 +32,22 @@ fn par_run_unit(inst: &Instance, cfg: &UnitConfig, shards: usize) -> Result<RunR
         observe: cfg.observe,
         compress: cfg.compress,
         window: cfg.window,
+        par: cfg.par,
         ..EngineConfig::default()
     };
     Engine::new(nodes, inst.total_work(), engine_cfg).par_run(shards)
+}
+
+/// A fully-pinned work-stealing executor config (no environment fallbacks),
+/// so each test case states exactly which schedule knobs it exercises.
+fn steal_par(rebalance: bool, tasks: usize, steal_seed: u64, threads: Option<usize>) -> ParConfig {
+    ParConfig {
+        strategy: Some(ParStrategy::Steal),
+        rebalance: Some(rebalance),
+        tasks_per_shard: Some(tasks),
+        steal_seed: Some(steal_seed),
+        threads,
+    }
 }
 
 /// The locality-window sweep every parallel equivalence case is run under:
@@ -469,5 +482,178 @@ proptest! {
         prop_assert_eq!(seq.makespan, thr.makespan);
         prop_assert_eq!(&seq.report.metrics.processed_per_node, &thr.processed_per_node);
         prop_assert_eq!(seq.report.metrics.messages_sent, thr.messages_sent);
+    }
+}
+
+/// The worker-pool sizes the steal battery forces: machine-fit (`None`),
+/// leader-only, and oversubscribed (more threads than any CI runner has
+/// cores), so the interleavings range from fully serial polls to genuinely
+/// preemptive schedules.
+const THREAD_FORCES: [Option<usize>; 3] = [None, Some(1), Some(8)];
+
+#[test]
+fn stealing_matches_the_sequential_report_bit_for_bit() {
+    for inst in cases() {
+        for (name, cfg) in UnitConfig::all_six() {
+            let cfg = cfg.with_trace().with_observe();
+            let seq = run_unit(&inst, &cfg).unwrap();
+            for shards in [1usize, 2, 3, 7] {
+                for (rebalance, tasks, seed) in [(true, 4, 0), (false, 1, 1), (true, 2, 0xDEAD)] {
+                    for window in WINDOWS {
+                        let mut scfg = cfg.with_window(window);
+                        scfg.par = steal_par(rebalance, tasks, seed, None);
+                        let par = par_run_unit(&inst, &scfg, shards).unwrap();
+                        assert_eq!(
+                            seq.report,
+                            par,
+                            "{name}/{shards} shards/steal(rebalance={rebalance}, tasks={tasks}, \
+                             seed={seed})/window {window} diverged on {:?}",
+                            inst.loads()
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(fault_case_count()))]
+
+    /// Work-stealing is unobservable: random instances, random fault plans,
+    /// all six §6 algorithms, shard counts {1, 2, 3, 7}, rebalancing on and
+    /// off, random task granularity, adversarial seeded steal timings, and
+    /// worker pools from leader-only to oversubscribed — the stolen run's
+    /// `RunReport` is bit-identical to the sequential one and the
+    /// trace-replay oracle accepts it.
+    #[test]
+    fn stealing_is_unobservable_under_fault_plans(
+        loads in prop::collection::vec(0u64..100, 2..20),
+        alg in 0usize..6,
+        seed in 0u64..1_000_000,
+        window in 0usize..4,
+        rebalance in 0u8..2,
+        tasks in 1usize..5,
+        steal_seed in 0u64..1_000_000_000,
+        threads in 0usize..3,
+    ) {
+        prop_assume!(loads.iter().sum::<u64>() > 0);
+        let inst = Instance::from_loads(loads);
+        let m = inst.num_processors();
+        let plan = FaultPlan::random(m, 48, seed);
+        let (name, cfg) = UnitConfig::all_six()[alg];
+        let cfg = cfg.with_trace().with_observe().with_window(WINDOWS[window]);
+
+        let seq = run_unit_faulty(&inst, &cfg, &plan).unwrap();
+        for shards in [1usize, 2, 3, 7] {
+            let mut scfg = cfg;
+            scfg.par = steal_par(rebalance == 1, tasks, steal_seed, THREAD_FORCES[threads]);
+            let par = run_unit_par_faulty(&inst, &scfg, &plan, shards).unwrap();
+            prop_assert_eq!(
+                &seq.report,
+                &par.report,
+                "{} stolen on {} shards (rebalance={}, tasks={}, seed={}, threads={:?}) \
+                 diverged under {:?}",
+                name,
+                shards,
+                rebalance == 1,
+                tasks,
+                steal_seed,
+                THREAD_FORCES[threads],
+                &plan
+            );
+        }
+        let violations = check_run(&inst, &seq.report, Some(&plan));
+        prop_assert!(violations.is_empty(), "{} oracle violations: {:?}", name, violations);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(fault_case_count()))]
+
+    /// Checkpoint/restore composes with stealing: a run checkpointed under
+    /// the steal executor reports bit-identically to the plain sequential
+    /// run, and a snapshot from a random boundary — byte-round-tripped —
+    /// resumes bit-identically, with the save and restore sides drawing
+    /// shard counts, rebalancing, and steal seeds independently. Snapshots
+    /// stay shard-count- and schedule-independent, so any mix must stitch.
+    #[test]
+    fn steal_resume_is_bit_identical_under_fault_plans(
+        loads in prop::collection::vec(0u64..100, 2..20),
+        alg in 0usize..6,
+        seed in 0u64..1_000_000,
+        every in 1u64..16,
+        save_shards in 0usize..4,
+        restore_shards in 0usize..4,
+        save_rebalance in 0u8..2,
+        restore_rebalance in 0u8..2,
+        steal_seed in 0u64..1_000_000_000,
+        pick in 0usize..64,
+        window in 0usize..4,
+    ) {
+        prop_assume!(loads.iter().sum::<u64>() > 0);
+        const SHARDS: [usize; 4] = [1, 2, 3, 7];
+        let inst = Instance::from_loads(loads);
+        let m = inst.num_processors();
+        let plan = FaultPlan::random(m, 48, seed);
+        let (name, cfg) = UnitConfig::all_six()[alg];
+        let cfg = cfg.with_trace().with_observe().with_window(WINDOWS[window]);
+
+        let base = run_unit_faulty(&inst, &cfg, &plan).unwrap();
+
+        let mut save_cfg = cfg;
+        save_cfg.par = steal_par(save_rebalance == 1, 1 + (pick % 4), steal_seed, None);
+        let snaps = Arc::new(Mutex::new(Vec::new()));
+        let log = Arc::clone(&snaps);
+        let checkpointed = run_unit_checkpointed(
+            &inst,
+            &save_cfg,
+            Some(&plan),
+            Some(SHARDS[save_shards]),
+            every,
+            "",
+            move |s: &Snapshot| -> Result<(), CheckpointError> {
+                log.lock().unwrap().push(s.clone());
+                Ok(())
+            },
+        )
+        .unwrap();
+        prop_assert_eq!(
+            &base.report,
+            &checkpointed.report,
+            "{} stolen checkpointing every {} on {} shards changed the report under {:?}",
+            name,
+            every,
+            SHARDS[save_shards],
+            &plan
+        );
+
+        let snaps = snaps.lock().unwrap();
+        if snaps.is_empty() {
+            return Ok(());
+        }
+        let snap = &snaps[pick % snaps.len()];
+        let snap = Snapshot::from_bytes(&snap.to_bytes()).unwrap();
+        let mut restore_cfg = cfg;
+        restore_cfg.par = steal_par(restore_rebalance == 1, 1 + (pick % 3), !steal_seed, None);
+        let resumed = resume_unit(&restore_cfg, &snap, Some(SHARDS[restore_shards])).unwrap();
+        prop_assert_eq!(
+            &base.report,
+            &resumed.report,
+            "{} resumed stolen from t={} (saved on {} shards, restored on {}) diverged under {:?}",
+            name,
+            snap.t,
+            SHARDS[save_shards],
+            SHARDS[restore_shards],
+            &plan
+        );
+        let violations = check_run(&inst, &resumed.report, Some(&plan));
+        prop_assert!(
+            violations.is_empty(),
+            "{} oracle rejected the stolen resumed run under {:?}: {:?}",
+            name,
+            &plan,
+            violations
+        );
     }
 }

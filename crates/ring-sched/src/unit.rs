@@ -39,7 +39,7 @@ use crate::EPS;
 use ring_sim::checkpoint::{CheckpointError, Decoder, Encoder, Persist, Snapshot};
 use ring_sim::{
     Audit, Direction, DropKind, DropRecord, Engine, EngineConfig, FaultPlan, Instance, Node,
-    NodeCtx, Outbox, Quiescence, RunReport, SimError, StepIo, TraceLevel,
+    NodeCtx, Outbox, ParConfig, Quiescence, RunReport, SimError, StepIo, TraceLevel,
 };
 use serde::{Deserialize, Serialize};
 
@@ -124,6 +124,10 @@ pub struct UnitConfig {
     /// ([`EngineConfig::window`] — bit-identical results for every value;
     /// `None` defers to `RING_WINDOW` / the engine default).
     pub window: Option<u64>,
+    /// Parallel-executor strategy knobs ([`EngineConfig::par`] — static
+    /// contiguous arcs vs work-stealing with ledger-driven rebalancing;
+    /// bit-identical results for every setting).
+    pub par: ParConfig,
 }
 
 impl UnitConfig {
@@ -150,6 +154,7 @@ impl UnitConfig {
             observe: false,
             compress: false,
             window: None,
+            par: ParConfig::default(),
         }
     }
 
@@ -690,6 +695,7 @@ where
         faults: plan.cloned(),
         compress: cfg.compress,
         window: cfg.window,
+        par: cfg.par,
         checkpoint_meta: meta.to_string(),
         ..EngineConfig::default()
     }
@@ -726,6 +732,7 @@ pub fn resume_unit(
         observe: cfg.observe,
         compress: cfg.compress,
         window: cfg.window,
+        par: cfg.par,
         ..EngineConfig::default()
     };
     let mut engine =
@@ -753,6 +760,7 @@ fn unit_engine(
         faults,
         compress: cfg.compress,
         window: cfg.window,
+        par: cfg.par,
         ..EngineConfig::default()
     };
     Engine::new(nodes, instance.total_work(), engine_cfg)

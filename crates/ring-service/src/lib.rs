@@ -35,7 +35,9 @@ pub use loadgen::{run_loadgen, LoadMode, LoadgenConfig, LoadgenReport};
 pub use replay::{online_makespan, revealed_script};
 pub use report::{log_digest, EpochSample, LatencySummary, ServiceReport};
 pub use service::{Handle, Service};
-pub use types::{Admission, LogEntry, Outcome, Resolution, ServiceConfig, ShedReason, Ticket};
+pub use types::{
+    Admission, ExecutorMode, LogEntry, Outcome, Resolution, ServiceConfig, ShedReason, Ticket,
+};
 
 #[cfg(test)]
 mod tests {

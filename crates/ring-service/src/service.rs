@@ -136,6 +136,10 @@ struct Submission {
 
 struct Shared {
     cfg: ServiceConfig,
+    /// Shard count the executor mode resolved to at boot (`None` =
+    /// sequential). Resolved once so `Auto` probes the machine a single
+    /// time and every generation of this service runs the same executor.
+    shards: Option<usize>,
     /// Last processed epoch boundary.
     now: u64,
     clients: Vec<ClientState>,
@@ -179,6 +183,7 @@ impl Shared {
                     closed: false,
                 })
                 .collect(),
+            shards: cfg.executor.shards_for(cfg.m),
             cfg,
             now,
             pending: Vec::new(),
@@ -285,7 +290,7 @@ impl Shared {
         if let Some(gen) = self.gen.as_mut() {
             let pause_at = b - gen.base;
             let before = gen.engine.t();
-            let outcome = match self.cfg.shards {
+            let outcome = match self.shards {
                 Some(s) => gen.engine.par_run_span(pause_at, s),
                 None => gen.engine.run_span(pause_at),
             }
@@ -691,7 +696,7 @@ impl Service {
     ) -> (Service, Vec<Handle>) {
         assert!(cfg.m > 0, "need at least one processor");
         assert!(cfg.epoch > 0, "epoch must be positive");
-        if let Some(s) = cfg.shards {
+        if let crate::ExecutorMode::Parallel(s) = cfg.executor {
             assert!(s > 0, "need at least one shard");
         }
         let inner = Arc::new(Inner {

@@ -3,6 +3,46 @@
 
 use ring_sched::unit::UnitConfig;
 
+/// How service generations advance the ring each epoch.
+///
+/// The parallel executor is bit-identical to the sequential one but pays
+/// per-window shard coordination; on small rings that overhead dominates
+/// (`BENCH_service.json` showed m=256 running ~4× slower under `par`).
+/// `Auto` makes the profitable choice from the ring size and the machine,
+/// so `serve`/`bench-service` defaults never pay par overhead where `run`
+/// wins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutorMode {
+    /// Parallel iff the ring is large enough to amortize shard
+    /// coordination ([`ExecutorMode::AUTO_PAR_MIN_M`]) and the machine has
+    /// more than one core; shard count = cores capped at 8.
+    Auto,
+    /// Always [`ring_sim::Engine::run_span`].
+    Sequential,
+    /// Always `par_run_span` on this many shards (must be > 0).
+    Parallel(usize),
+}
+
+impl ExecutorMode {
+    /// Smallest ring the auto mode runs in parallel. Below this the
+    /// sequential sweep finishes before the parallel executor has paid for
+    /// its halo handshakes.
+    pub const AUTO_PAR_MIN_M: usize = 4096;
+
+    /// Resolves the mode to a concrete shard count for an `m`-ring:
+    /// `None` = sequential, `Some(s)` = parallel on `s` shards.
+    pub fn shards_for(self, m: usize) -> Option<usize> {
+        match self {
+            ExecutorMode::Sequential => None,
+            ExecutorMode::Parallel(s) => Some(s),
+            ExecutorMode::Auto => {
+                let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+                (m >= Self::AUTO_PAR_MIN_M && cores >= 2).then(|| cores.min(8))
+            }
+        }
+    }
+}
+
 /// Configuration of a [`crate::Service`].
 ///
 /// The admission knobs default to "accept everything" (`u64::MAX`); callers
@@ -25,9 +65,9 @@ pub struct ServiceConfig {
     /// shed with [`ShedReason::SloExceeded`] when the O(m) lower bound on
     /// clearing the backlog (including the batch) exceeds this.
     pub slo_horizon: u64,
-    /// `Some(s)`: advance generations with the arc-parallel executor on `s`
-    /// shards; `None`: sequential. Either way results are bit-identical.
-    pub shards: Option<usize>,
+    /// Executor selection for generation advancement. Every mode produces
+    /// bit-identical results; only wall-clock differs.
+    pub executor: ExecutorMode,
 }
 
 impl ServiceConfig {
@@ -45,7 +85,7 @@ impl ServiceConfig {
             epoch: 32,
             queue_cap: u64::MAX,
             slo_horizon: u64::MAX,
-            shards: None,
+            executor: ExecutorMode::Auto,
         }
     }
 
@@ -78,14 +118,21 @@ impl ServiceConfig {
         self
     }
 
-    /// Runs generations on the arc-parallel executor.
+    /// Runs generations on the arc-parallel executor unconditionally
+    /// (shorthand for `with_executor(ExecutorMode::Parallel(shards))`).
     ///
     /// # Panics
     ///
     /// Panics if `shards == 0`.
     pub fn with_shards(mut self, shards: usize) -> Self {
         assert!(shards > 0, "need at least one shard");
-        self.shards = Some(shards);
+        self.executor = ExecutorMode::Parallel(shards);
+        self
+    }
+
+    /// Replaces the executor selection mode.
+    pub fn with_executor(mut self, executor: ExecutorMode) -> Self {
+        self.executor = executor;
         self
     }
 }

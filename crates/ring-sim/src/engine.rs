@@ -462,6 +462,105 @@ pub struct EngineConfig {
     /// (`"L"` means "as large as the shortest arc") and otherwise uses a
     /// built-in default. Ignored by the sequential executor.
     pub window: Option<u64>,
+    /// Parallel-executor strategy knobs (see [`ParConfig`]). Ignored by the
+    /// sequential executor.
+    pub par: ParConfig,
+}
+
+/// Which parallel executor [`Engine::par_run`] dispatches to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParStrategy {
+    /// One scoped thread per shard, each owning a fixed contiguous arc for
+    /// the whole run (the PR-6 windowed executor).
+    Static,
+    /// A work-stealing pool: the ring is cut into more node-range tasks
+    /// than threads, workers steal whichever task is runnable, and the
+    /// leader recuts the ranges from the ledger's per-node processed
+    /// counts when a window exposes imbalance (see DESIGN.md §14). The
+    /// report stays bit-identical to [`Engine::run`] for every shard
+    /// count, task granularity, steal schedule and rebalance history.
+    Steal,
+}
+
+/// Tuning for the parallel executor. Every field falls back to an
+/// environment variable and then a built-in default, so benches and CI
+/// matrices can steer the executor without threading flags everywhere:
+/// `RING_PAR_STRAT` (`"static"`/`"steal"`), `RING_REBALANCE` (`0`/`1`),
+/// `RING_STEAL_TASKS` (tasks per shard), `RING_STEAL_SEED`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ParConfig {
+    /// Executor strategy; defaults to [`ParStrategy::Static`].
+    pub strategy: Option<ParStrategy>,
+    /// Recut task ranges at window boundaries when the ledger shows
+    /// imbalance (steal strategy only); defaults to on.
+    pub rebalance: Option<bool>,
+    /// Node-range tasks per shard (steal strategy only); more tasks give
+    /// finer stealing granularity at slightly more handshake overhead.
+    /// Defaults to 4.
+    pub tasks_per_shard: Option<usize>,
+    /// Seed perturbing the steal order (which end of the task queue each
+    /// worker pops). Reports are schedule-independent, so this is purely an
+    /// adversarial-testing knob. Defaults to 0.
+    pub steal_seed: Option<u64>,
+    /// Worker threads for the steal executor. Defaults to
+    /// `min(shards, tasks, available cores)` — tasks beyond the core count
+    /// only add scheduling churn, never throughput. Setting this (or
+    /// `RING_PAR_THREADS`) forces a count, which is how CI exercises
+    /// oversubscribed interleavings on small runners; reports are
+    /// schedule-independent either way.
+    pub threads: Option<usize>,
+}
+
+impl ParConfig {
+    fn env_or<T: std::str::FromStr>(var: &str, default: T) -> T {
+        std::env::var(var)
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// The strategy after environment fallback.
+    pub fn resolved_strategy(&self) -> ParStrategy {
+        self.strategy.unwrap_or_else(|| {
+            match std::env::var("RING_PAR_STRAT")
+                .ok()
+                .as_deref()
+                .map(str::trim)
+            {
+                Some(s) if s.eq_ignore_ascii_case("steal") => ParStrategy::Steal,
+                _ => ParStrategy::Static,
+            }
+        })
+    }
+
+    /// Whether window-boundary rebalancing is on, after environment
+    /// fallback.
+    pub fn resolved_rebalance(&self) -> bool {
+        self.rebalance
+            .unwrap_or_else(|| Self::env_or::<u64>("RING_REBALANCE", 1) != 0)
+    }
+
+    /// Tasks per shard, after environment fallback; clamped to `>= 1`.
+    pub fn resolved_tasks_per_shard(&self) -> usize {
+        self.tasks_per_shard
+            .unwrap_or_else(|| Self::env_or("RING_STEAL_TASKS", 4))
+            .max(1)
+    }
+
+    /// Steal-order seed, after environment fallback.
+    pub fn resolved_steal_seed(&self) -> u64 {
+        self.steal_seed
+            .unwrap_or_else(|| Self::env_or("RING_STEAL_SEED", 0))
+    }
+
+    /// Worker-thread cap for one window's pool, after environment fallback;
+    /// `None` means "fit the machine" (cap at the available cores).
+    pub fn resolved_threads(&self) -> Option<usize> {
+        self.threads
+            .map(Some)
+            .unwrap_or_else(|| std::env::var("RING_PAR_THREADS").ok()?.trim().parse().ok())
+            .map(|n: usize| n.max(1))
+    }
 }
 
 impl EngineConfig {
@@ -489,6 +588,7 @@ impl Default for EngineConfig {
             checkpoint_every: None,
             checkpoint_meta: String::new(),
             window: None,
+            par: ParConfig::default(),
         }
     }
 }
@@ -1833,17 +1933,31 @@ impl<N: Node> Engine<N> {
         let max_steps = self.max_steps();
         let resume = self.resume.take();
 
-        match par::run_sharded(
-            &mut self.nodes,
-            self.topo,
-            self.total_work,
-            max_steps,
-            &self.config,
-            shards,
-            resume,
-            self.checkpoint.as_mut(),
-            pause_at,
-        )? {
+        let sharded = match self.config.par.resolved_strategy() {
+            ParStrategy::Static => par::run_sharded(
+                &mut self.nodes,
+                self.topo,
+                self.total_work,
+                max_steps,
+                &self.config,
+                shards,
+                resume,
+                self.checkpoint.as_mut(),
+                pause_at,
+            ),
+            ParStrategy::Steal => par::run_stolen(
+                &mut self.nodes,
+                self.topo,
+                self.total_work,
+                max_steps,
+                &self.config,
+                shards,
+                resume,
+                self.checkpoint.as_mut(),
+                pause_at,
+            ),
+        };
+        match sharded? {
             par::Sharded::Done(report) => {
                 self.self_check(&report);
                 self.finished = true;
@@ -1952,7 +2066,7 @@ fn build_snapshot<N: Node>(
 /// The arc-parallel executor internals.
 mod par {
     use super::*;
-    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
     use std::sync::{Barrier, Mutex};
 
     /// Everything one arc accumulates locally; merged deterministically
@@ -2093,6 +2207,34 @@ mod par {
                     std::thread::yield_now();
                 }
             }
+        }
+
+        /// Consumer side, non-blocking: has the producer finished round
+        /// `t`? An abandoned halo (`u64::MAX`) reads as ready so consumers
+        /// never wait on a failed producer.
+        fn ready(&self, t: u64) -> bool {
+            self.done.0.load(Ordering::Acquire) > t
+        }
+
+        /// Consumer side, non-blocking: the first round the producer has
+        /// *not* finished. Every round below this is drainable.
+        fn done_round(&self) -> u64 {
+            self.done.0.load(Ordering::Acquire)
+        }
+
+        /// Consumer side: the earliest round whose drain would deliver
+        /// content (`u64::MAX` when the queue holds nothing). Entries are
+        /// tagged in round order, so everything below this round drains
+        /// empty.
+        fn first_pending(&self) -> u64 {
+            let slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
+            slots.queue.front().map_or(u64::MAX, |e| e.0)
+        }
+
+        /// Producer side: rounds up to (excluding) `done` completed with no
+        /// boundary sends — one release store covers the whole quiet span.
+        fn publish_span(&self, done: u64) {
+            self.done.0.store(done, Ordering::Release);
         }
 
         /// Consumer side: move every entry for rounds `<= t` into `dest`.
@@ -3485,6 +3627,1225 @@ mod par {
             prev_departed: arc_prev_departed,
             paused,
         }
+    }
+
+    // ------------------------------------------------------------------
+    // The work-stealing executor (`ParStrategy::Steal`; see DESIGN.md §14).
+    //
+    // Leader-orchestrated: the main thread owns the whole ring state
+    // between windows and runs the entire boundary protocol (budget,
+    // pause, checkpoint, ledger resolution, rollback, rebalancing)
+    // single-threaded, mirroring the sequential engine's exact ordering.
+    // Only the window interior is parallel: the ring is cut into more
+    // node-range tasks than worker threads, and workers cooperatively
+    // advance whichever task is runnable — a task blocked on a neighbor's
+    // halo is requeued, not waited on, so an imbalanced ring keeps every
+    // core busy. Stealing changes *who* computes a range, never what is
+    // computed, and the merge algebra is shared with the static executor,
+    // so the report stays bit-identical for every schedule.
+    // ------------------------------------------------------------------
+
+    /// Per-task state that persists across windows within one cut epoch.
+    /// A recut (rebalance, which is semantically a resume: fold the
+    /// partials into the base, restart the deltas) replaces it wholesale.
+    struct TaskState<M> {
+        partial: ArcPartial,
+        round_processed: Vec<u64>,
+        undo: Vec<RoundUndo>,
+        out_cw_boundary: Vec<M>,
+        out_ccw_boundary: Vec<M>,
+        arc_prev_departed: u64,
+        /// Nodes that processed work in the task's last swept round;
+        /// `== len` arms the dense fused sweep (no skip bookkeeping) for
+        /// the next round, since the quiescent-node short-circuit cannot
+        /// fire on an all-busy range.
+        busy_last_round: usize,
+        /// All-quiet fast path: when a full (plan-free) sweep finds every
+        /// node in the range quiescent, the task falls asleep — rounds
+        /// before this promise advance in O(1) bulk bookkeeping instead of
+        /// per-node sweeps (`0` = awake). Set to the minimum of the range's
+        /// `quiet_until` promises; a boundary delivery or the promise
+        /// expiring wakes the task.
+        asleep_until: u64,
+        /// Rounds skipped while asleep, owed to every node's `quiet_debt`;
+        /// folded in at wake-up or window end so `fast_forward` and the
+        /// leader's boundary settlement see the full count.
+        asleep_debt: u64,
+        /// The `(max_pending, total_pending)` observability sample an
+        /// all-quiet round records; node state is frozen while asleep, so
+        /// skipped rounds re-push exactly these values.
+        asleep_pending: (u64, u64),
+    }
+
+    fn new_task_state<M>(lo: usize, len: usize, config: &EngineConfig) -> TaskState<M> {
+        TaskState {
+            partial: ArcPartial {
+                lo,
+                processed_per_node: vec![0; len],
+                busy_steps_per_node: vec![0; len],
+                messages_sent: 0,
+                job_hops: 0,
+                messages_dropped: 0,
+                messages_delayed: 0,
+                messages_retried: 0,
+                last_busy: None,
+                sent_payload_per_round: Vec::new(),
+                events: Vec::new(),
+                obs: config.observe.then(|| Observability::new(len)),
+            },
+            round_processed: Vec::new(),
+            undo: Vec::new(),
+            out_cw_boundary: Vec::new(),
+            out_ccw_boundary: Vec::new(),
+            arc_prev_departed: 0,
+            busy_last_round: 0,
+            asleep_until: 0,
+            asleep_debt: 0,
+            asleep_pending: (0, 0),
+        }
+    }
+
+    /// Cuts `0..weights.len()` into `r` contiguous non-empty ranges with
+    /// near-equal weight prefixes: range `k` ends at the smallest prefix
+    /// whose cumulative weight reaches `(k+1)/r` of the total, held back
+    /// just enough that every later range still gets at least one node.
+    /// Deterministic, so rebalancing is a pure function of the ledger.
+    fn cut_by_weight(weights: &[u64], r: usize) -> Vec<(usize, usize)> {
+        let m = weights.len();
+        let r = r.clamp(1, m.max(1));
+        let total: u64 = weights.iter().sum();
+        let mut bounds = Vec::with_capacity(r);
+        let mut lo = 0usize;
+        let mut acc: u64 = 0;
+        for k in 0..r {
+            let left = r - k - 1;
+            let target = total * (k as u64 + 1) / r as u64;
+            let mut hi = lo + 1;
+            acc += weights[lo];
+            while hi < m - left && acc < target {
+                acc += weights[hi];
+                hi += 1;
+            }
+            if left == 0 {
+                hi = m;
+            }
+            bounds.push((lo, hi));
+            lo = hi;
+        }
+        bounds
+    }
+
+    /// Splits `rest` into consecutive mutable slices matching `bounds`
+    /// (which must tile `0..rest.len()`).
+    fn split_ranges<'s, T>(mut rest: &'s mut [T], bounds: &[(usize, usize)]) -> Vec<&'s mut [T]> {
+        let mut out = Vec::with_capacity(bounds.len());
+        for &(lo, hi) in bounds {
+            let (a, b) = rest.split_at_mut(hi - lo);
+            out.push(a);
+            rest = b;
+        }
+        out
+    }
+
+    /// Empty per-task slices for state that is not materialized in this
+    /// run (link queues without a fault plan, unit columns when not
+    /// observing).
+    fn empty_ranges<'s, T>(n: usize) -> Vec<&'s mut [T]> {
+        (0..n).map(|_| <&mut [T]>::default()).collect()
+    }
+
+    /// One task's view of the ring for the current window: its node range,
+    /// arena/queue/cache slices, and its window clock. Owned by whichever
+    /// worker holds the lock; the leader reads the remains after the
+    /// window scope joins.
+    struct TaskRun<'s, N: Node> {
+        lo: usize,
+        hi: usize,
+        t: u64,
+        /// Phase A (sweep + publish) done for round `t`; waiting on the
+        /// neighbor halos to finish the round.
+        swept: bool,
+        /// Reached the window end (or stopped on an in-round error).
+        done: bool,
+        nodes: &'s mut [N],
+        cur_cw: &'s mut [Vec<N::Msg>],
+        cur_ccw: &'s mut [Vec<N::Msg>],
+        next_cw: &'s mut [Vec<N::Msg>],
+        next_ccw: &'s mut [Vec<N::Msg>],
+        queue_cw: &'s mut [LinkQueue<N::Msg>],
+        queue_ccw: &'s mut [LinkQueue<N::Msg>],
+        quiet_until: &'s mut [u64],
+        quiet_debt: &'s mut [u64],
+        units_cur_cw: &'s mut [u64],
+        units_cur_ccw: &'s mut [u64],
+        units_next_cw: &'s mut [u64],
+        units_next_ccw: &'s mut [u64],
+        state: &'s mut TaskState<N::Msg>,
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn run_stolen<N>(
+        nodes: &mut [N],
+        topo: RingTopology,
+        total_work: u64,
+        max_steps: u64,
+        config: &EngineConfig,
+        shards: usize,
+        resume: Option<ResumeState<N::Msg>>,
+        mut checkpoint: Option<&mut CheckpointHook<N::Msg>>,
+        pause_at: Option<u64>,
+    ) -> Result<Sharded<N::Msg>, SimError>
+    where
+        N: Node + Send,
+        N::Msg: Send,
+    {
+        let m = topo.len();
+        let rebalance = config.par.resolved_rebalance();
+        let r_tasks = (shards * config.par.resolved_tasks_per_shard())
+            .min(m)
+            .max(1);
+
+        // The run prefix, exactly as in `run_sharded`; folds (recuts,
+        // which restart the per-task deltas) advance it mid-run.
+        let base = resume.unwrap_or_else(|| ResumeState {
+            t0: 0,
+            prev_round_departed: 0,
+            cur_cw: (0..m).map(|_| Vec::new()).collect(),
+            cur_ccw: (0..m).map(|_| Vec::new()).collect(),
+            queue_cw: Vec::new(),
+            queue_ccw: Vec::new(),
+            metrics: Metrics::new(m),
+            trace: Trace::new(config.trace),
+            obs: config.observe.then(|| Observability::new(m)),
+        });
+        let ResumeState {
+            t0,
+            prev_round_departed: base_prev_departed,
+            mut cur_cw,
+            mut cur_ccw,
+            mut queue_cw,
+            mut queue_ccw,
+            metrics: mut base_metrics,
+            trace: base_trace,
+            obs: mut base_obs,
+        } = base;
+        let run_start_t = t0;
+        let mut base_t0 = t0;
+        let mut base_events: Vec<Event> = base_trace.into_events();
+
+        let mut next_cw: Vec<Vec<N::Msg>> = (0..m).map(|_| Vec::new()).collect();
+        let mut next_ccw: Vec<Vec<N::Msg>> = (0..m).map(|_| Vec::new()).collect();
+
+        let plan_active = config.faults.is_some();
+        if plan_active && queue_cw.is_empty() {
+            queue_cw = (0..m).map(|_| VecDeque::new()).collect();
+            queue_ccw = (0..m).map(|_| VecDeque::new()).collect();
+        }
+
+        // Quiescent-node caches are per *node*, so they survive recuts
+        // untouched; debts are settled at every boundary before any
+        // protocol can observe node state.
+        let mut quiet_until: Vec<u64> = vec![0; m];
+        let mut quiet_debt: Vec<u64> = vec![0; m];
+
+        // SoA unit columns: per-cell payload sums maintained alongside the
+        // message arenas so the sweep's `delivered` figure is one add
+        // instead of a message scan. Only materialized when it pays (the
+        // scan exists only under `observe`) and only when lossless links
+        // make the column update exact (no fault plan).
+        let units_on = config.observe && !plan_active;
+        let un = if units_on { m } else { 0 };
+        let mut units_cur_cw: Vec<u64> = vec![0; un];
+        let mut units_cur_ccw: Vec<u64> = vec![0; un];
+        let mut units_next_cw: Vec<u64> = vec![0; un];
+        let mut units_next_ccw: Vec<u64> = vec![0; un];
+        if units_on {
+            for i in 0..m {
+                units_cur_cw[i] = payload_of(&cur_cw[i]);
+                units_cur_ccw[i] = payload_of(&cur_ccw[i]);
+            }
+        }
+
+        // Initial cut: balanced by node count (no load signal yet).
+        let ones = vec![1u64; m];
+        let mut bounds = cut_by_weight(&ones, r_tasks);
+        let mut states: Vec<TaskState<N::Msg>> = bounds
+            .iter()
+            .map(|&(lo, hi)| new_task_state(lo, hi - lo, config))
+            .collect();
+        states[0].arc_prev_departed = base_prev_departed;
+
+        let cp_every = match (config.checkpoint_every, checkpoint.is_some()) {
+            (Some(k), true) => Some(k),
+            _ => None,
+        };
+
+        let mut cum_base: u64 = base_metrics.total_processed();
+        let mut want_recut = false;
+        let mut t: u64 = t0;
+        loop {
+            // Settle skipped-round drain debt before any boundary protocol
+            // (pause, checkpoint image, fold) can observe node state
+            // mid-replay — the same contract as the static executor.
+            for (i, debt) in quiet_debt.iter_mut().enumerate() {
+                if *debt > 0 {
+                    nodes[i].fast_forward(std::mem::take(debt));
+                }
+            }
+
+            if t >= max_steps {
+                return Err(SimError::ExceededMaxSteps {
+                    max_steps,
+                    processed: cum_base,
+                    total: total_work,
+                });
+            }
+
+            if pause_at == Some(t) {
+                let prev: u64 = states.iter().map(|s| s.arc_prev_departed).sum();
+                let (metrics, events, obs) = merge_partials(
+                    base_t0,
+                    &base_metrics,
+                    &base_events,
+                    base_obs.as_ref(),
+                    config.trace,
+                    states.into_iter().map(|s| s.partial).collect(),
+                );
+                return Ok(Sharded::Paused(ResumeState {
+                    t0: t,
+                    prev_round_departed: prev,
+                    cur_cw,
+                    cur_ccw,
+                    queue_cw,
+                    queue_ccw,
+                    metrics,
+                    trace: Trace::from_events(config.trace, events),
+                    obs,
+                }));
+            }
+
+            // Checkpoint boundary: serialize each task's slice in ring
+            // order and stitch — the same `arc_image` + `stitch_snapshot`
+            // path the static executor takes, minus the barriers (the
+            // leader is single-threaded here), so the snapshot bytes are
+            // independent of shard count, task cuts and steal history.
+            if let Some(every) = cp_every {
+                if t > run_start_t && t % every == 0 {
+                    let hook = checkpoint.as_deref_mut().expect("gated on hook presence");
+                    let cp = ParCheckpoint {
+                        every,
+                        start_t: run_start_t,
+                        save_msg: hook.save_msg,
+                        app_meta: config.checkpoint_meta.as_str(),
+                        images: Mutex::new(Vec::new()),
+                        sink: Mutex::new(&mut *hook.sink),
+                        base: BaseCtx {
+                            t0: base_t0,
+                            metrics: &base_metrics,
+                            events: &base_events,
+                            obs: base_obs.as_ref(),
+                        },
+                    };
+                    let mut images = Vec::with_capacity(states.len());
+                    let mut failed: Option<(usize, CheckpointError)> = None;
+                    for (k, &(lo, hi)) in bounds.iter().enumerate() {
+                        let empty: &[LinkQueue<N::Msg>] = &[];
+                        let (qcw, qccw) = if plan_active {
+                            (&queue_cw[lo..hi], &queue_ccw[lo..hi])
+                        } else {
+                            (empty, empty)
+                        };
+                        match arc_image(
+                            &cp,
+                            lo,
+                            &nodes[lo..hi],
+                            &cur_cw[lo..hi],
+                            &cur_ccw[lo..hi],
+                            qcw,
+                            qccw,
+                            states[k].arc_prev_departed,
+                            &states[k].partial,
+                        ) {
+                            Ok(img) => images.push(img),
+                            Err(e) => {
+                                failed = Some(e);
+                                break;
+                            }
+                        }
+                    }
+                    if let Some((_, error)) = failed {
+                        return Err(SimError::Checkpoint { step: t, error });
+                    }
+                    let snap = stitch_snapshot(&cp, t, m, total_work, config, images);
+                    let mut sink = cp.sink.lock().unwrap_or_else(|e| e.into_inner());
+                    if let Err(error) = (**sink)(&snap) {
+                        return Err(SimError::Checkpoint { step: t, error });
+                    }
+                }
+            }
+
+            // Quiescent-span compression is deliberately omitted here: it
+            // is unobservable in the report (DESIGN.md §10), so skipping
+            // it cannot change a byte; the steal executor targets busy
+            // imbalanced rings where spans never go globally quiet.
+
+            // Ledger-driven rebalance: the previous window exposed
+            // imbalance, so fold the per-task deltas into the base (a
+            // recut is semantically a resume — the same merge the
+            // checkpoint stitch trusts) and recut the ring by cumulative
+            // per-node processed counts.
+            if want_recut {
+                want_recut = false;
+                // Cumulative per-node processed counts are the base plus
+                // the per-task deltas, so the new cut is computable without
+                // merging; when a persistent imbalance keeps proposing the
+                // cut the ring already has, skip the merge-and-rebuild
+                // entirely (deferring the merge is unobservable — the final
+                // report merges whatever partials remain anyway).
+                let mut weights: Vec<u64> = base_metrics
+                    .processed_per_node
+                    .iter()
+                    .map(|&p| p + 1)
+                    .collect();
+                for (s, &(lo, _)) in states.iter().zip(&bounds) {
+                    for (j, &p) in s.partial.processed_per_node.iter().enumerate() {
+                        weights[lo + j] += p;
+                    }
+                }
+                let new_bounds = cut_by_weight(&weights, r_tasks);
+                if new_bounds != bounds {
+                    let prev: u64 = states.iter().map(|s| s.arc_prev_departed).sum();
+                    let (metrics, events, obs) = merge_partials(
+                        base_t0,
+                        &base_metrics,
+                        &base_events,
+                        base_obs.as_ref(),
+                        config.trace,
+                        states.drain(..).map(|s| s.partial).collect(),
+                    );
+                    base_metrics = metrics;
+                    base_events = events;
+                    base_obs = obs;
+                    base_t0 = t;
+                    bounds = new_bounds;
+                    states = bounds
+                        .iter()
+                        .map(|&(lo, hi)| new_task_state(lo, hi - lo, config))
+                        .collect();
+                    states[0].arc_prev_departed = prev;
+                }
+            }
+
+            // Open a window, capped exactly like the other executors so
+            // checkpoint cadence, pauses and the budget land on window
+            // boundaries.
+            let min_len = bounds.iter().map(|&(lo, hi)| hi - lo).min().unwrap_or(1);
+            let mut w = window_size(config, min_len).min(max_steps - t);
+            if let Some(every) = cp_every {
+                w = w.min(every - t % every);
+            }
+            if let Some(p) = pause_at {
+                w = w.min(p - t);
+            }
+            let w = w.max(1);
+            let win_start = t;
+            for s in states.iter_mut() {
+                s.round_processed.clear();
+                if s.undo.len() < w as usize {
+                    s.undo.resize_with(w as usize, RoundUndo::default);
+                }
+            }
+
+            // Per-window shared state: fresh halos (all drained at the
+            // previous boundary), the runnable-task queue, and the error
+            // flag (any flag is resolved at this window's boundary).
+            let halo_cw: Vec<Halo<N::Msg>> = (0..r_tasks).map(|_| Halo::new(win_start)).collect();
+            let halo_ccw: Vec<Halo<N::Msg>> = (0..r_tasks).map(|_| Halo::new(win_start)).collect();
+            let flagged: Mutex<Option<Flagged>> = Mutex::new(None);
+            let remaining = AtomicUsize::new(r_tasks);
+            let runnable: Mutex<VecDeque<usize>> = Mutex::new((0..r_tasks).collect());
+
+            {
+                let node_slices = split_ranges(&mut *nodes, &bounds);
+                let cur_cw_s = split_ranges(&mut cur_cw, &bounds);
+                let cur_ccw_s = split_ranges(&mut cur_ccw, &bounds);
+                let next_cw_s = split_ranges(&mut next_cw, &bounds);
+                let next_ccw_s = split_ranges(&mut next_ccw, &bounds);
+                let (qcw_s, qccw_s) = if plan_active {
+                    (
+                        split_ranges(&mut queue_cw, &bounds),
+                        split_ranges(&mut queue_ccw, &bounds),
+                    )
+                } else {
+                    (empty_ranges(r_tasks), empty_ranges(r_tasks))
+                };
+                let quiet_until_s = split_ranges(&mut quiet_until, &bounds);
+                let quiet_debt_s = split_ranges(&mut quiet_debt, &bounds);
+                let (ucw_s, uccw_s, nucw_s, nuccw_s) = if units_on {
+                    (
+                        split_ranges(&mut units_cur_cw, &bounds),
+                        split_ranges(&mut units_cur_ccw, &bounds),
+                        split_ranges(&mut units_next_cw, &bounds),
+                        split_ranges(&mut units_next_ccw, &bounds),
+                    )
+                } else {
+                    (
+                        empty_ranges(r_tasks),
+                        empty_ranges(r_tasks),
+                        empty_ranges(r_tasks),
+                        empty_ranges(r_tasks),
+                    )
+                };
+
+                let mut nodes_it = node_slices.into_iter();
+                let mut cc_it = cur_cw_s.into_iter();
+                let mut cx_it = cur_ccw_s.into_iter();
+                let mut nc_it = next_cw_s.into_iter();
+                let mut nx_it = next_ccw_s.into_iter();
+                let mut qc_it = qcw_s.into_iter();
+                let mut qx_it = qccw_s.into_iter();
+                let mut qu_it = quiet_until_s.into_iter();
+                let mut qd_it = quiet_debt_s.into_iter();
+                let mut uc_it = ucw_s.into_iter();
+                let mut ux_it = uccw_s.into_iter();
+                let mut nuc_it = nucw_s.into_iter();
+                let mut nux_it = nuccw_s.into_iter();
+                let mut tasks: Vec<Mutex<TaskRun<'_, N>>> = Vec::with_capacity(r_tasks);
+                for (k, st) in states.iter_mut().enumerate() {
+                    let (lo, hi) = bounds[k];
+                    tasks.push(Mutex::new(TaskRun {
+                        lo,
+                        hi,
+                        t: win_start,
+                        swept: false,
+                        done: false,
+                        nodes: nodes_it.next().expect("one slice per task"),
+                        cur_cw: cc_it.next().expect("one slice per task"),
+                        cur_ccw: cx_it.next().expect("one slice per task"),
+                        next_cw: nc_it.next().expect("one slice per task"),
+                        next_ccw: nx_it.next().expect("one slice per task"),
+                        queue_cw: qc_it.next().expect("one slice per task"),
+                        queue_ccw: qx_it.next().expect("one slice per task"),
+                        quiet_until: qu_it.next().expect("one slice per task"),
+                        quiet_debt: qd_it.next().expect("one slice per task"),
+                        units_cur_cw: uc_it.next().expect("one slice per task"),
+                        units_cur_ccw: ux_it.next().expect("one slice per task"),
+                        units_next_cw: nuc_it.next().expect("one slice per task"),
+                        units_next_ccw: nux_it.next().expect("one slice per task"),
+                        state: st,
+                    }));
+                }
+                // Pool size: one worker per shard, but never more than
+                // there are tasks to hold, and — unless explicitly forced —
+                // never more than the machine has cores (excess workers
+                // only add scheduling churn; on a single-core host the
+                // window runs leader-only with zero thread spawns). Worker
+                // count is unobservable in the report, so this adapts
+                // freely per machine.
+                let workers = config
+                    .par
+                    .resolved_threads()
+                    .unwrap_or_else(|| {
+                        shards.min(std::thread::available_parallelism().map_or(1, |n| n.get()))
+                    })
+                    .min(r_tasks)
+                    .max(1);
+                let tasks = &tasks;
+                let runnable = &runnable;
+                let remaining = &remaining;
+                let flagged = &flagged;
+                let halo_cw = &halo_cw;
+                let halo_ccw = &halo_ccw;
+                std::thread::scope(|scope| {
+                    for wid in 1..workers {
+                        scope.spawn(move || {
+                            steal_worker(
+                                wid, tasks, runnable, remaining, flagged, halo_cw, halo_ccw,
+                                win_start, w, config, topo, units_on,
+                            );
+                        });
+                    }
+                    steal_worker(
+                        0, tasks, runnable, remaining, flagged, halo_cw, halo_ccw, win_start, w,
+                        config, topo, units_on,
+                    );
+                });
+            }
+
+            // ---- Window boundary: leader-sequential resolution. ----
+            let mut rounds: Vec<u64> = Vec::new();
+            for s in &states {
+                if rounds.len() < s.round_processed.len() {
+                    rounds.resize(s.round_processed.len(), 0);
+                }
+                for (dst, src) in rounds.iter_mut().zip(&s.round_processed) {
+                    *dst += src;
+                }
+            }
+            let flag = flagged.into_inner().unwrap_or_else(|e| e.into_inner());
+            let (resolution, cum) = resolve_window(
+                win_start,
+                cum_base,
+                &rounds,
+                flag.as_ref().map(|&(ft, fnode, _)| (ft, fnode)),
+                total_work,
+            );
+            match resolution {
+                Boundary::Advance => {
+                    t = win_start + w;
+                    cum_base = cum;
+                    if rebalance && r_tasks > 1 {
+                        let win_work: Vec<u64> = states
+                            .iter()
+                            .map(|s| s.round_processed.iter().sum())
+                            .collect();
+                        let total: u64 = win_work.iter().sum();
+                        let max = win_work.iter().copied().max().unwrap_or(0);
+                        // Recut when the hottest task did > 1.5x its fair
+                        // share of the window's work.
+                        want_recut = total > 0 && max * 2 * (r_tasks as u64) > 3 * total;
+                    }
+                }
+                Boundary::Done { last_round } => {
+                    let keep = (last_round + 1 - win_start) as usize;
+                    for s in states.iter_mut() {
+                        let n = s.round_processed.len();
+                        roll_back(&mut s.partial, &s.undo[..n], keep);
+                    }
+                    let (metrics, events, obs) = merge_partials(
+                        base_t0,
+                        &base_metrics,
+                        &base_events,
+                        base_obs.as_ref(),
+                        config.trace,
+                        states.into_iter().map(|s| s.partial).collect(),
+                    );
+                    let trace = Trace::from_events(config.trace, events);
+                    let makespan = metrics.last_busy_step.expect("work was processed") + 1;
+                    return Ok(Sharded::Done(RunReport {
+                        makespan,
+                        metrics,
+                        trace,
+                        observability: obs,
+                    }));
+                }
+                Boundary::Fail => {
+                    let (_, _, err) = flag.expect("fail resolution carries the flag");
+                    return Err(err);
+                }
+                Boundary::Miscount { processed } => {
+                    return Err(SimError::WorkMiscount {
+                        processed,
+                        total: total_work,
+                    });
+                }
+            }
+        }
+    }
+
+    /// One worker of the window pool: pops a runnable task, advances it as
+    /// far as its neighbor halos allow, and requeues it when blocked. The
+    /// seed perturbs which end of the queue each worker pops — an
+    /// adversarial-schedule knob; reports are schedule-independent because
+    /// stealing only moves *who* runs a task, never its content or order.
+    ///
+    /// Deadlock-free: `Halo::publish` never blocks, so among the tasks at
+    /// the minimal round there is always one whose neighbors have already
+    /// published (or are themselves runnable from the queue); a blocked
+    /// task is requeued, not held, so that runnable task is always
+    /// reachable.
+    #[allow(clippy::too_many_arguments)]
+    fn steal_worker<N: Node>(
+        wid: usize,
+        tasks: &[Mutex<TaskRun<'_, N>>],
+        runnable: &Mutex<VecDeque<usize>>,
+        remaining: &AtomicUsize,
+        flagged: &Mutex<Option<Flagged>>,
+        halo_cw: &[Halo<N::Msg>],
+        halo_ccw: &[Halo<N::Msg>],
+        win_start: u64,
+        w: u64,
+        config: &EngineConfig,
+        topo: RingTopology,
+        units_on: bool,
+    ) {
+        let win_end = win_start + w;
+        // Worker-local scratch, transient within one node step, so reuse
+        // across tasks is safe.
+        let mut stage_cw: Vec<N::Msg> = Vec::new();
+        let mut stage_ccw: Vec<N::Msg> = Vec::new();
+        let mut audit_buf: Vec<DropRecord> = Vec::new();
+        // Deterministic per-worker pop-order perturbation (xorshift64).
+        let mut rng = (config.par.resolved_steal_seed()
+            ^ (wid as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            | 1;
+        let mut idle = 0u32;
+        while remaining.load(Ordering::Acquire) > 0 {
+            let idx = {
+                let mut q = runnable.lock().unwrap_or_else(|e| e.into_inner());
+                rng ^= rng << 13;
+                rng ^= rng >> 7;
+                rng ^= rng << 17;
+                if rng & 1 == 0 {
+                    q.pop_front()
+                } else {
+                    q.pop_back()
+                }
+            };
+            let Some(idx) = idx else {
+                // Every task is held by some worker right now; they will
+                // requeue what they cannot finish.
+                std::thread::yield_now();
+                continue;
+            };
+            let progressed = {
+                let mut task = tasks[idx].lock().unwrap_or_else(|e| e.into_inner());
+                let progressed = advance_task(
+                    &mut task,
+                    idx,
+                    tasks.len(),
+                    halo_cw,
+                    halo_ccw,
+                    win_end,
+                    config,
+                    topo,
+                    units_on,
+                    flagged,
+                    &mut stage_cw,
+                    &mut stage_ccw,
+                    &mut audit_buf,
+                );
+                if task.done {
+                    remaining.fetch_sub(1, Ordering::AcqRel);
+                    continue;
+                }
+                progressed
+            };
+            runnable
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push_back(idx);
+            if progressed {
+                idle = 0;
+            } else {
+                idle += 1;
+                if idle > 64 {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+
+    /// Advances one task as far as it can go without blocking: sweep the
+    /// current round (phase A), then complete the halo handshake (phase B)
+    /// whenever both in-halos have published the round. Returns whether any
+    /// phase ran.
+    #[allow(clippy::too_many_arguments)]
+    fn advance_task<N: Node>(
+        task: &mut TaskRun<'_, N>,
+        idx: usize,
+        ntasks: usize,
+        halo_cw: &[Halo<N::Msg>],
+        halo_ccw: &[Halo<N::Msg>],
+        win_end: u64,
+        config: &EngineConfig,
+        topo: RingTopology,
+        units_on: bool,
+        flagged: &Mutex<Option<Flagged>>,
+        stage_cw: &mut Vec<N::Msg>,
+        stage_ccw: &mut Vec<N::Msg>,
+        audit_buf: &mut Vec<DropRecord>,
+    ) -> bool {
+        let mut progressed = false;
+        loop {
+            if !task.swept {
+                if task.state.asleep_until > task.t {
+                    match bulk_skip(task, idx, ntasks, halo_cw, halo_ccw, win_end) {
+                        SleepOutcome::Finished => {
+                            task.done = true;
+                            return true;
+                        }
+                        SleepOutcome::Blocked(advanced) => return progressed || advanced,
+                        // Fall through to the normal sweep, which counts as
+                        // progress on its own.
+                        SleepOutcome::Awake => {}
+                    }
+                }
+                let errored = sweep_task_round(
+                    task, idx, ntasks, halo_cw, halo_ccw, config, topo, units_on, flagged,
+                    stage_cw, stage_ccw, audit_buf,
+                );
+                progressed = true;
+                if errored {
+                    // Halos already abandoned; neighbors run to the window
+                    // end and the boundary scan lands on the flag.
+                    task.done = true;
+                    return true;
+                }
+                task.swept = true;
+            }
+            // Phase B, non-blocking: both neighbors must have finished
+            // this round (an abandoned halo reads as finished).
+            let t = task.t;
+            if !(halo_cw[idx].ready(t) && halo_ccw[idx].ready(t)) {
+                return progressed;
+            }
+            let len = task.hi - task.lo;
+            let before_cw = task.next_cw[0].len();
+            halo_cw[idx].drain_into(t, &mut task.next_cw[0]);
+            if units_on {
+                task.units_next_cw[0] += payload_of(&task.next_cw[0][before_cw..]);
+            }
+            let before_ccw = task.next_ccw[len - 1].len();
+            halo_ccw[idx].drain_into(t, &mut task.next_ccw[len - 1]);
+            if units_on {
+                task.units_next_ccw[len - 1] += payload_of(&task.next_ccw[len - 1][before_ccw..]);
+            }
+            if task.next_cw[0].len() > before_cw || task.next_ccw[len - 1].len() > before_ccw {
+                // The drain delivered content for the next round, so any
+                // sleep the quiet sweep just armed is void: settle its
+                // ledger (a no-op unless rounds were skipped) and clear the
+                // promise so the next sweep runs node by node.
+                settle_asleep_debt(task);
+                task.state.asleep_until = 0;
+            }
+            for j in 0..len {
+                std::mem::swap(&mut task.cur_cw[j], &mut task.next_cw[j]);
+                std::mem::swap(&mut task.cur_ccw[j], &mut task.next_ccw[j]);
+            }
+            if units_on {
+                for j in 0..len {
+                    task.units_cur_cw[j] = std::mem::take(&mut task.units_next_cw[j]);
+                    task.units_cur_ccw[j] = std::mem::take(&mut task.units_next_ccw[j]);
+                }
+            }
+            task.t += 1;
+            task.swept = false;
+            progressed = true;
+            if task.t == win_end {
+                task.done = true;
+                return true;
+            }
+        }
+    }
+
+    /// What a bulk-skip attempt on an asleep task concluded. The payload
+    /// bool is whether any round was completed by this attempt.
+    enum SleepOutcome {
+        /// The skip reached the window end; ledger settled, task done.
+        Finished,
+        /// Still asleep, waiting on neighbor publishes; poll again later.
+        Blocked(bool),
+        /// Woke up (promise expired or content is imminent); ledger
+        /// settled — proceed with a normal node-by-node sweep.
+        Awake,
+    }
+
+    /// Folds an asleep task's skipped rounds into every node's quiet-debt
+    /// ledger — exactly what per-node sweeps of those rounds would have
+    /// accrued — so `fast_forward` and the leader's boundary settlement see
+    /// the full count.
+    fn settle_asleep_debt<N: Node>(task: &mut TaskRun<'_, N>) {
+        let debt = std::mem::take(&mut task.state.asleep_debt);
+        if debt > 0 {
+            for q in task.quiet_debt.iter_mut() {
+                *q += debt;
+            }
+        }
+    }
+
+    /// Advances an asleep task — one whose last sweep found every node
+    /// quiescent with empty arenas — in O(1) per round instead of O(len).
+    ///
+    /// A skipped round is byte-for-byte an all-quiet sweep: zero sends, a
+    /// frozen observability sample (node state cannot change while no
+    /// round steps it), a zero work entry, and a rollback frame over
+    /// unchanged counters. Three bounds cap the skip:
+    ///
+    /// - the task's own promise (`asleep_until`) and the window end;
+    /// - `done` of both in-halos: a round is only complete once the
+    ///   neighbors finished it too (the normal phase-B handshake);
+    /// - the earliest queued tag of both in-halos: a round's drain is
+    ///   provably empty forever only below every queued entry and below
+    ///   the neighbors' `done` (future publishes tag at or above it).
+    ///
+    /// The sweep one round past that proof is still provably quiet, so it
+    /// is published *ahead* of its completion — that keeps the handshake
+    /// live when every task in the ring is asleep (each poll ratchets the
+    /// published frontier forward, which raises the neighbors' proof).
+    /// Re-publishing such a round after a wake is an idempotent empty
+    /// publish, so the overlap is harmless.
+    fn bulk_skip<N: Node>(
+        task: &mut TaskRun<'_, N>,
+        idx: usize,
+        ntasks: usize,
+        halo_cw: &[Halo<N::Msg>],
+        halo_ccw: &[Halo<N::Msg>],
+        win_end: u64,
+    ) -> SleepOutcome {
+        let t = task.t;
+        let horizon = task.state.asleep_until.min(win_end);
+        let ready_to = halo_cw[idx].done_round().min(halo_ccw[idx].done_round());
+        let first_content = halo_cw[idx]
+            .first_pending()
+            .min(halo_ccw[idx].first_pending());
+        let proven = ready_to.min(first_content);
+        let publish_to = horizon.min(proven.saturating_add(1));
+        let complete_to = horizon.min(proven);
+        if publish_to > t {
+            halo_cw[(idx + 1) % ntasks].publish_span(publish_to);
+            halo_ccw[(idx + ntasks - 1) % ntasks].publish_span(publish_to);
+        }
+        let mut advanced = false;
+        if complete_to > t {
+            let state = &mut *task.state;
+            let (max_pending, total_pending) = state.asleep_pending;
+            for r in t..complete_to {
+                let frame = &mut state.undo[state.round_processed.len()];
+                frame.events_len = state.partial.events.len();
+                frame.samples_len = state.partial.obs.as_ref().map_or(0, |o| o.samples.len());
+                frame.rounds_len = state.partial.sent_payload_per_round.len();
+                frame.messages_sent = state.partial.messages_sent;
+                frame.job_hops = state.partial.job_hops;
+                frame.messages_dropped = state.partial.messages_dropped;
+                frame.messages_delayed = state.partial.messages_delayed;
+                frame.messages_retried = state.partial.messages_retried;
+                frame.last_busy = state.partial.last_busy;
+                frame.work.clear();
+                frame.sends.clear();
+                state.partial.sent_payload_per_round.push(0);
+                state.arc_prev_departed = 0;
+                if let Some(o) = state.partial.obs.as_mut() {
+                    o.samples.push(StepSample {
+                        t: r,
+                        max_pending,
+                        total_pending,
+                        ..StepSample::default()
+                    });
+                }
+                state.round_processed.push(0);
+            }
+            state.asleep_debt += complete_to - t;
+            task.t = complete_to;
+            advanced = true;
+        }
+        let t = task.t;
+        if t == win_end {
+            settle_asleep_debt(task);
+            // The promise itself is kept: it outlives the window, so the
+            // next window can resume skipping without a re-arming sweep.
+            task.done = true;
+            return SleepOutcome::Finished;
+        }
+        if t >= task.state.asleep_until || first_content <= t {
+            // Promise expired, or the next drain delivers content. Either
+            // way round `t` is swept normally — when woken by content that
+            // sweep is still provably quiet (the entries land in the *next*
+            // arenas), so the publish-ahead overlap above stays consistent.
+            settle_asleep_debt(task);
+            task.state.asleep_until = 0;
+            return SleepOutcome::Awake;
+        }
+        SleepOutcome::Blocked(advanced)
+    }
+
+    /// Phase A of one task round: the same per-round body as the static
+    /// executor's `run_arc` — rollback frame, stall carryover, the ordered
+    /// per-node sweep with the quiescent-node short-circuit — plus the
+    /// dense fused variant that drops the skip bookkeeping when the
+    /// previous round saw every node in the range busy, and the SoA unit
+    /// columns replacing the `delivered` payload scans. Publishes the
+    /// boundary streams (never blocks) before returning. Returns `true` on
+    /// an in-round error (already flagged, halos abandoned).
+    #[allow(clippy::too_many_arguments)]
+    fn sweep_task_round<N: Node>(
+        task: &mut TaskRun<'_, N>,
+        idx: usize,
+        ntasks: usize,
+        halo_cw: &[Halo<N::Msg>],
+        halo_ccw: &[Halo<N::Msg>],
+        config: &EngineConfig,
+        topo: RingTopology,
+        units_on: bool,
+        flagged: &Mutex<Option<Flagged>>,
+        stage_cw: &mut Vec<N::Msg>,
+        stage_ccw: &mut Vec<N::Msg>,
+        audit_buf: &mut Vec<DropRecord>,
+    ) -> bool {
+        let TaskRun {
+            lo,
+            hi,
+            t,
+            nodes,
+            cur_cw,
+            cur_ccw,
+            next_cw,
+            next_ccw,
+            queue_cw,
+            queue_ccw,
+            quiet_until,
+            quiet_debt,
+            units_cur_cw,
+            units_cur_ccw,
+            units_next_cw,
+            units_next_ccw,
+            state,
+            ..
+        } = task;
+        let (lo, hi, t) = (*lo, *hi, *t);
+        let len = hi - lo;
+        let TaskState {
+            partial,
+            round_processed,
+            undo,
+            out_cw_boundary,
+            out_ccw_boundary,
+            arc_prev_departed,
+            busy_last_round,
+            asleep_until,
+            asleep_pending,
+            ..
+        } = &mut **state;
+        let out_cw = &halo_cw[(idx + 1) % ntasks];
+        let out_ccw = &halo_ccw[(idx + ntasks - 1) % ntasks];
+        let plan = config.faults.as_ref();
+        let record = matches!(config.trace, TraceLevel::Full);
+        // All-busy last round: the short-circuit cannot fire, so run the
+        // fused sweep without the skip bookkeeping. Safe to leave the
+        // quiet caches untouched: an all-busy round zeroed `quiet_until`
+        // and settled every debt, and dense rounds never re-arm them.
+        let dense = plan.is_none() && *busy_last_round == len;
+
+        // Rollback frame (index == rounds completed this window).
+        let frame = &mut undo[round_processed.len()];
+        frame.events_len = partial.events.len();
+        frame.samples_len = partial.obs.as_ref().map_or(0, |o| o.samples.len());
+        frame.rounds_len = partial.sent_payload_per_round.len();
+        frame.messages_sent = partial.messages_sent;
+        frame.job_hops = partial.job_hops;
+        frame.messages_dropped = partial.messages_dropped;
+        frame.messages_delayed = partial.messages_delayed;
+        frame.messages_retried = partial.messages_retried;
+        frame.last_busy = partial.last_busy;
+        frame.work.clear();
+        frame.sends.clear();
+
+        let mut round_departed: u64 = 0;
+        if let Some(plan) = plan {
+            for j in 0..len {
+                if !plan.node_runs(lo + j, t) {
+                    round_departed += (cur_cw[j].len() + cur_ccw[j].len()) as u64;
+                    next_cw[j].append(&mut cur_cw[j]);
+                    next_ccw[j].append(&mut cur_ccw[j]);
+                }
+            }
+        }
+
+        let mut round_sent_payload: u64 = 0;
+        let mut round_work: u64 = 0;
+        let mut busy_nodes: usize = 0;
+        let mut quiet_nodes: usize = 0;
+        let mut sample = StepSample {
+            t,
+            ..StepSample::default()
+        };
+        let mut local_error = false;
+        for i in lo..hi {
+            let j = i - lo;
+            if !dense {
+                if plan.is_none() && cur_cw[j].is_empty() && cur_ccw[j].is_empty() {
+                    let quiet = t < quiet_until[j] || {
+                        match nodes[j].quiescence(t) {
+                            Some(q) if q.backlog == 0 && q.span >= 1 => {
+                                quiet_until[j] = t.saturating_add(q.span);
+                                true
+                            }
+                            _ => false,
+                        }
+                    };
+                    if quiet {
+                        quiet_debt[j] += 1;
+                        quiet_nodes += 1;
+                        if partial.obs.is_some() {
+                            let pending = nodes[j].pending_work();
+                            sample.max_pending = sample.max_pending.max(pending);
+                            sample.total_pending += pending;
+                        }
+                        continue;
+                    }
+                }
+                quiet_until[j] = 0;
+                if quiet_debt[j] > 0 {
+                    nodes[j].fast_forward(std::mem::take(&mut quiet_debt[j]));
+                }
+            }
+            let ctx = NodeCtx { id: i, t, topo };
+            let delivered = if partial.obs.is_some() {
+                if units_on {
+                    units_cur_cw[j] + units_cur_ccw[j]
+                } else {
+                    payload_of(&cur_cw[j]) + payload_of(&cur_ccw[j])
+                }
+            } else {
+                0
+            };
+            let (cur_a, cur_b) = split_two(cur_cw, cur_ccw, j);
+            let internal_cw = i + 1 < hi;
+            let internal_ccw = i > lo;
+            let to_cw: &mut Vec<N::Msg> = if internal_cw {
+                &mut next_cw[j + 1]
+            } else {
+                &mut *out_cw_boundary
+            };
+            let to_ccw: &mut Vec<N::Msg> = if internal_ccw {
+                &mut next_ccw[j - 1]
+            } else {
+                &mut *out_ccw_boundary
+            };
+            let faults = plan.map(|plan| FaultLinks {
+                plan,
+                queue_cw: &mut queue_cw[j],
+                queue_ccw: &mut queue_ccw[j],
+                stage_cw: &mut *stage_cw,
+                stage_ccw: &mut *stage_ccw,
+            });
+            let (step, dep_cw, dep_ccw) = match step_node_and_links(
+                &mut nodes[j],
+                &ctx,
+                cur_a,
+                cur_b,
+                to_cw,
+                to_ccw,
+                config.link_capacity,
+                record.then_some(&mut *audit_buf),
+                faults,
+            ) {
+                Ok(out) => out,
+                Err(err) => {
+                    merge_flag(flagged, (t, i, err));
+                    local_error = true;
+                    break;
+                }
+            };
+            round_departed += dep_cw.messages + dep_ccw.messages;
+            if units_on {
+                // Lossless links (no plan), so the departure payload is
+                // exactly what landed in the destination cell.
+                if internal_cw {
+                    units_next_cw[j + 1] += dep_cw.payload;
+                }
+                if internal_ccw {
+                    units_next_ccw[j - 1] += dep_ccw.payload;
+                }
+            }
+            if record {
+                for rec in audit_buf.drain(..) {
+                    partial.events.push(Event::DroppedOff {
+                        t,
+                        node: i,
+                        bucket: rec.bucket,
+                        units: rec.int,
+                        frac_bits: rec.frac.to_bits(),
+                        cum_drop_frac_bits: rec.cum_drop_frac.to_bits(),
+                        cum_accept_frac_bits: rec.cum_accept_frac.to_bits(),
+                        p_max_bucket: rec.p_max_bucket,
+                        p_max_node: rec.p_max_node,
+                        kind: rec.kind,
+                    });
+                }
+            }
+            if step.work_done > 0 {
+                partial.processed_per_node[j] += step.work_done;
+                partial.busy_steps_per_node[j] += 1;
+                partial.last_busy = Some(t);
+                round_work += step.work_done;
+                busy_nodes += 1;
+                frame.work.push((j as u32, step.work_done));
+                if record {
+                    partial.events.push(Event::Processed {
+                        t,
+                        node: i,
+                        units: step.work_done,
+                    });
+                }
+            }
+            for (dir, dep) in [(Direction::Cw, dep_cw), (Direction::Ccw, dep_ccw)] {
+                partial.messages_dropped += dep.dropped;
+                partial.messages_delayed += dep.delayed;
+                partial.messages_retried += dep.retried;
+                sample.link_dropped += dep.dropped;
+                sample.link_delayed += dep.delayed;
+                sample.link_retried += dep.retried;
+                if dep.messages == 0 {
+                    continue;
+                }
+                partial.messages_sent += dep.messages;
+                partial.job_hops += dep.payload;
+                round_sent_payload += dep.payload;
+                if record {
+                    partial.events.push(Event::Sent {
+                        t,
+                        node: i,
+                        dir,
+                        job_units: dep.payload,
+                    });
+                }
+            }
+            if let Some(o) = partial.obs.as_mut() {
+                o.record_sends(
+                    j,
+                    dep_cw.messages,
+                    dep_cw.payload,
+                    dep_ccw.messages,
+                    dep_ccw.payload,
+                );
+                let dropped = delivered.saturating_sub(step.sent_payload());
+                o.dropoffs_per_node[j] += dropped;
+                if dep_cw.messages > 0 || dep_ccw.messages > 0 || dropped > 0 {
+                    frame.sends.push((
+                        j as u32,
+                        dep_cw.messages,
+                        dep_cw.payload,
+                        dep_ccw.messages,
+                        dep_ccw.payload,
+                        dropped,
+                    ));
+                }
+                let pending = nodes[j].pending_work();
+                sample.delivered_payload += delivered;
+                sample.sent_payload += dep_cw.payload + dep_ccw.payload;
+                sample.messages += dep_cw.messages + dep_ccw.messages;
+                sample.processed += step.work_done;
+                sample.dropped_off += dropped;
+                sample.max_pending = sample.max_pending.max(pending);
+                sample.total_pending += pending;
+            }
+        }
+        // A fully quiet range arms the bulk skip: every node just promised
+        // an inert span given empty inboxes, nothing was sent, and the
+        // arenas are empty — so until the earliest promise expires or a
+        // boundary drain delivers content, each following round is this
+        // round, byte for byte.
+        if quiet_nodes == len {
+            *asleep_until = quiet_until.iter().copied().min().unwrap_or(0);
+            *asleep_pending = (sample.max_pending, sample.total_pending);
+        }
+        partial.sent_payload_per_round.push(round_sent_payload);
+        *arc_prev_departed = round_departed;
+        if let Some(o) = partial.obs.as_mut() {
+            o.samples.push(sample);
+        }
+        round_processed.push(round_work);
+        *busy_last_round = busy_nodes;
+
+        if local_error {
+            out_cw.abandon();
+            out_ccw.abandon();
+            return true;
+        }
+        out_cw.publish(t, out_cw_boundary);
+        out_ccw.publish(t, out_ccw_boundary);
+        false
     }
 
     /// Disjoint `&mut` borrows of `cw[j]` and `ccw[j]` (two different

@@ -51,7 +51,7 @@ pub use checkpoint::{
 };
 pub use engine::{
     Audit, Coalesce, DropRecord, Engine, EngineConfig, Inbox, LinkCapacity, Node, NodeCtx, Outbox,
-    Payload, Quiescence, RunReport, SpanOutcome, StepIo,
+    ParConfig, ParStrategy, Payload, Quiescence, RunReport, SpanOutcome, StepIo,
 };
 pub use error::SimError;
 pub use fault::{FaultPlan, LinkFault, LinkFaultKind, ProcFault, ProcFaultKind};
