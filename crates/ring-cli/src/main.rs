@@ -19,11 +19,16 @@
 //! ringsched loadgen --mode closed --clients 8 --m 256 --seed 7
 //! ringsched bench-service --json BENCH_service.json
 //! ringsched compete --case sec5-j-w60-z3-m48 --policy mig
+//! ringsched run scenarios/catalog-part1.ring --executor steal
+//! ringsched run scenarios/fault-drop.ring --trace-out traces/
+//! ringsched trace diff traces/a.ringtrace traces/b.ringtrace
 //! ```
 
 mod bench;
 mod compete_cmd;
+mod scenario_cmd;
 mod service_cmd;
+mod trace_cmd;
 
 use ring_opt::exact::{optimum_capacitated, optimum_uncapacitated, OptResult, SolverBudget};
 use ring_opt::{capacitated_lower_bound, uncapacitated_lower_bound};
@@ -99,6 +104,12 @@ fn usage() -> ! {
          \x20   [--case <id>]                 one adversarial-catalog case\n\
          \x20   [--arrivals <spec> --m <m>]   a custom dynamic script\n\
          \x20   [--policy a1|b1|c1|a2|b2|c2|mig|ml] [--par <shards>]\n\
+         \x20 trace <sub>                     binary-trace toolchain:\n\
+         \x20   info|verify|diff|slice|dump|json  (see `ringsched trace`)\n\
+         \n\
+         `run`, `compete`, and `serve` also accept a `.ring` scenario file\n\
+         as a positional argument; the plan carries the whole experiment.\n\
+         Overrides: --executor run|par|steal, --shards <s>, --trace-out <dir>.\n\
          \n\
          `run`, `capacitated`, and `optimum` also accept --instance <path>\n\
          to load an instance written by `save`."
@@ -106,7 +117,7 @@ fn usage() -> ! {
     exit(2)
 }
 
-fn parse_flags(args: &[String]) -> HashMap<String, String> {
+pub(crate) fn parse_flags(args: &[String]) -> HashMap<String, String> {
     let mut flags = HashMap::new();
     let mut i = 0;
     while i < args.len() {
@@ -641,6 +652,30 @@ fn main() {
             usage()
         };
         cmd_resume(path, &parse_flags(&args[2..]));
+        return;
+    }
+    if cmd == "trace" {
+        // `trace` has its own positional-argument subcommands.
+        trace_cmd::cmd_trace(&args[1..]);
+        return;
+    }
+    // `run`, `compete`, and `serve` accept a `.ring` scenario file as a
+    // positional argument: the plan carries the whole experiment and the
+    // remaining flags are operational overrides.
+    if let Some(path) = args
+        .get(1)
+        .filter(|p| !p.starts_with("--") && p.ends_with(".ring"))
+    {
+        let flags = parse_flags(&args[2..]);
+        match cmd.as_str() {
+            "run" => scenario_cmd::cmd_run_scenario(path, &flags),
+            "compete" => scenario_cmd::cmd_compete_scenario(path, &flags),
+            "serve" => scenario_cmd::cmd_serve_scenario(path, &flags),
+            other => {
+                eprintln!("`{other}` does not take a scenario file");
+                usage()
+            }
+        }
         return;
     }
     let flags = parse_flags(&args[1..]);

@@ -1,0 +1,215 @@
+//! `ringsched trace` — the binary-trace toolchain.
+//!
+//! ```text
+//! ringsched trace info <file>...            header summary + digest
+//! ringsched trace verify <file>             replay through the §3 oracle
+//! ringsched trace diff <a> <b>              first divergence (exit 1 if any)
+//! ringsched trace slice <file> --from <a> --until <b> --out <path>
+//! ringsched trace dump <file> [--around <t>] [--window <w>] [--against <b>]
+//! ringsched trace json <file>               print the JSON form
+//! ```
+//!
+//! Files are format-sniffed: `RINGTRACE` binary and the JSON full-trace
+//! form load interchangeably, so `diff` doubles as the binary-vs-JSON
+//! differential check.
+
+use ring_sim::{event_step, violation_step, TraceDiff, TraceFile, TRACE_MAGIC};
+use std::collections::HashMap;
+use std::process::exit;
+
+fn trace_usage() -> ! {
+    eprintln!(
+        "usage: ringsched trace <subcommand>\n\
+         \x20 info <file>...                  header summary + digest\n\
+         \x20 verify <file>                   replay through the oracle (exit 1 on violation)\n\
+         \x20 diff <a> <b>                    first divergence (exit 1 if the traces differ)\n\
+         \x20 slice <file> --from <a> --until <b> --out <path>\n\
+         \x20 dump <file> [--around <step>] [--window <w>] [--against <other>]\n\
+         \x20                                 time-travel window around a step (default: the\n\
+         \x20                                 first violating or divergent step)\n\
+         \x20 json <file>                     print the JSON form"
+    );
+    exit(2)
+}
+
+/// Loads a trace from either format: `RINGTRACE` bytes or the JSON form.
+fn load_trace(path: &str) -> TraceFile {
+    let bytes = std::fs::read(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        exit(1)
+    });
+    let parsed = if bytes.starts_with(&TRACE_MAGIC) {
+        TraceFile::from_bytes(&bytes)
+    } else {
+        let text = String::from_utf8(bytes).map_err(|_| {
+            ring_sim::TraceFileError::Corrupt("neither RINGTRACE bytes nor UTF-8 JSON")
+        });
+        text.and_then(|t| TraceFile::from_json(&t))
+    };
+    parsed.unwrap_or_else(|e| {
+        eprintln!("cannot load {path}: {e}");
+        exit(1)
+    })
+}
+
+fn describe_diff(diff: &TraceDiff) {
+    match diff {
+        TraceDiff::Header { field, left, right } => {
+            println!("header field `{field}` differs:");
+            println!("  left:  {left}");
+            println!("  right: {right}");
+        }
+        TraceDiff::Event {
+            index,
+            step,
+            left,
+            right,
+        } => {
+            println!("event logs diverge at index {index} (step {step}):");
+            match left {
+                Some(ev) => println!("  left:  {ev:?}"),
+                None => println!("  left:  <log ended>"),
+            }
+            match right {
+                Some(ev) => println!("  right: {ev:?}"),
+                None => println!("  right: <log ended>"),
+            }
+        }
+    }
+}
+
+fn cmd_info(paths: &[String]) {
+    if paths.is_empty() {
+        trace_usage()
+    }
+    for path in paths {
+        let trace = load_trace(path);
+        println!("{path}: {}", trace.summary());
+        println!("  digest: {:016x}", trace.digest());
+    }
+}
+
+fn cmd_verify(path: &str) {
+    let trace = load_trace(path);
+    println!("{path}: {}", trace.summary());
+    let violations = trace.check();
+    if violations.is_empty() {
+        println!("oracle-clean: all invariants hold on replay");
+        return;
+    }
+    println!("{} violation(s):", violations.len());
+    for v in &violations {
+        match violation_step(v) {
+            Some(step) => println!("  step {step}: {v}"),
+            None => println!("  {v}"),
+        }
+    }
+    exit(1)
+}
+
+fn cmd_diff(a: &str, b: &str) {
+    let left = load_trace(a);
+    let right = load_trace(b);
+    match left.diff(&right) {
+        None => println!("traces are identical ({} events)", left.events.len()),
+        Some(diff) => {
+            describe_diff(&diff);
+            exit(1)
+        }
+    }
+}
+
+fn cmd_slice(path: &str, flags: &HashMap<String, String>) {
+    let from = crate::get_u64(flags, "from", 0);
+    let until = crate::get_u64(flags, "until", u64::MAX);
+    let Some(out) = flags.get("out") else {
+        eprintln!("slice needs --out <path>");
+        exit(2)
+    };
+    let trace = load_trace(path);
+    let sliced = trace.slice(from, until);
+    sliced
+        .write_to_file(std::path::Path::new(out))
+        .unwrap_or_else(|e| {
+            eprintln!("cannot write {out}: {e}");
+            exit(1)
+        });
+    println!(
+        "sliced [{from}..{until}): {} of {} events -> {out}",
+        sliced.events.len(),
+        trace.events.len()
+    );
+}
+
+fn cmd_dump(path: &str, flags: &HashMap<String, String>) {
+    let trace = load_trace(path);
+    let window = crate::get_u64(flags, "window", 8);
+    let (center, why) = if flags.contains_key("around") {
+        (crate::get_u64(flags, "around", 0), "requested".to_string())
+    } else if let Some(other) = flags.get("against") {
+        let right = load_trace(other);
+        match trace.diff(&right) {
+            None => {
+                println!("traces are identical; nothing to dump (pass --around <step>)");
+                return;
+            }
+            Some(TraceDiff::Event { step, index, .. }) => (
+                step,
+                format!("first divergence vs {other} (event index {index})"),
+            ),
+            Some(diff) => {
+                describe_diff(&diff);
+                println!("(header-level difference; events may agree — pass --around <step>)");
+                return;
+            }
+        }
+    } else {
+        let violations = trace.check();
+        match violations.iter().find_map(violation_step) {
+            Some(step) => (step, format!("first violating step ({})", violations[0])),
+            None => {
+                println!("trace is oracle-clean; pass --around <step> (or --against <other>)");
+                return;
+            }
+        }
+    };
+    let lo = center.saturating_sub(window);
+    let hi = center.saturating_add(window);
+    println!("{path}: {}", trace.summary());
+    println!("window [{lo}..{hi}] around step {center} ({why}):");
+    let mut shown = 0usize;
+    for (i, ev) in trace.events.iter().enumerate() {
+        let t = event_step(ev);
+        if t >= lo && t <= hi {
+            let marker = if t == center { ">>" } else { "  " };
+            println!("{marker} [{i:>6}] step {t:>8}: {ev:?}");
+            shown += 1;
+        }
+    }
+    if shown == 0 {
+        println!("  (no events in the window)");
+    }
+}
+
+/// Entry point for `ringsched trace ...`; `args` excludes the `trace`
+/// token itself.
+pub fn cmd_trace(args: &[String]) {
+    let Some(sub) = args.first() else {
+        trace_usage()
+    };
+    let positional: Vec<String> = args[1..]
+        .iter()
+        .take_while(|a| !a.starts_with("--"))
+        .cloned()
+        .collect();
+    let flags = crate::parse_flags(&args[1 + positional.len()..]);
+    match (sub.as_str(), positional.as_slice()) {
+        ("info", paths) => cmd_info(paths),
+        ("verify", [path]) => cmd_verify(path),
+        ("diff", [a, b]) => cmd_diff(a, b),
+        ("slice", [path]) => cmd_slice(path, &flags),
+        ("dump", [path]) => cmd_dump(path, &flags),
+        ("json", [path]) => println!("{}", load_trace(path).to_json()),
+        _ => trace_usage(),
+    }
+}

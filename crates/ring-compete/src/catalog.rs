@@ -51,6 +51,11 @@ pub fn compete_catalog() -> Vec<Script> {
     ]
 }
 
+/// Looks up one catalog script by its name (`None` if unknown).
+pub fn compete_case(name: &str) -> Option<Script> {
+    compete_catalog().into_iter().find(|s| s.name == name)
+}
+
 /// A single t = 0 wave of seeded uniform random loads (exact-denominator
 /// sanity anchor: one release wave means the offline solver answers
 /// exactly).

@@ -113,6 +113,14 @@ pub fn policy_suite() -> Vec<Policy> {
     suite
 }
 
+/// Looks up one suite policy by its case-insensitive display name
+/// (`a1`/`b1`/`c1`/`a2`/`b2`/`c2`/`mig`/`ml`); `None` if unknown.
+pub fn policy_by_name(name: &str) -> Option<Policy> {
+    policy_suite()
+        .into_iter()
+        .find(|p| p.name().eq_ignore_ascii_case(name))
+}
+
 /// One measured (script, policy) cell.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CaseRatio {

@@ -39,8 +39,9 @@ pub mod catalog;
 pub mod harness;
 pub mod replay;
 
-pub use catalog::compete_catalog;
+pub use catalog::{compete_case, compete_catalog};
 pub use harness::{
-    measure, measure_suite, policy_suite, render_table, report_digest, CaseRatio, Policy, Script,
+    measure, measure_suite, policy_by_name, policy_suite, render_table, report_digest, CaseRatio,
+    Policy, Script,
 };
 pub use replay::{ratio_from_log, LogRatio};

@@ -1,0 +1,99 @@
+//! Typed, position-carrying scenario errors.
+//!
+//! Every parse failure names the offending line and column (1-based) plus a
+//! structured [`ErrorKind`], so the rejection-table tests can assert errors
+//! exactly and editors can jump straight to the problem.
+
+use std::fmt;
+
+/// A scenario parse or validation failure, anchored to a source position.
+///
+/// `line`/`col` are 1-based; file-level failures (a missing section, an
+/// empty file) use line 0, col 0.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioError {
+    /// 1-based source line (0 for file-level errors).
+    pub line: usize,
+    /// 1-based source column (0 for file-level errors).
+    pub col: usize,
+    /// What went wrong.
+    pub kind: ErrorKind,
+}
+
+impl ScenarioError {
+    /// Builds an error anchored at `(line, col)`.
+    pub fn at(line: usize, col: usize, kind: ErrorKind) -> Self {
+        ScenarioError { line, col, kind }
+    }
+
+    /// Builds a file-level error (no meaningful position).
+    pub fn file(kind: ErrorKind) -> Self {
+        ScenarioError {
+            line: 0,
+            col: 0,
+            kind,
+        }
+    }
+}
+
+/// The structured failure taxonomy of the `.ring` parser.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ErrorKind {
+    /// A section header names no known section.
+    UnknownSection(String),
+    /// A key is not valid in its section.
+    UnknownKey(String),
+    /// The same section appears twice.
+    DuplicateSection(String),
+    /// The same key appears twice within one section.
+    DuplicateKey(String),
+    /// A line is not a section header, a `key = value` pair, a comment, or
+    /// blank.
+    Malformed(String),
+    /// A value failed to parse or names an unknown entity.
+    BadValue {
+        /// The key whose value is bad.
+        key: String,
+        /// Why.
+        msg: String,
+    },
+    /// A value parsed but is outside its legal range.
+    OutOfRange {
+        /// The key whose value is out of range.
+        key: String,
+        /// The legal range and the offending value.
+        msg: String,
+    },
+    /// Two settings that cannot be combined (or a setting illegal for the
+    /// scenario's mode).
+    Conflict(String),
+    /// A required section or key is absent.
+    Missing(String),
+    /// An underlying filesystem error.
+    Io(String),
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}, col {}: {}", self.line, self.col, self.kind)
+    }
+}
+
+impl fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ErrorKind::UnknownSection(s) => write!(f, "unknown section [{s}]"),
+            ErrorKind::UnknownKey(k) => write!(f, "unknown key `{k}`"),
+            ErrorKind::DuplicateSection(s) => write!(f, "duplicate section [{s}]"),
+            ErrorKind::DuplicateKey(k) => write!(f, "duplicate key `{k}`"),
+            ErrorKind::Malformed(msg) => write!(f, "{msg}"),
+            ErrorKind::BadValue { key, msg } => write!(f, "bad value for `{key}`: {msg}"),
+            ErrorKind::OutOfRange { key, msg } => write!(f, "`{key}` out of range: {msg}"),
+            ErrorKind::Conflict(msg) => write!(f, "conflict: {msg}"),
+            ErrorKind::Missing(what) => write!(f, "missing {what}"),
+            ErrorKind::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}

@@ -191,6 +191,17 @@ fn ceil_sqrt(x: u64) -> u64 {
     r
 }
 
+/// Renders an arrival list back into the [`parse_arrivals`] grammar.
+/// `parse_arrivals(render_arrivals(a), m)` reproduces `a` exactly for any
+/// time-sorted list — the round trip the scenario DSL relies on.
+pub fn render_arrivals(arrivals: &[Arrival]) -> String {
+    arrivals
+        .iter()
+        .map(|a| format!("{}@{}:{}", a.time, a.processor, a.count))
+        .collect::<Vec<_>>()
+        .join(";")
+}
+
 /// Parses the CLI arrival-spec grammar into a time-sorted arrival list.
 /// `m` is the ring size, used for index validation.
 ///

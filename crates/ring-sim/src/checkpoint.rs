@@ -593,8 +593,9 @@ pub(crate) fn save_msg_blob<M>(save: fn(&M, &mut Encoder), msg: &M) -> Vec<u8> {
 }
 
 /// FNV-1a 64-bit checksum (tiny, dependency-free, and plenty for detecting
-/// storage corruption — this is an integrity check, not a MAC).
-fn fnv1a(data: &[u8]) -> u64 {
+/// storage corruption — this is an integrity check, not a MAC). Shared with
+/// the binary trace format in [`crate::tracefile`].
+pub(crate) fn fnv1a(data: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in data {
         h ^= u64::from(b);

@@ -236,6 +236,34 @@ impl FaultPlan {
         plan
     }
 
+    /// Renders the plan back into the [`FaultPlan::parse`] grammar, one
+    /// explicit entry per fault (a `seed=` origin is expanded, not kept, so
+    /// the rendering is self-contained). `parse(render_spec(p), m) == p` for
+    /// every plan — the round trip the scenario DSL relies on.
+    pub fn render_spec(&self) -> String {
+        let mut entries = Vec::with_capacity(self.link_faults.len() + self.proc_faults.len());
+        for f in &self.link_faults {
+            let dir = match f.dir {
+                Direction::Cw => "cw",
+                Direction::Ccw => "ccw",
+            };
+            let head = match f.kind {
+                LinkFaultKind::Drop => "drop".to_string(),
+                LinkFaultKind::Delay(d) => format!("delay={d}"),
+                LinkFaultKind::Bandwidth(c) => format!("cap={c}"),
+            };
+            entries.push(format!("{head}:{}{dir}@{}..{}", f.node, f.from, f.until));
+        }
+        for f in &self.proc_faults {
+            let head = match f.kind {
+                ProcFaultKind::Stall => "stall".to_string(),
+                ProcFaultKind::Slowdown(k) => format!("slow={k}"),
+            };
+            entries.push(format!("{head}:{}@{}..{}", f.node, f.from, f.until));
+        }
+        entries.join(";")
+    }
+
     /// Parses the CLI fault-spec grammar. `m` is the ring size (used for
     /// index validation and by `seed=` entries).
     ///
@@ -496,6 +524,20 @@ mod tests {
         assert_eq!(plan.link_cap(7, Direction::Cw, 3), Some(1));
         assert!(!plan.node_runs(1, 3));
         assert!(plan.node_runs(2, 8) && !plan.node_runs(2, 9));
+    }
+
+    #[test]
+    fn render_spec_round_trips_through_parse() {
+        let spec =
+            "drop:3cw@10..20; delay=2:0ccw@0..5; cap=1:7cw@3..9; stall:1@0..15; slow=4:2@8..40";
+        let plan = FaultPlan::parse(spec, 8).unwrap();
+        assert_eq!(FaultPlan::parse(&plan.render_spec(), 8).unwrap(), plan);
+        // Seeded plans render as explicit entries, not as the seed.
+        let seeded = FaultPlan::random(16, 48, 7);
+        let rendered = seeded.render_spec();
+        assert!(!rendered.contains("seed"));
+        assert_eq!(FaultPlan::parse(&rendered, 16).unwrap(), seeded);
+        assert_eq!(FaultPlan::new().render_spec(), "");
     }
 
     #[test]

@@ -43,6 +43,7 @@ pub mod oracle;
 pub mod stream;
 pub mod topology;
 pub mod trace;
+pub mod tracefile;
 pub mod validate;
 pub mod viz;
 
@@ -60,5 +61,8 @@ pub use metrics::{LinkStats, Metrics, Observability, StepSample};
 pub use oracle::{check_report, check_run, OracleViolation};
 pub use topology::{Direction, RingTopology};
 pub use trace::{DropKind, Event, Trace, TraceLevel};
+pub use tracefile::{
+    event_step, violation_step, TraceDiff, TraceFile, TraceFileError, TRACE_MAGIC, TRACE_VERSION,
+};
 pub use validate::{validate_run, Violation};
 pub use viz::render_load_timeline;

@@ -127,9 +127,23 @@ pub fn catalog() -> Vec<CatalogCase> {
     cases
 }
 
+/// Looks up one catalog case by its stable id (`None` if unknown). Builds
+/// only as much of the catalog as the linear scan needs; ids are the
+/// `"I-m100-d3-huge"` strings listed by [`catalog`].
+pub fn catalog_case(id: &str) -> Option<CatalogCase> {
+    catalog().into_iter().find(|c| c.id == id)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn catalog_case_finds_known_ids_only() {
+        let case = catalog_case("II-m100-r500").expect("known id");
+        assert_eq!(case.part, Part::Random);
+        assert!(catalog_case("II-m100-r501").is_none());
+    }
 
     #[test]
     fn catalog_has_51_cases() {

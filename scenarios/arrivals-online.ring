@@ -1,0 +1,15 @@
+# A dynamic (online-release) run: three bursts released over time.
+[scenario]
+name = arrivals-online
+
+[topology]
+m = 32
+
+[workload]
+arrivals = 0@0:120;25@16:60;60@5:40
+
+[algorithm]
+name = c1
+
+[trace]
+level = full

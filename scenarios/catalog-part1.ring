@@ -1,0 +1,7 @@
+# Part I of the Table 1 catalog (36 structured cases) under all six
+# algorithms — 216 rows, bit-identical to tests/golden_makespans.txt.
+[scenario]
+name = catalog-part1
+
+[workload]
+catalog = part1

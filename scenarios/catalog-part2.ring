@@ -1,0 +1,7 @@
+# Part II of the Table 1 catalog (9 uniform random cases) under all six
+# algorithms — 54 rows, bit-identical to tests/golden_makespans.txt.
+[scenario]
+name = catalog-part2
+
+[workload]
+catalog = part2

@@ -1,0 +1,7 @@
+# Part III of the Table 1 catalog (6 evil-adversary cases) under all six
+# algorithms — 36 rows, bit-identical to tests/golden_makespans.txt.
+[scenario]
+name = catalog-part3
+
+[workload]
+catalog = part3

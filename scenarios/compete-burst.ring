@@ -1,0 +1,10 @@
+# One adversarial script under a hand-picked policy subset.
+[scenario]
+name = compete-burst
+mode = compete
+
+[workload]
+compete-case = burst-m32-n400
+
+[compete]
+policies = c1 c2 mig

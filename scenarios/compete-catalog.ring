@@ -1,0 +1,8 @@
+# The full 10-case adversarial compete catalog under the full 8-policy
+# suite — 80 ratio rows, digest-identical to tests/golden_ratios.txt.
+[scenario]
+name = compete-catalog
+mode = compete
+
+[workload]
+compete-catalog = all

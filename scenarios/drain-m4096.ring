@@ -1,0 +1,23 @@
+# The m=4096 drain shape: one processor holds everything. This is the
+# trace-size gate scenario — the binary RINGTRACE file must be at most a
+# quarter of the JSON full-trace form here.
+[scenario]
+name = drain-m4096
+
+[topology]
+m = 4096
+
+[workload]
+shape = concentrated
+n = 4096
+
+[algorithm]
+name = c1
+
+[executor]
+mode = par
+shards = 8
+compress = true
+
+[trace]
+level = full

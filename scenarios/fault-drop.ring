@@ -1,0 +1,16 @@
+# A hot node draining through a lossy clockwise link while a neighbour
+# stalls; full traces captured for the oracle replay and diff tests.
+[scenario]
+name = fault-drop
+
+[workload]
+loads = 90 0 0 7 0 0 0 22 0 0 0 0 5 0 0 0
+
+[algorithm]
+name = c1
+
+[faults]
+plan = drop:3cw@10..30;stall:7@0..6;delay=2:11ccw@5..25
+
+[trace]
+level = full

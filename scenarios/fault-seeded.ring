@@ -1,0 +1,23 @@
+# A seeded random fault plan on a uniform workload. The seed expands to a
+# concrete plan at parse time, so the canonical rendering (and the golden
+# digest) pin the expanded plan, not the seed.
+[scenario]
+name = fault-seeded
+
+[topology]
+m = 24
+
+[workload]
+shape = uniform
+n = 30
+seed = 9
+
+[algorithm]
+name = b2
+
+[faults]
+seed = 5
+horizon = 48
+
+[trace]
+level = full

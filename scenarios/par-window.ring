@@ -1,0 +1,23 @@
+# The arc-parallel executor at the largest legal locality window with
+# quiescent-span compression on.
+[scenario]
+name = par-window
+
+[topology]
+m = 64
+
+[workload]
+shape = region
+n = 40
+
+[algorithm]
+name = a2
+
+[executor]
+mode = par
+shards = 8
+window = L
+compress = true
+
+[trace]
+level = full

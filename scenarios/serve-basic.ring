@@ -1,0 +1,20 @@
+# A serve-mode plan: the online job-submission service under a scripted
+# arrival load, draining at t = 90. Run with `ringsched serve`.
+[scenario]
+name = serve-basic
+mode = serve
+
+[topology]
+m = 16
+
+[workload]
+arrivals = 0@0:40;10@8:20;30@3:10
+
+[algorithm]
+name = c1
+
+[service]
+epoch = 8
+queue-cap = 64
+slo = 4000
+drain-at = 90

@@ -1,0 +1,26 @@
+# A single hot node on a mid-size ring under the work-stealing executor
+# with every steal knob pinned — the adversarial interleaving the
+# bit-identity gate cares about.
+[scenario]
+name = steal-hotspot
+
+[topology]
+m = 96
+
+[workload]
+shape = concentrated
+n = 3000
+
+[algorithm]
+name = c2
+
+[executor]
+mode = steal
+shards = 6
+tasks-per-shard = 5
+steal-seed = 13
+rebalance = true
+threads = 3
+
+[trace]
+level = full

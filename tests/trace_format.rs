@@ -1,0 +1,95 @@
+//! Golden trace-format test: pins the on-disk `RINGTRACE` encoding.
+//!
+//! The binary trace format follows the checkpoint discipline (`RINGTRACE`
+//! magic, little-endian version word, FNV-1a checksum trailer); traces
+//! written today must keep loading as the engine evolves. This test pins
+//! (a) the header constants and (b) the complete byte image of one small
+//! canonical trace, hex-dumped for reviewable diffs.
+//!
+//! An intentional format change means bumping `TRACE_VERSION` and
+//! re-blessing:
+//!
+//! ```text
+//! RING_BLESS=1 cargo test --test trace_format
+//! ```
+
+use ring_sched::unit::{run_unit_faulty, UnitConfig};
+use ring_sim::{FaultPlan, Instance, TraceFile, TRACE_MAGIC, TRACE_VERSION};
+use std::fmt::Write as _;
+
+const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/trace_format.hex");
+
+/// The canonical trace: algorithm C1 on a tiny fixed instance under a
+/// small deterministic fault plan (so the encoding of the fault block is
+/// pinned too). Everything feeding it is deterministic, so its bytes are
+/// exact across platforms.
+fn canonical_trace() -> TraceFile {
+    let inst = Instance::from_loads(vec![9, 0, 3, 0, 1]);
+    let plan = FaultPlan::parse("drop:1cw@2..4;stall:3@0..2", 5).expect("fault spec");
+    let run = run_unit_faulty(&inst, &UnitConfig::c1().with_trace(), &plan).expect("canonical run");
+    TraceFile::from_report(&run.report, Some(&plan), "canonical/c1")
+}
+
+fn hex_dump(bytes: &[u8]) -> String {
+    let mut out =
+        String::from("# canonical RINGTRACE image, 32 bytes/line — regenerate with RING_BLESS=1\n");
+    for chunk in bytes.chunks(32) {
+        for b in chunk {
+            write!(out, "{b:02x}").unwrap();
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn header_constants_are_pinned() {
+    assert_eq!(TRACE_MAGIC, *b"RINGTRACE");
+    assert_eq!(TRACE_VERSION, 1);
+    let bytes = canonical_trace().to_bytes();
+    // Layout: 9-byte magic, then the little-endian version word.
+    assert_eq!(&bytes[..9], b"RINGTRACE");
+    assert_eq!(
+        u32::from_le_bytes(bytes[9..13].try_into().unwrap()),
+        TRACE_VERSION
+    );
+}
+
+#[test]
+fn canonical_trace_bytes_match_golden_image() {
+    let trace = canonical_trace();
+    assert_eq!(trace.m, 5);
+    assert_eq!(trace.total_work, 13);
+    assert_eq!(trace.meta, "canonical/c1");
+    let actual = hex_dump(&trace.to_bytes());
+    if std::env::var("RING_BLESS").is_ok() {
+        std::fs::write(GOLDEN_PATH, &actual).expect("write golden file");
+        eprintln!("blessed {GOLDEN_PATH}");
+        return;
+    }
+    let expected = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("tests/trace_format.hex missing — run with RING_BLESS=1 to create it");
+    assert_eq!(
+        actual, expected,
+        "the trace byte image drifted from the golden dump.\n\
+         A format change must bump TRACE_VERSION (keeping old images\n\
+         loadable) and re-bless with RING_BLESS=1."
+    );
+    // And the golden image itself must still decode to the same trace —
+    // this is the true backward-compatibility gate: bytes written by past
+    // builds load bit-identically.
+    let bytes: Vec<u8> = expected
+        .lines()
+        .filter(|l| !l.starts_with('#'))
+        .flat_map(|l| {
+            (0..l.len())
+                .step_by(2)
+                .map(|i| u8::from_str_radix(&l[i..i + 2], 16).expect("hex digit pair"))
+                .collect::<Vec<u8>>()
+        })
+        .collect();
+    let decoded = TraceFile::from_bytes(&bytes).expect("golden image decodes");
+    assert_eq!(decoded, trace, "golden image decodes to a different trace");
+    // The decoded golden image replays oracle-clean.
+    assert!(decoded.check().is_empty(), "golden trace replays clean");
+}
