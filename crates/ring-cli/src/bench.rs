@@ -13,8 +13,11 @@
 //! compressed over plain — are what the trajectory tracks: absolute ns/step
 //! numbers shift with hardware, the ratios should not.
 
+use ring_sched::{run_fabric, FabricAlgo};
 use ring_sim::stream::{stream_engine, Representation, StreamSpec};
-use ring_sim::{EngineConfig, ParConfig, ParStrategy, SpanOutcome};
+use ring_sim::{
+    AnyTopology, Clique, EngineConfig, ParConfig, ParStrategy, SpanOutcome, Topology, Torus2D,
+};
 use ring_workloads::pagemig::PageMigration;
 use std::collections::HashMap;
 use std::process::exit;
@@ -28,6 +31,10 @@ const SPAN_ONLY_ABOVE: usize = 8192;
 
 /// Rounds simulated per rep in fixed-span mode.
 const SPAN_ROUNDS: u64 = 256;
+
+/// The topology (torus/clique) cells stop at 2^16 nodes: they baseline
+/// the generic fabric engine, not the million-node span axis.
+const FABRIC_MAX_M: usize = 1 << 16;
 
 /// The executor gate (`--gate-par`): at this ring size and above, the
 /// sharded executor must out-run the sequential reference on every shape
@@ -216,6 +223,119 @@ fn hotspot_spec(m: usize) -> StreamSpec {
     StreamSpec::new(initial.clone(), initial)
 }
 
+/// The largest divisor of `m` no greater than √m, so the torus bench
+/// shape is as square as `m` allows (`None` skips primes/tiny sizes).
+fn torus_rows(m: usize) -> Option<usize> {
+    let mut best = None;
+    let mut r = 2;
+    while r * r <= m {
+        if m % r == 0 {
+            best = Some(r);
+        }
+        r += 1;
+    }
+    best
+}
+
+/// Times one fabric (topology-generic engine) configuration, mirroring
+/// [`bench_case`] for non-ring shapes.
+fn bench_fabric_case(
+    key: String,
+    shape: &'static str,
+    topo: &AnyTopology,
+    loads: &[u64],
+    algo: FabricAlgo,
+    shards: Option<usize>,
+    reps: usize,
+) -> BenchRecord {
+    let exec = || run_fabric(topo, loads, algo, EngineConfig::default(), shards);
+    let report = exec().unwrap_or_else(|e| {
+        eprintln!("bench case {key} failed: {e}");
+        exit(1)
+    });
+    let mut times = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let start = Instant::now();
+        let rep = exec().unwrap_or_else(|e| {
+            eprintln!("bench case {key} failed: {e}");
+            exit(1)
+        });
+        times.push(start.elapsed());
+        assert_eq!(rep.makespan, report.makespan, "nondeterministic bench run");
+    }
+    let elapsed = best(times);
+    let steps = report.metrics.steps;
+    BenchRecord {
+        key,
+        m: topo.len(),
+        shape,
+        repr: "coalesced",
+        executor: match shards {
+            Some(s) => format!("par_run({s})"),
+            None => "run".to_string(),
+        },
+        compress: false,
+        total_work: loads.iter().sum(),
+        steps,
+        reps,
+        best_ns_per_step: elapsed.as_nanos() as f64 / steps.max(1) as f64,
+        jobs_per_sec: loads.iter().sum::<u64>() as f64 / elapsed.as_secs_f64(),
+    }
+}
+
+/// The torus and clique cells: the fabric engine's diffusion policy
+/// spreading a concentrated pile over an (as square as possible) torus,
+/// and the congested-clique batch scheduler balancing a skewed clique —
+/// each under both executors, with a `-fabric-par` speedup ratio per
+/// shape that the `--check` baseline regresses.
+fn bench_fabric_cells(
+    results: &mut Vec<BenchRecord>,
+    speedups: &mut Vec<SpeedupRecord>,
+    m: usize,
+    shards: usize,
+    reps: usize,
+) {
+    if m > FABRIC_MAX_M {
+        return;
+    }
+    let mut cells: Vec<(&'static str, AnyTopology, Vec<u64>, FabricAlgo)> = Vec::new();
+    if let Some(rows) = torus_rows(m) {
+        let mut loads = vec![0u64; m];
+        loads[0] = m as u64;
+        cells.push((
+            "torus",
+            AnyTopology::Torus(Torus2D::new(rows, m / rows)),
+            loads,
+            FabricAlgo::Diffuse,
+        ));
+    }
+    if m >= 2 {
+        // One heavy node plus a thin deterministic background: the grant
+        // round has real surpluses and deficits to match.
+        let mut loads: Vec<u64> = (0..m).map(|v| (v % 7) as u64).collect();
+        loads[0] = 64 * m as u64;
+        cells.push((
+            "clique",
+            AnyTopology::Clique(Clique::new(m)),
+            loads,
+            FabricAlgo::Clique,
+        ));
+    }
+    for (shape, topo, loads, algo) in cells {
+        eprintln!("benchmarking {} ({reps} reps per cell)...", topo.spec());
+        for (exec_name, s) in [("run", None), ("par", Some(shards))] {
+            let key = format!("{shape}-m{m}-{exec_name}");
+            results.push(bench_fabric_case(key, shape, &topo, &loads, algo, s, reps));
+        }
+        let run_jps = find_jobs_per_sec(results, &format!("{shape}-m{m}-run"));
+        let par_jps = find_jobs_per_sec(results, &format!("{shape}-m{m}-par"));
+        speedups.push(SpeedupRecord {
+            key: format!("{shape}-m{m}-fabric-par"),
+            ratio: par_jps / run_jps,
+        });
+    }
+}
+
 fn record_json(r: &BenchRecord) -> String {
     format!(
         "    {{\"key\": \"{}\", \"m\": {}, \"shape\": \"{}\", \"repr\": \"{}\", \"executor\": \"{}\", \"compress\": {}, \"total_work\": {}, \"steps\": {}, \"reps\": {}, \"best_ns_per_step\": {:.1}, \"jobs_per_sec\": {:.1}}}",
@@ -309,6 +429,7 @@ fn run_matrix(
         let spread_work = 48 * m as u64;
         let drain_work = 16 * m as u64;
         let spread = StreamSpec::spread(m, spread_work);
+        bench_fabric_cells(&mut results, &mut speedups, m, shards, reps);
         if m > SPAN_ONLY_ABOVE {
             eprintln!("benchmarking m={m} (fixed span of {SPAN_ROUNDS} rounds, {reps} reps)...");
             for (exec_name, s) in [("run", 1usize), ("par", shards)] {

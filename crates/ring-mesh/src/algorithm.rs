@@ -19,13 +19,21 @@
 //! dropping `ceil(remainder / length)` per node — which bounds travel and
 //! guarantees termination, mirroring the Lemma 5 wrap-around rule.
 //!
+//! The policy runs on `ring_sim`'s topology-generic fabric engine (it is a
+//! [`FabricNode`] over [`AnyTopology::Torus`]); this crate keeps only the
+//! algorithm itself plus the torus bounds and exact math. Buckets arrive
+//! keyed by port and are drained West, East, North, South — the same fixed
+//! order the crate's dedicated engine used before the fabric absorbed it.
+//!
 //! This is exploratory: the paper leaves the mesh open and we claim no
 //! worst-case factor. The tests measure empirical factors against the
 //! exact optimum of [`crate::exact`]; on the shapes tried they stay below
 //! ~3.5 (see EXPERIMENTS.md).
 
-use crate::engine::{run_mesh_engine, Inbox4, MeshCtx, MeshNode, MeshReport, Outbox4};
 use crate::torus::{Dir4, MeshInstance};
+use ring_sim::{
+    AnyTopology, EngineConfig, Fabric, FabricCtx, FabricNode, FabricOutbox, Payload, RunReport,
+};
 
 /// Tunable constants of the two phases.
 #[derive(Debug, Clone, Copy)]
@@ -86,6 +94,12 @@ pub struct MeshBucket {
     spill: u64,
 }
 
+impl Payload for MeshBucket {
+    fn job_units(&self) -> u64 {
+        self.jobs
+    }
+}
+
 /// Per-node policy state.
 #[derive(Debug)]
 pub struct MeshSchedNode {
@@ -139,7 +153,12 @@ impl MeshSchedNode {
     }
 
     /// Handle an arriving (or freshly emitted) row bucket.
-    fn drive_row(&mut self, mut b: MeshBucket, cols: usize, out: &mut Outbox4<MeshBucket>) {
+    fn drive_row(
+        &mut self,
+        mut b: MeshBucket,
+        cols: usize,
+        out: &mut FabricOutbox<'_, MeshBucket>,
+    ) {
         debug_assert_eq!(b.phase, Phase::Row);
         if b.spill > 0 {
             let q = b.jobs.min(b.spill);
@@ -157,12 +176,17 @@ impl MeshSchedNode {
         }
         if b.jobs > 0 {
             b.hops += 1;
-            out.push(b.dir, b);
+            out.push(b.dir.index(), b);
         }
     }
 
     /// Handle an arriving (or freshly emitted) column bucket.
-    fn drive_col(&mut self, mut b: MeshBucket, rows: usize, out: &mut Outbox4<MeshBucket>) {
+    fn drive_col(
+        &mut self,
+        mut b: MeshBucket,
+        rows: usize,
+        out: &mut FabricOutbox<'_, MeshBucket>,
+    ) {
         debug_assert_eq!(b.phase, Phase::Col);
         if b.spill > 0 {
             let q = b.jobs.min(b.spill);
@@ -179,7 +203,7 @@ impl MeshSchedNode {
         }
         if b.jobs > 0 {
             b.hops += 1;
-            out.push(b.dir, b);
+            out.push(b.dir.index(), b);
         }
     }
 
@@ -192,16 +216,17 @@ impl MeshSchedNode {
         jobs: u64,
         seen: u64,
         cycle_len: usize,
-        out: &mut Outbox4<MeshBucket>,
+        out: &mut FabricOutbox<'_, MeshBucket>,
     ) {
         let (fwd, bwd) = match phase {
             Phase::Row => (Dir4::East, Dir4::West),
             Phase::Col => (Dir4::South, Dir4::North),
         };
-        let drive = |me: &mut Self, b: MeshBucket, out: &mut Outbox4<MeshBucket>| match phase {
-            Phase::Row => me.drive_row(b, cycle_len, out),
-            Phase::Col => me.drive_col(b, cycle_len, out),
-        };
+        let drive =
+            |me: &mut Self, b: MeshBucket, out: &mut FabricOutbox<'_, MeshBucket>| match phase {
+                Phase::Row => me.drive_row(b, cycle_len, out),
+                Phase::Col => me.drive_col(b, cycle_len, out),
+            };
         if self.cfg.bidirectional && cycle_len > 2 && jobs >= 2 {
             let half = jobs / 2;
             let fwd_bucket = MeshBucket {
@@ -216,7 +241,7 @@ impl MeshSchedNode {
             if half > 0 {
                 // The origin's share was already taken by the forward
                 // half's self-drop; send the backward half straight out.
-                let mut bwd_bucket = MeshBucket {
+                let bwd_bucket = MeshBucket {
                     phase,
                     dir: bwd,
                     jobs: half,
@@ -224,8 +249,7 @@ impl MeshSchedNode {
                     hops: 1,
                     spill: 0,
                 };
-                bwd_bucket.hops = 1;
-                out.push(bwd, bwd_bucket);
+                out.push(bwd.index(), bwd_bucket);
             }
         } else {
             let b = MeshBucket {
@@ -241,17 +265,20 @@ impl MeshSchedNode {
     }
 }
 
-impl MeshNode for MeshSchedNode {
+impl FabricNode for MeshSchedNode {
     type Msg = MeshBucket;
 
     fn on_step(
         &mut self,
-        ctx: &MeshCtx,
-        mut inbox: Inbox4<Self::Msg>,
-    ) -> (Outbox4<Self::Msg>, u64) {
-        let rows = ctx.topo.rows();
-        let cols = ctx.topo.cols();
-        let mut out = Outbox4::empty();
+        ctx: &FabricCtx<'_>,
+        inbox: &mut Vec<(usize, MeshBucket)>,
+        out: &mut FabricOutbox<'_, MeshBucket>,
+    ) -> u64 {
+        let AnyTopology::Torus(topo) = ctx.topo else {
+            panic!("the mesh bucket policy runs on a torus");
+        };
+        let rows = topo.rows();
+        let cols = topo.cols();
 
         // Initial row emission.
         if !self.started {
@@ -262,30 +289,35 @@ impl MeshNode for MeshSchedNode {
                     // node's row share.
                     self.accept_row(self.x);
                 } else {
-                    self.emit(Phase::Row, self.x, self.x, cols, &mut out);
+                    self.emit(Phase::Row, self.x, self.x, cols, out);
                 }
             }
         }
 
-        // Arriving buckets: row buckets arrive on the row links (West for
-        // eastbound, East for westbound), column buckets on the column
-        // links. The fixed drain order keeps runs deterministic.
+        // Arriving buckets, keyed by arrival port. Row buckets arrive on
+        // the row links (West for eastbound, East for westbound), column
+        // buckets on the column links; the fixed W, E, N, S drain order
+        // keeps runs deterministic.
+        let mut by_port: [Vec<MeshBucket>; 4] = [const { Vec::new() }; 4];
+        for (port, b) in inbox.drain(..) {
+            by_port[port].push(b);
+        }
         for side in [Dir4::West, Dir4::East] {
-            for mut b in inbox.from(side) {
+            for mut b in std::mem::take(&mut by_port[side.index()]) {
                 debug_assert_eq!(b.phase, Phase::Row);
                 if b.spill == 0 {
                     b.seen += self.x;
                 }
-                self.drive_row(b, cols, &mut out);
+                self.drive_row(b, cols, out);
             }
         }
         for side in [Dir4::North, Dir4::South] {
-            for mut b in inbox.from(side) {
+            for mut b in std::mem::take(&mut by_port[side.index()]) {
                 debug_assert_eq!(b.phase, Phase::Col);
                 if b.spill == 0 {
                     b.seen += self.row_accepted;
                 }
-                self.drive_col(b, rows, &mut out);
+                self.drive_col(b, rows, out);
             }
         }
 
@@ -296,17 +328,45 @@ impl MeshNode for MeshSchedNode {
                 self.accept_col(q);
             } else {
                 let seen = self.row_accepted;
-                self.emit(Phase::Col, q, seen, rows, &mut out);
+                self.emit(Phase::Col, q, seen, rows, out);
             }
         }
 
-        let work = if self.backlog > 0 {
+        if self.backlog > 0 {
             self.backlog -= 1;
             1
         } else {
             0
-        };
-        (out, work)
+        }
+    }
+
+    fn pending_work(&self) -> u64 {
+        self.backlog + self.pending_col + if self.started { 0 } else { self.x }
+    }
+}
+
+/// Outcome of a mesh run (a compatibility view over the fabric engine's
+/// [`RunReport`]).
+#[derive(Debug, Clone)]
+pub struct MeshReport {
+    /// Completion time of the last unit of work.
+    pub makespan: u64,
+    /// Steps simulated.
+    pub steps: u64,
+    /// Units processed per node.
+    pub processed_per_node: Vec<u64>,
+    /// Total messages sent.
+    pub messages_sent: u64,
+}
+
+impl From<&RunReport> for MeshReport {
+    fn from(r: &RunReport) -> Self {
+        MeshReport {
+            makespan: r.makespan,
+            steps: r.metrics.steps,
+            processed_per_node: r.metrics.processed_per_node.clone(),
+            messages_sent: r.metrics.messages_sent,
+        }
     }
 }
 
@@ -330,16 +390,18 @@ pub struct MeshRun {
 /// assert!(run.makespan < 512); // far better than staying local
 /// ```
 pub fn run_mesh(instance: &MeshInstance, cfg: &MeshConfig) -> MeshRun {
-    let topo = instance.topology();
+    let topo = AnyTopology::Torus(instance.topology());
     let nodes: Vec<MeshSchedNode> = instance
         .loads()
         .iter()
         .map(|&x| MeshSchedNode::new(*cfg, x))
         .collect();
-    let report = run_mesh_engine(topo, nodes, instance.total_work());
+    let report = Fabric::new(topo, nodes, instance.total_work(), EngineConfig::default())
+        .run()
+        .expect("mesh bucket policy diverged");
     MeshRun {
         makespan: report.makespan,
-        report,
+        report: MeshReport::from(&report),
     }
 }
 
@@ -425,6 +487,32 @@ mod tests {
         let run = run_mesh(&inst, &MeshConfig::default());
         assert!(run.makespan >= 6);
         assert!(run.makespan <= 14, "makespan {}", run.makespan);
+    }
+
+    #[test]
+    fn sequential_and_sharded_runs_agree() {
+        // The fabric engine's executors must agree on the mesh policy too;
+        // the torus shards along row boundaries.
+        let inst = MeshInstance::concentrated(8, 8, 27, 2_000);
+        let topo = AnyTopology::Torus(inst.topology());
+        let build = || -> Vec<MeshSchedNode> {
+            inst.loads()
+                .iter()
+                .map(|&x| MeshSchedNode::new(MeshConfig::default(), x))
+                .collect()
+        };
+        let seq = Fabric::new(
+            topo.clone(),
+            build(),
+            inst.total_work(),
+            EngineConfig::default(),
+        )
+        .run()
+        .unwrap();
+        let par = Fabric::new(topo, build(), inst.total_work(), EngineConfig::default())
+            .par_run(4)
+            .unwrap();
+        assert_eq!(seq, par);
     }
 }
 

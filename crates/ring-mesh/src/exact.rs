@@ -1,13 +1,13 @@
 //! Exact optimum makespan on the torus.
 //!
 //! The distance-staircase feasibility argument (`ring_opt::staircase`) is
-//! purely metric, so binary search over it with the torus distance is an
-//! exact solver here too.
+//! purely metric, so [`ring_opt::exact::metric_optimum`] with the torus
+//! distance is an exact solver here too; this module only supplies the
+//! torus lower bound and metric.
 
 use crate::bounds::mesh_lower_bound;
 use crate::torus::MeshInstance;
-use ring_opt::exact::{OptResult, SolverBudget};
-use ring_opt::staircase::metric_feasible;
+use ring_opt::exact::{metric_optimum, OptResult, SolverBudget};
 
 /// Exact optimum on the torus, or the lower bound if the feasibility
 /// network for the search range would exceed the budget.
@@ -16,40 +16,15 @@ pub fn optimum_torus(
     upper_hint: Option<u64>,
     budget: &SolverBudget,
 ) -> OptResult {
-    if instance.total_work() == 0 {
-        return OptResult::Exact(0);
-    }
-    let lb = mesh_lower_bound(instance);
     let topo = instance.topology();
-    let m = topo.len() as u64;
-    let probe_t = upper_hint.unwrap_or(lb.saturating_mul(8).max(16));
-    // Size estimate mirrors the ring one: assignment edges + chains.
-    let dmax = probe_t.saturating_sub(1).min(topo.diameter() as u64);
-    let est = m * m + m * (dmax + 1);
-    if est > budget.max_network_edges {
-        return OptResult::LowerBoundOnly(lb);
-    }
-
-    let dist = |i: usize, j: usize| topo.distance(i, j);
-    let feasible = |t: u64| metric_feasible(instance.loads(), dist, topo.diameter(), t);
-
-    let mut hi = match upper_hint {
-        Some(h) if h >= lb => h,
-        _ => lb.max(1),
-    };
-    while !feasible(hi) {
-        hi = hi.saturating_mul(2).max(1);
-    }
-    let mut lo = lb;
-    while lo < hi {
-        let mid = lo + (hi - lo) / 2;
-        if feasible(mid) {
-            hi = mid;
-        } else {
-            lo = mid + 1;
-        }
-    }
-    OptResult::Exact(lo)
+    metric_optimum(
+        instance.loads(),
+        |i, j| topo.distance(i, j),
+        topo.diameter(),
+        mesh_lower_bound(instance),
+        upper_hint,
+        budget,
+    )
 }
 
 #[cfg(test)]

@@ -8,23 +8,23 @@
 //! This crate adapts the approach to a 2D **torus** (the wrap-around
 //! mesh):
 //!
-//! * [`torus`] — the topology: distance is the sum of the two ring
-//!   distances (this is the job migration time, as in §2).
-//! * [`engine`] — a 4-neighbor synchronous engine with the same machine
-//!   model: receive, send, process one unit per step; messages arrive one
-//!   step later per hop.
-//! * [`algorithm`] — a dimension-by-dimension bucket scheme. A pile of
-//!   work `W` optimally spreads over a diamond of radius `≈ W^{1/3}`
-//!   (the 2D ball of radius `L` absorbs `Θ(L³)` units in `L` steps), so
-//!   row-phase buckets top processors up to `c·(seen)^{2/3}` — a row's
-//!   fair share — and each processor forwards its row share down its
-//!   column with the paper's own `c·sqrt(seen)` rule, leaving every
-//!   processor holding `Θ(W^{1/3})`.
+//! * [`torus`] — torus instances. The topology itself ([`Torus2D`] /
+//!   [`torus::Dir4`]) lives in `ring-topology` and is re-exported here:
+//!   distance is the sum of the two ring distances (the job migration
+//!   time, as in §2).
+//! * [`algorithm`] — a dimension-by-dimension bucket scheme, run on
+//!   `ring_sim`'s topology-generic fabric engine (this crate's dedicated
+//!   4-neighbor engine was absorbed by it). A pile of work `W` optimally
+//!   spreads over a diamond of radius `≈ W^{1/3}` (the 2D ball of radius
+//!   `L` absorbs `Θ(L³)` units in `L` steps), so row-phase buckets top
+//!   processors up to `c·(seen)^{2/3}` — a row's fair share — and each
+//!   processor forwards its row share down its column with the paper's
+//!   own `c·sqrt(seen)` rule, leaving every processor holding `Θ(W^{1/3})`.
 //! * [`bounds`] / [`exact`] — the Lemma 1 analog (ball windows) and the
 //!   **exact optimum**: the staircase feasibility argument of
-//!   `ring-opt::staircase` never uses ring structure, so binary search
-//!   over [`ring_opt::staircase::metric_feasible`] with the torus metric
-//!   is exact here too.
+//!   `ring-opt::staircase` never uses ring structure, so
+//!   `ring_opt::exact::metric_optimum` with the torus metric is exact
+//!   here too.
 //!
 //! No approximation proof is claimed (that is why it is an open problem);
 //! the tests and the experiment harness measure empirical factors against
@@ -35,11 +35,10 @@
 
 pub mod algorithm;
 pub mod bounds;
-pub mod engine;
 pub mod exact;
 pub mod torus;
 
-pub use algorithm::{run_mesh, MeshConfig, MeshRun};
+pub use algorithm::{run_mesh, MeshConfig, MeshReport, MeshRun, MeshSchedNode};
 pub use bounds::mesh_lower_bound;
 pub use exact::optimum_torus;
-pub use torus::{MeshInstance, TorusTopology};
+pub use torus::{MeshInstance, Torus2D, TorusTopology};

@@ -1,129 +1,17 @@
-//! The 2D torus topology and its instances.
+//! Torus instances. The topology itself ([`Torus2D`], [`Dir4`]) lives in
+//! `ring-topology` — shared with the fabric engine, the scenario DSL, and
+//! the exact solver — and is re-exported here for compatibility.
 
-use ring_sim::RingTopology;
+pub use ring_sim::{Dir4, Torus2D};
 use serde::{Deserialize, Serialize};
 
-/// One of the four torus directions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum Dir4 {
-    /// Row − 1 (wrapping).
-    North,
-    /// Column + 1 (wrapping) — the row-phase travel direction.
-    East,
-    /// Row + 1 (wrapping) — the column-phase travel direction.
-    South,
-    /// Column − 1 (wrapping).
-    West,
-}
-
-impl Dir4 {
-    /// All four directions in engine order.
-    pub const ALL: [Dir4; 4] = [Dir4::North, Dir4::East, Dir4::South, Dir4::West];
-
-    /// The direction messages *arrive from* when sent this way.
-    pub fn opposite(self) -> Dir4 {
-        match self {
-            Dir4::North => Dir4::South,
-            Dir4::East => Dir4::West,
-            Dir4::South => Dir4::North,
-            Dir4::West => Dir4::East,
-        }
-    }
-
-    /// Index into 4-element direction arrays.
-    pub fn index(self) -> usize {
-        match self {
-            Dir4::North => 0,
-            Dir4::East => 1,
-            Dir4::South => 2,
-            Dir4::West => 3,
-        }
-    }
-}
-
-/// An `rows × cols` torus. Node `id = row * cols + col`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub struct TorusTopology {
-    rows: usize,
-    cols: usize,
-}
-
-impl TorusTopology {
-    /// Creates a torus.
-    ///
-    /// # Panics
-    ///
-    /// Panics if either dimension is zero.
-    pub fn new(rows: usize, cols: usize) -> Self {
-        assert!(rows > 0 && cols > 0, "torus dimensions must be positive");
-        TorusTopology { rows, cols }
-    }
-
-    /// Number of rows.
-    pub fn rows(&self) -> usize {
-        self.rows
-    }
-
-    /// Number of columns.
-    pub fn cols(&self) -> usize {
-        self.cols
-    }
-
-    /// Total number of processors.
-    pub fn len(&self) -> usize {
-        self.rows * self.cols
-    }
-
-    /// Never empty (dimensions are positive).
-    pub fn is_empty(&self) -> bool {
-        false
-    }
-
-    /// `(row, col)` of a node id.
-    #[inline]
-    pub fn coords(&self, id: usize) -> (usize, usize) {
-        debug_assert!(id < self.len());
-        (id / self.cols, id % self.cols)
-    }
-
-    /// Node id of `(row, col)`.
-    #[inline]
-    pub fn id(&self, row: usize, col: usize) -> usize {
-        debug_assert!(row < self.rows && col < self.cols);
-        row * self.cols + col
-    }
-
-    /// The neighbor one hop away in `dir`.
-    pub fn neighbor(&self, id: usize, dir: Dir4) -> usize {
-        let (r, c) = self.coords(id);
-        match dir {
-            Dir4::North => self.id((r + self.rows - 1) % self.rows, c),
-            Dir4::South => self.id((r + 1) % self.rows, c),
-            Dir4::East => self.id(r, (c + 1) % self.cols),
-            Dir4::West => self.id(r, (c + self.cols - 1) % self.cols),
-        }
-    }
-
-    /// Torus distance: sum of the two cyclic distances. This is the
-    /// migration time of a job between the nodes.
-    pub fn distance(&self, a: usize, b: usize) -> usize {
-        let (ra, ca) = self.coords(a);
-        let (rb, cb) = self.coords(b);
-        let row_ring = RingTopology::new(self.rows);
-        let col_ring = RingTopology::new(self.cols);
-        row_ring.distance(ra, rb) + col_ring.distance(ca, cb)
-    }
-
-    /// The largest distance between any two nodes.
-    pub fn diameter(&self) -> usize {
-        self.rows / 2 + self.cols / 2
-    }
-}
+/// The torus topology, under the name this crate historically used.
+pub type TorusTopology = Torus2D;
 
 /// An instance on a torus: unit jobs per node.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MeshInstance {
-    topo: TorusTopology,
+    topo: Torus2D,
     loads: Vec<u64>,
 }
 
@@ -134,21 +22,21 @@ impl MeshInstance {
     ///
     /// Panics if `loads.len() != rows * cols`.
     pub fn from_loads(rows: usize, cols: usize, loads: Vec<u64>) -> Self {
-        let topo = TorusTopology::new(rows, cols);
+        let topo = Torus2D::new(rows, cols);
         assert_eq!(loads.len(), topo.len(), "load vector must match the torus");
         MeshInstance { topo, loads }
     }
 
     /// All `n` jobs on one node.
     pub fn concentrated(rows: usize, cols: usize, at: usize, n: u64) -> Self {
-        let topo = TorusTopology::new(rows, cols);
+        let topo = Torus2D::new(rows, cols);
         let mut loads = vec![0; topo.len()];
         loads[at] = n;
         MeshInstance { topo, loads }
     }
 
     /// The topology.
-    pub fn topology(&self) -> TorusTopology {
+    pub fn topology(&self) -> Torus2D {
         self.topo
     }
 
@@ -178,52 +66,14 @@ mod tests {
     use super::*;
 
     #[test]
-    fn coords_roundtrip() {
-        let t = TorusTopology::new(4, 6);
-        for id in 0..t.len() {
-            let (r, c) = t.coords(id);
-            assert_eq!(t.id(r, c), id);
-        }
-    }
-
-    #[test]
-    fn neighbors_wrap_both_dimensions() {
-        let t = TorusTopology::new(3, 4);
-        let id = t.id(0, 0);
-        assert_eq!(t.coords(t.neighbor(id, Dir4::North)), (2, 0));
-        assert_eq!(t.coords(t.neighbor(id, Dir4::West)), (0, 3));
-        assert_eq!(t.coords(t.neighbor(id, Dir4::South)), (1, 0));
-        assert_eq!(t.coords(t.neighbor(id, Dir4::East)), (0, 1));
-    }
-
-    #[test]
-    fn neighbor_then_opposite_is_identity() {
-        let t = TorusTopology::new(5, 7);
-        for id in 0..t.len() {
-            for dir in Dir4::ALL {
-                assert_eq!(t.neighbor(t.neighbor(id, dir), dir.opposite()), id);
-            }
-        }
-    }
-
-    #[test]
-    fn distance_is_l1_on_cycles() {
+    fn reexported_topology_keeps_the_l1_metric() {
         let t = TorusTopology::new(6, 8);
         assert_eq!(t.distance(t.id(0, 0), t.id(3, 4)), 3 + 4);
         assert_eq!(t.distance(t.id(0, 0), t.id(5, 7)), 1 + 1); // wraps
-        assert_eq!(t.distance(t.id(2, 3), t.id(2, 3)), 0);
         assert_eq!(t.diameter(), 3 + 4);
-    }
-
-    #[test]
-    fn distance_is_symmetric_and_triangular() {
-        let t = TorusTopology::new(4, 5);
-        for a in 0..t.len() {
-            for b in 0..t.len() {
-                assert_eq!(t.distance(a, b), t.distance(b, a));
-                for c in 0..t.len() {
-                    assert!(t.distance(a, c) <= t.distance(a, b) + t.distance(b, c));
-                }
+        for id in 0..t.len() {
+            for dir in Dir4::ALL {
+                assert_eq!(t.neighbor(t.neighbor(id, dir), dir.opposite()), id);
             }
         }
     }

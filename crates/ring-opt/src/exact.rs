@@ -119,6 +119,41 @@ pub fn optimum_uncapacitated(
     }))
 }
 
+/// Exact optimal makespan on **any** uncapacitated network given its
+/// shortest-path metric, subject to the budget.
+///
+/// This is the topology-generic face of [`optimum_uncapacitated`]: the
+/// staircase feasibility argument ([`staircase::metric_feasible`]) never
+/// uses ring structure, so binary search over it is exact for meshes,
+/// tori, hierarchies — any metric. `lower` must be a valid lower bound on
+/// the optimum (it seeds the search from below and is returned verbatim
+/// when the budget is exceeded); `diameter` must bound `dist(i, j)` over
+/// all pairs.
+pub fn metric_optimum(
+    loads: &[u64],
+    dist: impl Fn(usize, usize) -> usize + Copy,
+    diameter: usize,
+    lower: u64,
+    upper_hint: Option<u64>,
+    budget: &SolverBudget,
+) -> OptResult {
+    if loads.iter().sum::<u64>() == 0 {
+        return OptResult::Exact(0);
+    }
+    let m = loads.len() as u64;
+    let probe_t = upper_hint.unwrap_or(lower.saturating_mul(8).max(16));
+    // Size of the largest feasibility network the search could build:
+    // assignment edges plus per-processor distance chains.
+    let dmax = probe_t.saturating_sub(1).min(diameter as u64);
+    let est = m * m + m * (dmax + 1);
+    if est > budget.max_network_edges {
+        return OptResult::LowerBoundOnly(lower);
+    }
+    OptResult::Exact(binary_search_optimum(lower, upper_hint, |t| {
+        staircase::metric_feasible(loads, dist, diameter, t)
+    }))
+}
+
 /// Exact optimal makespan on a unit-capacity ring, subject to the budget.
 pub fn optimum_capacitated(
     instance: &Instance,

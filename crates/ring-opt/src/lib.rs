@@ -50,6 +50,8 @@ pub use bounds::{
     capacitated_lower_bound, lemma1_lower_bound, lemma1_window_bound, mean_load_bound,
     uncapacitated_lower_bound,
 };
-pub use exact::{optimum_capacitated, optimum_uncapacitated, OptResult, SolverBudget};
+pub use exact::{
+    metric_optimum, optimum_capacitated, optimum_uncapacitated, OptResult, SolverBudget,
+};
 pub use release::{competitive_ratio, offline_optimum, OfflineOptimum, Release};
 pub use sized::{branch_and_bound_sized, greedy_sized_makespan, SizedOpt};

@@ -10,13 +10,13 @@
 //! same plan digests identically across `run`, `par`, and `steal`, which is
 //! exactly the bit-identity the CI scenario matrix pins.
 
-use crate::plan::{AlgSelect, CatalogSel, ExecMode, Mode, Plan, ShapeKind, Workload};
+use crate::plan::{AlgSelect, CatalogSel, ExecMode, Mode, Plan, ShapeKind, TopoKind, Workload};
 use ring_compete::{measure, measure_suite, policy_by_name, report_digest, CaseRatio};
 use ring_sched::dynamic::{run_dynamic, run_dynamic_par, DynamicInstance};
 use ring_sched::unit::{run_unit, run_unit_faulty, run_unit_par, run_unit_par_faulty};
-use ring_sched::UnitConfig;
+use ring_sched::{run_fabric, FabricAlgo, UnitConfig};
 use ring_sim::engine::{ParStrategy, RunReport};
-use ring_sim::{Instance, TraceFile};
+use ring_sim::{AnyTopology, EngineConfig, Instance, Topology, TraceFile, TraceLevel};
 use ring_workloads::catalog::{catalog, catalog_case, Part};
 use ring_workloads::{random, structured};
 
@@ -101,6 +101,9 @@ fn resolve_instances(plan: &Plan) -> Result<Vec<(String, Instance)>, String> {
                     format!("uniform-m{m}-n{n}-s{seed}"),
                     random::uniform(m, *n, *seed),
                 ),
+                ShapeKind::Datacenter => {
+                    return Err("datacenter shapes run on hier topologies".to_string())
+                }
             };
             Ok(vec![(label, inst)])
         }
@@ -182,6 +185,78 @@ fn run_static(plan: &Plan) -> Result<Vec<PlanRow>, String> {
         }
     }
     Ok(rows)
+}
+
+/// Runs a non-ring (`[topology] kind`) plan: one fabric policy over one
+/// workload, through the executor the plan names. The case label embeds
+/// the topology spec (`hier:4x8`, `torus:4x6`, `clique:16`) so digests
+/// distinguish shapes the way ring labels embed `m`.
+fn run_fabric_static(plan: &Plan) -> Result<Vec<PlanRow>, String> {
+    let topo = plan
+        .fabric_topology()
+        .expect("caller checked the topology kind");
+    let spec = topo.spec();
+    let (case, loads) = match &plan.workload {
+        Workload::Loads(loads) => (format!("loads-{spec}"), loads.clone()),
+        Workload::Shape { kind, n, seed } => match kind {
+            ShapeKind::Concentrated => {
+                let mut loads = vec![0u64; topo.len()];
+                loads[0] = *n;
+                (format!("concentrated-{spec}-n{n}"), loads)
+            }
+            ShapeKind::Uniform => (
+                format!("uniform-{spec}-n{n}-s{seed}"),
+                random::uniform(topo.len(), *n, *seed).loads().to_vec(),
+            ),
+            ShapeKind::Datacenter => {
+                let racks = plan.racks.expect("datacenter shape requires kind = hier");
+                let rack_len = plan.m.expect("hier topologies carry m");
+                (
+                    format!("datacenter-{spec}-n{n}-s{seed}"),
+                    ring_workloads::hotspot_rack(racks, rack_len, racks / 2, *n, 20, *seed),
+                )
+            }
+            ShapeKind::Region => unreachable!("the parser pins region shapes to rings"),
+        },
+        _ => return Err("topology plans run static loads or shape workloads".to_string()),
+    };
+    let algo = match &plan.algorithm {
+        Some(AlgSelect::One { name, .. }) => {
+            FabricAlgo::parse(name).map_err(|e| format!("{case}: {e}"))?
+        }
+        None => {
+            if matches!(topo, AnyTopology::Clique(_)) {
+                FabricAlgo::Clique
+            } else {
+                FabricAlgo::Diffuse
+            }
+        }
+        Some(AlgSelect::AllSix) => unreachable!("the parser pins all6 to rings"),
+    };
+    let mut config = EngineConfig {
+        faults: plan.faults.clone(),
+        ..EngineConfig::default()
+    };
+    if plan.trace_full {
+        config.trace = TraceLevel::Full;
+    }
+    if plan.executor.mode == ExecMode::Steal {
+        config.par.strategy = Some(ParStrategy::Steal);
+        config.par.steal_seed = plan.executor.steal_seed;
+    }
+    let shards = match plan.executor.mode {
+        ExecMode::Run => None,
+        _ => Some(plan.executor.shards.unwrap_or(DEFAULT_SHARDS)),
+    };
+    let report = run_fabric(&topo, &loads, algo, config, shards)
+        .map_err(|e| format!("{case}/{}: {e}", algo.name()))?;
+    let meta = format!("{}/{case}/{}", plan.name, algo.name());
+    Ok(vec![PlanRow {
+        case,
+        algorithm: algo.name().to_string(),
+        makespan: report.makespan,
+        trace: capture_trace(plan, &report, &meta),
+    }])
 }
 
 fn run_arrivals(plan: &Plan) -> Result<Vec<PlanRow>, String> {
@@ -266,7 +341,9 @@ fn rows_digest(rows: &[PlanRow]) -> u64 {
 pub fn execute(plan: &Plan) -> Result<PlanReport, String> {
     match plan.mode {
         Mode::Run => {
-            let rows = if matches!(plan.workload, Workload::Arrivals(_)) {
+            let rows = if plan.kind != TopoKind::Ring {
+                run_fabric_static(plan)?
+            } else if matches!(plan.workload, Workload::Arrivals(_)) {
                 run_arrivals(plan)?
             } else {
                 run_static(plan)?

@@ -46,7 +46,8 @@ pub use error::{ErrorKind, ScenarioError};
 pub use exec::{execute, PlanReport, PlanRow, DEFAULT_SHARDS};
 pub use parse::{load_plan, parse_plan, MAX_M};
 pub use plan::{
-    AlgSelect, CatalogSel, ExecMode, ExecutorSpec, Mode, Plan, ServiceSpec, ShapeKind, Workload,
+    AlgSelect, CatalogSel, ExecMode, ExecutorSpec, Mode, Plan, ServiceSpec, ShapeKind, TopoKind,
+    Workload,
 };
 
 #[cfg(test)]
@@ -258,6 +259,106 @@ level = full
         assert!(row.makespan >= 4);
         let trace = row.trace.as_ref().expect("trace level = full");
         assert!(trace.check().is_empty(), "oracle-clean trace");
+    }
+
+    #[test]
+    fn hier_datacenter_plan_round_trips_and_executes() {
+        let text = "\
+[scenario]
+name = dc
+
+[topology]
+kind = hier
+racks = 4
+m = 8
+
+[workload]
+shape = datacenter
+n = 300
+seed = 7
+
+[trace]
+level = full
+";
+        let plan = parse(text);
+        assert_eq!(plan.kind, TopoKind::Hier);
+        assert_eq!((plan.racks, plan.m), (Some(4), Some(8)));
+        round_trip(&plan);
+        let report = execute(&plan).unwrap();
+        assert_eq!(report.rows.len(), 1);
+        let row = &report.rows[0];
+        assert_eq!(row.algorithm, "diffuse");
+        assert_eq!(row.case, "datacenter-hier:4x8-n300-s7");
+        assert!(row.makespan > 0);
+        assert!(row.trace.is_some());
+    }
+
+    #[test]
+    fn torus_plan_round_trips_and_executes() {
+        let plan = parse(
+            "[scenario]\nname = tt\n\n[topology]\nkind = torus\nrows = 3\ncols = 4\n\n[workload]\nshape = concentrated\nn = 60\n",
+        );
+        assert_eq!(plan.kind, TopoKind::Torus);
+        round_trip(&plan);
+        let report = execute(&plan).unwrap();
+        assert_eq!(report.rows[0].case, "concentrated-torus:3x4-n60");
+        assert!(report.rows[0].makespan < 60, "diffusion must export work");
+    }
+
+    #[test]
+    fn clique_plan_defaults_to_the_clique_scheduler() {
+        let plan = parse(
+            "[scenario]\nname = cq\n\n[topology]\nkind = clique\nm = 12\n\n[workload]\nshape = concentrated\nn = 120\n",
+        );
+        assert_eq!(plan.kind, TopoKind::Clique);
+        round_trip(&plan);
+        let report = execute(&plan).unwrap();
+        assert_eq!(report.rows[0].algorithm, "clique");
+        assert!(
+            report.rows[0].makespan <= 14,
+            "constant-round balance (got {})",
+            report.rows[0].makespan
+        );
+    }
+
+    #[test]
+    fn topology_executors_agree_on_the_digest() {
+        let base = "[scenario]\nname = eq\n\n[topology]\nkind = torus\nrows = 4\ncols = 4\n\n[workload]\nloads = 9 0 0 31 0 0 7 0 0 0 55 0 1 0 0 2\n";
+        let seq = execute(&parse(base)).unwrap();
+        let par = execute(&parse(&format!(
+            "{base}\n[executor]\nmode = par\nshards = 3\n"
+        )))
+        .unwrap();
+        let steal = execute(&parse(&format!(
+            "{base}\n[executor]\nmode = steal\nshards = 2\nsteal-seed = 5\n"
+        )))
+        .unwrap();
+        assert_eq!(seq.digest, par.digest, "run vs par drifted");
+        assert_eq!(seq.digest, steal.digest, "run vs steal drifted");
+    }
+
+    #[test]
+    fn clique_algorithm_needs_a_clique() {
+        let e = err(
+            "[scenario]\nname = t\n\n[topology]\nkind = torus\nrows = 3\ncols = 3\n\n[workload]\nshape = uniform\nn = 10\nseed = 1\n\n[algorithm]\nname = clique\n",
+        );
+        assert!(matches!(e.kind, ErrorKind::Conflict(ref m) if m.contains("kind = clique")));
+    }
+
+    #[test]
+    fn ring_only_knobs_rejected_off_ring() {
+        let e = err(
+            "[scenario]\nname = t\n\n[topology]\nkind = clique\nm = 8\n\n[workload]\nshape = concentrated\nn = 9\n\n[executor]\nmode = par\nwindow = 4\n",
+        );
+        assert!(matches!(e.kind, ErrorKind::Conflict(ref m) if m.contains("ring topology")));
+    }
+
+    #[test]
+    fn torus_size_comes_from_its_dims() {
+        let e = err(
+            "[scenario]\nname = t\n\n[topology]\nkind = torus\nrows = 3\ncols = 3\nm = 9\n\n[workload]\nshape = uniform\nn = 4\nseed = 0\n",
+        );
+        assert!(matches!(e.kind, ErrorKind::Conflict(ref m) if m.contains("rows × cols")));
     }
 
     #[test]

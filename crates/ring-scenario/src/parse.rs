@@ -15,7 +15,8 @@
 
 use crate::error::{ErrorKind, ScenarioError};
 use crate::plan::{
-    AlgSelect, CatalogSel, ExecMode, ExecutorSpec, Mode, Plan, ServiceSpec, ShapeKind, Workload,
+    AlgSelect, CatalogSel, ExecMode, ExecutorSpec, Mode, Plan, ServiceSpec, ShapeKind, TopoKind,
+    Workload,
 };
 use ring_sched::dynamic::parse_arrivals;
 use ring_sched::UnitConfig;
@@ -26,7 +27,7 @@ pub const MAX_M: usize = 1 << 24;
 
 const SECTIONS: &[(&str, &[&str])] = &[
     ("scenario", &["name", "mode"]),
-    ("topology", &["m"]),
+    ("topology", &["kind", "m", "racks", "rows", "cols"]),
     (
         "workload",
         &[
@@ -290,17 +291,113 @@ pub fn parse_plan(text: &str) -> Result<Plan, ScenarioError> {
     };
 
     // [topology]
-    let m_key = find(sec("topology"), "m");
-    let m: Option<usize> = match m_key {
-        None => None,
-        Some(k) => {
-            let v: u64 = num(k)?;
-            if v == 0 || v > MAX_M as u64 {
-                return Err(out_of_range(k, format!("must be 1..={MAX_M} (got {v})")));
+    let topo_sec = sec("topology");
+    let kind_key = find(topo_sec, "kind");
+    let kind = match kind_key {
+        None => TopoKind::Ring,
+        Some(k) => match k.value.as_str() {
+            "ring" => TopoKind::Ring,
+            "hier" => TopoKind::Hier,
+            "torus" => TopoKind::Torus,
+            "clique" => TopoKind::Clique,
+            other => {
+                return Err(bad(
+                    k,
+                    format!("`{other}` is not ring, hier, torus, or clique"),
+                ))
             }
-            Some(v as usize)
+        },
+    };
+    let dim = |key: &str| -> Result<Option<usize>, ScenarioError> {
+        match find(topo_sec, key) {
+            None => Ok(None),
+            Some(k) => {
+                let v: u64 = num(k)?;
+                if v == 0 || v > MAX_M as u64 {
+                    return Err(out_of_range(k, format!("must be 1..={MAX_M} (got {v})")));
+                }
+                Ok(Some(v as usize))
+            }
         }
     };
+    let m_key = find(topo_sec, "m");
+    let m = dim("m")?;
+    let racks = dim("racks")?;
+    let rows = dim("rows")?;
+    let cols = dim("cols")?;
+    // Dimension keys must agree with the kind.
+    if let Some(s) = topo_sec {
+        for k in &s.keys {
+            let wanted = match k.key.as_str() {
+                "racks" => Some(TopoKind::Hier),
+                "rows" | "cols" => Some(TopoKind::Torus),
+                _ => None,
+            };
+            if let Some(want) = wanted {
+                if kind != want {
+                    return Err(conflict(
+                        k,
+                        format!("`{}` requires kind = {}", k.key, want.name()),
+                    ));
+                }
+            }
+        }
+    }
+    let missing_dim = |key: &str| -> ScenarioError {
+        let anchor = kind_key.expect("non-ring kinds come from a kind key");
+        ScenarioError::at(
+            anchor.line,
+            anchor.key_col,
+            ErrorKind::Missing(format!(
+                "`{key}` in [topology] (required by kind = {})",
+                kind.name()
+            )),
+        )
+    };
+    let topo_len: Option<usize> = match kind {
+        TopoKind::Ring => m,
+        TopoKind::Clique => Some(m.ok_or_else(|| missing_dim("m"))?),
+        TopoKind::Hier => {
+            if let Some(k) = m_key {
+                let racks = racks.ok_or_else(|| missing_dim("racks"))?;
+                let rack_len = m.expect("m_key implies m");
+                let total = (racks as u64) * (rack_len as u64);
+                if total > MAX_M as u64 {
+                    return Err(out_of_range(
+                        k,
+                        format!("racks × m must be <= {MAX_M} (got {total})"),
+                    ));
+                }
+                Some(total as usize)
+            } else {
+                return Err(missing_dim("m"));
+            }
+        }
+        TopoKind::Torus => {
+            if let Some(k) = m_key {
+                return Err(conflict(k, "torus size comes from rows × cols (not m)"));
+            }
+            let r = rows.ok_or_else(|| missing_dim("rows"))?;
+            let c = cols.ok_or_else(|| missing_dim("cols"))?;
+            let total = (r as u64) * (c as u64);
+            if total > MAX_M as u64 {
+                let k = find(topo_sec, "rows").expect("rows was parsed");
+                return Err(out_of_range(
+                    k,
+                    format!("rows × cols must be <= {MAX_M} (got {total})"),
+                ));
+            }
+            Some(total as usize)
+        }
+    };
+    // Non-ring topologies drive the fabric engine: run mode only.
+    if kind != TopoKind::Ring && mode != Mode::Run {
+        let k = kind_key.expect("non-ring kinds come from a kind key");
+        return Err(conflict(
+            k,
+            format!("kind = {} requires mode = run", kind.name()),
+        ));
+    }
 
     // [workload]
     let workload_sec = sec("workload")
@@ -351,11 +448,26 @@ pub fn parse_plan(text: &str) -> Result<Plan, ScenarioError> {
                 .map(|w| w.parse::<u64>())
                 .collect();
             let loads = loads.map_err(|_| bad(source, "expected space-separated load counts"))?;
-            if let Some(m) = m {
-                if m != loads.len() {
+            if kind == TopoKind::Ring {
+                if let Some(m) = m {
+                    if m != loads.len() {
+                        return Err(conflict(
+                            m_key.expect("m came from a key"),
+                            format!("m = {m} disagrees with {} loads", loads.len()),
+                        ));
+                    }
+                }
+            } else {
+                let total = topo_len.expect("non-ring kinds have a node count");
+                if total != loads.len() {
+                    let k = kind_key.expect("non-ring kinds come from a kind key");
                     return Err(conflict(
-                        m_key.expect("m came from a key"),
-                        format!("m = {m} disagrees with {} loads", loads.len()),
+                        k,
+                        format!(
+                            "kind = {} has {total} nodes but the workload has {} loads",
+                            kind.name(),
+                            loads.len()
+                        ),
                     ));
                 }
             }
@@ -383,17 +495,24 @@ pub fn parse_plan(text: &str) -> Result<Plan, ScenarioError> {
             }
         }),
         "shape" => {
-            let kind = match source.value.as_str() {
+            let shape = match source.value.as_str() {
                 "concentrated" => ShapeKind::Concentrated,
                 "region" => ShapeKind::Region,
                 "uniform" => ShapeKind::Uniform,
+                "datacenter" => ShapeKind::Datacenter,
                 other => {
                     return Err(bad(
                         source,
-                        format!("`{other}` is not concentrated, region, or uniform"),
+                        format!("`{other}` is not concentrated, region, uniform, or datacenter"),
                     ))
                 }
             };
+            if shape == ShapeKind::Datacenter && kind != TopoKind::Hier {
+                return Err(conflict(source, "shape = datacenter requires kind = hier"));
+            }
+            if shape == ShapeKind::Region && kind != TopoKind::Ring {
+                return Err(conflict(source, "shape = region requires a ring topology"));
+            }
             let n_key = aux_n.ok_or_else(|| {
                 ScenarioError::at(
                     source.line,
@@ -405,23 +524,31 @@ pub fn parse_plan(text: &str) -> Result<Plan, ScenarioError> {
             if n == 0 {
                 return Err(out_of_range(n_key, format!("must be >= 1 (got {n})")));
             }
-            let seed = match (kind, aux_seed) {
-                (ShapeKind::Uniform, Some(k)) => num(k)?,
-                (ShapeKind::Uniform, None) => {
+            let seed = match (shape, aux_seed) {
+                (ShapeKind::Uniform | ShapeKind::Datacenter, Some(k)) => num(k)?,
+                (ShapeKind::Uniform | ShapeKind::Datacenter, None) => {
                     return Err(ScenarioError::at(
                         source.line,
                         source.key_col,
-                        ErrorKind::Missing(
-                            "`seed` in [workload] (required by shape = uniform)".to_string(),
-                        ),
+                        ErrorKind::Missing(format!(
+                            "`seed` in [workload] (required by shape = {})",
+                            shape.name()
+                        )),
                     ))
                 }
                 (_, Some(k)) => {
-                    return Err(conflict(k, "`seed` is only meaningful for shape = uniform"))
+                    return Err(conflict(
+                        k,
+                        "`seed` is only meaningful for shape = uniform or datacenter",
+                    ))
                 }
                 (_, None) => 0,
             };
-            Workload::Shape { kind, n, seed }
+            Workload::Shape {
+                kind: shape,
+                n,
+                seed,
+            }
         }
         "arrivals" => {
             let m = m.ok_or_else(|| {
@@ -456,6 +583,13 @@ pub fn parse_plan(text: &str) -> Result<Plan, ScenarioError> {
         }
         _ => unreachable!("source keys are the WORKLOAD_SOURCES table"),
     };
+    // Non-ring topologies run static loads or shape workloads only.
+    if kind != TopoKind::Ring && !matches!(workload, Workload::Loads(_) | Workload::Shape { .. }) {
+        return Err(conflict(
+            source,
+            format!("`{}` requires a ring topology", source.key),
+        ));
+    }
     // Workload-implied ring sizes must not also be stated.
     if matches!(
         workload,
@@ -469,7 +603,7 @@ pub fn parse_plan(text: &str) -> Result<Plan, ScenarioError> {
         }
     }
     // Shape workloads need an explicit size.
-    if matches!(workload, Workload::Shape { .. }) && m.is_none() {
+    if matches!(workload, Workload::Shape { .. }) && topo_len.is_none() {
         return Err(ScenarioError::at(
             source.line,
             source.key_col,
@@ -521,7 +655,30 @@ pub fn parse_plan(text: &str) -> Result<Plan, ScenarioError> {
             })?;
             let c_key = find(Some(s), "c");
             let lower = name_key.value.to_lowercase();
-            if lower == "all6" {
+            if kind != TopoKind::Ring {
+                if let Some(k) = c_key {
+                    return Err(conflict(k, "`c` tunes the ring algorithms only"));
+                }
+                if ring_sched::FabricAlgo::parse(&lower).is_err() {
+                    return Err(bad(
+                        name_key,
+                        format!(
+                            "`{}` is not a fabric policy (diffuse or clique)",
+                            name_key.value
+                        ),
+                    ));
+                }
+                if lower == "clique" && kind != TopoKind::Clique {
+                    return Err(conflict(
+                        name_key,
+                        "the clique scheduler requires kind = clique",
+                    ));
+                }
+                Some(AlgSelect::One {
+                    name: lower,
+                    c: None,
+                })
+            } else if lower == "all6" {
                 if let Some(k) = c_key {
                     return Err(conflict(k, "`c` cannot be combined with name = all6"));
                 }
@@ -631,6 +788,13 @@ pub fn parse_plan(text: &str) -> Result<Plan, ScenarioError> {
                 _ => unreachable!("lexer rejects unknown executor keys"),
             }
         }
+        if kind != TopoKind::Ring {
+            for k in &s.keys {
+                if !matches!(k.key.as_str(), "mode" | "shards" | "steal-seed") {
+                    return Err(conflict(k, format!("`{}` requires a ring topology", k.key)));
+                }
+            }
+        }
         if mode == Mode::Compete {
             for k in &s.keys {
                 if !matches!(k.key.as_str(), "mode" | "shards") {
@@ -689,7 +853,7 @@ pub fn parse_plan(text: &str) -> Result<Plan, ScenarioError> {
             }
             let fault_m = match &workload {
                 Workload::Loads(loads) => loads.len(),
-                Workload::Shape { .. } => m.expect("shape requires m"),
+                Workload::Shape { .. } => topo_len.expect("shape requires a sized topology"),
                 Workload::Arrivals(_) => {
                     return Err(section_conflict(
                         s,
@@ -814,7 +978,11 @@ pub fn parse_plan(text: &str) -> Result<Plan, ScenarioError> {
     Ok(Plan {
         name,
         mode,
+        kind,
         m,
+        racks,
+        rows,
+        cols,
         workload,
         algorithm,
         executor,

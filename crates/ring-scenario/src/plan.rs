@@ -34,6 +34,37 @@ impl Mode {
     }
 }
 
+/// Which topology family a scenario runs on.
+///
+/// `ring` (the default) drives the classic ring engine and algorithms;
+/// the other kinds drive the topology-generic fabric engine with the
+/// `diffuse`/`clique` policies. Ring plans render without a `kind` key,
+/// so every pre-fabric `.ring` file keeps its exact bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TopoKind {
+    /// A plain ring (the paper's machine model).
+    #[default]
+    Ring,
+    /// Racks of rings joined by an uplink ring (`racks` × `m`).
+    Hier,
+    /// A 2D torus (`rows` × `cols`).
+    Torus,
+    /// A clique (`m` nodes, one-hop metric).
+    Clique,
+}
+
+impl TopoKind {
+    /// The DSL keyword.
+    pub fn name(self) -> &'static str {
+        match self {
+            TopoKind::Ring => "ring",
+            TopoKind::Hier => "hier",
+            TopoKind::Torus => "torus",
+            TopoKind::Clique => "clique",
+        }
+    }
+}
+
 /// Which slice of the 51-case workload catalog a sweep covers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CatalogSel {
@@ -68,6 +99,10 @@ pub enum ShapeKind {
     Region,
     /// Per-processor loads uniform in `0..=n`, from `seed`.
     Uniform,
+    /// A hotspot-rack datacenter workload (`kind = hier` only): the
+    /// middle rack carries `n` per node, everyone else light random
+    /// background from `seed`.
+    Datacenter,
 }
 
 impl ShapeKind {
@@ -77,6 +112,7 @@ impl ShapeKind {
             ShapeKind::Concentrated => "concentrated",
             ShapeKind::Region => "region",
             ShapeKind::Uniform => "uniform",
+            ShapeKind::Datacenter => "datacenter",
         }
     }
 }
@@ -193,8 +229,17 @@ pub struct Plan {
     pub name: String,
     /// What kind of experiment this is.
     pub mode: Mode,
-    /// Explicit ring size (`None` when the workload implies it).
+    /// Topology family ([`TopoKind::Ring`] unless the plan says otherwise).
+    pub kind: TopoKind,
+    /// Explicit ring size — or rack length for `kind = hier`, node count
+    /// for `kind = clique` (`None` when the workload implies it).
     pub m: Option<usize>,
+    /// Rack count (`kind = hier` only).
+    pub racks: Option<usize>,
+    /// Torus rows (`kind = torus` only).
+    pub rows: Option<usize>,
+    /// Torus columns (`kind = torus` only).
+    pub cols: Option<usize>,
     /// The workload.
     pub workload: Workload,
     /// Algorithm selection (`None` = the mode's default: all six for run
@@ -223,6 +268,27 @@ impl Plan {
         })
     }
 
+    /// The fabric topology of a non-ring plan (`None` for `kind = ring`).
+    /// The parser guarantees the dimension keys are present and in range,
+    /// so this never panics on a parsed plan.
+    pub fn fabric_topology(&self) -> Option<ring_sim::AnyTopology> {
+        use ring_sim::{AnyTopology, Clique, HierRing, Torus2D};
+        match self.kind {
+            TopoKind::Ring => None,
+            TopoKind::Hier => Some(AnyTopology::Hier(HierRing::new(
+                self.racks.expect("parser requires racks for hier"),
+                self.m.expect("parser requires m for hier"),
+            ))),
+            TopoKind::Torus => Some(AnyTopology::Torus(Torus2D::new(
+                self.rows.expect("parser requires rows for torus"),
+                self.cols.expect("parser requires cols for torus"),
+            ))),
+            TopoKind::Clique => Some(AnyTopology::Clique(Clique::new(
+                self.m.expect("parser requires m for clique"),
+            ))),
+        }
+    }
+
     /// Renders the plan as canonical `.ring` text; the exact inverse of
     /// [`crate::parse_plan`]. Defaulted settings are omitted, so the output
     /// is also the plan's normal form.
@@ -233,9 +299,23 @@ impl Plan {
         if self.mode != Mode::Run {
             s.push_str(&format!("mode = {}\n", self.mode.name()));
         }
-        if let Some(m) = self.m {
+        if self.kind != TopoKind::Ring || self.m.is_some() {
             s.push_str("\n[topology]\n");
-            s.push_str(&format!("m = {m}\n"));
+            if self.kind != TopoKind::Ring {
+                s.push_str(&format!("kind = {}\n", self.kind.name()));
+            }
+            if let Some(m) = self.m {
+                s.push_str(&format!("m = {m}\n"));
+            }
+            if let Some(v) = self.racks {
+                s.push_str(&format!("racks = {v}\n"));
+            }
+            if let Some(v) = self.rows {
+                s.push_str(&format!("rows = {v}\n"));
+            }
+            if let Some(v) = self.cols {
+                s.push_str(&format!("cols = {v}\n"));
+            }
         }
         s.push_str("\n[workload]\n");
         match &self.workload {
@@ -248,7 +328,7 @@ impl Plan {
             Workload::Shape { kind, n, seed } => {
                 s.push_str(&format!("shape = {}\n", kind.name()));
                 s.push_str(&format!("n = {n}\n"));
-                if *kind == ShapeKind::Uniform {
+                if matches!(kind, ShapeKind::Uniform | ShapeKind::Datacenter) {
                     s.push_str(&format!("seed = {seed}\n"));
                 }
             }

@@ -40,12 +40,14 @@ pub mod baselines;
 pub mod bucket;
 pub mod capacitated;
 pub mod dynamic;
+pub mod fabric;
 pub mod fractional;
 pub mod online;
 pub mod scaled;
 pub mod unit;
 
 pub use analysis::{alpha, optimal_c, theory_factor, C_PAPER, SIZED_BOUND, UNIT_BOUND};
+pub use fabric::{run_fabric, CliqueNode, DiffusionNode, FabricAlgo, FabricMsg};
 pub use unit::{run_unit, Directionality, UnitConfig, UnitRun, Variant};
 
 /// Numeric tolerance for the fractional bookkeeping that shadows the

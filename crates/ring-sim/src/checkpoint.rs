@@ -618,7 +618,7 @@ fn decode_u64s(dec: &mut Decoder<'_>, n: usize) -> Result<Vec<u64>, CheckpointEr
     Ok(v)
 }
 
-fn encode_metrics(enc: &mut Encoder, m: &Metrics) {
+pub(crate) fn encode_metrics(enc: &mut Encoder, m: &Metrics) {
     enc.u64(m.messages_sent);
     enc.u64(m.job_hops);
     encode_u64s(enc, &m.processed_per_node);
@@ -637,7 +637,7 @@ fn encode_metrics(enc: &mut Encoder, m: &Metrics) {
     enc.u64(m.messages_retried);
 }
 
-fn decode_metrics(dec: &mut Decoder<'_>, m: usize) -> Result<Metrics, CheckpointError> {
+pub(crate) fn decode_metrics(dec: &mut Decoder<'_>, m: usize) -> Result<Metrics, CheckpointError> {
     Ok(Metrics {
         messages_sent: dec.u64()?,
         job_hops: dec.u64()?,
@@ -652,7 +652,7 @@ fn decode_metrics(dec: &mut Decoder<'_>, m: usize) -> Result<Metrics, Checkpoint
     })
 }
 
-fn encode_event(enc: &mut Encoder, ev: &Event) {
+pub(crate) fn encode_event(enc: &mut Encoder, ev: &Event) {
     match *ev {
         Event::Processed { t, node, units } => {
             enc.u8(0);
@@ -700,10 +700,24 @@ fn encode_event(enc: &mut Encoder, ev: &Event) {
                 DropKind::Forced => 2,
             });
         }
+        // Fabric-only (never present in ring snapshots, so tag 3 does not
+        // perturb any version-1 byte image).
+        Event::SentOn {
+            t,
+            node,
+            port,
+            job_units,
+        } => {
+            enc.u8(3);
+            enc.u64(t);
+            enc.usize(node);
+            enc.usize(port);
+            enc.u64(job_units);
+        }
     }
 }
 
-fn decode_event(dec: &mut Decoder<'_>) -> Result<Event, CheckpointError> {
+pub(crate) fn decode_event(dec: &mut Decoder<'_>) -> Result<Event, CheckpointError> {
     match dec.u8()? {
         0 => Ok(Event::Processed {
             t: dec.u64()?,
@@ -732,6 +746,12 @@ fn decode_event(dec: &mut Decoder<'_>) -> Result<Event, CheckpointError> {
                 2 => DropKind::Forced,
                 _ => return Err(CheckpointError::Corrupt("bad drop kind")),
             },
+        }),
+        3 => Ok(Event::SentOn {
+            t: dec.u64()?,
+            node: dec.usize()?,
+            port: dec.usize()?,
+            job_units: dec.u64()?,
         }),
         _ => Err(CheckpointError::Corrupt("bad event tag")),
     }
@@ -807,7 +827,7 @@ fn decode_observability(dec: &mut Decoder<'_>, m: usize) -> Result<Observability
     })
 }
 
-fn encode_fault_plan(enc: &mut Encoder, plan: &FaultPlan) {
+pub(crate) fn encode_fault_plan(enc: &mut Encoder, plan: &FaultPlan) {
     enc.usize(plan.link_faults().len());
     for f in plan.link_faults() {
         enc.usize(f.node);
@@ -841,7 +861,7 @@ fn encode_fault_plan(enc: &mut Encoder, plan: &FaultPlan) {
     }
 }
 
-fn decode_fault_plan(dec: &mut Decoder<'_>) -> Result<FaultPlan, CheckpointError> {
+pub(crate) fn decode_fault_plan(dec: &mut Decoder<'_>) -> Result<FaultPlan, CheckpointError> {
     let mut plan = FaultPlan::new();
     let n_link = dec.usize()?;
     for _ in 0..n_link {

@@ -657,17 +657,18 @@ impl NodeStep {
 }
 
 /// A message staged on a faulty link, waiting to depart.
-struct Staged<M> {
+#[derive(Debug)]
+pub(crate) struct Staged<M> {
     /// Earliest step the message may depart (push step + link delay).
-    ready: u64,
+    pub(crate) ready: u64,
     /// Failed departure attempts so far (drops and bandwidth refusals).
-    attempts: u64,
-    msg: M,
+    pub(crate) attempts: u64,
+    pub(crate) msg: M,
 }
 
 /// One node's per-direction link queue under fault injection. FIFO: faults
 /// reorder nothing, they only hold messages back.
-type LinkQueue<M> = VecDeque<Staged<M>>;
+pub(crate) type LinkQueue<M> = VecDeque<Staged<M>>;
 
 /// What actually left a node's link in one direction during one step, plus
 /// the fault counters observed while draining the queue.
@@ -675,19 +676,19 @@ type LinkQueue<M> = VecDeque<Staged<M>>;
 /// All counters are in *logical* messages ([`Payload::run_len`] per arena
 /// entry), so per-unit and count-coalesced streams meter identically.
 #[derive(Debug, Clone, Copy, Default)]
-struct LinkDeparture {
+pub(crate) struct LinkDeparture {
     /// Logical messages that departed (delivered at `t + 1`).
-    messages: u64,
+    pub(crate) messages: u64,
     /// Job payload that departed.
-    payload: u64,
+    pub(crate) payload: u64,
     /// Queued logical messages refused because the link was dropping.
-    dropped: u64,
+    pub(crate) dropped: u64,
     /// Queued logical messages held back by a delay epoch or bandwidth
     /// backlog.
-    delayed: u64,
+    pub(crate) delayed: u64,
     /// Departed logical messages that had previously failed at least one
     /// attempt.
-    retried: u64,
+    pub(crate) retried: u64,
 }
 
 /// Drains one node's directed link for one step under a fault plan: newly
@@ -699,7 +700,7 @@ struct LinkDeparture {
 /// Pure in `(plan, node, dir, t)` and the queue state, so both executors
 /// evaluate it identically. With no active fault this moves every staged
 /// message straight through — bit-identical to the un-faulted engine.
-fn transmit<M: Payload>(
+pub(crate) fn transmit<M: Payload>(
     plan: &FaultPlan,
     node: usize,
     dir: Direction,

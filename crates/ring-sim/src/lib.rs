@@ -36,6 +36,7 @@
 pub mod checkpoint;
 pub mod engine;
 pub mod error;
+pub mod fabric;
 pub mod fault;
 pub mod instance;
 pub mod metrics;
@@ -55,14 +56,17 @@ pub use engine::{
     ParConfig, ParStrategy, Payload, Quiescence, RunReport, SpanOutcome, StepIo,
 };
 pub use error::SimError;
+pub use fabric::{Fabric, FabricCtx, FabricNode, FabricOutbox, RingLift, FABRIC_SNAPSHOT_VERSION};
 pub use fault::{FaultPlan, LinkFault, LinkFaultKind, ProcFault, ProcFaultKind};
 pub use instance::{Instance, Job, JobId, SizedInstance};
 pub use metrics::{LinkStats, Metrics, Observability, StepSample};
-pub use oracle::{check_report, check_run, OracleViolation};
+pub use oracle::{check_fabric_run, check_report, check_run, OracleViolation};
+pub use ring_topology::{AnyTopology, Clique, Dir4, HierRing, Topology, Torus2D};
 pub use topology::{Direction, RingTopology};
 pub use trace::{DropKind, Event, Trace, TraceLevel};
 pub use tracefile::{
     event_step, violation_step, TraceDiff, TraceFile, TraceFileError, TRACE_MAGIC, TRACE_VERSION,
+    TRACE_VERSION_FABRIC,
 };
 pub use validate::{validate_run, Violation};
 pub use viz::render_load_timeline;

@@ -49,6 +49,7 @@ use crate::fault::FaultPlan;
 use crate::instance::Instance;
 use crate::topology::{Direction, RingTopology};
 use crate::trace::{DropKind, Event, TraceLevel};
+use ring_topology::{AnyTopology, Topology};
 
 /// Numeric tolerance of the fractional ledger checks (matches the shadow
 /// bookkeeping in `ring-sched`).
@@ -294,6 +295,7 @@ pub fn check_report(
     events.sort_by_key(|e| match *e {
         Event::Processed { t, node, .. }
         | Event::Sent { t, node, .. }
+        | Event::SentOn { t, node, .. }
         | Event::DroppedOff { t, node, .. } => (t, node),
     });
 
@@ -358,6 +360,34 @@ pub fn check_report(
                                 payload: job_units,
                                 cap,
                             });
+                        }
+                    }
+                }
+            }
+            Event::SentOn {
+                t,
+                node,
+                port,
+                job_units,
+            } => {
+                // Fabric sends: fault plans speak cw/ccw, which every
+                // topology maps onto ports 0/1 (its embedded ring
+                // orientation). Higher ports have no fault epochs.
+                if let Some(plan) = plan {
+                    if let Some(&dir) = Direction::BOTH.get(port) {
+                        if plan.link_down(node, dir, t) {
+                            violations.push(OracleViolation::SentOnDownLink { node, step: t, dir });
+                        }
+                        if let Some(cap) = plan.link_cap(node, dir, t) {
+                            if job_units > cap {
+                                violations.push(OracleViolation::BandwidthExceeded {
+                                    node,
+                                    step: t,
+                                    dir,
+                                    payload: job_units,
+                                    cap,
+                                });
+                            }
                         }
                     }
                 }
@@ -556,6 +586,34 @@ pub fn check_run(
                 let dest = topo.neighbor(node, dir);
                 arriving_next[dest] += job_units as i128;
             }
+            Event::SentOn {
+                t,
+                node,
+                port,
+                job_units,
+            } => {
+                // A ring run is never supposed to carry fabric sends, but a
+                // hand-built trace might: debit the sender, and credit only
+                // if the port maps onto the ring (0 = cw, 1 = ccw). A send
+                // on a port the ring does not have loses the work and is
+                // surfaced by the total-work check.
+                advance_to(t, &mut balance, &mut arriving_now, &mut arriving_next);
+                if node >= m {
+                    continue;
+                }
+                balance[node] -= job_units as i128;
+                if balance[node] < 0 {
+                    violations.push(OracleViolation::NegativeBalance {
+                        node,
+                        step: t,
+                        deficit: balance[node],
+                    });
+                }
+                if let Some(&dir) = Direction::BOTH.get(port) {
+                    let dest = topo.neighbor(node, dir);
+                    arriving_next[dest] += job_units as i128;
+                }
+            }
             // Drop-offs move work from "travelling" to "resident at the
             // node it is already at" — no balance change.
             Event::DroppedOff { .. } => {}
@@ -566,6 +624,147 @@ pub fn check_run(
         violations.push(OracleViolation::TotalMismatch {
             processed: processed_total,
             expected: instance.total_work(),
+        });
+    }
+    violations
+}
+
+/// The topology-generic counterpart of [`check_run`]: everything
+/// [`check_report`] covers plus the conservation/causality replay over an
+/// arbitrary [`Topology`] — a fabric send on port `p` debits the sender at
+/// departure and credits `topo.peer(node, p)` one step later. Ring-style
+/// [`Event::Sent`] events are accepted too (cw/ccw map onto ports 0/1), so
+/// the same replay covers lifted ring policies.
+pub fn check_fabric_run(
+    loads: &[u64],
+    topo: &AnyTopology,
+    report: &RunReport,
+    plan: Option<&FaultPlan>,
+) -> Vec<OracleViolation> {
+    let n = topo.len();
+    assert_eq!(loads.len(), n, "load vector must match the topology");
+    let mut violations = check_report(report, n, plan);
+    if violations == vec![OracleViolation::TraceUnavailable] {
+        return violations;
+    }
+
+    let mut balance: Vec<i128> = loads.iter().map(|&x| x as i128).collect();
+    let mut arriving_now: Vec<i128> = vec![0; n];
+    let mut arriving_next: Vec<i128> = vec![0; n];
+
+    let mut processed_total: u64 = 0;
+    let mut current_step: Option<u64> = None;
+
+    let mut advance_to = |step: u64,
+                          balance: &mut Vec<i128>,
+                          arriving_now: &mut Vec<i128>,
+                          arriving_next: &mut Vec<i128>| {
+        while current_step.map_or(true, |c| c < step) {
+            let next = current_step.map_or(0, |c| c + 1);
+            if current_step.is_some() {
+                std::mem::swap(arriving_now, arriving_next);
+                for (i, b) in balance.iter_mut().enumerate() {
+                    *b += arriving_now[i];
+                    arriving_now[i] = 0;
+                }
+            }
+            current_step = Some(next);
+        }
+    };
+
+    // Debits the sender and credits the port's peer one step later. A send
+    // on a port the node does not have loses the work, which the trailing
+    // total-work check surfaces.
+    let send = |t: u64,
+                node: usize,
+                port: usize,
+                job_units: u64,
+                balance: &mut Vec<i128>,
+                arriving_next: &mut Vec<i128>,
+                violations: &mut Vec<OracleViolation>| {
+        balance[node] -= job_units as i128;
+        if balance[node] < 0 {
+            violations.push(OracleViolation::NegativeBalance {
+                node,
+                step: t,
+                deficit: balance[node],
+            });
+        }
+        if port < topo.degree(node) {
+            arriving_next[topo.peer(node, port)] += job_units as i128;
+        }
+    };
+
+    for ev in report.trace.events() {
+        match *ev {
+            Event::Processed { t, node, units } => {
+                advance_to(t, &mut balance, &mut arriving_now, &mut arriving_next);
+                if node >= n {
+                    continue; // already reported by check_report
+                }
+                balance[node] -= units as i128;
+                processed_total += units;
+                if balance[node] < 0 {
+                    violations.push(OracleViolation::NegativeBalance {
+                        node,
+                        step: t,
+                        deficit: balance[node],
+                    });
+                }
+            }
+            Event::SentOn {
+                t,
+                node,
+                port,
+                job_units,
+            } => {
+                advance_to(t, &mut balance, &mut arriving_now, &mut arriving_next);
+                if node >= n {
+                    continue;
+                }
+                send(
+                    t,
+                    node,
+                    port,
+                    job_units,
+                    &mut balance,
+                    &mut arriving_next,
+                    &mut violations,
+                );
+            }
+            Event::Sent {
+                t,
+                node,
+                dir,
+                job_units,
+            } => {
+                advance_to(t, &mut balance, &mut arriving_now, &mut arriving_next);
+                if node >= n {
+                    continue;
+                }
+                let port = match dir {
+                    Direction::Cw => 0,
+                    Direction::Ccw => 1,
+                };
+                send(
+                    t,
+                    node,
+                    port,
+                    job_units,
+                    &mut balance,
+                    &mut arriving_next,
+                    &mut violations,
+                );
+            }
+            Event::DroppedOff { .. } => {}
+        }
+    }
+
+    let expected: u64 = loads.iter().sum();
+    if processed_total != expected {
+        violations.push(OracleViolation::TotalMismatch {
+            processed: processed_total,
+            expected,
         });
     }
     violations

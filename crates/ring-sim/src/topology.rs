@@ -1,244 +1,9 @@
-//! Ring topology: index arithmetic, neighbors, and distances.
+//! Ring topology re-exports.
 //!
-//! The paper (§2) numbers processors `1..=m` and does all index arithmetic
-//! modulo `m`. We use zero-based indices `0..m`. "Clockwise" ([`Direction::Cw`])
-//! is the direction of *increasing* processor number, the direction buckets
-//! travel in the unidirectional algorithms of §3.
+//! The ring's index arithmetic moved to the `ring-topology` crate when the
+//! [`Topology`](ring_topology::Topology) trait landed (it is one of four
+//! shapes the fabric engine runs on). The types are unchanged; this module
+//! keeps `ring_sim::topology::{Direction, RingTopology}` and the crate
+//! root re-exports working exactly as before.
 
-use serde::{Deserialize, Serialize};
-
-/// One of the two directions a message can travel around the ring.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum Direction {
-    /// Increasing processor index (the paper's "direction of higher-numbered
-    /// processors").
-    Cw,
-    /// Decreasing processor index.
-    Ccw,
-}
-
-impl Direction {
-    /// The opposite direction.
-    #[inline]
-    pub fn opposite(self) -> Direction {
-        match self {
-            Direction::Cw => Direction::Ccw,
-            Direction::Ccw => Direction::Cw,
-        }
-    }
-
-    /// Both directions, clockwise first.
-    pub const BOTH: [Direction; 2] = [Direction::Cw, Direction::Ccw];
-}
-
-impl std::fmt::Display for Direction {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            Direction::Cw => write!(f, "cw"),
-            Direction::Ccw => write!(f, "ccw"),
-        }
-    }
-}
-
-/// An `m`-processor ring.
-///
-/// Provides all modular index arithmetic so that policy code never has to
-/// reason about wrap-around itself.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub struct RingTopology {
-    m: usize,
-}
-
-impl RingTopology {
-    /// Creates an `m`-processor ring.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `m == 0`.
-    pub fn new(m: usize) -> Self {
-        assert!(m > 0, "a ring must have at least one processor");
-        RingTopology { m }
-    }
-
-    /// Number of processors in the ring.
-    #[inline]
-    pub fn len(&self) -> usize {
-        self.m
-    }
-
-    /// True iff the ring has exactly one processor (every neighbor is the
-    /// processor itself).
-    #[inline]
-    pub fn is_empty(&self) -> bool {
-        false
-    }
-
-    /// Normalizes an arbitrary (possibly out-of-range) index onto the ring.
-    #[inline]
-    pub fn wrap(&self, i: isize) -> usize {
-        i.rem_euclid(self.m as isize) as usize
-    }
-
-    /// The processor reached from `i` by one hop in direction `dir`.
-    #[inline]
-    pub fn neighbor(&self, i: usize, dir: Direction) -> usize {
-        debug_assert!(i < self.m);
-        match dir {
-            Direction::Cw => {
-                if i + 1 == self.m {
-                    0
-                } else {
-                    i + 1
-                }
-            }
-            Direction::Ccw => {
-                if i == 0 {
-                    self.m - 1
-                } else {
-                    i - 1
-                }
-            }
-        }
-    }
-
-    /// The processor reached from `i` by `k` hops in direction `dir`.
-    #[inline]
-    pub fn offset(&self, i: usize, k: usize, dir: Direction) -> usize {
-        debug_assert!(i < self.m);
-        let k = k % self.m;
-        match dir {
-            Direction::Cw => (i + k) % self.m,
-            Direction::Ccw => (i + self.m - k) % self.m,
-        }
-    }
-
-    /// Number of hops from `i` to `j` travelling clockwise.
-    #[inline]
-    pub fn cw_distance(&self, i: usize, j: usize) -> usize {
-        debug_assert!(i < self.m && j < self.m);
-        (j + self.m - i) % self.m
-    }
-
-    /// Number of hops from `i` to `j` travelling counterclockwise.
-    #[inline]
-    pub fn ccw_distance(&self, i: usize, j: usize) -> usize {
-        self.cw_distance(j, i)
-    }
-
-    /// Ring distance: the minimum of the clockwise and counterclockwise hop
-    /// counts. This is the migration time of a job from `i` to `j` in the
-    /// paper's model.
-    #[inline]
-    pub fn distance(&self, i: usize, j: usize) -> usize {
-        let cw = self.cw_distance(i, j);
-        cw.min(self.m - cw)
-    }
-
-    /// The largest distance between any two processors: `floor(m / 2)`.
-    #[inline]
-    pub fn diameter(&self) -> usize {
-        self.m / 2
-    }
-
-    /// Iterator over the `k` processors of the clockwise arc starting at
-    /// `start` (inclusive): `start, start+1, …, start+k-1` (mod `m`).
-    ///
-    /// `k` may exceed `m`, in which case indices repeat; callers that want a
-    /// set of distinct processors should pass `k <= m`.
-    pub fn arc(&self, start: usize, k: usize) -> impl Iterator<Item = usize> + '_ {
-        let m = self.m;
-        (0..k).map(move |off| (start + off) % m)
-    }
-
-    /// All processor indices, `0..m`.
-    pub fn processors(&self) -> std::ops::Range<usize> {
-        0..self.m
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn neighbors_wrap() {
-        let t = RingTopology::new(5);
-        assert_eq!(t.neighbor(4, Direction::Cw), 0);
-        assert_eq!(t.neighbor(0, Direction::Ccw), 4);
-        assert_eq!(t.neighbor(2, Direction::Cw), 3);
-        assert_eq!(t.neighbor(2, Direction::Ccw), 1);
-    }
-
-    #[test]
-    fn offset_wraps_in_both_directions() {
-        let t = RingTopology::new(7);
-        assert_eq!(t.offset(5, 4, Direction::Cw), 2);
-        assert_eq!(t.offset(1, 3, Direction::Ccw), 5);
-        assert_eq!(t.offset(3, 7, Direction::Cw), 3);
-        assert_eq!(t.offset(3, 14, Direction::Ccw), 3);
-    }
-
-    #[test]
-    fn wrap_normalizes_negative_indices() {
-        let t = RingTopology::new(4);
-        assert_eq!(t.wrap(-1), 3);
-        assert_eq!(t.wrap(-5), 3);
-        assert_eq!(t.wrap(9), 1);
-        assert_eq!(t.wrap(0), 0);
-    }
-
-    #[test]
-    fn distances() {
-        let t = RingTopology::new(6);
-        assert_eq!(t.cw_distance(0, 5), 5);
-        assert_eq!(t.ccw_distance(0, 5), 1);
-        assert_eq!(t.distance(0, 5), 1);
-        assert_eq!(t.distance(0, 3), 3);
-        assert_eq!(t.distance(2, 2), 0);
-        assert_eq!(t.diameter(), 3);
-    }
-
-    #[test]
-    fn distance_is_symmetric() {
-        let t = RingTopology::new(9);
-        for i in 0..9 {
-            for j in 0..9 {
-                assert_eq!(t.distance(i, j), t.distance(j, i));
-            }
-        }
-    }
-
-    #[test]
-    fn distance_satisfies_triangle_inequality() {
-        let t = RingTopology::new(8);
-        for i in 0..8 {
-            for j in 0..8 {
-                for k in 0..8 {
-                    assert!(t.distance(i, k) <= t.distance(i, j) + t.distance(j, k));
-                }
-            }
-        }
-    }
-
-    #[test]
-    fn arc_enumerates_clockwise() {
-        let t = RingTopology::new(5);
-        let arc: Vec<usize> = t.arc(3, 4).collect();
-        assert_eq!(arc, vec![3, 4, 0, 1]);
-    }
-
-    #[test]
-    fn singleton_ring() {
-        let t = RingTopology::new(1);
-        assert_eq!(t.neighbor(0, Direction::Cw), 0);
-        assert_eq!(t.neighbor(0, Direction::Ccw), 0);
-        assert_eq!(t.distance(0, 0), 0);
-        assert_eq!(t.diameter(), 0);
-    }
-
-    #[test]
-    #[should_panic(expected = "at least one processor")]
-    fn zero_ring_panics() {
-        let _ = RingTopology::new(0);
-    }
-}
+pub use ring_topology::{Direction, RingTopology};

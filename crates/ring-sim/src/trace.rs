@@ -62,6 +62,25 @@ pub enum Event {
         /// Job payload carried.
         job_units: u64,
     },
+    /// `node` sent a message carrying `job_units` of job payload out of
+    /// local link `port` during step `t` (delivered at `t + 1`).
+    ///
+    /// The topology-generic form of [`Event::Sent`], recorded by the fabric
+    /// engine where links are numbered by port rather than cw/ccw. Ring
+    /// runs keep emitting `Sent` (ports 0/1 are exactly cw/ccw), so ring
+    /// trace bytes are unchanged; `SentOn` only appears in traces of
+    /// non-ring topologies, which are written at the bumped
+    /// [`crate::tracefile::TRACE_VERSION_FABRIC`].
+    SentOn {
+        /// Step index.
+        t: u64,
+        /// Sending node.
+        node: usize,
+        /// Local out-link (port) index at the sender.
+        port: usize,
+        /// Job payload carried.
+        job_units: u64,
+    },
     /// `node` permanently accepted work out of bucket `bucket` during step
     /// `t`, together with the cumulative ledgers the policy used to justify
     /// it. Fractional ledgers are stored as [`f64::to_bits`] so the event
@@ -96,14 +115,15 @@ pub enum Event {
 impl Event {
     /// The `(step, node)` ordering key of engine-order traces. Within one
     /// `(step, node)` cell the engine emits events in the fixed order
-    /// *DroppedOff\*, Processed, Sent cw, Sent ccw*, so a stable sort by
-    /// this key restores full engine order from any per-node-ordered
-    /// shuffle — which is how [`crate::Engine::par_run`] merges per-arc
-    /// event logs.
+    /// *DroppedOff\*, Processed, Sent cw, Sent ccw* (the fabric engine:
+    /// *Processed, SentOn by ascending port*), so a stable sort by this
+    /// key restores full engine order from any per-node-ordered shuffle —
+    /// which is how [`crate::Engine::par_run`] merges per-arc event logs.
     pub(crate) fn order_key(&self) -> (u64, usize) {
         match *self {
             Event::Processed { t, node, .. }
             | Event::Sent { t, node, .. }
+            | Event::SentOn { t, node, .. }
             | Event::DroppedOff { t, node, .. } => (t, node),
         }
     }
@@ -169,6 +189,7 @@ impl Trace {
         self.events.iter().filter(move |e| match e {
             Event::Processed { t: et, .. }
             | Event::Sent { t: et, .. }
+            | Event::SentOn { t: et, .. }
             | Event::DroppedOff { t: et, .. } => *et == t,
         })
     }

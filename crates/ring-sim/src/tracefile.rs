@@ -41,8 +41,17 @@ use crate::trace::{DropKind, Event, Trace, TraceLevel};
 /// Magic bytes opening every binary trace file.
 pub const TRACE_MAGIC: [u8; 9] = *b"RINGTRACE";
 
-/// Current trace format version. Decoders reject anything newer.
+/// Base trace format version: ring traces (cw/ccw sends only) are written
+/// at this version, byte-identically to every build since it was pinned.
 pub const TRACE_VERSION: u32 = 1;
+
+/// Trace format version for topology-generic (fabric) traces: version 2
+/// adds the [`Event::SentOn`] tag, which records sends by local port
+/// number instead of ring direction. Writers only emit it when a `SentOn`
+/// event is actually present — traces of ring runs keep version 1, so
+/// their golden byte images are untouched. Decoders accept
+/// `1..=TRACE_VERSION_FABRIC` and reject anything newer.
+pub const TRACE_VERSION_FABRIC: u32 = 2;
 
 /// Why a trace file failed to decode. Every branch is fail-closed: a file
 /// that does not decode cleanly yields an error, never a partial trace and
@@ -81,7 +90,7 @@ impl fmt::Display for TraceFileError {
             TraceFileError::BadMagic => write!(f, "not a RINGTRACE file (bad magic)"),
             TraceFileError::BadVersion { found } => write!(
                 f,
-                "unsupported trace version {found} (this build reads <= {TRACE_VERSION})"
+                "unsupported trace version {found} (this build reads <= {TRACE_VERSION_FABRIC})"
             ),
             TraceFileError::BadChecksum => write!(f, "trace checksum mismatch (file corrupted)"),
             TraceFileError::Corrupt(what) => write!(f, "corrupt trace payload: {what}"),
@@ -126,7 +135,10 @@ pub struct TraceFile {
 /// The step index an event occurred in.
 pub fn event_step(ev: &Event) -> u64 {
     match *ev {
-        Event::Processed { t, .. } | Event::Sent { t, .. } | Event::DroppedOff { t, .. } => t,
+        Event::Processed { t, .. }
+        | Event::Sent { t, .. }
+        | Event::SentOn { t, .. }
+        | Event::DroppedOff { t, .. } => t,
     }
 }
 
@@ -310,13 +322,30 @@ impl TraceFile {
         fnv1a(&self.to_bytes())
     }
 
+    /// The format version this trace serialises at: [`TRACE_VERSION`]
+    /// unless the event log uses the fabric-only [`Event::SentOn`] tag,
+    /// which needs [`TRACE_VERSION_FABRIC`]. Keying the version on content
+    /// rather than provenance keeps every ring trace — old or new — at the
+    /// pinned version-1 byte image.
+    pub fn wire_version(&self) -> u32 {
+        if self
+            .events
+            .iter()
+            .any(|e| matches!(e, Event::SentOn { .. }))
+        {
+            TRACE_VERSION_FABRIC
+        } else {
+            TRACE_VERSION
+        }
+    }
+
     // ---------------------------------------------------------------- binary
 
     /// Serialises to the `RINGTRACE` binary format.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut buf = Vec::with_capacity(64 + self.events.len() * 6);
         buf.extend_from_slice(&TRACE_MAGIC);
-        buf.extend_from_slice(&TRACE_VERSION.to_le_bytes());
+        buf.extend_from_slice(&self.wire_version().to_le_bytes());
         put_vu64(&mut buf, self.m as u64);
         put_vu64(&mut buf, self.total_work);
         put_vu64(&mut buf, self.makespan);
@@ -363,7 +392,7 @@ impl TraceFile {
                 .try_into()
                 .expect("4 version bytes"),
         );
-        if version != TRACE_VERSION {
+        if !(TRACE_VERSION..=TRACE_VERSION_FABRIC).contains(&version) {
             return Err(TraceFileError::BadVersion { found: version });
         }
         let body_end = bytes.len() - 8;
@@ -435,7 +464,7 @@ impl TraceFile {
     pub fn to_json(&self) -> String {
         let mut s = String::with_capacity(128 + self.events.len() * 48);
         s.push_str("{\"format\":\"ringtrace\",\"version\":");
-        s.push_str(&TRACE_VERSION.to_string());
+        s.push_str(&self.wire_version().to_string());
         s.push_str(",\"m\":");
         s.push_str(&self.m.to_string());
         s.push_str(",\"total_work\":");
@@ -475,7 +504,7 @@ impl TraceFile {
             return Err(TraceFileError::Corrupt("format is not \"ringtrace\""));
         }
         let version = obj.get_u64("version")?;
-        if version != u64::from(TRACE_VERSION) {
+        if !(u64::from(TRACE_VERSION)..=u64::from(TRACE_VERSION_FABRIC)).contains(&version) {
             return Err(TraceFileError::BadVersion {
                 found: version.min(u64::from(u32::MAX)) as u32,
             });
@@ -510,7 +539,7 @@ impl TraceFile {
 
 // --------------------------------------------------------------- primitives
 
-fn put_vu64(buf: &mut Vec<u8>, mut v: u64) {
+pub(crate) fn put_vu64(buf: &mut Vec<u8>, mut v: u64) {
     while v >= 0x80 {
         buf.push((v as u8) | 0x80);
         v >>= 7;
@@ -518,21 +547,21 @@ fn put_vu64(buf: &mut Vec<u8>, mut v: u64) {
     buf.push(v as u8);
 }
 
-struct Reader<'a> {
+pub(crate) struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn new(buf: &'a [u8]) -> Self {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
         Reader { buf, pos: 0 }
     }
 
-    fn remaining(&self) -> usize {
+    pub(crate) fn remaining(&self) -> usize {
         self.buf.len() - self.pos
     }
 
-    fn u8(&mut self) -> Result<u8, TraceFileError> {
+    pub(crate) fn u8(&mut self) -> Result<u8, TraceFileError> {
         let b = *self
             .buf
             .get(self.pos)
@@ -541,7 +570,7 @@ impl<'a> Reader<'a> {
         Ok(b)
     }
 
-    fn vu64(&mut self) -> Result<u64, TraceFileError> {
+    pub(crate) fn vu64(&mut self) -> Result<u64, TraceFileError> {
         let mut v = 0u64;
         let mut shift = 0u32;
         loop {
@@ -560,12 +589,12 @@ impl<'a> Reader<'a> {
         }
     }
 
-    fn u64_fixed(&mut self) -> Result<u64, TraceFileError> {
+    pub(crate) fn u64_fixed(&mut self) -> Result<u64, TraceFileError> {
         let bytes = self.bytes(8)?;
         Ok(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
     }
 
-    fn bytes(&mut self, n: usize) -> Result<&'a [u8], TraceFileError> {
+    pub(crate) fn bytes(&mut self, n: usize) -> Result<&'a [u8], TraceFileError> {
         if self.remaining() < n {
             return Err(TraceFileError::UnexpectedEof);
         }
@@ -574,7 +603,7 @@ impl<'a> Reader<'a> {
         Ok(out)
     }
 
-    fn finish(&self) -> Result<(), TraceFileError> {
+    pub(crate) fn finish(&self) -> Result<(), TraceFileError> {
         if self.remaining() != 0 {
             return Err(TraceFileError::Corrupt("trailing bytes after payload"));
         }
@@ -592,11 +621,13 @@ const TAG_SENT_CCW: u8 = 2;
 const TAG_DROP_REGULAR: u8 = 3;
 const TAG_DROP_BALANCING: u8 = 4;
 const TAG_DROP_FORCED: u8 = 5;
+// Version-2 (fabric) only: a send keyed by local port number.
+const TAG_SENT_ON: u8 = 6;
 
 /// Encodes one event; returns its step for the next event's delta base.
 /// Deltas are *wrapping*, so even non-monotone hand-built traces round-trip
 /// exactly (they just cost a long varint).
-fn encode_event(buf: &mut Vec<u8>, ev: &Event, prev_t: u64) -> u64 {
+pub(crate) fn encode_event(buf: &mut Vec<u8>, ev: &Event, prev_t: u64) -> u64 {
     match *ev {
         Event::Processed { t, node, units } => {
             buf.push(TAG_PROCESSED);
@@ -617,6 +648,19 @@ fn encode_event(buf: &mut Vec<u8>, ev: &Event, prev_t: u64) -> u64 {
             });
             put_vu64(buf, t.wrapping_sub(prev_t));
             put_vu64(buf, node as u64);
+            put_vu64(buf, job_units);
+            t
+        }
+        Event::SentOn {
+            t,
+            node,
+            port,
+            job_units,
+        } => {
+            buf.push(TAG_SENT_ON);
+            put_vu64(buf, t.wrapping_sub(prev_t));
+            put_vu64(buf, node as u64);
+            put_vu64(buf, port as u64);
             put_vu64(buf, job_units);
             t
         }
@@ -651,7 +695,10 @@ fn encode_event(buf: &mut Vec<u8>, ev: &Event, prev_t: u64) -> u64 {
     }
 }
 
-fn decode_event(r: &mut Reader<'_>, prev_t: u64) -> Result<(Event, u64), TraceFileError> {
+pub(crate) fn decode_event(
+    r: &mut Reader<'_>,
+    prev_t: u64,
+) -> Result<(Event, u64), TraceFileError> {
     let tag = r.u8()?;
     let t = prev_t.wrapping_add(r.vu64()?);
     let node = r.vu64()? as usize;
@@ -669,6 +716,12 @@ fn decode_event(r: &mut Reader<'_>, prev_t: u64) -> Result<(Event, u64), TraceFi
             } else {
                 Direction::Ccw
             },
+            job_units: r.vu64()?,
+        },
+        TAG_SENT_ON => Event::SentOn {
+            t,
+            node,
+            port: r.vu64()? as usize,
             job_units: r.vu64()?,
         },
         TAG_DROP_REGULAR | TAG_DROP_BALANCING | TAG_DROP_FORCED => Event::DroppedOff {
@@ -700,7 +753,7 @@ const LINK_BANDWIDTH: u8 = 2;
 const PROC_STALL: u8 = 0;
 const PROC_SLOWDOWN: u8 = 1;
 
-fn encode_plan(buf: &mut Vec<u8>, plan: &FaultPlan) {
+pub(crate) fn encode_plan(buf: &mut Vec<u8>, plan: &FaultPlan) {
     put_vu64(buf, plan.link_faults().len() as u64);
     for f in plan.link_faults() {
         put_vu64(buf, f.node as u64);
@@ -737,7 +790,7 @@ fn encode_plan(buf: &mut Vec<u8>, plan: &FaultPlan) {
     }
 }
 
-fn decode_plan(r: &mut Reader<'_>) -> Result<FaultPlan, TraceFileError> {
+pub(crate) fn decode_plan(r: &mut Reader<'_>) -> Result<FaultPlan, TraceFileError> {
     let mut plan = FaultPlan::new();
     let n_link = r.vu64()? as usize;
     if n_link > r.remaining() {
@@ -791,7 +844,7 @@ fn decode_plan(r: &mut Reader<'_>) -> Result<FaultPlan, TraceFileError> {
 
 // ----------------------------------------------------------- metrics codec
 
-fn encode_metrics(buf: &mut Vec<u8>, metrics: &Metrics) {
+pub(crate) fn encode_metrics(buf: &mut Vec<u8>, metrics: &Metrics) {
     put_vu64(buf, metrics.messages_sent);
     put_vu64(buf, metrics.job_hops);
     put_vu64(buf, metrics.processed_per_node.len() as u64);
@@ -815,7 +868,7 @@ fn encode_metrics(buf: &mut Vec<u8>, metrics: &Metrics) {
     put_vu64(buf, metrics.messages_retried);
 }
 
-fn decode_metrics(r: &mut Reader<'_>, m: usize) -> Result<Metrics, TraceFileError> {
+pub(crate) fn decode_metrics(r: &mut Reader<'_>, m: usize) -> Result<Metrics, TraceFileError> {
     let messages_sent = r.vu64()?;
     let job_hops = r.vu64()?;
     let n = r.vu64()? as usize;
@@ -973,6 +1026,16 @@ fn event_to_json(s: &mut String, ev: &Event) {
             s.push_str(&format!(
                 "{{\"type\":\"sent\",\"t\":{t},\"node\":{node},\"dir\":\"{}\",\"job_units\":{job_units}}}",
                 dir_name(dir)
+            ));
+        }
+        Event::SentOn {
+            t,
+            node,
+            port,
+            job_units,
+        } => {
+            s.push_str(&format!(
+                "{{\"type\":\"sent_on\",\"t\":{t},\"node\":{node},\"port\":{port},\"job_units\":{job_units}}}"
             ));
         }
         Event::DroppedOff {
@@ -1342,6 +1405,12 @@ fn event_from_json(value: &json::Value) -> Result<Event, TraceFileError> {
             dir: dir_from_json(obj.get_str("dir")?)?,
             job_units: obj.get_u64("job_units")?,
         }),
+        "sent_on" => Ok(Event::SentOn {
+            t,
+            node,
+            port: obj.get_u64("port")? as usize,
+            job_units: obj.get_u64("job_units")?,
+        }),
         "dropped_off" => Ok(Event::DroppedOff {
             t,
             node,
@@ -1521,6 +1590,34 @@ mod tests {
         assert_eq!(tf, back);
     }
 
+    /// A `SentOn` event (topology-generic send) promotes the file to the
+    /// fabric version; everything else stays at the pinned ring version.
+    #[test]
+    fn sent_on_events_bump_the_wire_version() {
+        let mut tf = sample_trace();
+        assert_eq!(tf.wire_version(), TRACE_VERSION);
+        tf.events.push(Event::SentOn {
+            t: 41,
+            node: 2,
+            port: 3,
+            job_units: 5,
+        });
+        assert_eq!(tf.wire_version(), TRACE_VERSION_FABRIC);
+        let bytes = tf.to_bytes();
+        assert_eq!(
+            u32::from_le_bytes(
+                bytes[TRACE_MAGIC.len()..TRACE_MAGIC.len() + 4]
+                    .try_into()
+                    .unwrap()
+            ),
+            TRACE_VERSION_FABRIC
+        );
+        let back = TraceFile::from_bytes(&bytes).unwrap();
+        assert_eq!(tf, back);
+        let back = TraceFile::from_json(&tf.to_json()).unwrap();
+        assert_eq!(tf, back);
+    }
+
     #[test]
     fn corruption_fails_closed() {
         let tf = sample_trace();
@@ -1559,14 +1656,14 @@ mod tests {
         // Future version (checksum fixed up so only the version differs).
         let mut future = bytes.clone();
         future[TRACE_MAGIC.len()..TRACE_MAGIC.len() + 4]
-            .copy_from_slice(&(TRACE_VERSION + 1).to_le_bytes());
+            .copy_from_slice(&(TRACE_VERSION_FABRIC + 1).to_le_bytes());
         let body_end = future.len() - 8;
         let sum = fnv1a(&future[..body_end]);
         future[body_end..].copy_from_slice(&sum.to_le_bytes());
         assert_eq!(
             TraceFile::from_bytes(&future).unwrap_err(),
             TraceFileError::BadVersion {
-                found: TRACE_VERSION + 1
+                found: TRACE_VERSION_FABRIC + 1
             }
         );
     }
@@ -1584,6 +1681,9 @@ mod tests {
         match &mut tampered.events[last] {
             Event::Processed { units, .. }
             | Event::Sent {
+                job_units: units, ..
+            }
+            | Event::SentOn {
                 job_units: units, ..
             } => *units += 1,
             Event::DroppedOff { units, .. } => *units += 1,

@@ -7,7 +7,7 @@
 
 use crate::engine::RunReport;
 use crate::instance::Instance;
-use crate::topology::RingTopology;
+use crate::topology::{Direction, RingTopology};
 use crate::trace::{Event, TraceLevel};
 
 /// Density glyphs from empty to saturated.
@@ -49,6 +49,7 @@ pub fn render_load_timeline(
             let et = match ev {
                 Event::Processed { t, .. }
                 | Event::Sent { t, .. }
+                | Event::SentOn { t, .. }
                 | Event::DroppedOff { t, .. } => *t,
             };
             if et != t {
@@ -64,6 +65,20 @@ pub fn render_load_timeline(
                 } => {
                     balance[node] -= job_units as i64;
                     arriving_next[topo.neighbor(node, dir)] += job_units as i64;
+                }
+                // Fabric sends in a ring timeline: ports 0/1 are cw/ccw;
+                // anything else cannot be placed on the ring and is shown
+                // as departed work only.
+                Event::SentOn {
+                    node,
+                    port,
+                    job_units,
+                    ..
+                } => {
+                    balance[node] -= job_units as i64;
+                    if let Some(&dir) = Direction::BOTH.get(port) {
+                        arriving_next[topo.neighbor(node, dir)] += job_units as i64;
+                    }
                 }
                 // Drop-offs don't move resident work between nodes.
                 Event::DroppedOff { .. } => {}

@@ -1,0 +1,101 @@
+//! The congested clique: every pair of nodes adjacent, bandwidth-limited
+//! links.
+//!
+//! The shape of Censor-Hillel–Maus–Polosukhin's *Near-Optimal Scheduling
+//! in the Congested Clique*: any node can reach any other in one hop, but
+//! each link still carries O(1) words per round, so a scheduler's job is
+//! to balance load while keeping every node's per-round traffic to O(n)
+//! words.
+
+use crate::Topology;
+use serde::{Deserialize, Serialize};
+
+/// An `n`-node clique. Node `v` has `n - 1` ports; port `p` leads to node
+/// `p` if `p < v`, else to node `p + 1` (the port list is "everyone but
+/// me", in id order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Clique {
+    n: usize,
+}
+
+impl Clique {
+    /// Creates an `n`-node clique.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "a clique needs at least one node");
+        Clique { n }
+    }
+
+    /// The port at `v` that leads to `u` (`u != v`).
+    #[inline]
+    pub fn port_to(&self, v: usize, u: usize) -> usize {
+        debug_assert!(u != v && u < self.n && v < self.n);
+        if u < v {
+            u
+        } else {
+            u - 1
+        }
+    }
+}
+
+impl Topology for Clique {
+    fn len(&self) -> usize {
+        self.n
+    }
+    fn degree(&self, _v: usize) -> usize {
+        self.n - 1
+    }
+    fn peer(&self, v: usize, p: usize) -> usize {
+        debug_assert!(p < self.n - 1);
+        if p < v {
+            p
+        } else {
+            p + 1
+        }
+    }
+    fn reverse_port(&self, v: usize, p: usize) -> usize {
+        self.port_to(self.peer(v, p), v)
+    }
+    fn distance(&self, a: usize, b: usize) -> usize {
+        usize::from(a != b)
+    }
+    fn diameter(&self) -> usize {
+        usize::from(self.n > 1)
+    }
+    fn kind(&self) -> &'static str {
+        "clique"
+    }
+    fn spec(&self) -> String {
+        format!("clique:{}", self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ports_enumerate_everyone_but_me() {
+        let t = Clique::new(5);
+        for v in 0..5 {
+            let peers: Vec<usize> = (0..t.degree(v)).map(|p| t.peer(v, p)).collect();
+            let expected: Vec<usize> = (0..5).filter(|&u| u != v).collect();
+            assert_eq!(peers, expected);
+            for u in expected {
+                assert_eq!(t.peer(v, t.port_to(v, u)), u);
+            }
+        }
+    }
+
+    #[test]
+    fn one_hop_metric() {
+        let t = Clique::new(4);
+        assert_eq!(t.distance(1, 3), 1);
+        assert_eq!(t.distance(2, 2), 0);
+        assert_eq!(t.diameter(), 1);
+        assert_eq!(Clique::new(1).diameter(), 0);
+    }
+}

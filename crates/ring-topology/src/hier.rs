@@ -1,0 +1,186 @@
+//! Hierarchical rings: racks of rings joined by an uplink ring.
+//!
+//! The "datacenter" shape — `racks` copies of an `rack_m`-node ring, where
+//! the first node (index 0) of each rack additionally sits on a rack-level
+//! uplink ring. All inter-rack traffic funnels through those uplink nodes,
+//! which is exactly what makes the shape interesting for decentralized
+//! balancing: a hotspot rack can drain internally at ring speed but
+//! exports work through a single two-port gateway.
+
+use crate::Topology;
+use serde::{Deserialize, Serialize};
+
+/// `racks` rings of `rack_m` nodes each, whose index-0 nodes form an
+/// uplink ring. Node ids are rack-major: node `r * rack_m + i` is index
+/// `i` of rack `r`.
+///
+/// Ports: every node has ports 0 (intra-rack clockwise) and 1 (intra-rack
+/// counterclockwise), keeping the ring orientation; uplink nodes (rack
+/// index 0) add ports 2 (uplink clockwise, toward rack `r + 1`) and 3
+/// (uplink counterclockwise).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HierRing {
+    racks: usize,
+    rack_m: usize,
+}
+
+impl HierRing {
+    /// Creates a hierarchy of `racks` rings of `rack_m` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(racks: usize, rack_m: usize) -> Self {
+        assert!(racks > 0, "a hierarchy needs at least one rack");
+        assert!(rack_m > 0, "a rack needs at least one node");
+        HierRing { racks, rack_m }
+    }
+
+    /// Number of racks.
+    #[inline]
+    pub fn racks(&self) -> usize {
+        self.racks
+    }
+
+    /// Nodes per rack.
+    #[inline]
+    pub fn rack_m(&self) -> usize {
+        self.rack_m
+    }
+
+    /// Splits a node id into `(rack, index-within-rack)`.
+    #[inline]
+    pub fn split(&self, v: usize) -> (usize, usize) {
+        (v / self.rack_m, v % self.rack_m)
+    }
+
+    /// The node id of index `i` in rack `r`.
+    #[inline]
+    pub fn node(&self, r: usize, i: usize) -> usize {
+        debug_assert!(r < self.racks && i < self.rack_m);
+        r * self.rack_m + i
+    }
+
+    /// True iff `v` is an uplink node (index 0 of its rack).
+    #[inline]
+    pub fn is_uplink(&self, v: usize) -> bool {
+        v % self.rack_m == 0
+    }
+
+    #[inline]
+    fn ring_dist(n: usize, a: usize, b: usize) -> usize {
+        let cw = (b + n - a) % n;
+        cw.min(n - cw)
+    }
+}
+
+impl Topology for HierRing {
+    fn len(&self) -> usize {
+        self.racks * self.rack_m
+    }
+
+    fn degree(&self, v: usize) -> usize {
+        if self.is_uplink(v) {
+            4
+        } else {
+            2
+        }
+    }
+
+    fn peer(&self, v: usize, p: usize) -> usize {
+        let (r, i) = self.split(v);
+        match p {
+            0 => self.node(r, (i + 1) % self.rack_m),
+            1 => self.node(r, (i + self.rack_m - 1) % self.rack_m),
+            2 if i == 0 => self.node((r + 1) % self.racks, 0),
+            3 if i == 0 => self.node((r + self.racks - 1) % self.racks, 0),
+            _ => panic!("node {v} has no port {p}"),
+        }
+    }
+
+    fn reverse_port(&self, _v: usize, p: usize) -> usize {
+        // Both rings pair cw with ccw: 0 <-> 1 and 2 <-> 3.
+        p ^ 1
+    }
+
+    fn distance(&self, a: usize, b: usize) -> usize {
+        let (ra, ia) = self.split(a);
+        let (rb, ib) = self.split(b);
+        if ra == rb {
+            Self::ring_dist(self.rack_m, ia, ib)
+        } else {
+            // Every inter-rack path exits through the source rack's uplink
+            // node, rides the uplink ring, and descends from the target's.
+            Self::ring_dist(self.rack_m, ia, 0)
+                + Self::ring_dist(self.racks, ra, rb)
+                + Self::ring_dist(self.rack_m, 0, ib)
+        }
+    }
+
+    fn diameter(&self) -> usize {
+        if self.racks >= 2 {
+            2 * (self.rack_m / 2) + self.racks / 2
+        } else {
+            self.rack_m / 2
+        }
+    }
+
+    fn cuts(&self, shards: usize) -> Vec<std::ops::Range<usize>> {
+        // Rack boundaries are the natural seams: all intra-rack traffic
+        // stays inside one shard, so only uplink messages cross shards.
+        crate::grouped_cuts(self.racks, self.rack_m, shards)
+    }
+
+    fn kind(&self) -> &'static str {
+        "hier"
+    }
+
+    fn spec(&self) -> String {
+        format!("hier:{}x{}", self.racks, self.rack_m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_rack_major() {
+        let t = HierRing::new(3, 4);
+        assert_eq!(t.len(), 12);
+        assert_eq!(t.node(2, 3), 11);
+        assert_eq!(t.split(11), (2, 3));
+        assert!(t.is_uplink(8));
+        assert!(!t.is_uplink(9));
+    }
+
+    #[test]
+    fn uplink_nodes_bridge_racks() {
+        let t = HierRing::new(3, 4);
+        // Intra-rack ring wraps within the rack.
+        assert_eq!(t.peer(t.node(1, 3), 0), t.node(1, 0));
+        assert_eq!(t.peer(t.node(1, 0), 1), t.node(1, 3));
+        // Uplink ring connects rack gateways.
+        assert_eq!(t.peer(t.node(1, 0), 2), t.node(2, 0));
+        assert_eq!(t.peer(t.node(0, 0), 3), t.node(2, 0));
+        assert_eq!(t.degree(t.node(1, 0)), 4);
+        assert_eq!(t.degree(t.node(1, 1)), 2);
+    }
+
+    #[test]
+    fn distance_routes_through_uplinks() {
+        let t = HierRing::new(4, 6);
+        // Same rack: plain ring distance.
+        assert_eq!(t.distance(t.node(2, 1), t.node(2, 5)), 2);
+        // Different racks: descend, ride the uplink ring, ascend.
+        assert_eq!(t.distance(t.node(0, 3), t.node(2, 2)), 3 + 2 + 2);
+        assert_eq!(t.diameter(), 2 * 3 + 2);
+    }
+
+    #[test]
+    fn single_rack_degenerates_to_a_ring_metric() {
+        let t = HierRing::new(1, 7);
+        assert_eq!(t.distance(1, 5), 3);
+        assert_eq!(t.diameter(), 3);
+    }
+}

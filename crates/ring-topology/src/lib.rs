@@ -1,0 +1,386 @@
+//! `ring-topology` — network shapes behind one [`Topology`] trait.
+//!
+//! The paper's machine model (§2) is a ring, and the whole workspace grew
+//! up around [`RingTopology`]. Its closing section (§8) asks how the
+//! decentralized approach adapts to *other* networks; this crate is the
+//! abstraction that lets one engine answer: a small, object-safe
+//! [`Topology`] trait (node count, directed-neighbor enumeration by local
+//! link id, metric distance, natural contiguous cuts for sharding) with
+//! four implementations:
+//!
+//! * [`RingTopology`] — the original ring, moved here verbatim so `ring-sim`
+//!   re-exports it unchanged (ports 0 = clockwise, 1 = counterclockwise);
+//! * [`HierRing`] — rings of rings: racks of `m`-node rings whose first
+//!   nodes form an uplink ring, the "datacenter" shape;
+//! * [`Torus2D`] — the 2D torus `ring-mesh` explores, absorbed here so that
+//!   crate keeps only its algorithm/bounds/exact math;
+//! * [`Clique`] — the congested clique (every pair adjacent), the setting
+//!   of Censor-Hillel–Maus–Polosukhin's batch scheduler.
+//!
+//! ## Ports
+//!
+//! A node of degree `d` numbers its incident directed links `0..d` — its
+//! *ports*. `peer(v, p)` is the node reached over port `p`, and
+//! `reverse_port(v, p)` is the arrival port at the peer: the peer's own
+//! port that points back at `v`. On rings the two ports keep the paper's
+//! orientation (`0` = cw, `1` = ccw), so a fault plan's cw/ccw link epochs
+//! apply to ports 0/1 unchanged on every topology that embeds a ring.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod clique;
+mod hier;
+mod ring;
+mod torus;
+
+pub use clique::Clique;
+pub use hier::HierRing;
+pub use ring::{Direction, RingTopology};
+pub use torus::{Dir4, Torus2D};
+
+use std::ops::Range;
+
+/// A network shape: node count, directed-neighbor enumeration by port,
+/// metric distance, and natural contiguous cuts for sharded execution.
+///
+/// Object-safe: engines may hold a `&dyn Topology`, though the fabric
+/// engine works over the concrete [`AnyTopology`] enum so its state stays
+/// `Clone` and snapshot-able.
+pub trait Topology: std::fmt::Debug + Send + Sync {
+    /// Number of nodes; node ids are `0..len()`.
+    fn len(&self) -> usize;
+
+    /// True iff the topology has no nodes (never, for the shapes here —
+    /// every constructor requires at least one node).
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of directed out-links (ports) at node `v`.
+    fn degree(&self, v: usize) -> usize;
+
+    /// The node reached from `v` over port `p` (`p < degree(v)`).
+    fn peer(&self, v: usize, p: usize) -> usize;
+
+    /// The arrival port at `peer(v, p)`: the peer's port that points back
+    /// at `v`, i.e. `peer(peer(v, p), reverse_port(v, p)) == v`.
+    fn reverse_port(&self, v: usize, p: usize) -> usize;
+
+    /// Hop distance between two nodes (the job-migration time of the
+    /// paper's model, generalized).
+    fn distance(&self, a: usize, b: usize) -> usize;
+
+    /// The largest distance between any two nodes.
+    fn diameter(&self) -> usize;
+
+    /// Cuts the id space `0..len()` into at most `shards` non-empty
+    /// contiguous ranges, in ascending order, along the topology's natural
+    /// seams (rack boundaries, torus rows). Sharded executors step each
+    /// range on its own worker; merging results in range order reproduces
+    /// the sequential node order exactly.
+    fn cuts(&self, shards: usize) -> Vec<Range<usize>> {
+        even_cuts(self.len(), shards)
+    }
+
+    /// Short kind tag (`"ring"`, `"hier"`, `"torus"`, `"clique"`).
+    fn kind(&self) -> &'static str;
+
+    /// Canonical spec string (`"ring:8"`, `"hier:4x8"`, `"torus:4x6"`,
+    /// `"clique:16"`); [`AnyTopology::parse`] inverts it.
+    fn spec(&self) -> String;
+}
+
+/// Splits `0..n` into at most `shards` non-empty contiguous ranges of
+/// near-equal size (the default, seam-agnostic cut).
+pub fn even_cuts(n: usize, shards: usize) -> Vec<Range<usize>> {
+    let shards = shards.clamp(1, n.max(1));
+    let mut out = Vec::with_capacity(shards);
+    let mut start = 0;
+    for s in 0..shards {
+        let end = (n * (s + 1)) / shards;
+        if end > start {
+            out.push(start..end);
+            start = end;
+        }
+    }
+    out
+}
+
+/// Aligns cuts to group boundaries: `groups` consecutive blocks of
+/// `group_len` nodes each, distributed over at most `shards` contiguous
+/// runs of whole groups. Falls back to [`even_cuts`] when there are more
+/// shards than groups (a group then spans multiple shards).
+pub fn grouped_cuts(groups: usize, group_len: usize, shards: usize) -> Vec<Range<usize>> {
+    let n = groups * group_len;
+    if shards > groups {
+        return even_cuts(n, shards);
+    }
+    let shards = shards.max(1);
+    let mut out = Vec::with_capacity(shards);
+    let mut start_group = 0;
+    for s in 0..shards {
+        let end_group = (groups * (s + 1)) / shards;
+        if end_group > start_group {
+            out.push(start_group * group_len..end_group * group_len);
+            start_group = end_group;
+        }
+    }
+    out
+}
+
+/// The concrete topology menu: one enum so engine state stays `Clone`,
+/// comparable, and serializable by spec string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnyTopology {
+    /// A plain ring.
+    Ring(RingTopology),
+    /// Racks of rings joined by an uplink ring.
+    Hier(HierRing),
+    /// A 2D torus.
+    Torus(Torus2D),
+    /// A clique.
+    Clique(Clique),
+}
+
+impl AnyTopology {
+    /// Parses a canonical spec string (`"ring:8"`, `"hier:4x8"`,
+    /// `"torus:4x6"`, `"clique:16"`).
+    pub fn parse(spec: &str) -> Result<AnyTopology, String> {
+        let (kind, dims) = spec
+            .split_once(':')
+            .ok_or_else(|| format!("topology spec `{spec}` has no `kind:dims` colon"))?;
+        let num = |s: &str| {
+            s.parse::<usize>()
+                .ok()
+                .filter(|&v| v > 0)
+                .ok_or_else(|| format!("topology spec `{spec}`: `{s}` is not a positive integer"))
+        };
+        match kind {
+            "ring" => Ok(AnyTopology::Ring(RingTopology::new(num(dims)?))),
+            "clique" => Ok(AnyTopology::Clique(Clique::new(num(dims)?))),
+            "hier" | "torus" => {
+                let (a, b) = dims
+                    .split_once('x')
+                    .ok_or_else(|| format!("topology spec `{spec}` needs `AxB` dims"))?;
+                let (a, b) = (num(a)?, num(b)?);
+                if kind == "hier" {
+                    Ok(AnyTopology::Hier(HierRing::new(a, b)))
+                } else {
+                    Ok(AnyTopology::Torus(Torus2D::new(a, b)))
+                }
+            }
+            other => Err(format!("unknown topology kind `{other}`")),
+        }
+    }
+
+    fn inner(&self) -> &dyn Topology {
+        match self {
+            AnyTopology::Ring(t) => t,
+            AnyTopology::Hier(t) => t,
+            AnyTopology::Torus(t) => t,
+            AnyTopology::Clique(t) => t,
+        }
+    }
+}
+
+impl std::fmt::Display for AnyTopology {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.spec())
+    }
+}
+
+impl std::str::FromStr for AnyTopology {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        AnyTopology::parse(s)
+    }
+}
+
+impl Topology for AnyTopology {
+    fn len(&self) -> usize {
+        self.inner().len()
+    }
+    fn degree(&self, v: usize) -> usize {
+        self.inner().degree(v)
+    }
+    fn peer(&self, v: usize, p: usize) -> usize {
+        self.inner().peer(v, p)
+    }
+    fn reverse_port(&self, v: usize, p: usize) -> usize {
+        self.inner().reverse_port(v, p)
+    }
+    fn distance(&self, a: usize, b: usize) -> usize {
+        self.inner().distance(a, b)
+    }
+    fn diameter(&self) -> usize {
+        self.inner().diameter()
+    }
+    fn cuts(&self, shards: usize) -> Vec<Range<usize>> {
+        self.inner().cuts(shards)
+    }
+    fn kind(&self) -> &'static str {
+        self.inner().kind()
+    }
+    fn spec(&self) -> String {
+        self.inner().spec()
+    }
+}
+
+#[cfg(test)]
+mod trait_tests {
+    use super::*;
+
+    fn all_shapes() -> Vec<AnyTopology> {
+        vec![
+            AnyTopology::Ring(RingTopology::new(1)),
+            AnyTopology::Ring(RingTopology::new(2)),
+            AnyTopology::Ring(RingTopology::new(7)),
+            AnyTopology::Hier(HierRing::new(1, 1)),
+            AnyTopology::Hier(HierRing::new(1, 5)),
+            AnyTopology::Hier(HierRing::new(3, 4)),
+            AnyTopology::Hier(HierRing::new(4, 2)),
+            AnyTopology::Torus(Torus2D::new(1, 1)),
+            AnyTopology::Torus(Torus2D::new(1, 6)),
+            AnyTopology::Torus(Torus2D::new(3, 5)),
+            AnyTopology::Torus(Torus2D::new(4, 4)),
+            AnyTopology::Clique(Clique::new(1)),
+            AnyTopology::Clique(Clique::new(2)),
+            AnyTopology::Clique(Clique::new(9)),
+        ]
+    }
+
+    /// The port laws every implementation must satisfy: peers are in
+    /// range, `reverse_port` really does point back, and distance is a
+    /// metric bounded by the diameter.
+    #[test]
+    fn port_and_metric_laws_hold_for_every_shape() {
+        for topo in all_shapes() {
+            let n = topo.len();
+            for v in 0..n {
+                for p in 0..topo.degree(v) {
+                    let u = topo.peer(v, p);
+                    assert!(u < n, "{topo}: peer({v},{p}) out of range");
+                    let q = topo.reverse_port(v, p);
+                    assert!(q < topo.degree(u), "{topo}: reverse_port({v},{p})");
+                    assert_eq!(
+                        topo.peer(u, q),
+                        v,
+                        "{topo}: reverse_port({v},{p}) does not point back"
+                    );
+                    if u != v {
+                        assert_eq!(topo.distance(v, u), 1, "{topo}: neighbors at distance 1");
+                    }
+                }
+            }
+            let mut max_d = 0;
+            for a in 0..n {
+                assert_eq!(topo.distance(a, a), 0);
+                for b in 0..n {
+                    let d = topo.distance(a, b);
+                    assert_eq!(d, topo.distance(b, a), "{topo}: symmetric");
+                    max_d = max_d.max(d);
+                }
+            }
+            assert_eq!(max_d, topo.diameter(), "{topo}: diameter is tight");
+        }
+    }
+
+    /// Distances agree with true BFS hop counts over the port graph —
+    /// the closed forms cannot drift from the actual wiring.
+    #[test]
+    fn closed_form_distance_matches_bfs() {
+        for topo in all_shapes() {
+            let n = topo.len();
+            if n > 64 {
+                continue;
+            }
+            for src in 0..n {
+                let mut dist = vec![usize::MAX; n];
+                dist[src] = 0;
+                let mut queue = std::collections::VecDeque::from([src]);
+                while let Some(v) = queue.pop_front() {
+                    for p in 0..topo.degree(v) {
+                        let u = topo.peer(v, p);
+                        if dist[u] == usize::MAX {
+                            dist[u] = dist[v] + 1;
+                            queue.push_back(u);
+                        }
+                    }
+                }
+                for (b, &d) in dist.iter().enumerate() {
+                    assert_eq!(
+                        topo.distance(src, b),
+                        d,
+                        "{topo}: distance({src},{b}) disagrees with BFS"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cuts_partition_the_id_space_in_order() {
+        for topo in all_shapes() {
+            for shards in 1..=topo.len() + 2 {
+                let cuts = topo.cuts(shards);
+                assert!(!cuts.is_empty());
+                assert!(cuts.len() <= shards.max(1));
+                let mut next = 0;
+                for r in &cuts {
+                    assert_eq!(r.start, next, "{topo}: cuts are contiguous");
+                    assert!(r.end > r.start, "{topo}: cuts are non-empty");
+                    next = r.end;
+                }
+                assert_eq!(next, topo.len(), "{topo}: cuts cover every node");
+            }
+        }
+    }
+
+    #[test]
+    fn spec_strings_round_trip() {
+        for topo in all_shapes() {
+            let spec = topo.spec();
+            let back = AnyTopology::parse(&spec).unwrap();
+            assert_eq!(back, topo, "spec {spec} round-trips");
+        }
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        for bad in [
+            "",
+            "ring",
+            "ring:",
+            "ring:0",
+            "hier:4",
+            "torus:0x3",
+            "mesh:2x2",
+        ] {
+            assert!(AnyTopology::parse(bad).is_err(), "{bad} should not parse");
+        }
+    }
+
+    #[test]
+    fn hier_cuts_align_to_rack_boundaries() {
+        let t = HierRing::new(6, 8);
+        for shards in 1..=6 {
+            for r in t.cuts(shards) {
+                assert_eq!(r.start % 8, 0, "cut starts on a rack boundary");
+                assert_eq!(r.end % 8, 0, "cut ends on a rack boundary");
+            }
+        }
+    }
+
+    #[test]
+    fn torus_cuts_align_to_row_boundaries() {
+        let t = Torus2D::new(5, 7);
+        for shards in 1..=5 {
+            for r in t.cuts(shards) {
+                assert_eq!(r.start % 7, 0, "cut starts on a row boundary");
+                assert_eq!(r.end % 7, 0, "cut ends on a row boundary");
+            }
+        }
+    }
+}

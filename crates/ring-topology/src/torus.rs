@@ -1,0 +1,232 @@
+//! The 2D torus: a ring of rings in both dimensions.
+//!
+//! Moved here from `ring-mesh` (which keeps its algorithm, bounds, and
+//! exact math, and re-exports these types) so the torus runs on the same
+//! fabric engine as every other shape.
+
+use crate::Topology;
+use serde::{Deserialize, Serialize};
+
+/// One of the four torus directions. The discriminant order North, East,
+/// South, West is also the port order ([`Dir4::index`]), so
+/// `opposite()` is `(port + 2) % 4`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Dir4 {
+    /// Row − 1 (wrapping).
+    North,
+    /// Column + 1 (wrapping) — the row-phase travel direction.
+    East,
+    /// Row + 1 (wrapping) — the column-phase travel direction.
+    South,
+    /// Column − 1 (wrapping).
+    West,
+}
+
+impl Dir4 {
+    /// All four directions in engine order.
+    pub const ALL: [Dir4; 4] = [Dir4::North, Dir4::East, Dir4::South, Dir4::West];
+
+    /// The direction messages *arrive from* when sent this way.
+    pub fn opposite(self) -> Dir4 {
+        match self {
+            Dir4::North => Dir4::South,
+            Dir4::East => Dir4::West,
+            Dir4::South => Dir4::North,
+            Dir4::West => Dir4::East,
+        }
+    }
+
+    /// Index into 4-element direction arrays — and the port number.
+    pub fn index(self) -> usize {
+        match self {
+            Dir4::North => 0,
+            Dir4::East => 1,
+            Dir4::South => 2,
+            Dir4::West => 3,
+        }
+    }
+}
+
+/// An `rows × cols` torus. Node `id = row * cols + col`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Torus2D {
+    rows: usize,
+    cols: usize,
+}
+
+impl Torus2D {
+    /// Creates a torus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "torus dimensions must be positive");
+        Torus2D { rows, cols }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of processors.
+    pub fn len(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Never empty (dimensions are positive).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// `(row, col)` of a node id.
+    #[inline]
+    pub fn coords(&self, id: usize) -> (usize, usize) {
+        debug_assert!(id < self.len());
+        (id / self.cols, id % self.cols)
+    }
+
+    /// Node id of `(row, col)`.
+    #[inline]
+    pub fn id(&self, row: usize, col: usize) -> usize {
+        debug_assert!(row < self.rows && col < self.cols);
+        row * self.cols + col
+    }
+
+    /// The neighbor one hop away in `dir`.
+    pub fn neighbor(&self, id: usize, dir: Dir4) -> usize {
+        let (r, c) = self.coords(id);
+        match dir {
+            Dir4::North => self.id((r + self.rows - 1) % self.rows, c),
+            Dir4::South => self.id((r + 1) % self.rows, c),
+            Dir4::East => self.id(r, (c + 1) % self.cols),
+            Dir4::West => self.id(r, (c + self.cols - 1) % self.cols),
+        }
+    }
+
+    #[inline]
+    fn cyclic(n: usize, a: usize, b: usize) -> usize {
+        let fwd = (b + n - a) % n;
+        fwd.min(n - fwd)
+    }
+
+    /// Torus distance: sum of the two cyclic distances. This is the
+    /// migration time of a job between the nodes.
+    pub fn distance(&self, a: usize, b: usize) -> usize {
+        let (ra, ca) = self.coords(a);
+        let (rb, cb) = self.coords(b);
+        Self::cyclic(self.rows, ra, rb) + Self::cyclic(self.cols, ca, cb)
+    }
+
+    /// The largest distance between any two nodes.
+    pub fn diameter(&self) -> usize {
+        self.rows / 2 + self.cols / 2
+    }
+}
+
+impl Topology for Torus2D {
+    fn len(&self) -> usize {
+        self.rows * self.cols
+    }
+    fn degree(&self, _v: usize) -> usize {
+        4
+    }
+    fn peer(&self, v: usize, p: usize) -> usize {
+        self.neighbor(v, Dir4::ALL[p])
+    }
+    fn reverse_port(&self, _v: usize, p: usize) -> usize {
+        (p + 2) % 4
+    }
+    fn distance(&self, a: usize, b: usize) -> usize {
+        Torus2D::distance(self, a, b)
+    }
+    fn diameter(&self) -> usize {
+        Torus2D::diameter(self)
+    }
+    fn cuts(&self, shards: usize) -> Vec<std::ops::Range<usize>> {
+        // Row boundaries are the natural seams: only North/South messages
+        // cross shards, East/West stay inside a row's shard.
+        crate::grouped_cuts(self.rows, self.cols, shards)
+    }
+    fn kind(&self) -> &'static str {
+        "torus"
+    }
+    fn spec(&self) -> String {
+        format!("torus:{}x{}", self.rows, self.cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coords_roundtrip() {
+        let t = Torus2D::new(4, 6);
+        for id in 0..t.len() {
+            let (r, c) = t.coords(id);
+            assert_eq!(t.id(r, c), id);
+        }
+    }
+
+    #[test]
+    fn neighbors_wrap_both_dimensions() {
+        let t = Torus2D::new(3, 4);
+        let id = t.id(0, 0);
+        assert_eq!(t.coords(t.neighbor(id, Dir4::North)), (2, 0));
+        assert_eq!(t.coords(t.neighbor(id, Dir4::West)), (0, 3));
+        assert_eq!(t.coords(t.neighbor(id, Dir4::South)), (1, 0));
+        assert_eq!(t.coords(t.neighbor(id, Dir4::East)), (0, 1));
+    }
+
+    #[test]
+    fn neighbor_then_opposite_is_identity() {
+        let t = Torus2D::new(5, 7);
+        for id in 0..t.len() {
+            for dir in Dir4::ALL {
+                assert_eq!(t.neighbor(t.neighbor(id, dir), dir.opposite()), id);
+            }
+        }
+    }
+
+    #[test]
+    fn distance_is_l1_on_cycles() {
+        let t = Torus2D::new(6, 8);
+        assert_eq!(t.distance(t.id(0, 0), t.id(3, 4)), 3 + 4);
+        assert_eq!(t.distance(t.id(0, 0), t.id(5, 7)), 1 + 1); // wraps
+        assert_eq!(t.distance(t.id(2, 3), t.id(2, 3)), 0);
+        assert_eq!(t.diameter(), 3 + 4);
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_triangular() {
+        let t = Torus2D::new(4, 5);
+        for a in 0..t.len() {
+            for b in 0..t.len() {
+                assert_eq!(t.distance(a, b), t.distance(b, a));
+                for c in 0..t.len() {
+                    assert!(t.distance(a, c) <= t.distance(a, b) + t.distance(b, c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ports_follow_the_dir4_order() {
+        use crate::Topology as _;
+        let t = Torus2D::new(3, 4);
+        for v in 0..t.len() {
+            for dir in Dir4::ALL {
+                assert_eq!(t.peer(v, dir.index()), t.neighbor(v, dir));
+                assert_eq!(t.reverse_port(v, dir.index()), dir.opposite().index());
+            }
+        }
+        assert_eq!(t.spec(), "torus:3x4");
+    }
+}

@@ -1,0 +1,106 @@
+//! Datacenter-shaped workloads for the hierarchical ring topology.
+//!
+//! A [`ring_sim::HierRing`] is `racks` rings of `rack_len` nodes whose
+//! index-0 nodes also sit on an uplink ring — the "datacenter" shape. The
+//! canonical workload is a **hotspot rack**: one rack's nodes are heavily
+//! loaded (a tenant burst landing on one rack) while every other node
+//! carries light random background. Whether the burst can drain through
+//! the rack's single uplink is exactly the bottleneck the hierarchical
+//! topology exists to study.
+//!
+//! Loads are row-major in rack-major node order (`rack * rack_len + idx`),
+//! matching `HierRing` node numbering, so the vectors feed straight into
+//! the fabric engine and the scenario DSL.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ring_sim::{HierRing, Topology};
+
+/// A hotspot-rack datacenter workload: every node of rack `hot_rack`
+/// carries `hot` jobs, every other node draws background uniformly from
+/// `0..=bg`. Deterministic in `seed`.
+///
+/// # Panics
+///
+/// Panics if `hot_rack` is out of range.
+pub fn hotspot_rack(
+    racks: usize,
+    rack_len: usize,
+    hot_rack: usize,
+    hot: u64,
+    bg: u64,
+    seed: u64,
+) -> Vec<u64> {
+    let topo = HierRing::new(racks, rack_len);
+    assert!(hot_rack < racks, "hot rack {hot_rack} of {racks}");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..topo.len())
+        .map(|v| {
+            if v / rack_len == hot_rack {
+                hot
+            } else {
+                rng.gen_range(0..=bg)
+            }
+        })
+        .collect()
+}
+
+/// A skewed datacenter: rack `r` carries `base << r` jobs on its index-0
+/// (uplink) node and zero elsewhere — every rack's pile sits exactly on
+/// its gateway, the best case for the uplink ring and the worst case for
+/// intra-rack balance. Deterministic (no randomness).
+pub fn uplink_piles(racks: usize, rack_len: usize, base: u64) -> Vec<u64> {
+    let topo = HierRing::new(racks, rack_len);
+    (0..topo.len())
+        .map(|v| {
+            let (rack, idx) = (v / rack_len, v % rack_len);
+            if idx == 0 {
+                base << rack.min(32)
+            } else {
+                0
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hotspot_is_seeded_and_shaped() {
+        let a = hotspot_rack(4, 8, 1, 500, 20, 7);
+        let b = hotspot_rack(4, 8, 1, 500, 20, 7);
+        let c = hotspot_rack(4, 8, 1, 500, 20, 8);
+        assert_eq!(a, b, "same seed must reproduce");
+        assert_ne!(a, c, "different seed should differ");
+        assert_eq!(a.len(), 32);
+        for (v, &load) in a.iter().enumerate() {
+            if v / 8 == 1 {
+                assert_eq!(load, 500);
+            } else {
+                assert!(load <= 20);
+            }
+        }
+    }
+
+    #[test]
+    fn uplink_piles_sit_on_gateways() {
+        let v = uplink_piles(3, 5, 10);
+        assert_eq!(v.len(), 15);
+        assert_eq!(v[0], 10);
+        assert_eq!(v[5], 20);
+        assert_eq!(v[10], 40);
+        for (i, &x) in v.iter().enumerate() {
+            if i % 5 != 0 {
+                assert_eq!(x, 0);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "hot rack")]
+    fn out_of_range_rack_rejected() {
+        let _ = hotspot_rack(2, 4, 2, 10, 5, 0);
+    }
+}

@@ -28,6 +28,7 @@
 
 pub mod adversary;
 pub mod catalog;
+pub mod hier;
 pub mod io;
 pub mod pagemig;
 pub mod random;
@@ -37,3 +38,4 @@ pub mod structured;
 
 pub use adversary::ArrivalScript;
 pub use catalog::{catalog, CatalogCase, Part};
+pub use hier::{hotspot_rack, uplink_piles};

@@ -1,0 +1,20 @@
+# The congested-clique batch scheduler: uniform random load over a
+# 16-node clique balanced in a constant number of O(n)-word rounds
+# (report, grant, ship) before everyone drains locally.
+[scenario]
+name = clique-balance
+
+[topology]
+kind = clique
+m = 16
+
+[workload]
+shape = uniform
+n = 40
+seed = 3
+
+[algorithm]
+name = clique
+
+[trace]
+level = full

@@ -1,0 +1,19 @@
+# A datacenter burst on the hierarchical ring: every node of the middle
+# rack of a 4x8 hier topology is hot (a tenant burst landing on one rack)
+# while the other racks carry light random background. The burst has to
+# drain through rack uplinks — exactly the bottleneck the topology models.
+[scenario]
+name = hier-datacenter
+
+[topology]
+kind = hier
+racks = 4
+m = 8
+
+[workload]
+shape = datacenter
+n = 300
+seed = 7
+
+[trace]
+level = full

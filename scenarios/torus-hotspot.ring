@@ -1,0 +1,20 @@
+# A concentrated pile on an 8x8 torus, diffused dimension-free by the
+# fabric gradient policy, with a processor stall mid-run. The 2D escape
+# bandwidth must beat draining locally by a wide margin.
+[scenario]
+name = torus-hotspot
+
+[topology]
+kind = torus
+rows = 8
+cols = 8
+
+[workload]
+shape = concentrated
+n = 2000
+
+[faults]
+plan = stall:5@3..9
+
+[trace]
+level = full

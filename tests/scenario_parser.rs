@@ -17,7 +17,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use ring_scenario::{
     parse_plan, AlgSelect, CatalogSel, ErrorKind, ExecMode, ExecutorSpec, Mode, Plan, ServiceSpec,
-    ShapeKind, Workload,
+    ShapeKind, TopoKind, Workload,
 };
 use ring_sched::dynamic::Arrival;
 use ring_sim::FaultPlan;
@@ -187,7 +187,7 @@ fn rejection_table() -> Vec<Rejection> {
             input: "[scenario]\nname = t\n\n[workload]\nshape = concentrated\nn = 10\nseed = 4\n",
             line: 7,
             col: 1,
-            kind: conflict("`seed` is only meaningful for shape = uniform"),
+            kind: conflict("`seed` is only meaningful for shape = uniform or datacenter"),
         },
         // Bad values.
         Rejection {
@@ -405,7 +405,11 @@ fn random_run_plan(rng: &mut StdRng, idx: u64) -> Plan {
     Plan {
         name: format!("prop-run-{idx}"),
         mode: Mode::Run,
+        kind: TopoKind::Ring,
         m,
+        racks: None,
+        rows: None,
+        cols: None,
         workload,
         algorithm: random_algorithm(rng, true),
         executor,
@@ -448,7 +452,11 @@ fn random_compete_plan(rng: &mut StdRng, idx: u64) -> Plan {
     Plan {
         name: format!("prop-compete-{idx}"),
         mode: Mode::Compete,
+        kind: TopoKind::Ring,
         m,
+        racks: None,
+        rows: None,
+        cols: None,
         workload,
         algorithm: None,
         executor: ExecutorSpec {
@@ -493,7 +501,11 @@ fn random_serve_plan(rng: &mut StdRng, idx: u64) -> Plan {
     Plan {
         name: format!("prop-serve-{idx}"),
         mode: Mode::Serve,
+        kind: TopoKind::Ring,
         m: Some(m),
+        racks: None,
+        rows: None,
+        cols: None,
         workload: Workload::Arrivals(random_arrivals(rng, m)),
         algorithm: random_algorithm(rng, false),
         executor: ExecutorSpec {
